@@ -1,0 +1,124 @@
+/// \file bench_ablation.cc
+/// \brief Ablation of the engineering refinements documented in
+/// EXPERIMENTS.md ("Known deviations"): each refinement is toggled off in
+/// turn and the end-to-end delivered/requested ratio re-measured, showing
+/// why the paper-literal control loop under-delivers and which mechanism
+/// buys the recovery.
+///
+/// Configurations:
+///   paper-literal : symmetric +/-Delta-beta rule, no supply gate, no
+///                   patience, MLE on every batch
+///   +hysteresis   : decrease only when N_v < 1%
+///   +supply gate  : decrease also requires batch n >= 2x target
+///   +patience     : decreases need a 6-batch healthy streak (full default)
+///   -small-batch guard : full defaults but MLE even on tiny batches
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace craqr;  // NOLINT
+
+engine::EngineConfig BaseConfig() {
+  engine::EngineConfig config;
+  config.grid_h = 9;
+  config.fabric.flatten_batch_size = 64;
+  config.budget.initial = 32.0;
+  config.budget.delta = 8.0;
+  config.budget.max = 256.0;
+  return config;
+}
+
+double MeasureDelivered(const engine::EngineConfig& config,
+                        std::uint64_t seed) {
+  sensing::PopulationConfig pc;
+  pc.region = geom::Rect(0, 0, 6, 6);
+  pc.num_sensors = 700;
+  Rng rng(seed);
+  auto population = sensing::SensorPopulation::Make(pc, &rng).MoveValue();
+  auto world =
+      sensing::CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+  sensing::TemperatureField::Params tp;
+  (void)world.RegisterAttribute("temp", false,
+                                sensing::TemperatureField::Make(tp).MoveValue(),
+                                sensing::ResponseModel::DeviceBehavior());
+  auto craqr_engine =
+      engine::CraqrEngine::Make(std::move(world), config).MoveValue();
+  const auto stream =
+      craqr_engine
+          ->SubmitText(
+              "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 0.5 PER KM2 PER MIN")
+          .MoveValue();
+  (void)craqr_engine->RunFor(90.0);
+  // Steady-state window: the last 60 of 90 minutes.
+  std::uint64_t steady = 0;
+  for (const auto& tuple : stream.sink->tuples()) {
+    if (tuple.point.t > 30.0) {
+      ++steady;
+    }
+  }
+  return static_cast<double>(steady) / (36.0 * 60.0) / 0.5;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ablation: budget-rule refinements and the small-batch "
+              "guard ===\n\n");
+  std::printf("scenario: 700 sensors, requested 0.5 /km2/min over 36 km2, "
+              "steady state = minutes 30..90, mean of 3 seeds\n\n");
+  std::printf("%-28s %-22s\n", "configuration", "delivered/requested");
+
+  struct Row {
+    const char* name;
+    engine::EngineConfig config;
+  };
+  std::vector<Row> rows;
+
+  {
+    Row row{"paper-literal", BaseConfig()};
+    row.config.budget.decrease_threshold =
+        row.config.budget.violation_threshold;
+    row.config.budget.decrease_supply_ratio = 0.0;
+    row.config.budget.decrease_patience = 1;
+    row.config.fabric.flatten_min_batch_for_estimation = 0;
+    rows.push_back(row);
+  }
+  {
+    Row row{"+hysteresis", BaseConfig()};
+    row.config.budget.decrease_supply_ratio = 0.0;
+    row.config.budget.decrease_patience = 1;
+    row.config.fabric.flatten_min_batch_for_estimation = 0;
+    rows.push_back(row);
+  }
+  {
+    Row row{"+supply gate", BaseConfig()};
+    row.config.budget.decrease_patience = 1;
+    row.config.fabric.flatten_min_batch_for_estimation = 0;
+    rows.push_back(row);
+  }
+  {
+    Row row{"+patience (full rule)", BaseConfig()};
+    row.config.fabric.flatten_min_batch_for_estimation = 0;
+    rows.push_back(row);
+  }
+  {
+    rows.push_back(Row{"full + small-batch guard", BaseConfig()});
+  }
+
+  for (const auto& row : rows) {
+    double sum = 0.0;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+      sum += MeasureDelivered(row.config, seed);
+    }
+    std::printf("%-28s %-22.3f\n", row.name, sum / 3.0);
+  }
+
+  std::printf("\neach refinement moves the steady-state delivery closer to\n"
+              "the request; the paper-literal symmetric rule oscillates at\n"
+              "the violation threshold and pays the violation mass.\n");
+  return 0;
+}

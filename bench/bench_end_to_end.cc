@@ -1,0 +1,128 @@
+/// \file bench_end_to_end.cc
+/// \brief Experiment E2 — the paper's Figure 1 architecture, end to end.
+///
+/// A skewed mobile crowd (hotspot placement, random-waypoint mobility)
+/// observes `rain` (human-sensed, incentive-sensitive) and `temp`
+/// (device-sensed). Three acquisitional queries run simultaneously through
+/// the full CrAQR stack — request/response handler with budget tuning,
+/// per-cell PMAT topologies, merge stage — and the bench reports requested
+/// vs delivered spatio-temporal rates over a two-hour simulation.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "core/engine.h"
+
+int main() {
+  using namespace craqr;  // NOLINT
+
+  std::printf("=== E2: end-to-end CrAQR (Figure 1) ===\n\n");
+
+  // --- the crowd ---------------------------------------------------------
+  const geom::Rect region(0, 0, 6, 6);
+  sensing::PopulationConfig pc;
+  pc.region = region;
+  pc.num_sensors = 800;
+  pc.placement = sensing::PlacementKind::kIntensity;
+  pp::GaussianBump downtown;
+  downtown.amplitude = 20.0;
+  downtown.x0 = 2.0;
+  downtown.y0 = 2.0;
+  downtown.sigma = 1.0;
+  pc.placement_intensity =
+      pp::GaussianBumpIntensity::Make(1.0, {downtown}).MoveValue();
+  const auto mobility =
+      sensing::RandomWaypointMobility::Make(0.05, 0.4).MoveValue();
+  pc.mobility_prototype = mobility.get();
+  Rng rng(7);
+  auto population = sensing::SensorPopulation::Make(pc, &rng).MoveValue();
+  auto world =
+      sensing::CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+
+  // --- attributes ---------------------------------------------------------
+  sensing::RainCell storm;
+  storm.x0 = 1.0;
+  storm.y0 = 4.0;
+  storm.radius = 1.5;
+  storm.vx = 0.02;
+  (void)world.RegisterAttribute("rain", true,
+                                sensing::RainField::Make({storm}).MoveValue(),
+                                sensing::ResponseModel::HumanBehavior());
+  sensing::TemperatureField::Params tp;
+  (void)world.RegisterAttribute("temp", false,
+                                sensing::TemperatureField::Make(tp).MoveValue(),
+                                sensing::ResponseModel::DeviceBehavior());
+
+  // --- the engine ---------------------------------------------------------
+  engine::EngineConfig config;
+  config.grid_h = 9;
+  config.step_dt = 1.0;
+  config.fabric.flatten_batch_size = 64;
+  config.budget.initial = 32.0;
+  config.budget.delta = 8.0;
+  config.budget.max = 256.0;
+  config.enable_incentives = true;
+  auto craqr_engine =
+      engine::CraqrEngine::Make(std::move(world), config).MoveValue();
+
+  const char* queries[] = {
+      "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 0.5 PER KM2 PER MIN",
+      "ACQUIRE temp FROM REGION(0, 0, 4, 4) RATE 0.25 PER KM2 PER MIN",
+      "ACQUIRE rain FROM REGION(0, 2, 4, 6) RATE 0.2 PER KM2 PER MIN",
+  };
+  std::vector<fabric::QueryStream> streams;
+  for (const char* text : queries) {
+    std::printf("submit: %s\n", text);
+    streams.push_back(craqr_engine->SubmitText(text).MoveValue());
+  }
+  std::printf("\n%-8s", "t(min)");
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    std::printf(" Q%zu(del/req)   ", i + 1);
+  }
+  std::printf("\n");
+
+  const double horizon = 120.0;
+  for (int checkpoint = 1; checkpoint <= 6; ++checkpoint) {
+    (void)craqr_engine->RunFor(horizon / 6.0);
+    std::printf("%-8.0f", craqr_engine->now());
+    for (const auto& stream : streams) {
+      const double delivered =
+          static_cast<double>(stream.sink->total_received()) /
+          (stream.region.Area() * craqr_engine->now());
+      std::printf(" %.3f/%.3f    ", delivered, stream.rate);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n--- system counters after %.0f min ---\n",
+              craqr_engine->now());
+  std::printf("acquisition requests sent : %llu\n",
+              static_cast<unsigned long long>(
+                  craqr_engine->handler().requests_sent()));
+  std::printf("crowd responses           : %llu\n",
+              static_cast<unsigned long long>(
+                  craqr_engine->world().total_responses()));
+  std::printf("tuples routed / unrouted  : %llu / %llu\n",
+              static_cast<unsigned long long>(
+                  craqr_engine->fabricator().tuples_routed()),
+              static_cast<unsigned long long>(
+                  craqr_engine->fabricator().tuples_unrouted()));
+  std::printf("materialized cells        : %zu of %u\n",
+              craqr_engine->fabricator().NumMaterializedCells(),
+              craqr_engine->grid().NumCells());
+  std::printf("budget increases/decreases: %llu / %llu\n",
+              static_cast<unsigned long long>(
+                  craqr_engine->budgets().increases()),
+              static_cast<unsigned long long>(
+                  craqr_engine->budgets().decreases()));
+  std::printf("incentive raises          : %llu\n",
+              static_cast<unsigned long long>(
+                  craqr_engine->incentives().raises()));
+  const auto cost = engine::EstimateCost(craqr_engine->fabricator());
+  std::printf("topology cost             : %s\n", cost.ToString().c_str());
+  std::printf("\ndelivered rates converge to the requested rates as budget\n"
+              "tuning adapts; the human-sensed rain query leans on the\n"
+              "incentive controller (Section VI extension).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// \file bench_multiquery.cc
+/// \brief Experiment E7 — shared topologies vs the naive per-query
+/// strategy.
+///
+/// Paper Section III: "The naive strategy of processing each query from
+/// scratch (i.e., individually), is not cost effective ... the data
+/// acquired for a particular attribute will not be re-used across
+/// queries. Instead, multiple query optimization principles need to be
+/// employed."  We sweep the number of simultaneous overlapping queries and
+/// compare acquisition requests, operator counts, operator evaluations and
+/// modelled topology cost between CrAQR (shared) and the naive baseline.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "core/engine.h"
+#include "core/naive.h"
+
+namespace {
+
+using namespace craqr;  // NOLINT
+
+sensing::CrowdWorld MakeWorld(std::uint64_t seed) {
+  sensing::PopulationConfig pc;
+  pc.region = geom::Rect(0, 0, 6, 6);
+  pc.num_sensors = 500;
+  Rng rng(seed);
+  auto population = sensing::SensorPopulation::Make(pc, &rng).MoveValue();
+  auto world =
+      sensing::CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+  sensing::TemperatureField::Params tp;
+  (void)world.RegisterAttribute("temp", false,
+                                sensing::TemperatureField::Make(tp).MoveValue(),
+                                sensing::ResponseModel::DeviceBehavior());
+  return world;
+}
+
+engine::EngineConfig Config() {
+  engine::EngineConfig config;
+  config.grid_h = 9;
+  config.fabric.flatten_batch_size = 48;
+  config.budget.initial = 16.0;
+  return config;
+}
+
+query::AcquisitionQuery QueryNumber(int i) {
+  // Overlapping 4x4 regions with varied rates: realistic shared demand.
+  query::AcquisitionQuery q;
+  q.attribute = "temp";
+  const double offset = static_cast<double>(i % 3);
+  q.region = geom::Rect(offset, offset, offset + 4.0, offset + 4.0);
+  q.rate = 0.2 + 0.1 * static_cast<double>(i % 5);
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E7: multi-query sharing vs naive per-query processing "
+              "===\n\n");
+  std::printf("%-8s | %-12s %-12s %-10s | %-12s %-12s %-10s | %-8s\n",
+              "queries", "shared req", "shared eval", "shared ops",
+              "naive req", "naive eval", "naive ops", "req ratio");
+
+  const double horizon = 15.0;
+  for (const int n : {1, 2, 4, 8, 16, 32, 64}) {
+    auto shared = engine::CraqrEngine::Make(MakeWorld(21), Config()).MoveValue();
+    for (int i = 0; i < n; ++i) {
+      (void)shared->Submit(QueryNumber(i)).MoveValue();
+    }
+    (void)shared->RunFor(horizon);
+    const auto shared_requests = shared->world().total_requests_sent();
+    const auto shared_evals =
+        shared->fabricator().TotalOperatorEvaluations();
+    const auto shared_ops = shared->fabricator().TotalOperators();
+
+    auto naive = engine::NaiveEngine::Make(MakeWorld(21), Config()).MoveValue();
+    for (int i = 0; i < n; ++i) {
+      (void)naive->Submit(QueryNumber(i)).MoveValue();
+    }
+    (void)naive->RunFor(horizon);
+    const auto naive_requests = naive->world().total_requests_sent();
+    const auto naive_evals = naive->TotalOperatorEvaluations();
+    const auto naive_ops = naive->TotalOperators();
+
+    std::printf("%-8d | %-12llu %-12llu %-10zu | %-12llu %-12llu %-10zu | "
+                "%-8.2f\n",
+                n, static_cast<unsigned long long>(shared_requests),
+                static_cast<unsigned long long>(shared_evals), shared_ops,
+                static_cast<unsigned long long>(naive_requests),
+                static_cast<unsigned long long>(naive_evals), naive_ops,
+                static_cast<double>(naive_requests) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        shared_requests, 1)));
+  }
+  std::printf("\nshared acquisition requests saturate once every touched\n"
+              "(attribute, cell) is subscribed — adding overlapping queries\n"
+              "is nearly free — while the naive baseline's request volume\n"
+              "grows linearly in the number of queries. The crossover the\n"
+              "paper motivates appears from the second query onward.\n");
+  return 0;
+}

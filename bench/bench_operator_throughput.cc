@@ -1,0 +1,162 @@
+/// \file bench_operator_throughput.cc
+/// \brief Experiment E9 — raw PMAT operator throughput (google-benchmark).
+///
+/// The paper claims PMAT operators "can be implemented using only a few
+/// lines of code"; this micro-bench quantifies the flip side — their
+/// per-tuple cost — for every operator kind and for chains of increasing
+/// depth (the shape query insertion produces).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/extras.h"
+#include "ops/flatten.h"
+#include "ops/partition.h"
+#include "ops/pipeline.h"
+#include "ops/thin.h"
+#include "ops/union_op.h"
+
+namespace {
+
+using namespace craqr;  // NOLINT
+
+std::vector<ops::Tuple> MakeTuples(std::size_t n) {
+  Rng rng(77);
+  std::vector<ops::Tuple> tuples;
+  tuples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops::Tuple t;
+    t.id = i;
+    t.point = geom::SpaceTimePoint{static_cast<double>(i) * 0.01,
+                                   rng.Uniform(0.0, 4.0),
+                                   rng.Uniform(0.0, 4.0)};
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+void BM_PassThrough(benchmark::State& state) {
+  auto op = ops::PassThroughOperator::Make("id").MoveValue();
+  const auto tuples = MakeTuples(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Push(tuples[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PassThrough);
+
+void BM_Thin(benchmark::State& state) {
+  auto op = ops::ThinOperator::Make("t", 10.0, 5.0, Rng(1)).MoveValue();
+  const auto tuples = MakeTuples(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Push(tuples[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Thin);
+
+void BM_Partition(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<geom::Rect> regions;
+  std::vector<std::unique_ptr<ops::SinkOperator>> sinks;
+  const double width = 4.0 / static_cast<double>(k);
+  auto op_result = ops::PartitionOperator::Make("p", [&] {
+    for (std::size_t i = 0; i < k; ++i) {
+      regions.emplace_back(static_cast<double>(i) * width, 0.0,
+                           static_cast<double>(i + 1) * width, 4.0);
+    }
+    return regions;
+  }());
+  auto op = op_result.MoveValue();
+  for (std::size_t i = 0; i < k; ++i) {
+    sinks.push_back(ops::SinkOperator::Make("s", 1024).MoveValue());
+    op->AddOutput(sinks.back().get());
+  }
+  const auto tuples = MakeTuples(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Push(tuples[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Partition)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_Union(benchmark::State& state) {
+  auto op = ops::UnionOperator::Make(
+                "u", {geom::Rect(0, 0, 2, 4), geom::Rect(2, 0, 4, 4)})
+                .MoveValue();
+  const auto tuples = MakeTuples(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Push(tuples[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Union);
+
+void BM_FlattenBatch(benchmark::State& state) {
+  ops::FlattenConfig config;
+  config.region = geom::Rect(0, 0, 4, 4);
+  config.target_rate = 1.0;
+  config.batch_size = static_cast<std::size_t>(state.range(0));
+  auto op = ops::FlattenOperator::Make("f", config, Rng(2)).MoveValue();
+  const auto tuples = MakeTuples(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op->Push(tuples[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlattenBatch)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FlattenOnline(benchmark::State& state) {
+  ops::FlattenConfig config;
+  config.region = geom::Rect(0, 0, 4, 4);
+  config.target_rate = 1.0;
+  config.mode = ops::FlattenMode::kOnline;
+  auto op = ops::FlattenOperator::Make("f", config, Rng(3)).MoveValue();
+  // Monotone time required by the online estimator.
+  Rng rng(4);
+  double t = 0.0;
+  ops::Tuple tuple;
+  for (auto _ : state) {
+    t += 0.001;
+    tuple.point = geom::SpaceTimePoint{t, rng.Uniform(0.0, 4.0),
+                                       rng.Uniform(0.0, 4.0)};
+    benchmark::DoNotOptimize(op->Push(tuple));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlattenOnline);
+
+void BM_ThinChainDepth(benchmark::State& state) {
+  // A descending T chain of the given depth, as built by query insertion.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  ops::Pipeline pipeline;
+  std::vector<ops::ThinOperator*> chain;
+  double rate = 1024.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    auto thin = ops::ThinOperator::Make("t" + std::to_string(i), rate,
+                                        rate / 2.0, Rng(10 + i))
+                    .MoveValue();
+    rate /= 2.0;
+    chain.push_back(pipeline.Add(std::move(thin)));
+    if (i > 0) {
+      chain[i - 1]->AddOutput(chain[i]);
+    }
+  }
+  const auto tuples = MakeTuples(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.front()->Push(tuples[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ThinChainDepth)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace

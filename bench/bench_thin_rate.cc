@@ -1,0 +1,73 @@
+/// \file bench_thin_rate.cc
+/// \brief Experiment E3 — the Thin operator's rate claim.
+///
+/// Paper Section IV-B-1: "It can be shown that this simple procedure
+/// produces a point process with the desired rate lambda2."  We sweep the
+/// thinning ratio lambda2/lambda1 and report the delivered rate, its
+/// relative error, and the exact two-sided Poisson p-value of the observed
+/// count under the claimed output law.
+
+#include <cstdio>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "ops/extras.h"
+#include "ops/thin.h"
+#include "pointprocess/gof.h"
+#include "pointprocess/simulate.h"
+
+int main() {
+  using namespace craqr;  // NOLINT
+
+  std::printf("=== E3: Thin operator output rate ===\n\n");
+  const pp::SpaceTimeWindow window{0.0, 200.0, geom::Rect(0, 0, 5, 5)};
+  const double lambda1 = 20.0;
+
+  std::printf("input: homogeneous MDPP, lambda1 = %.1f /km2/min over %s, "
+              "%.0f min\n\n",
+              lambda1, window.space.ToString().c_str(), window.Duration());
+  std::printf("%-10s %-12s %-12s %-12s %-10s %-12s %-12s\n", "ratio",
+              "lambda2", "delivered", "rel.err(%)", "p-value", "KS-p(time)",
+              "chi2-p(space)");
+
+  Rng source_rng(101);
+  const auto input =
+      pp::SimulateHomogeneous(&source_rng, lambda1, window).MoveValue();
+
+  for (const double ratio :
+       {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    const double lambda2 = ratio * lambda1;
+    auto thin =
+        ops::ThinOperator::Make("thin", lambda1, lambda2,
+                                Rng(200 + static_cast<std::uint64_t>(ratio * 100)))
+            .MoveValue();
+    auto sink = ops::SinkOperator::Make("sink", 1 << 24).MoveValue();
+    thin->AddOutput(sink.get());
+    for (const auto& p : input) {
+      ops::Tuple tuple;
+      tuple.point = p;
+      (void)thin->Push(tuple);
+    }
+    std::vector<geom::SpaceTimePoint> retained;
+    retained.reserve(sink->tuples().size());
+    for (const auto& t : sink->tuples()) {
+      retained.push_back(t.point);
+    }
+    const double delivered = pp::EmpiricalRate(retained, window);
+    const double expected = lambda2 * window.Volume();
+    const double p_value = PoissonTwoSidedPValue(
+        expected, static_cast<double>(retained.size()));
+    const auto temporal =
+        pp::TestTemporalUniformity(retained, window).MoveValue();
+    const auto spatial =
+        pp::TestSpatialHomogeneity(retained, window, 5, 5).MoveValue();
+    std::printf("%-10.2f %-12.2f %-12.3f %-12.2f %-10.3f %-12.3f %-12.3f\n",
+                ratio, lambda2, delivered,
+                100.0 * (delivered - lambda2) / lambda2, p_value,
+                temporal.p_value, spatial.p_value);
+  }
+  std::printf("\nclaim holds when every p-value column stays comfortably\n"
+              "above rejection thresholds (no systematic rate bias and the\n"
+              "output remains a homogeneous MDPP).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file incentive_tuning.cpp
+/// \brief The Section-VI incentive extension in action.
+///
+/// A reluctant human crowd (strongly negative response logit) is asked for
+/// a human-sensed attribute at a rate the default budget cannot satisfy.
+/// The budget tuner climbs to its ceiling, the infeasibility events fire,
+/// and — with the incentive controller enabled — the offered incentive
+/// rises until the crowd starts answering, recovering the requested rate.
+/// A control run with incentives disabled shows the rate staying starved.
+///
+///   $ ./example_incentive_tuning
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace craqr;  // NOLINT
+
+std::unique_ptr<engine::CraqrEngine> BuildEngine(bool enable_incentives,
+                                                 std::uint64_t seed) {
+  sensing::PopulationConfig crowd;
+  crowd.region = geom::Rect(0, 0, 4, 4);
+  crowd.num_sensors = 600;
+  Rng rng(seed);
+  auto population = sensing::SensorPopulation::Make(crowd, &rng).MoveValue();
+  auto world =
+      sensing::CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+
+  // A very reluctant crowd: ~5% respond unincentivised, but money talks.
+  sensing::ResponseBehavior reluctant;
+  reluctant.base_logit = -3.0;
+  reluctant.incentive_weight = 1.2;
+  reluctant.delay_mu = -0.5;
+  reluctant.delay_sigma = 0.5;
+  sensing::RainCell drizzle;
+  drizzle.x0 = 2.0;
+  drizzle.y0 = 2.0;
+  drizzle.radius = 1.0;
+  (void)world.RegisterAttribute(
+      "rain", true, sensing::RainField::Make({drizzle}).MoveValue(),
+      reluctant);
+
+  engine::EngineConfig config;
+  config.grid_h = 4;
+  config.budget.initial = 16.0;
+  config.budget.delta = 8.0;
+  config.budget.max = 96.0;  // a ceiling the reluctant crowd defeats
+  config.enable_incentives = enable_incentives;
+  config.incentive.initial = 0.0;
+  config.incentive.raise_step = 0.5;
+  config.incentive.max = 6.0;
+  return engine::CraqrEngine::Make(std::move(world), config).MoveValue();
+}
+
+void Run(const char* label, bool enable_incentives, std::uint64_t seed) {
+  auto engine = BuildEngine(enable_incentives, seed);
+  const auto stream =
+      engine
+          ->SubmitText(
+              "ACQUIRE rain FROM REGION(0, 0, 4, 4) RATE 0.5 PER KM2 PER MIN")
+          .MoveValue();
+  const auto rain_id = engine->world().AttributeIdByName("rain").MoveValue();
+
+  std::printf("--- %s ---\n", label);
+  std::printf("%-8s %-12s %-12s %-12s %-12s\n", "t(min)", "delivered",
+              "incentive", "responses", "infeasible");
+  std::uint64_t last = 0;
+  double last_t = 0.0;
+  for (int checkpoint = 1; checkpoint <= 8; ++checkpoint) {
+    (void)engine->RunFor(15.0);
+    const std::uint64_t total = stream.sink->total_received();
+    const double rate = static_cast<double>(total - last) /
+                        (stream.region.Area() * (engine->now() - last_t));
+    last = total;
+    last_t = engine->now();
+    std::printf("%-8.0f %-12.3f %-12.2f %-12llu %-12zu\n", engine->now(),
+                rate, engine->handler().GetIncentive(rain_id),
+                static_cast<unsigned long long>(
+                    engine->world().total_responses()),
+                engine->infeasible_log().size());
+  }
+  std::printf("requested 0.5 /km2/min; incentive raises applied: %llu\n\n",
+              static_cast<unsigned long long>(engine->incentives().raises()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== incentive extension (paper Section VI, bullet 1) ===\n\n");
+  Run("control: budget tuning only", /*enable_incentives=*/false, 31);
+  Run("with incentive controller", /*enable_incentives=*/true, 31);
+  std::printf("with incentives enabled the engine escapes the starved\n"
+              "regime: once budgets saturate, money replaces volume.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// \file rain_monitoring.cpp
+/// \brief The paper's running example: crowdsensed rain monitoring.
+///
+/// `rain` is a human-sensed boolean attribute — people answer "is it
+/// raining around you?" on their phones, with delays and non-response.
+/// A storm cell drifts across the city; a rain-acquisition query at a
+/// fixed spatio-temporal rate feeds a tiny detector that estimates the
+/// wet fraction of the query region over time, demonstrating downstream
+/// inference on a fabricated MCDS.
+///
+///   $ ./example_rain_monitoring
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+int main() {
+  using namespace craqr;  // NOLINT
+
+  const geom::Rect city(0, 0, 6, 6);
+
+  // A crowd concentrated downtown, walking randomly.
+  sensing::PopulationConfig crowd;
+  crowd.region = city;
+  crowd.num_sensors = 900;
+  crowd.placement = sensing::PlacementKind::kIntensity;
+  pp::GaussianBump downtown;
+  downtown.amplitude = 12.0;
+  downtown.x0 = 3.0;
+  downtown.y0 = 3.0;
+  downtown.sigma = 1.5;
+  crowd.placement_intensity =
+      pp::GaussianBumpIntensity::Make(1.0, {downtown}).MoveValue();
+  const auto mobility =
+      sensing::RandomWaypointMobility::Make(0.05, 0.3).MoveValue();
+  crowd.mobility_prototype = mobility.get();
+  Rng rng(99);
+  auto population = sensing::SensorPopulation::Make(crowd, &rng).MoveValue();
+  auto world =
+      sensing::CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+
+  // A storm enters from the west at t=20 and drifts east at 0.05 km/min.
+  sensing::RainCell storm;
+  storm.x0 = -1.0;
+  storm.y0 = 3.0;
+  storm.radius = 2.0;
+  storm.vx = 0.05;
+  storm.t_start = 20.0;
+  storm.t_end = 160.0;
+  const auto rain_field =
+      sensing::RainField::Make({storm}, /*misreport_prob=*/0.03).MoveValue();
+
+  // Humans respond sluggishly and only somewhat reliably.
+  sensing::ResponseBehavior human = sensing::ResponseModel::HumanBehavior();
+  human.base_logit = 1.0;
+  const auto rain_id =
+      world.RegisterAttribute("rain", true, rain_field, human).MoveValue();
+  (void)rain_id;
+
+  engine::EngineConfig config;
+  config.grid_h = 9;
+  config.budget.initial = 32.0;
+  config.budget.max = 256.0;
+  auto engine = engine::CraqrEngine::Make(std::move(world), config).MoveValue();
+
+  // The paper's Q<1>: acquire rain at a fixed spatio-temporal rate.
+  const auto stream =
+      engine
+          ->SubmitText(
+              "ACQUIRE rain FROM REGION(0, 0, 6, 6) RATE 0.3 PER KM2 PER MIN")
+          .MoveValue();
+
+  std::printf("rain monitoring: storm crosses the city t=20..160 min\n\n");
+  std::printf("%-8s %-14s %-14s %-12s\n", "t(min)", "wet fraction",
+              "truth@centre", "tuples/10min");
+
+  std::uint64_t seen = 0;
+  for (int checkpoint = 1; checkpoint <= 18; ++checkpoint) {
+    (void)engine->RunFor(10.0);
+    // Downstream inference: fraction of "yes, raining" answers in the last
+    // window of the fabricated stream.
+    std::size_t wet = 0;
+    std::size_t total = 0;
+    for (const auto& tuple : stream.sink->tuples()) {
+      if (tuple.point.t > engine->now() - 10.0) {
+        ++total;
+        if (std::holds_alternative<bool>(tuple.value) &&
+            std::get<bool>(tuple.value)) {
+          ++wet;
+        }
+      }
+    }
+    const bool truth_centre = std::get<bool>(
+        rain_field->GroundTruth({engine->now(), 3.0, 3.0}));
+    const std::uint64_t window_tuples = stream.sink->total_received() - seen;
+    seen = stream.sink->total_received();
+    std::printf("%-8.0f %-14.3f %-14s %-12llu\n", engine->now(),
+                total > 0 ? static_cast<double>(wet) /
+                                static_cast<double>(total)
+                          : 0.0,
+                truth_centre ? "raining" : "dry",
+                static_cast<unsigned long long>(window_tuples));
+  }
+
+  std::printf("\nthe wet fraction rises as the storm enters, peaks while it\n"
+              "covers the city centre and falls as it exits — inferred\n"
+              "entirely from a rate-controlled crowdsensed stream.\n");
+  return 0;
+}

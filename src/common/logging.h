@@ -1,0 +1,71 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// \brief Minimal leveled logging with a process-wide severity threshold.
+///
+/// Usage: `CRAQR_LOG(INFO) << "inserted query " << id;`
+/// Messages below the threshold are compiled into a no-op stream.
+
+namespace craqr {
+
+/// \brief Log severity levels, ordered.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Sets the process-wide minimum severity that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  /// The accumulating stream.
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Swallows a disabled log statement.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace craqr
+
+#define CRAQR_LOG_LEVEL_DEBUG ::craqr::LogLevel::kDebug
+#define CRAQR_LOG_LEVEL_INFO ::craqr::LogLevel::kInfo
+#define CRAQR_LOG_LEVEL_WARNING ::craqr::LogLevel::kWarning
+#define CRAQR_LOG_LEVEL_ERROR ::craqr::LogLevel::kError
+
+/// Emits one log line at the given severity when enabled.
+#define CRAQR_LOG(severity)                                         \
+  if (CRAQR_LOG_LEVEL_##severity < ::craqr::GetLogLevel()) {        \
+  } else                                                            \
+    ::craqr::internal::LogMessage(CRAQR_LOG_LEVEL_##severity,       \
+                                  __FILE__, __LINE__)               \
+        .stream()

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file macros.h
+/// \brief Error-propagation helper macros (Arrow idiom).
+
+#define CRAQR_CONCAT_IMPL(x, y) x##y
+#define CRAQR_CONCAT(x, y) CRAQR_CONCAT_IMPL(x, y)
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define CRAQR_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::craqr::Status _craqr_status = (expr);  \
+    if (!_craqr_status.ok()) {               \
+      return _craqr_status;                  \
+    }                                        \
+  } while (false)
+
+#define CRAQR_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) {                                   \
+    return result_name.status();                             \
+  }                                                          \
+  lhs = result_name.MoveValue()
+
+/// Evaluates `rexpr` (a Result<T> expression); on success assigns the value
+/// to `lhs` (which may declare a new variable), on error returns the Status
+/// from the enclosing function.
+#define CRAQR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  CRAQR_ASSIGN_OR_RETURN_IMPL(             \
+      CRAQR_CONCAT(_craqr_result_, __LINE__), lhs, rexpr)

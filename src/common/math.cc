@@ -1,0 +1,138 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace craqr {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+constexpr double kTiny = 1e-300;
+
+// Series representation of P(a, x); converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a, x); converges for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) {
+    return 0.0;
+  }
+  if (x < a + 1.0) {
+    return GammaPSeries(a, x);
+  }
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  assert(a > 0.0);
+  if (x <= 0.0) {
+    return 1.0;
+  }
+  if (x < a + 1.0) {
+    return 1.0 - GammaPSeries(a, x);
+  }
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSurvival(double x, double dof) {
+  assert(dof > 0.0);
+  if (x <= 0.0) {
+    return 1.0;
+  }
+  return RegularizedGammaQ(dof / 2.0, x / 2.0);
+}
+
+double KolmogorovSurvival(double lambda) {
+  if (lambda <= 0.0) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-16) {
+      break;
+    }
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double PoissonSurvival(double mean, double k) {
+  if (k <= 0.0) {
+    return 1.0;
+  }
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  // P[X >= k] = P(k, mean) for integer k >= 1 (regularized lower gamma).
+  return RegularizedGammaP(k, mean);
+}
+
+double LogFactorial(double n) {
+  assert(n >= 0.0);
+  return std::lgamma(n + 1.0);
+}
+
+double PoissonTwoSidedPValue(double mean, double n) {
+  if (mean <= 0.0) {
+    return n <= 0.0 ? 1.0 : 0.0;
+  }
+  // P[X <= n] = Q(n + 1, mean); P[X >= n] = P(n, mean) for n >= 1.
+  const double lower = RegularizedGammaQ(n + 1.0, mean);
+  const double upper = n <= 0.0 ? 1.0 : RegularizedGammaP(n, mean);
+  return std::min(1.0, 2.0 * std::min(lower, upper));
+}
+
+}  // namespace craqr

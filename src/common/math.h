@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file math.h
+/// \brief Hand-coded special functions needed by point-process estimation
+/// and goodness-of-fit testing (no external math library dependencies).
+
+namespace craqr {
+
+/// \brief Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+///
+/// Computed by series expansion for x < a + 1 and by continued fraction
+/// otherwise (Numerical Recipes gammp/gammq construction), accurate to about
+/// 1e-12 relative error.
+double RegularizedGammaP(double a, double x);
+
+/// \brief Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// \brief Survival function of the chi-square distribution with `dof`
+/// degrees of freedom evaluated at `x` (i.e. the p-value of a chi-square
+/// statistic).
+double ChiSquareSurvival(double x, double dof);
+
+/// \brief Survival function of the Kolmogorov distribution,
+/// `Q_KS(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)`.
+///
+/// Used to convert a scaled Kolmogorov-Smirnov statistic into a p-value.
+double KolmogorovSurvival(double lambda);
+
+/// \brief Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// \brief Survival function of the Poisson distribution: P[X >= k] for
+/// X ~ Poisson(mean). Exact via the regularized incomplete gamma identity.
+double PoissonSurvival(double mean, double k);
+
+/// \brief log(n!) via lgamma.
+double LogFactorial(double n);
+
+/// \brief Two-sided p-value for an exact Poisson rate test: observed count
+/// `n` against expected mean `mean` (used to sanity-check Thin output
+/// rates). Returns min(1, 2 * min(P[X <= n], P[X >= n])).
+double PoissonTwoSidedPValue(double mean, double n);
+
+}  // namespace craqr

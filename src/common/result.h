@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+/// \file result.h
+/// \brief `Result<T>`: value-or-Status, in the style of arrow::Result.
+
+namespace craqr {
+
+/// \brief Holds either a successfully produced `T` or an error `Status`.
+///
+/// Use with the `CRAQR_ASSIGN_OR_RETURN` macro (macros.h) for terse
+/// propagation:
+/// \code
+///   CRAQR_ASSIGN_OR_RETURN(auto grid, Grid::Make(region, h));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// arrow::Result, so `return value;` works in functions returning
+  /// Result<T>).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status.ok()` must be false.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(storage_);
+  }
+
+  /// \name Value accessors
+  /// Must only be called when `ok()`.
+  ///@{
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  /// Moves the value out of the Result.
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  ///@}
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace craqr

@@ -1,0 +1,192 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace craqr {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+std::uint64_t Rng::NextU64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t v = NextU64();
+  while (v >= limit) {
+    v = NextU64();
+  }
+  return v % n;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return Uniform() < p;
+}
+
+std::uint64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    // Knuth multiplication method.
+    const double threshold = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = Uniform();
+    while (product > threshold) {
+      ++k;
+      product *= Uniform();
+    }
+    return k;
+  }
+  // PTRS transformed-rejection (Hoermann 1993).
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  while (true) {
+    const double u = Uniform() - 0.5;
+    const double v = Uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) {
+      return static_cast<std::uint64_t>(k);
+    }
+    if (k < 0.0 || (us < 0.013 && v > us)) {
+      continue;
+    }
+    if (std::log(v * inv_alpha / (a / (us * us) + b)) <=
+        k * std::log(mean) - mean - std::lgamma(k + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  double u = Uniform();
+  // Uniform() can return 0; avoid log(0).
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return -std::log(u) / rate;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 0.0) {
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  assert(stddev >= 0.0);
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Pareto(double scale, double alpha) {
+  assert(scale > 0.0 && alpha > 0.0);
+  double u = Uniform();
+  while (u <= 0.0) {
+    u = Uniform();
+  }
+  return scale / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::uint64_t> Rng::SampleWithoutReplacement(std::uint64_t n,
+                                                         std::uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected draws, O(k) memory.
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = UniformInt(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Rng::SampleWithReplacement(std::uint64_t n,
+                                                      std::uint64_t k) {
+  assert(n > 0);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    out.push_back(UniformInt(n));
+  }
+  return out;
+}
+
+Rng Rng::Fork() {
+  return Rng(NextU64());
+}
+
+}  // namespace craqr

@@ -1,0 +1,138 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace craqr {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::Stddev() const { return std::sqrt(Variance()); }
+
+double RunningStats::CoefficientOfVariation() const {
+  const double mean = Mean();
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  return Stddev() / mean;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity_ >= 1);
+}
+
+void SlidingWindow::Push(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  if (values_.size() > capacity_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double SlidingWindow::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double SlidingWindow::FractionAbove(double threshold) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  const auto above = std::count_if(
+      values_.begin(), values_.end(),
+      [threshold](double v) { return v > threshold; });
+  return static_cast<double>(above) / static_cast<double>(values_.size());
+}
+
+void SlidingWindow::Clear() {
+  values_.clear();
+  sum_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  assert(bins >= 1);
+  assert(lo < hi);
+}
+
+void Histogram::Add(double x) {
+  auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinLeft(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double KsTestUniform(const std::vector<double>& sorted_samples,
+                     double* p_value) {
+  const std::size_t n = sorted_samples.size();
+  if (n == 0) {
+    if (p_value != nullptr) {
+      *p_value = 1.0;
+    }
+    return 0.0;
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cdf = std::clamp(sorted_samples[i], 0.0, 1.0);
+    const double upper = static_cast<double>(i + 1) / static_cast<double>(n);
+    const double lower = static_cast<double>(i) / static_cast<double>(n);
+    d = std::max(d, std::max(upper - cdf, cdf - lower));
+  }
+  if (p_value != nullptr) {
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    // Stephens' small-sample correction.
+    const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    *p_value = KolmogorovSurvival(lambda);
+  }
+  return d;
+}
+
+}  // namespace craqr

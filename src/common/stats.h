@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+/// \file stats.h
+/// \brief Small statistics accumulators used throughout the library.
+
+namespace craqr {
+
+/// \brief Numerically stable single-pass accumulator (Welford) for mean,
+/// variance, min and max.
+class RunningStats {
+ public:
+  /// Adds an observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  std::uint64_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double Variance() const;
+
+  /// Square root of Variance().
+  double Stddev() const;
+
+  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  double CoefficientOfVariation() const;
+
+  /// Smallest observation; +inf when empty.
+  double Min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double Max() const { return max_; }
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+  /// Resets to the empty state.
+  void Reset();
+
+  /// Merges another accumulator into this one (Chan's parallel formula).
+  void Merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-capacity sliding window of doubles supporting O(1) mean and
+/// fraction-above-threshold queries; used for windowed rate-violation
+/// tracking in the online Flatten mode.
+class SlidingWindow {
+ public:
+  /// Creates a window holding at most `capacity` recent values
+  /// (capacity >= 1).
+  explicit SlidingWindow(std::size_t capacity);
+
+  /// Appends a value, evicting the oldest when full.
+  void Push(double x);
+
+  /// Number of values currently held.
+  std::size_t size() const { return values_.size(); }
+
+  /// True when no values are held.
+  bool empty() const { return values_.empty(); }
+
+  /// Mean of held values; 0 when empty.
+  double Mean() const;
+
+  /// Fraction of held values strictly greater than `threshold`; 0 when
+  /// empty.
+  double FractionAbove(double threshold) const;
+
+  /// Sum of held values.
+  double Sum() const { return sum_; }
+
+  /// Removes all values.
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// \brief Equi-width histogram over [lo, hi); out-of-range values are
+/// clamped into the edge bins. Used for empirical intensity summaries.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width bins over [lo, hi). Requires bins >= 1 and
+  /// lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds an observation.
+  void Add(double x);
+
+  /// Count in bin `i`.
+  std::uint64_t BinCount(std::size_t i) const { return counts_[i]; }
+
+  /// Number of bins.
+  std::size_t NumBins() const { return counts_.size(); }
+
+  /// Total observations.
+  std::uint64_t TotalCount() const { return total_; }
+
+  /// Left edge of bin `i`.
+  double BinLeft(std::size_t i) const;
+
+  /// Width of each bin.
+  double BinWidth() const { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// \brief One-sample Kolmogorov-Smirnov test of `sorted_samples` (ascending)
+/// against the Uniform[0,1] distribution. Returns the KS statistic D;
+/// `*p_value` (optional) receives the asymptotic p-value.
+double KsTestUniform(const std::vector<double>& sorted_samples,
+                     double* p_value);
+
+}  // namespace craqr

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style error propagation without exceptions.
+///
+/// All fallible public CrAQR APIs return either a `craqr::Status` or a
+/// `craqr::Result<T>` (see result.h).  Exceptions are never thrown across
+/// library boundaries.
+
+namespace craqr {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode
+/// (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and is marked
+/// `[[nodiscard]]` so silently dropped errors fail the build.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message);
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// \name Error factories
+  /// One per non-OK StatusCode.
+  ///@{
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  ///@}
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// \brief Returns "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses are equal when code and message both match.
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Streams `status.ToString()`.
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace craqr

@@ -1,0 +1,136 @@
+#include "core/engine.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace craqr {
+namespace engine {
+
+CraqrEngine::CraqrEngine(sensing::CrowdWorld world, const geom::Grid& grid,
+                         const EngineConfig& config,
+                         std::unique_ptr<fabric::StreamFabricator> fabricator,
+                         server::BudgetManager budgets,
+                         server::IncentiveController incentives)
+    : world_(std::move(world)),
+      grid_(grid),
+      config_(config),
+      fabricator_(std::move(fabricator)),
+      budgets_(std::move(budgets)),
+      incentives_(std::move(incentives)) {}
+
+Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
+    sensing::CrowdWorld world, const EngineConfig& config) {
+  if (!(config.step_dt > 0.0)) {
+    return Status::InvalidArgument("step_dt must be > 0");
+  }
+  CRAQR_ASSIGN_OR_RETURN(
+      geom::Grid grid,
+      geom::Grid::Make(world.population().region(), config.grid_h));
+  CRAQR_ASSIGN_OR_RETURN(auto fabricator,
+                         fabric::StreamFabricator::Make(grid, config.fabric));
+  CRAQR_ASSIGN_OR_RETURN(server::BudgetManager budgets,
+                         server::BudgetManager::Make(config.budget));
+  CRAQR_ASSIGN_OR_RETURN(server::IncentiveController incentives,
+                         server::IncentiveController::Make(config.incentive));
+
+  auto engine = std::unique_ptr<CraqrEngine>(
+      new CraqrEngine(std::move(world), grid, config, std::move(fabricator),
+                      std::move(budgets), std::move(incentives)));
+
+  // The handler needs stable pointers into the engine, so it is built
+  // after the engine object exists.
+  CRAQR_ASSIGN_OR_RETURN(
+      server::RequestResponseHandler handler,
+      server::RequestResponseHandler::Make(&engine->world_, &engine->budgets_,
+                                           grid, config.handler));
+  engine->handler_.emplace(std::move(handler));
+
+  // Budget tuning (paper Section V): every F-operator batch report feeds
+  // N_v into the budget manager; optionally incentives react once budgets
+  // saturate (Section VI extension).
+  CraqrEngine* raw = engine.get();
+  engine->fabricator_->SetViolationCallback(
+      [raw](ops::AttributeId attribute, const geom::CellIndex& cell,
+            const ops::FlattenBatchReport& report) {
+        raw->OnViolationReport(attribute, cell, report);
+      });
+  engine->budgets_.SetInfeasibleCallback(
+      [raw](const server::BudgetKey& key, double budget) {
+        (void)budget;
+        raw->infeasible_log_.push_back(key);
+      });
+  return engine;
+}
+
+void CraqrEngine::OnViolationReport(ops::AttributeId attribute,
+                                    const geom::CellIndex& cell,
+                                    const ops::FlattenBatchReport& report) {
+  const server::BudgetKey key{attribute, cell};
+  const double supply_ratio =
+      report.target_count > 0.0
+          ? static_cast<double>(report.n) / report.target_count
+          : std::numeric_limits<double>::infinity();
+  budgets_.ReportBatch(key, report.violation_percent, supply_ratio);
+  if (config_.enable_incentives) {
+    const double incentive = incentives_.Update(
+        attribute, report.violation_percent, budgets_.IsSaturated(key));
+    handler_->SetIncentive(attribute, incentive);
+  }
+}
+
+Result<fabric::QueryStream> CraqrEngine::Submit(
+    const query::AcquisitionQuery& q) {
+  CRAQR_RETURN_NOT_OK(q.Validate());
+  CRAQR_ASSIGN_OR_RETURN(const ops::AttributeId attribute,
+                         world_.AttributeIdByName(q.attribute));
+  CRAQR_ASSIGN_OR_RETURN(fabric::QueryStream stream,
+                         fabricator_->InsertQuery(attribute, q.region,
+                                                  q.rate));
+  CRAQR_ASSIGN_OR_RETURN(std::vector<geom::CellIndex> cells,
+                         fabricator_->QueryCells(stream.id));
+  for (const auto& cell : cells) {
+    CRAQR_RETURN_NOT_OK(handler_->Subscribe(attribute, cell));
+  }
+  return stream;
+}
+
+Result<fabric::QueryStream> CraqrEngine::SubmitText(const std::string& text) {
+  CRAQR_ASSIGN_OR_RETURN(const query::AcquisitionQuery parsed,
+                         query::ParseQuery(text));
+  return Submit(parsed);
+}
+
+Status CraqrEngine::Cancel(query::QueryId id) {
+  CRAQR_ASSIGN_OR_RETURN(const fabric::QueryStream stream,
+                         fabricator_->GetStream(id));
+  CRAQR_ASSIGN_OR_RETURN(std::vector<geom::CellIndex> cells,
+                         fabricator_->QueryCells(id));
+  CRAQR_RETURN_NOT_OK(fabricator_->RemoveQuery(id));
+  for (const auto& cell : cells) {
+    CRAQR_RETURN_NOT_OK(handler_->Unsubscribe(stream.attribute, cell));
+  }
+  return Status::OK();
+}
+
+Status CraqrEngine::Step() {
+  now_ += config_.step_dt;
+  world_.Advance(config_.step_dt);
+  CRAQR_ASSIGN_OR_RETURN(std::vector<ops::Tuple> batch, handler_->Step(now_));
+  return fabricator_->ProcessBatch(batch);
+}
+
+Status CraqrEngine::RunFor(double minutes) {
+  if (!(minutes >= 0.0)) {
+    return Status::InvalidArgument("minutes must be >= 0");
+  }
+  const double deadline = now_ + minutes;
+  while (now_ + 1e-12 < deadline) {
+    CRAQR_RETURN_NOT_OK(Step());
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace craqr

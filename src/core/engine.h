@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fabric/fabricator.h"
+#include "geometry/grid.h"
+#include "query/query.h"
+#include "sensing/world.h"
+#include "server/budget.h"
+#include "server/handler.h"
+#include "server/incentive.h"
+
+/// \file engine.h
+/// \brief CrAQR: the complete system of paper Figure 1.
+///
+/// The engine owns the crowd world (mobile sensors), the request/response
+/// handler with its budget manager (and optionally the incentive
+/// controller of Section VI), and the crowdsensed stream fabricator.  A
+/// stepped simulation loop drives them: sensors move, acquisition requests
+/// go out per budget, delayed responses come back, batches flow through
+/// the per-cell PMAT topologies, and every live query's sink receives its
+/// fabricated MCDS at (approximately) the requested spatio-temporal rate.
+
+namespace craqr {
+namespace engine {
+
+/// \brief Engine construction parameters.
+struct EngineConfig {
+  /// Grid granularity h (perfect square; paper Section IV).
+  std::uint32_t grid_h = 9;
+  /// Minutes advanced per Step().
+  double step_dt = 1.0;
+  /// Stream-fabricator parameters.
+  fabric::FabricConfig fabric;
+  /// Budget-tuning parameters.
+  server::BudgetConfig budget;
+  /// Request/response handler parameters.
+  server::HandlerConfig handler;
+  /// Section-VI extension: raise incentives once budgets saturate.
+  bool enable_incentives = false;
+  /// Incentive-policy parameters (used when enable_incentives).
+  server::IncentiveConfig incentive;
+};
+
+/// \brief The CrAQR engine.
+class CraqrEngine {
+ public:
+  /// Creates an engine over a crowd world. Attributes must already be
+  /// registered on the world. The engine is heap-allocated so internal
+  /// cross-component pointers stay stable.
+  static Result<std::unique_ptr<CraqrEngine>> Make(sensing::CrowdWorld world,
+                                                   const EngineConfig& config);
+
+  CraqrEngine(const CraqrEngine&) = delete;
+  CraqrEngine& operator=(const CraqrEngine&) = delete;
+
+  /// \brief Submits an acquisitional query; resolves the attribute name,
+  /// inserts it into the fabricator and subscribes the handler on every
+  /// overlapped grid cell. Returns the live stream handle.
+  Result<fabric::QueryStream> Submit(const query::AcquisitionQuery& q);
+
+  /// Parses the declarative syntax and submits (paper Section III):
+  /// `ACQUIRE rain FROM REGION(0,0,2,2) RATE 10 PER KM2 PER MIN`.
+  Result<fabric::QueryStream> SubmitText(const std::string& text);
+
+  /// Cancels a live query: unsubscribes its cells and removes its
+  /// topology (paper Section V "Query Deletions").
+  Status Cancel(query::QueryId id);
+
+  /// Advances the simulation by `config.step_dt` minutes: moves sensors,
+  /// dispatches acquisition requests, collects arrived responses and runs
+  /// them through the fabricator.
+  Status Step();
+
+  /// Runs Step() until at least `minutes` of simulated time have passed.
+  Status RunFor(double minutes);
+
+  /// Current simulated time (minutes).
+  double now() const { return now_; }
+
+  /// \name Component access
+  ///@{
+  const sensing::CrowdWorld& world() const { return world_; }
+  sensing::CrowdWorld& world() { return world_; }
+  const fabric::StreamFabricator& fabricator() const { return *fabricator_; }
+  const server::BudgetManager& budgets() const { return budgets_; }
+  const server::RequestResponseHandler& handler() const { return *handler_; }
+  const server::IncentiveController& incentives() const {
+    return incentives_;
+  }
+  const geom::Grid& grid() const { return grid_; }
+  ///@}
+
+  /// Queries whose requested rate was flagged infeasible at the current
+  /// budget ceiling (cleared when re-tuning succeeds is NOT automatic;
+  /// this is a monotone event log).
+  const std::vector<server::BudgetKey>& infeasible_log() const {
+    return infeasible_log_;
+  }
+
+ private:
+  CraqrEngine(sensing::CrowdWorld world, const geom::Grid& grid,
+              const EngineConfig& config,
+              std::unique_ptr<fabric::StreamFabricator> fabricator,
+              server::BudgetManager budgets,
+              server::IncentiveController incentives);
+
+  void OnViolationReport(ops::AttributeId attribute,
+                         const geom::CellIndex& cell,
+                         const ops::FlattenBatchReport& report);
+
+  sensing::CrowdWorld world_;
+  geom::Grid grid_;
+  EngineConfig config_;
+  std::unique_ptr<fabric::StreamFabricator> fabricator_;
+  server::BudgetManager budgets_;
+  server::IncentiveController incentives_;
+  std::optional<server::RequestResponseHandler> handler_;
+  std::vector<server::BudgetKey> infeasible_log_;
+  double now_ = 0.0;
+};
+
+}  // namespace engine
+}  // namespace craqr

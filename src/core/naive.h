@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+/// \file naive.h
+/// \brief The naive per-query baseline (paper Section III).
+///
+/// "The naive strategy of processing each query from scratch (i.e.,
+/// individually), is not cost effective especially for the human-sensed
+/// attributes. This is because the data acquired for a particular
+/// attribute will not be re-used across queries."
+///
+/// NaiveEngine implements exactly that strategy: every query gets its own
+/// private fabricator, budget manager and request/response handler, all
+/// asking the same crowd — so acquisition requests and operator work are
+/// duplicated instead of shared. Experiment E7 compares its cost against
+/// CraqrEngine's shared topologies.
+
+namespace craqr {
+namespace engine {
+
+/// \brief Per-query (non-sharing) acquisition engine.
+class NaiveEngine {
+ public:
+  /// Creates a naive engine over a crowd world (attributes already
+  /// registered).
+  static Result<std::unique_ptr<NaiveEngine>> Make(sensing::CrowdWorld world,
+                                                   const EngineConfig& config);
+
+  NaiveEngine(const NaiveEngine&) = delete;
+  NaiveEngine& operator=(const NaiveEngine&) = delete;
+
+  /// Submits a query with its own private acquisition stack.
+  Result<fabric::QueryStream> Submit(const query::AcquisitionQuery& q);
+
+  /// Cancels a query and tears down its private stack.
+  Status Cancel(query::QueryId id);
+
+  /// Advances the simulation one step (every private handler dispatches
+  /// its own requests — the duplicated cost this baseline demonstrates).
+  Status Step();
+
+  /// Runs Step() until `minutes` of simulated time have passed.
+  Status RunFor(double minutes);
+
+  /// Current simulated time (minutes).
+  double now() const { return now_; }
+
+  /// The shared crowd.
+  const sensing::CrowdWorld& world() const { return world_; }
+
+  /// Total acquisition requests across all private handlers.
+  std::uint64_t TotalRequestsSent() const;
+
+  /// Total operator evaluations across all private fabricators.
+  std::uint64_t TotalOperatorEvaluations() const;
+
+  /// Total operators across all private fabricators.
+  std::size_t TotalOperators() const;
+
+  /// Number of live queries.
+  std::size_t NumQueries() const { return slots_.size(); }
+
+ private:
+  /// One query's private acquisition stack.
+  struct Slot {
+    std::unique_ptr<fabric::StreamFabricator> fabricator;
+    server::BudgetManager budgets;
+    std::optional<server::RequestResponseHandler> handler;
+    query::QueryId local_id = 0;
+    fabric::QueryStream stream;
+
+    explicit Slot(server::BudgetManager b) : budgets(std::move(b)) {}
+  };
+
+  NaiveEngine(sensing::CrowdWorld world, const geom::Grid& grid,
+              const EngineConfig& config)
+      : world_(std::move(world)), grid_(grid), config_(config) {}
+
+  sensing::CrowdWorld world_;
+  geom::Grid grid_;
+  EngineConfig config_;
+  std::unordered_map<query::QueryId, std::unique_ptr<Slot>> slots_;
+  query::QueryId next_id_ = 1;
+  double now_ = 0.0;
+};
+
+}  // namespace engine
+}  // namespace craqr

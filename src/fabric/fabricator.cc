@@ -1,0 +1,636 @@
+#include "fabric/fabricator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace craqr {
+namespace fabric {
+
+namespace {
+
+/// Relative tolerance for treating two query rates as equal (tap sharing).
+constexpr double kRateEpsilon = 1e-9;
+
+bool RatesEqual(double a, double b) {
+  return std::fabs(a - b) <= kRateEpsilon * std::max({1.0, a, b});
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StreamFabricator>> StreamFabricator::Make(
+    const geom::Grid& grid, const FabricConfig& config) {
+  if (!(config.headroom > 1.0)) {
+    return Status::InvalidArgument(
+        "headroom must be > 1 so the F output rate exceeds the first T "
+        "output rate (paper Section V)");
+  }
+  if (config.flatten_batch_size < 2) {
+    return Status::InvalidArgument("flatten batch size must be >= 2");
+  }
+  if (!(config.monitor_window > 0.0)) {
+    return Status::InvalidArgument("monitor window must be > 0");
+  }
+  if (config.sink_capacity < 1) {
+    return Status::InvalidArgument("sink capacity must be >= 1");
+  }
+  return std::unique_ptr<StreamFabricator>(
+      new StreamFabricator(grid, config));
+}
+
+void StreamFabricator::SetViolationCallback(ViolationCallback callback) {
+  violation_callback_ = std::move(callback);
+}
+
+StreamFabricator::Cell* StreamFabricator::GetOrCreateCell(
+    const geom::CellIndex& index) {
+  auto it = cells_.find(index);
+  if (it == cells_.end()) {
+    it = cells_.emplace(index, std::make_unique<Cell>()).first;
+  }
+  return it->second.get();
+}
+
+Result<StreamFabricator::Chain*> StreamFabricator::GetOrCreateChain(
+    Cell* cell, const geom::CellIndex& index, ops::AttributeId attribute,
+    double rate) {
+  auto it = cell->chains.find(attribute);
+  if (it != cell->chains.end()) {
+    return &it->second;
+  }
+  // "If the key is absent, it is created and a F-operator is added to it.
+  // The first operator is always the F-operator, as ... this is the only
+  // operator that has the capability of converting an inhomogeneous MDPP
+  // to a homogeneous MDPP."
+  ops::FlattenConfig fc;
+  fc.region = grid_.CellRect(index);
+  fc.target_rate = config_.headroom * rate;
+  fc.target_mode = ops::FlattenTargetMode::kRatePerVolume;
+  fc.mode = config_.flatten_mode;
+  fc.batch_size = config_.flatten_batch_size;
+  fc.min_rate = config_.flatten_min_rate;
+  fc.min_batch_for_estimation = config_.flatten_min_batch_for_estimation;
+  std::ostringstream name;
+  name << "F[a" << attribute << "]" << index.ToString();
+  CRAQR_ASSIGN_OR_RETURN(auto flatten,
+                         ops::FlattenOperator::Make(name.str(), fc,
+                                                    rng_.Fork()));
+  flatten->SetReportCallback(
+      [this, attribute, index](const ops::FlattenBatchReport& report) {
+        if (violation_callback_) {
+          violation_callback_(attribute, index, report);
+        }
+      });
+  Chain chain;
+  chain.flatten = cell->pipeline.Add(std::move(flatten));
+  chain.f_target = fc.target_rate;
+  auto emplaced = cell->chains.emplace(attribute, std::move(chain));
+  return &emplaced.first->second;
+}
+
+double StreamFabricator::ThinInputRate(const Chain& chain, std::size_t index) {
+  return index == 0 ? chain.f_target : chain.thins[index - 1].out_rate;
+}
+
+Status StreamFabricator::InsertTap(QueryState* qs,
+                                   const geom::CellOverlap& overlap,
+                                   double rate) {
+  const geom::CellIndex index = overlap.cell;
+  Cell* cell = GetOrCreateCell(index);
+  CRAQR_ASSIGN_OR_RETURN(
+      Chain * chain,
+      GetOrCreateChain(cell, index, qs->stream.attribute, rate));
+
+  // Locate the insertion point: chains are sorted by descending output
+  // rate with the highest-rate T closest to F (paper Section V rule 1).
+  std::size_t pos = 0;
+  ThinNode* shared = nullptr;
+  for (; pos < chain->thins.size(); ++pos) {
+    if (RatesEqual(chain->thins[pos].out_rate, rate)) {
+      shared = &chain->thins[pos];
+      break;
+    }
+    if (chain->thins[pos].out_rate < rate) {
+      break;
+    }
+  }
+
+  ops::ThinOperator* tap_source = nullptr;
+  if (shared != nullptr) {
+    // An equal-rate T already exists; the new query taps the same T —
+    // equivalent to the paper's rule 2 (never two consecutive T's without
+    // a branching point; equal-rate demand never creates a second T).
+    shared->tap_queries.push_back(qs->stream.id);
+    tap_source = shared->op;
+  } else {
+    // If the new T would become the first, make sure the F output rate
+    // stays above it (rule 3).
+    if (pos == 0 && chain->f_target <= rate * (1.0 + kRateEpsilon)) {
+      const double new_target = config_.headroom * rate;
+      CRAQR_RETURN_NOT_OK(chain->flatten->SetTargetRate(new_target));
+      chain->f_target = new_target;
+      if (!chain->thins.empty()) {
+        // The old first T now receives the raised F rate... once the new T
+        // is spliced in it will receive the new T's output instead; its
+        // input is fixed below.
+        CRAQR_RETURN_NOT_OK(chain->thins[0].op->UpdateRates(
+            new_target, chain->thins[0].out_rate));
+      }
+    }
+    const double input_rate = ThinInputRate(*chain, pos);
+    std::ostringstream name;
+    name << "T[a" << qs->stream.attribute << "]" << index.ToString() << "("
+         << input_rate << "->" << rate << ")";
+    CRAQR_ASSIGN_OR_RETURN(auto thin_owned,
+                           ops::ThinOperator::Make(name.str(), input_rate,
+                                                   rate, rng_.Fork()));
+    ops::ThinOperator* thin = cell->pipeline.Add(std::move(thin_owned));
+    ops::Operator* prev =
+        pos == 0 ? static_cast<ops::Operator*>(chain->flatten)
+                 : static_cast<ops::Operator*>(chain->thins[pos - 1].op);
+    if (pos < chain->thins.size()) {
+      // Splice before the next T: its input drops to the new T's output.
+      ops::ThinOperator* next = chain->thins[pos].op;
+      prev->RemoveOutput(next);
+      thin->AddOutput(next);
+      CRAQR_RETURN_NOT_OK(
+          next->UpdateRates(rate, chain->thins[pos].out_rate));
+    }
+    prev->AddOutput(thin);
+    ThinNode node;
+    node.op = thin;
+    node.out_rate = rate;
+    node.tap_queries.push_back(qs->stream.id);
+    chain->thins.insert(chain->thins.begin() + static_cast<std::ptrdiff_t>(pos),
+                        std::move(node));
+    tap_source = thin;
+  }
+
+  // Wire the tap into the query's merge stage, through a P operator when
+  // the query only needs part of the cell ("P-operators are required only
+  // for Q3, since Q1 and Q2 perfectly overlap the grid cells").
+  Tap tap;
+  tap.cell = index;
+  tap.overlap = overlap.region;
+  tap.covers_cell = overlap.covers_cell;
+  if (overlap.covers_cell) {
+    tap_source->AddOutput(qs->merge_head);
+  } else {
+    const geom::Rect cell_rect = grid_.CellRect(index);
+    std::vector<geom::Rect> regions;
+    regions.push_back(overlap.region);
+    for (const auto& piece : geom::Rect::Subtract(cell_rect, overlap.region)) {
+      regions.push_back(piece);
+    }
+    std::ostringstream name;
+    name << "P[q" << qs->stream.id << "]" << index.ToString();
+    CRAQR_ASSIGN_OR_RETURN(
+        auto partition_owned,
+        ops::PartitionOperator::Make(name.str(), std::move(regions)));
+    ops::PartitionOperator* partition =
+        cell->pipeline.Add(std::move(partition_owned));
+    tap_source->AddOutput(partition);
+    // Port 0 is the overlap region; the complement ports stay unconnected
+    // (their tuples are not part of this query's stream).
+    partition->AddOutput(qs->merge_head);
+    tap.partition = partition;
+  }
+  qs->taps.push_back(tap);
+  return Status::OK();
+}
+
+Result<QueryStream> StreamFabricator::InsertQuery(ops::AttributeId attribute,
+                                                  const geom::Rect& region,
+                                                  double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("query rate must be > 0");
+  }
+  CRAQR_RETURN_NOT_OK(grid_.ValidateQueryRegion(region));
+  CRAQR_ASSIGN_OR_RETURN(std::vector<geom::CellOverlap> overlaps,
+                         grid_.Overlaps(region));
+  const auto clipped = grid_.region().Intersection(region);
+  if (!clipped.has_value()) {
+    return Status::InvalidArgument(
+        "query region does not intersect the system region");
+  }
+
+  const query::QueryId id = next_query_id_++;
+  QueryState qs;
+  qs.stream.id = id;
+  qs.stream.attribute = attribute;
+  qs.stream.region = *clipped;
+  qs.stream.rate = rate;
+
+  // Merge stage (paper Fig. 2(c)): U over the per-cell partial streams,
+  // then a delivered-rate monitor, then the user-facing sink.
+  std::ostringstream base;
+  base << "Q" << id;
+  if (overlaps.size() >= 2) {
+    std::vector<geom::Rect> pieces;
+    pieces.reserve(overlaps.size());
+    for (const auto& overlap : overlaps) {
+      pieces.push_back(overlap.region);
+    }
+    CRAQR_ASSIGN_OR_RETURN(
+        auto union_owned,
+        ops::UnionOperator::Make(base.str() + "-union", std::move(pieces)));
+    qs.merge_head = qs.merge_pipeline.Add(std::move(union_owned));
+  } else {
+    CRAQR_ASSIGN_OR_RETURN(
+        auto pass_owned,
+        ops::PassThroughOperator::Make(base.str() + "-merge"));
+    qs.merge_head = qs.merge_pipeline.Add(std::move(pass_owned));
+  }
+  CRAQR_ASSIGN_OR_RETURN(
+      auto monitor_owned,
+      ops::RateMonitorOperator::Make(base.str() + "-monitor",
+                                     config_.monitor_window,
+                                     clipped->Area()));
+  ops::RateMonitorOperator* monitor =
+      qs.merge_pipeline.Add(std::move(monitor_owned));
+  CRAQR_ASSIGN_OR_RETURN(auto sink_owned,
+                         ops::SinkOperator::Make(base.str() + "-sink",
+                                                 config_.sink_capacity));
+  ops::SinkOperator* sink = qs.merge_pipeline.Add(std::move(sink_owned));
+  qs.merge_head->AddOutput(monitor);
+  monitor->AddOutput(sink);
+  qs.stream.monitor = monitor;
+  qs.stream.sink = sink;
+
+  // Process stage: one tap per overlapped cell.
+  for (const auto& overlap : overlaps) {
+    CRAQR_RETURN_NOT_OK(InsertTap(&qs, overlap, rate));
+  }
+
+  const QueryStream handle = qs.stream;
+  queries_.emplace(id, std::move(qs));
+  return handle;
+}
+
+Status StreamFabricator::RemoveTap(QueryState* qs, const Tap& tap) {
+  auto cell_it = cells_.find(tap.cell);
+  if (cell_it == cells_.end()) {
+    return Status::Internal("tap references unmaterialized cell " +
+                            tap.cell.ToString());
+  }
+  Cell* cell = cell_it->second.get();
+  auto chain_it = cell->chains.find(qs->stream.attribute);
+  if (chain_it == cell->chains.end()) {
+    return Status::Internal("tap references missing chain in cell " +
+                            tap.cell.ToString());
+  }
+  Chain* chain = &chain_it->second;
+
+  // Find the T this query taps.
+  std::size_t pos = chain->thins.size();
+  for (std::size_t i = 0; i < chain->thins.size(); ++i) {
+    auto& queries = chain->thins[i].tap_queries;
+    const auto it = std::find(queries.begin(), queries.end(), qs->stream.id);
+    if (it != queries.end()) {
+      queries.erase(it);
+      pos = i;
+      break;
+    }
+  }
+  if (pos == chain->thins.size()) {
+    return Status::Internal("query tap not found in chain");
+  }
+  ThinNode& node = chain->thins[pos];
+
+  // Unwire the tap edge (right-to-left: stream endpoint first).
+  if (tap.partition != nullptr) {
+    node.op->RemoveOutput(tap.partition);
+    cell->pipeline.Remove(tap.partition);
+  } else {
+    node.op->RemoveOutput(qs->merge_head);
+  }
+
+  // "If two consecutive T-operators are created in this process, then they
+  // are merged to form a single T-operator" — a tap-less T either merges
+  // with its successor or, when last, disappears.
+  if (node.tap_queries.empty()) {
+    ops::Operator* prev =
+        pos == 0 ? static_cast<ops::Operator*>(chain->flatten)
+                 : static_cast<ops::Operator*>(chain->thins[pos - 1].op);
+    const double input_rate = ThinInputRate(*chain, pos);
+    if (pos + 1 < chain->thins.size()) {
+      ThinNode& next = chain->thins[pos + 1];
+      node.op->RemoveOutput(next.op);
+      prev->RemoveOutput(node.op);
+      prev->AddOutput(next.op);
+      CRAQR_RETURN_NOT_OK(next.op->UpdateRates(input_rate, next.out_rate));
+    } else {
+      prev->RemoveOutput(node.op);
+    }
+    cell->pipeline.Remove(node.op);
+    chain->thins.erase(chain->thins.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+  }
+
+  if (chain->thins.empty()) {
+    // Continue right-to-left: the F operator and finally the hashmap key.
+    cell->pipeline.Remove(chain->flatten);
+    cell->chains.erase(chain_it);
+    if (cell->chains.empty()) {
+      cells_.erase(cell_it);
+    }
+    return Status::OK();
+  }
+
+  // Optionally relax the F target down to the new first T (keeps the
+  // acquisition budget honest after high-rate queries leave).
+  const double desired_target = config_.headroom * chain->thins[0].out_rate;
+  if (desired_target < chain->f_target) {
+    CRAQR_RETURN_NOT_OK(chain->flatten->SetTargetRate(desired_target));
+    chain->f_target = desired_target;
+    CRAQR_RETURN_NOT_OK(chain->thins[0].op->UpdateRates(
+        desired_target, chain->thins[0].out_rate));
+  }
+  return Status::OK();
+}
+
+Status StreamFabricator::RemoveQuery(query::QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  QueryState& qs = it->second;
+  for (const Tap& tap : qs.taps) {
+    CRAQR_RETURN_NOT_OK(RemoveTap(&qs, tap));
+  }
+  queries_.erase(it);
+  return Status::OK();
+}
+
+Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
+  const auto index = grid_.CellContaining(tuple.point.x, tuple.point.y);
+  if (!index.has_value()) {
+    ++tuples_unrouted_;
+    return Status::OK();
+  }
+  const auto cell_it = cells_.find(*index);
+  if (cell_it == cells_.end()) {
+    ++tuples_unrouted_;
+    return Status::OK();
+  }
+  const auto chain_it = cell_it->second->chains.find(tuple.attribute);
+  if (chain_it == cell_it->second->chains.end()) {
+    ++tuples_unrouted_;
+    return Status::OK();
+  }
+  ++tuples_routed_;
+  return chain_it->second.flatten->Push(tuple);
+}
+
+Status StreamFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
+  for (const auto& tuple : batch) {
+    CRAQR_RETURN_NOT_OK(ProcessTuple(tuple));
+  }
+  return FlushAll();
+}
+
+Status StreamFabricator::FlushAll() {
+  for (auto& [index, cell] : cells_) {
+    (void)index;
+    CRAQR_RETURN_NOT_OK(cell->pipeline.FlushAll());
+  }
+  for (auto& [id, qs] : queries_) {
+    (void)id;
+    CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
+  }
+  return Status::OK();
+}
+
+Result<QueryStream> StreamFabricator::GetStream(query::QueryId id) const {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  return it->second.stream;
+}
+
+Result<std::vector<geom::CellIndex>> StreamFabricator::QueryCells(
+    query::QueryId id) const {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  std::vector<geom::CellIndex> cells;
+  cells.reserve(it->second.taps.size());
+  for (const Tap& tap : it->second.taps) {
+    cells.push_back(tap.cell);
+  }
+  return cells;
+}
+
+std::size_t StreamFabricator::TotalOperators() const {
+  std::size_t total = 0;
+  for (const auto& [index, cell] : cells_) {
+    (void)index;
+    total += cell->pipeline.size();
+  }
+  for (const auto& [id, qs] : queries_) {
+    (void)id;
+    total += qs.merge_pipeline.size();
+  }
+  return total;
+}
+
+std::uint64_t StreamFabricator::TotalOperatorEvaluations() const {
+  std::uint64_t total = 0;
+  for (const auto& [index, cell] : cells_) {
+    (void)index;
+    total += cell->pipeline.TotalOperatorEvaluations();
+  }
+  for (const auto& [id, qs] : queries_) {
+    (void)id;
+    total += qs.merge_pipeline.TotalOperatorEvaluations();
+  }
+  return total;
+}
+
+void StreamFabricator::VisitOperators(
+    const std::function<void(const ops::Operator&)>& visitor) const {
+  for (const auto& [index, cell] : cells_) {
+    (void)index;
+    for (const auto& op : cell->pipeline.operators()) {
+      visitor(*op);
+    }
+  }
+  for (const auto& [id, qs] : queries_) {
+    (void)id;
+    for (const auto& op : qs.merge_pipeline.operators()) {
+      visitor(*op);
+    }
+  }
+}
+
+namespace {
+
+bool HasEdge(const ops::Operator* from, const ops::Operator* to) {
+  for (const ops::Operator* out : from->outputs()) {
+    if (out == to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status StreamFabricator::ValidateInvariants() const {
+  const auto fail = [](const std::string& what) {
+    return Status::Internal("topology invariant violated: " + what);
+  };
+  for (const auto& [index, cell] : cells_) {
+    if (cell->chains.empty()) {
+      return fail("cell " + index.ToString() +
+                  " is materialized but has no chains");
+    }
+    for (const auto& [attribute, chain] : cell->chains) {
+      const std::string where =
+          "cell " + index.ToString() + " A<" + std::to_string(attribute) + ">";
+      if (chain.flatten == nullptr) {
+        return fail(where + " has no F operator");
+      }
+      if (chain.thins.empty()) {
+        return fail(where + " has an F but no T (should have been evicted)");
+      }
+      if (std::fabs(chain.flatten->target_rate() - chain.f_target) >
+          1e-9 * std::max(1.0, chain.f_target)) {
+        return fail(where + " F target drifted from the chain record");
+      }
+      // Rule 3: F output rate strictly above the first T's output rate.
+      if (!(chain.f_target > chain.thins[0].out_rate)) {
+        return fail(where + " F target does not exceed the first T rate");
+      }
+      if (!HasEdge(chain.flatten, chain.thins[0].op)) {
+        return fail(where + " missing F -> first T edge");
+      }
+      for (std::size_t i = 0; i < chain.thins.size(); ++i) {
+        const ThinNode& node = chain.thins[i];
+        // Rule 1: strictly descending output rates.
+        if (i + 1 < chain.thins.size() &&
+            !(node.out_rate > chain.thins[i + 1].out_rate)) {
+          return fail(where + " T chain is not strictly descending");
+        }
+        // Rule 2 / deletion re-merge: no tap-less T survives.
+        if (node.tap_queries.empty()) {
+          return fail(where + " has a T with no query taps");
+        }
+        const double expected_input = ThinInputRate(chain, i);
+        if (std::fabs(node.op->input_rate() - expected_input) >
+            1e-9 * std::max(1.0, expected_input)) {
+          return fail(where + " T input rate mismatches its upstream");
+        }
+        if (std::fabs(node.op->output_rate() - node.out_rate) >
+            1e-9 * std::max(1.0, node.out_rate)) {
+          return fail(where + " T output rate drifted from the chain record");
+        }
+        const bool has_next = i + 1 < chain.thins.size();
+        if (has_next && !HasEdge(node.op, chain.thins[i + 1].op)) {
+          return fail(where + " missing T -> T edge");
+        }
+        const std::size_t expected_outputs =
+            node.tap_queries.size() + (has_next ? 1u : 0u);
+        if (node.op->outputs().size() != expected_outputs) {
+          return fail(where + " T has " +
+                      std::to_string(node.op->outputs().size()) +
+                      " outputs, expected " +
+                      std::to_string(expected_outputs));
+        }
+        for (const query::QueryId id : node.tap_queries) {
+          if (queries_.find(id) == queries_.end()) {
+            return fail(where + " taps a dead query");
+          }
+        }
+      }
+    }
+  }
+  // Every live query's taps must resolve to live chains with live edges.
+  for (const auto& [id, qs] : queries_) {
+    for (const Tap& tap : qs.taps) {
+      const auto cell_it = cells_.find(tap.cell);
+      if (cell_it == cells_.end()) {
+        return fail("query " + std::to_string(id) +
+                    " taps unmaterialized cell " + tap.cell.ToString());
+      }
+      const auto chain_it =
+          cell_it->second->chains.find(qs.stream.attribute);
+      if (chain_it == cell_it->second->chains.end()) {
+        return fail("query " + std::to_string(id) +
+                    " taps a missing chain in " + tap.cell.ToString());
+      }
+      const ThinNode* source = nullptr;
+      for (const ThinNode& node : chain_it->second.thins) {
+        if (std::find(node.tap_queries.begin(), node.tap_queries.end(), id) !=
+            node.tap_queries.end()) {
+          source = &node;
+          break;
+        }
+      }
+      if (source == nullptr) {
+        return fail("query " + std::to_string(id) + " has no tap T in " +
+                    tap.cell.ToString());
+      }
+      const ops::Operator* hop =
+          tap.partition != nullptr
+              ? static_cast<const ops::Operator*>(tap.partition)
+              : static_cast<const ops::Operator*>(qs.merge_head);
+      if (!HasEdge(source->op, hop)) {
+        return fail("query " + std::to_string(id) + " missing tap edge in " +
+                    tap.cell.ToString());
+      }
+      if (tap.partition != nullptr &&
+          !HasEdge(tap.partition, qs.merge_head)) {
+        return fail("query " + std::to_string(id) +
+                    " missing P -> merge edge in " + tap.cell.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string StreamFabricator::DescribeTopology() const {
+  std::ostringstream os;
+  // Deterministic ordering for tests and the Fig-2 bench.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, const Cell*> ordered;
+  for (const auto& [index, cell] : cells_) {
+    ordered.emplace(std::make_pair(index.q, index.r), cell.get());
+  }
+  for (const auto& [qr, cell] : ordered) {
+    os << "cell (" << qr.first << "," << qr.second << "):\n";
+    std::map<ops::AttributeId, const Chain*> chains;
+    for (const auto& [attribute, chain] : cell->chains) {
+      chains.emplace(attribute, &chain);
+    }
+    for (const auto& [attribute, chain] : chains) {
+      os << "  A<" << attribute << ">: F(out=" << chain->f_target << ")";
+      for (const auto& node : chain->thins) {
+        os << " -> T(->" << node.out_rate << ")[";
+        for (std::size_t i = 0; i < node.tap_queries.size(); ++i) {
+          os << (i > 0 ? "," : "") << "Q" << node.tap_queries[i];
+        }
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  std::map<query::QueryId, const QueryState*> ordered_queries;
+  for (const auto& [id, qs] : queries_) {
+    ordered_queries.emplace(id, &qs);
+  }
+  for (const auto& [id, qs] : ordered_queries) {
+    os << "Q" << id << ": " << qs->taps.size() << " cell stream(s) -> "
+       << (qs->merge_head->kind() == ops::OperatorKind::kUnion ? "U" : "Id")
+       << " -> Mon -> Sink, rate=" << qs->stream.rate << " on "
+       << qs->stream.region.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fabric
+}  // namespace craqr

@@ -1,0 +1,247 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geometry/grid.h"
+#include "ops/extras.h"
+#include "ops/flatten.h"
+#include "ops/partition.h"
+#include "ops/pipeline.h"
+#include "ops/thin.h"
+#include "ops/union_op.h"
+#include "query/query.h"
+
+/// \file fabricator.h
+/// \brief The Crowdsensed Stream Fabricator (paper Sections IV-B and V).
+///
+/// The fabricator maintains a hashmap from grid cells to execution
+/// topologies of PMAT operators and simultaneously fabricates the
+/// crowdsensed data streams of many acquisitional queries:
+///
+///  - **map**: each incoming tuple is routed to the topology of the grid
+///    cell containing it;
+///  - **process**: the cell topology starts with one F operator per
+///    attribute (F is the only operator able to homogenise the incoming
+///    inhomogeneous MDPP), followed by a chain of T operators kept sorted
+///    by descending output rate with the highest-rate T closest to F;
+///    queries needing only part of a cell get a P operator to carve out
+///    their sub-region;
+///  - **merge**: each query's per-cell partial streams are combined by a
+///    U operator into the final MCDS, delivered through a rate monitor
+///    into a sink.
+///
+/// Query insertion and deletion follow the paper's topology-surgery rules:
+/// T chains stay sorted; consecutive T operators with no branching point
+/// between them are merged into one; deleting a query removes its stream
+/// right-to-left until a branching point, and deletes the hashmap key once
+/// a cell's topology empties.
+
+namespace craqr {
+namespace fabric {
+
+/// \brief Fabricator tuning parameters.
+struct FabricConfig {
+  /// F-operator batch size (tuples per estimation batch).
+  std::size_t flatten_batch_size = 128;
+  /// F-operator estimation mode.
+  ops::FlattenMode flatten_mode = ops::FlattenMode::kBatch;
+  /// Intensity clamp inside F.
+  double flatten_min_rate = 1e-9;
+  /// F batches smaller than this skip the MLE (homogeneous fallback); see
+  /// FlattenConfig::min_batch_for_estimation.
+  std::size_t flatten_min_batch_for_estimation = 8;
+  /// F output rate = headroom * (highest query rate in the cell); must be
+  /// > 1 so "the output rate of the F-operator is ... greater than the
+  /// output rate of the first T-operator" (paper Section V rule 3).
+  double headroom = 1.25;
+  /// Per-query sink capacity (most recent tuples retained).
+  std::size_t sink_capacity = 1 << 20;
+  /// Rate-monitor window (minutes).
+  double monitor_window = 5.0;
+  /// Master seed for operator randomness.
+  std::uint64_t seed = 0x5EED5EED;
+};
+
+/// \brief The user-facing handle of a fabricated crowdsensed data stream.
+struct QueryStream {
+  query::QueryId id = 0;
+  ops::AttributeId attribute = 0;
+  /// The query region clipped to the system region R.
+  geom::Rect region;
+  /// Requested rate (tuples/km^2/min).
+  double rate = 0.0;
+  /// Endpoint collecting the fabricated MCDS.
+  ops::SinkOperator* sink = nullptr;
+  /// Delivered-rate probe in front of the sink.
+  ops::RateMonitorOperator* monitor = nullptr;
+};
+
+/// \brief Fired whenever an F operator publishes a batch report; carries
+/// the percent rate violation N_v used for budget tuning.
+using ViolationCallback = std::function<void(
+    ops::AttributeId attribute, const geom::CellIndex& cell,
+    const ops::FlattenBatchReport& report)>;
+
+/// \brief Multi-query stream fabricator over a logical grid.
+class StreamFabricator {
+ public:
+  /// Creates a fabricator; requires headroom > 1 and positive window /
+  /// batch parameters. Heap-allocated because F-operator callbacks hold a
+  /// stable pointer to the fabricator.
+  static Result<std::unique_ptr<StreamFabricator>> Make(
+      const geom::Grid& grid, const FabricConfig& config = FabricConfig());
+
+  StreamFabricator(const StreamFabricator&) = delete;
+  StreamFabricator& operator=(const StreamFabricator&) = delete;
+
+  /// \brief Inserts an acquisitional query (paper Section V "Query
+  /// Insertions") and returns its stream handle. The handle's pointers
+  /// stay valid until RemoveQuery.
+  Result<QueryStream> InsertQuery(ops::AttributeId attribute,
+                                  const geom::Rect& region, double rate);
+
+  /// \brief Deletes a query (paper Section V "Query Deletions"): its
+  /// stream is unwired right-to-left until a branching point; emptied
+  /// T chains are re-merged, emptied cells are evicted from the hashmap.
+  Status RemoveQuery(query::QueryId id);
+
+  /// \brief Routes one crowdsensed tuple to its grid cell's topology (the
+  /// map phase). Tuples landing outside every materialized cell or with
+  /// an attribute no query asked for are counted and dropped.
+  Status ProcessTuple(const ops::Tuple& tuple);
+
+  /// Pushes a whole batch, then flushes every topology (batch boundary).
+  Status ProcessBatch(const std::vector<ops::Tuple>& batch);
+
+  /// Flushes all cell topologies and query merge stages.
+  Status FlushAll();
+
+  /// Registers the N_v callback consumed by the budget tuner.
+  void SetViolationCallback(ViolationCallback callback);
+
+  /// The stream handle of a live query.
+  Result<QueryStream> GetStream(query::QueryId id) const;
+
+  /// Grid cells a query's region overlaps (for handler subscriptions).
+  Result<std::vector<geom::CellIndex>> QueryCells(query::QueryId id) const;
+
+  /// Number of grid cells with materialized topologies ("only the grid
+  /// cells that are useful for query processing are materialized").
+  std::size_t NumMaterializedCells() const { return cells_.size(); }
+
+  /// Number of live queries.
+  std::size_t NumQueries() const { return queries_.size(); }
+
+  /// Total PMAT operators across all cell topologies and merge stages.
+  std::size_t TotalOperators() const;
+
+  /// Total operator evaluations (sum of tuples_in over all operators) —
+  /// the processing-cost metric of experiment E7.
+  std::uint64_t TotalOperatorEvaluations() const;
+
+  /// Tuples routed into some topology so far.
+  std::uint64_t tuples_routed() const { return tuples_routed_; }
+
+  /// Tuples dropped in the map phase.
+  std::uint64_t tuples_unrouted() const { return tuples_unrouted_; }
+
+  /// Human-readable rendering of every cell topology and merge stage —
+  /// the executable version of the paper's Figure 2.
+  std::string DescribeTopology() const;
+
+  /// Invokes `visitor` on every operator in every cell topology and merge
+  /// stage (cost accounting, diagnostics).
+  void VisitOperators(
+      const std::function<void(const ops::Operator&)>& visitor) const;
+
+  /// \brief Structural self-check of the paper's Section-V topology rules.
+  ///
+  /// Verifies, for every materialized cell chain: the F target exceeds the
+  /// first T's output rate (rule 3); T output rates are strictly
+  /// descending with the highest-rate T closest to F (rule 1); no tap-less
+  /// T survives (rule 2 / deletion re-merge); every T's configured input
+  /// rate matches its upstream's output rate; and every edge F→T, T→T,
+  /// T→tap is present. Also checks every query tap resolves to a live cell
+  /// chain. Returns the first violated invariant as an Internal error.
+  /// Used by the churn property tests and available to embedders as a
+  /// debugging probe.
+  Status ValidateInvariants() const;
+
+  /// The logical grid.
+  const geom::Grid& grid() const { return grid_; }
+
+ private:
+  /// One T node in a cell's per-attribute chain.
+  struct ThinNode {
+    ops::ThinOperator* op = nullptr;
+    double out_rate = 0.0;
+    /// Queries tapping this T's output.
+    std::vector<query::QueryId> tap_queries;
+  };
+
+  /// Per-(cell, attribute) operator chain: F followed by sorted T's.
+  struct Chain {
+    ops::FlattenOperator* flatten = nullptr;
+    double f_target = 0.0;
+    std::vector<ThinNode> thins;  // descending out_rate
+  };
+
+  /// Materialized cell topology (one hashmap value).
+  struct Cell {
+    ops::Pipeline pipeline;
+    std::unordered_map<ops::AttributeId, Chain> chains;
+  };
+
+  /// A query's attachment in one cell.
+  struct Tap {
+    geom::CellIndex cell;
+    geom::Rect overlap;
+    bool covers_cell = false;
+    /// The P operator carving out the overlap; nullptr when the query
+    /// covers the whole cell.
+    ops::PartitionOperator* partition = nullptr;
+  };
+
+  /// Everything owned per query.
+  struct QueryState {
+    QueryStream stream;
+    ops::Pipeline merge_pipeline;
+    /// The operator per-cell streams feed into (U or pass-through).
+    ops::Operator* merge_head = nullptr;
+    std::vector<Tap> taps;
+  };
+
+  StreamFabricator(const geom::Grid& grid, const FabricConfig& config)
+      : grid_(grid), config_(config), rng_(config.seed) {}
+
+  Cell* GetOrCreateCell(const geom::CellIndex& index);
+  Result<Chain*> GetOrCreateChain(Cell* cell, const geom::CellIndex& index,
+                                  ops::AttributeId attribute, double rate);
+  Status InsertTap(QueryState* qs, const geom::CellOverlap& overlap,
+                   double rate);
+  Status RemoveTap(QueryState* qs, const Tap& tap);
+  /// Input rate of the thin at `index` (F target for the first thin).
+  static double ThinInputRate(const Chain& chain, std::size_t index);
+
+  geom::Grid grid_;
+  FabricConfig config_;
+  Rng rng_;
+  std::unordered_map<geom::CellIndex, std::unique_ptr<Cell>,
+                     geom::CellIndexHash>
+      cells_;
+  std::unordered_map<query::QueryId, QueryState> queries_;
+  query::QueryId next_query_id_ = 1;
+  ViolationCallback violation_callback_;
+  std::uint64_t tuples_routed_ = 0;
+  std::uint64_t tuples_unrouted_ = 0;
+};
+
+}  // namespace fabric
+}  // namespace craqr

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file point.h
+/// \brief Space and space-time point types.
+///
+/// CrAQR follows the paper's conventions: 2-D space (x, y) in kilometres
+/// plus time t in minutes; a crowdsensed tuple's coordinates form a
+/// 3-D point (t, x, y).
+
+namespace craqr {
+namespace geom {
+
+/// \brief A 2-D spatial location (kilometres).
+struct SpacePoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const SpacePoint&) const = default;
+};
+
+/// \brief A 3-D space-time point (t in minutes, x/y in kilometres) — the
+/// coordinate part of a crowdsensed tuple and the support of an MDPP.
+struct SpaceTimePoint {
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const SpaceTimePoint&) const = default;
+
+  /// The spatial projection (x, y).
+  SpacePoint Spatial() const { return SpacePoint{x, y}; }
+};
+
+}  // namespace geom
+}  // namespace craqr

@@ -1,0 +1,147 @@
+#include "ops/extras.h"
+
+#include <cmath>
+
+namespace craqr {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// SuperposeOperator
+
+Result<std::unique_ptr<SuperposeOperator>> SuperposeOperator::Make(
+    std::string name) {
+  return std::unique_ptr<SuperposeOperator>(
+      new SuperposeOperator(std::move(name)));
+}
+
+Status SuperposeOperator::Push(const Tuple& tuple) {
+  CountIn();
+  return Emit(tuple);
+}
+
+// ---------------------------------------------------------------------------
+// FilterOperator
+
+Result<std::unique_ptr<FilterOperator>> FilterOperator::Make(
+    std::string name, Predicate predicate) {
+  if (!predicate) {
+    return Status::InvalidArgument("filter requires a predicate");
+  }
+  return std::unique_ptr<FilterOperator>(
+      new FilterOperator(std::move(name), std::move(predicate)));
+}
+
+Status FilterOperator::Push(const Tuple& tuple) {
+  CountIn();
+  if (predicate_(tuple)) {
+    return Emit(tuple);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MapOperator
+
+Result<std::unique_ptr<MapOperator>> MapOperator::Make(std::string name,
+                                                       Transform transform) {
+  if (!transform) {
+    return Status::InvalidArgument("map requires a transform");
+  }
+  return std::unique_ptr<MapOperator>(
+      new MapOperator(std::move(name), std::move(transform)));
+}
+
+Status MapOperator::Push(const Tuple& tuple) {
+  CountIn();
+  return Emit(transform_(tuple));
+}
+
+// ---------------------------------------------------------------------------
+// RateMonitorOperator
+
+Result<std::unique_ptr<RateMonitorOperator>> RateMonitorOperator::Make(
+    std::string name, double window_duration, double area) {
+  if (!(window_duration > 0.0) || !std::isfinite(window_duration)) {
+    return Status::InvalidArgument("monitor window duration must be > 0");
+  }
+  if (!(area > 0.0) || !std::isfinite(area)) {
+    return Status::InvalidArgument("monitor area must be > 0");
+  }
+  return std::unique_ptr<RateMonitorOperator>(
+      new RateMonitorOperator(std::move(name), window_duration, area));
+}
+
+void RateMonitorOperator::CloseWindowsUpTo(double t) {
+  while (window_open_ && t >= window_end_) {
+    window_rates_.Add(static_cast<double>(window_count_) /
+                      (window_duration_ * area_));
+    window_count_ = 0;
+    window_end_ += window_duration_;
+  }
+}
+
+Status RateMonitorOperator::Push(const Tuple& tuple) {
+  CountIn();
+  const double t = tuple.point.t;
+  if (!window_open_) {
+    window_open_ = true;
+    window_end_ = t + window_duration_;
+  } else {
+    CloseWindowsUpTo(t);
+  }
+  ++window_count_;
+  return Emit(tuple);
+}
+
+void RateMonitorOperator::CloseCurrentWindow() {
+  if (window_open_) {
+    window_rates_.Add(static_cast<double>(window_count_) /
+                      (window_duration_ * area_));
+    window_count_ = 0;
+    window_open_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SinkOperator
+
+Result<std::unique_ptr<SinkOperator>> SinkOperator::Make(std::string name,
+                                                         std::size_t capacity,
+                                                         Callback callback) {
+  if (capacity < 1) {
+    return Status::InvalidArgument("sink capacity must be >= 1");
+  }
+  return std::unique_ptr<SinkOperator>(
+      new SinkOperator(std::move(name), capacity, std::move(callback)));
+}
+
+Status SinkOperator::Push(const Tuple& tuple) {
+  CountIn();
+  if (callback_) {
+    callback_(tuple);
+  }
+  if (tuples_.size() >= capacity_) {
+    // Evict the oldest half in one move to amortise the erase cost.
+    tuples_.erase(tuples_.begin(),
+                  tuples_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2 + 1));
+  }
+  tuples_.push_back(tuple);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PassThroughOperator
+
+Result<std::unique_ptr<PassThroughOperator>> PassThroughOperator::Make(
+    std::string name) {
+  return std::unique_ptr<PassThroughOperator>(
+      new PassThroughOperator(std::move(name)));
+}
+
+Status PassThroughOperator::Push(const Tuple& tuple) {
+  CountIn();
+  return Emit(tuple);
+}
+
+}  // namespace ops
+}  // namespace craqr

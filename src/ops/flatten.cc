@@ -1,0 +1,243 @@
+#include "ops/flatten.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "pointprocess/window.h"
+
+namespace craqr {
+namespace ops {
+
+namespace {
+
+Status ValidateConfig(const FlattenConfig& config) {
+  if (config.region.IsEmpty()) {
+    return Status::InvalidArgument("flatten region must have positive area");
+  }
+  if (!(config.target_rate > 0.0) || !std::isfinite(config.target_rate)) {
+    return Status::InvalidArgument("flatten target rate must be > 0");
+  }
+  if (!(config.min_rate > 0.0)) {
+    return Status::InvalidArgument("flatten min_rate must be > 0");
+  }
+  if (config.mode == FlattenMode::kBatch && config.batch_size < 2) {
+    return Status::InvalidArgument(
+        "flatten batch size must be >= 2 (theta estimation needs data)");
+  }
+  if (config.mode == FlattenMode::kOnline &&
+      config.target_mode == FlattenTargetMode::kCountPerBatch) {
+    return Status::InvalidArgument(
+        "online flatten requires a per-volume target rate (kRatePerVolume)");
+  }
+  if (config.mode == FlattenMode::kOnline && config.violation_window < 1) {
+    return Status::InvalidArgument("violation window must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FlattenOperator::FlattenOperator(std::string name, const FlattenConfig& config,
+                                 Rng rng)
+    : Operator(std::move(name)),
+      config_(config),
+      rng_(rng),
+      online_probs_(std::max<std::size_t>(config.violation_window, 1)) {}
+
+Result<std::unique_ptr<FlattenOperator>> FlattenOperator::Make(
+    std::string name, const FlattenConfig& config, Rng rng) {
+  CRAQR_RETURN_NOT_OK(ValidateConfig(config));
+  auto op = std::unique_ptr<FlattenOperator>(
+      new FlattenOperator(std::move(name), config, rng));
+  if (config.mode == FlattenMode::kBatch) {
+    op->buffer_.reserve(config.batch_size);
+  }
+  return op;
+}
+
+Status FlattenOperator::SetTargetRate(double target_rate) {
+  if (!(target_rate > 0.0) || !std::isfinite(target_rate)) {
+    return Status::InvalidArgument("flatten target rate must be > 0");
+  }
+  config_.target_rate = target_rate;
+  return Status::OK();
+}
+
+Status FlattenOperator::Push(const Tuple& tuple) {
+  CountIn();
+  if (config_.mode == FlattenMode::kOnline) {
+    return PushOnline(tuple);
+  }
+  buffer_.push_back(tuple);
+  if (buffer_.size() >= config_.batch_size) {
+    return ProcessBatch();
+  }
+  return Status::OK();
+}
+
+Status FlattenOperator::Flush() {
+  if (config_.mode == FlattenMode::kBatch && !buffer_.empty()) {
+    return ProcessBatch();
+  }
+  return Status::OK();
+}
+
+Status FlattenOperator::Discard(const Tuple& tuple) {
+  if (discarded_ != nullptr) {
+    return discarded_->Push(tuple);
+  }
+  return Status::OK();
+}
+
+void FlattenOperator::PublishReport(const FlattenBatchReport& report) {
+  last_report_ = report;
+  violation_history_.Add(report.violation_percent);
+  if (report_callback_) {
+    report_callback_(report);
+  }
+}
+
+Status FlattenOperator::ProcessBatch() {
+  const std::size_t n = buffer_.size();
+  if (n == 0) {
+    return Status::OK();
+  }
+
+  // The batch's space-time window: the configured region R* over the time
+  // covered since the previous batch. Using full coverage (rather than the
+  // tuple span) keeps the per-volume target honest on sparse streams.
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = -std::numeric_limits<double>::infinity();
+  for (const auto& tuple : buffer_) {
+    t_min = std::min(t_min, tuple.point.t);
+    t_max = std::max(t_max, tuple.point.t);
+  }
+  if (!std::isnan(coverage_start_) && coverage_start_ < t_min) {
+    t_min = coverage_start_;
+  }
+  if (!(t_max > t_min)) {
+    t_max = t_min + 1e-6;  // degenerate single-instant batch
+  }
+  coverage_start_ = t_max;
+  const pp::SpaceTimeWindow window{t_min, t_max, config_.region};
+
+  // Estimate the conditional rate lambda~(.; theta) of the batch (Eq. 1)
+  // by exact maximum likelihood. On pathological batches the MLE can fail
+  // (e.g. all points identical); fall back to the homogeneous estimate so
+  // the operator degrades to plain thinning.
+  std::vector<geom::SpaceTimePoint> points;
+  points.reserve(n);
+  for (const auto& tuple : buffer_) {
+    points.push_back(tuple.point);
+  }
+  std::array<double, 4> theta{static_cast<double>(n) / window.Volume(), 0.0,
+                              0.0, 0.0};
+  if (n >= config_.min_batch_for_estimation) {
+    auto fit = pp::FitLinearMle(points, window);
+    if (fit.ok()) {
+      theta = fit->theta;
+    }
+  }
+
+  const auto rate_at = [&](const geom::SpaceTimePoint& p) {
+    const double linear =
+        theta[0] + theta[1] * p.t + theta[2] * p.x + theta[3] * p.y;
+    return std::max(linear, config_.min_rate);
+  };
+
+  // lambda_c = sum_i 1 / lambda~(p_i; theta)  (constant over the batch).
+  double lambda_c = 0.0;
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = rate_at(buffer_[i].point);
+    lambda_c += 1.0 / rates[i];
+  }
+
+  const double target_count =
+      config_.target_mode == FlattenTargetMode::kCountPerBatch
+          ? config_.target_rate
+          : config_.target_rate * window.Volume();
+
+  FlattenBatchReport report;
+  report.n = n;
+  report.theta = theta;
+  report.lambda_c = lambda_c;
+  report.target_count = target_count;
+
+  // Eq. (3): p_i = lambda-bar / (lambda~_i * lambda_c), rounded down to 1
+  // on rate violations.
+  Status status = Status::OK();
+  for (std::size_t i = 0; i < n; ++i) {
+    double p = target_count / (rates[i] * lambda_c);
+    if (p > 1.0) {
+      ++report.violations;
+      p = 1.0;
+    }
+    if (rng_.Bernoulli(p)) {
+      ++report.retained;
+      status = Emit(buffer_[i]);
+    } else {
+      status = Discard(buffer_[i]);
+    }
+    if (!status.ok()) {
+      buffer_.clear();
+      return status;
+    }
+  }
+  report.violation_percent =
+      100.0 * static_cast<double>(report.violations) / static_cast<double>(n);
+  buffer_.clear();
+  PublishReport(report);
+  return Status::OK();
+}
+
+Status FlattenOperator::PushOnline(const Tuple& tuple) {
+  if (!sgd_.has_value()) {
+    // Lazily bind the estimation domain at the first tuple so the
+    // normalised time frame starts at the stream's own epoch.
+    const pp::SpaceTimeWindow domain{tuple.point.t, tuple.point.t + 1.0,
+                                     config_.region};
+    pp::SgdOptions sgd_options = config_.sgd;
+    // A global time trend is not identifiable on an unbounded stream; the
+    // online estimator tracks level drift through theta0 instead.
+    sgd_options.use_time_feature = false;
+    auto estimator = pp::SgdEstimator::Make(domain, sgd_options);
+    if (!estimator.ok()) {
+      return estimator.status();
+    }
+    sgd_.emplace(estimator.MoveValue());
+  }
+  sgd_->Update(tuple.point);
+  ++online_seen_;
+
+  if (online_seen_ <= config_.online_warmup) {
+    return Emit(tuple);  // warm-up: forward unthinned
+  }
+
+  const double rate = sgd_->RateAt(tuple.point);
+  double p = config_.target_rate / rate;
+  const bool violation = p > 1.0;
+  p = std::min(p, 1.0);
+  online_probs_.Push(violation ? 1.0 : 0.0);
+
+  if (online_seen_ % std::max<std::size_t>(config_.violation_window, 1) == 0) {
+    FlattenBatchReport report;
+    report.n = online_probs_.size();
+    report.violations =
+        static_cast<std::size_t>(std::llround(online_probs_.Sum()));
+    report.violation_percent = 100.0 * online_probs_.Mean();
+    report.theta = sgd_->theta();
+    report.target_count = config_.target_rate;
+    PublishReport(report);
+  }
+
+  if (rng_.Bernoulli(p)) {
+    return Emit(tuple);
+  }
+  return Discard(tuple);
+}
+
+}  // namespace ops
+}  // namespace craqr

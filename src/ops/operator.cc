@@ -1,0 +1,67 @@
+#include "ops/operator.h"
+
+#include "common/macros.h"
+
+namespace craqr {
+namespace ops {
+
+const char* OperatorKindLabel(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kFlatten:
+      return "F";
+    case OperatorKind::kThin:
+      return "T";
+    case OperatorKind::kPartition:
+      return "P";
+    case OperatorKind::kUnion:
+      return "U";
+    case OperatorKind::kSuperpose:
+      return "S";
+    case OperatorKind::kFilter:
+      return "Sel";
+    case OperatorKind::kMap:
+      return "Map";
+    case OperatorKind::kRateMonitor:
+      return "Mon";
+    case OperatorKind::kSink:
+      return "Sink";
+    case OperatorKind::kPassThrough:
+      return "Id";
+  }
+  return "?";
+}
+
+std::size_t Operator::AddOutput(Operator* output) {
+  outputs_.push_back(output);
+  return outputs_.size() - 1;
+}
+
+bool Operator::RemoveOutput(Operator* output) {
+  for (auto it = outputs_.begin(); it != outputs_.end(); ++it) {
+    if (*it == output) {
+      outputs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status Operator::Emit(const Tuple& tuple) {
+  ++stats_.tuples_out;
+  for (Operator* out : outputs_) {
+    CRAQR_RETURN_NOT_OK(out->Push(tuple));
+  }
+  return Status::OK();
+}
+
+Status Operator::EmitTo(std::size_t port, const Tuple& tuple) {
+  if (port >= outputs_.size()) {
+    return Status::OutOfRange("no operator connected to output port " +
+                              std::to_string(port) + " of " + name_);
+  }
+  ++stats_.tuples_out;
+  return outputs_[port]->Push(tuple);
+}
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ops/tuple.h"
+
+/// \file operator.h
+/// \brief Base class of PMAT (point-process transformation) operators.
+///
+/// PMAT operators are push-based streaming operators over crowdsensed
+/// tuples (paper Section IV-B).  Operators are wired into an execution
+/// topology: each operator forwards accepted tuples to its downstream
+/// outputs.  An operator with more than one output is a *branching point*
+/// in the paper's terminology; the Partition operator routes each tuple to
+/// exactly one branch while every other operator broadcasts.
+
+namespace craqr {
+namespace ops {
+
+/// \brief Discriminates operator kinds; mirrors the paper's block labels.
+enum class OperatorKind {
+  kFlatten,    ///< F: inhomogeneous -> approximately homogeneous
+  kThin,       ///< T: rate reduction
+  kPartition,  ///< P: spatial split
+  kUnion,      ///< U: spatial merge
+  kSuperpose,  ///< extension: merge co-located processes (rates add)
+  kFilter,     ///< extension: predicate filter
+  kMap,        ///< extension: tuple transform
+  kRateMonitor,///< extension: windowed empirical-rate probe
+  kSink,       ///< stream endpoint collecting the fabricated MCDS
+  kPassThrough ///< no-op connector / explicit branching point
+};
+
+/// Short block label for an operator kind ("F", "T", ...).
+const char* OperatorKindLabel(OperatorKind kind);
+
+/// \brief Throughput counters every operator maintains.
+struct OperatorStats {
+  std::uint64_t tuples_in = 0;
+  std::uint64_t tuples_out = 0;
+};
+
+/// \brief Base class for all PMAT operators.
+///
+/// Not thread-safe: a topology is driven by a single thread (the
+/// fabricator), matching the paper's per-grid-cell execution model.
+class Operator {
+ public:
+  /// Constructs an operator with a diagnostic name.
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Processes one incoming tuple, possibly emitting to outputs.
+  virtual Status Push(const Tuple& tuple) = 0;
+
+  /// \brief Signals a batch boundary (request/response handler batches,
+  /// paper Section V "Stream Fabrication"). Buffering operators release
+  /// retained tuples here; the default implementation does nothing.
+  virtual Status Flush() { return Status::OK(); }
+
+  /// The operator's kind.
+  virtual OperatorKind kind() const = 0;
+
+  /// Diagnostic name.
+  const std::string& name() const { return name_; }
+
+  /// Adds a downstream operator; returns the output-port index.
+  std::size_t AddOutput(Operator* output);
+
+  /// Removes the first edge to `output`; returns true when an edge was
+  /// removed. Used by the fabricator's topology surgery (query insertion
+  /// and deletion re-wire T-chains).
+  bool RemoveOutput(Operator* output);
+
+  /// Downstream operators in port order.
+  const std::vector<Operator*>& outputs() const { return outputs_; }
+
+  /// True when this operator has more than one output (the paper's
+  /// "branching point").
+  bool IsBranchingPoint() const { return outputs_.size() > 1; }
+
+  /// Throughput counters.
+  const OperatorStats& stats() const { return stats_; }
+
+  /// Resets throughput counters.
+  void ResetStats() { stats_ = OperatorStats(); }
+
+ protected:
+  /// Records an arrival; subclasses call this at the top of Push.
+  void CountIn() { ++stats_.tuples_in; }
+
+  /// Broadcasts a tuple to all outputs (counting it once as emitted).
+  Status Emit(const Tuple& tuple);
+
+  /// Sends a tuple to one output port only (Partition-style routing).
+  Status EmitTo(std::size_t port, const Tuple& tuple);
+
+ private:
+  std::string name_;
+  std::vector<Operator*> outputs_;
+  OperatorStats stats_;
+};
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,49 @@
+#include "ops/partition.h"
+
+#include <sstream>
+
+namespace craqr {
+namespace ops {
+
+Result<std::unique_ptr<PartitionOperator>> PartitionOperator::Make(
+    std::string name, std::vector<geom::Rect> regions) {
+  if (regions.size() < 2) {
+    return Status::InvalidArgument(
+        "partition requires at least two output regions");
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    if (regions[i].IsEmpty()) {
+      return Status::InvalidArgument("partition region " + std::to_string(i) +
+                                     " must have positive area");
+    }
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      if (!regions[i].IsDisjoint(regions[j])) {
+        std::ostringstream msg;
+        msg << "partition regions must be pairwise disjoint; "
+            << regions[i].ToString() << " overlaps " << regions[j].ToString();
+        return Status::InvalidArgument(msg.str());
+      }
+    }
+  }
+  return std::unique_ptr<PartitionOperator>(
+      new PartitionOperator(std::move(name), std::move(regions)));
+}
+
+Status PartitionOperator::Push(const Tuple& tuple) {
+  CountIn();
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    if (regions_[k].Contains(tuple.point.x, tuple.point.y)) {
+      if (k >= outputs().size()) {
+        // Branch not connected: the tuple's sub-region has no consumer.
+        ++unrouted_;
+        return Status::OK();
+      }
+      return EmitTo(k, tuple);
+    }
+  }
+  ++unrouted_;
+  return Status::OK();
+}
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/rect.h"
+#include "ops/operator.h"
+
+/// \file partition.h
+/// \brief The P (Partition) PMAT operator (paper Section IV-B-1).
+///
+/// Partitions a point process P(lambda, R*) into point processes of the
+/// same rate lambda on pairwise-disjoint sub-regions: each incoming tuple
+/// is routed to the output branch whose region contains it. Partitioning a
+/// Poisson process by location preserves the rate on each piece, so every
+/// branch carries P(lambda, R*_k).
+///
+/// The paper draws P with two outputs and notes it "can be easily extended
+/// to partition processes into multiple regions"; this implementation is
+/// k-way.
+
+namespace craqr {
+namespace ops {
+
+/// \brief Region-routing operator. Output port k corresponds to
+/// `regions()[k]`; connect branches with AddOutput in region order.
+class PartitionOperator final : public Operator {
+ public:
+  /// Validating factory: requires >= 2 pairwise-disjoint regions of
+  /// positive area.
+  static Result<std::unique_ptr<PartitionOperator>> Make(
+      std::string name, std::vector<geom::Rect> regions);
+
+  Status Push(const Tuple& tuple) override;
+  OperatorKind kind() const override { return OperatorKind::kPartition; }
+
+  /// The branch regions, in output-port order.
+  const std::vector<geom::Rect>& regions() const { return regions_; }
+
+  /// Tuples that fell in none of the branch regions (dropped).
+  std::uint64_t unrouted() const { return unrouted_; }
+
+ private:
+  PartitionOperator(std::string name, std::vector<geom::Rect> regions)
+      : Operator(std::move(name)), regions_(std::move(regions)) {}
+
+  std::vector<geom::Rect> regions_;
+  std::uint64_t unrouted_ = 0;
+};
+
+}  // namespace ops
+}  // namespace craqr

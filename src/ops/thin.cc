@@ -1,0 +1,57 @@
+#include "ops/thin.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace craqr {
+namespace ops {
+
+namespace {
+
+Status ValidateRates(double input_rate, double output_rate) {
+  if (!(input_rate > 0.0) || !std::isfinite(input_rate)) {
+    return Status::InvalidArgument("thin input rate must be > 0");
+  }
+  if (!(output_rate > 0.0) || !std::isfinite(output_rate)) {
+    return Status::InvalidArgument("thin output rate must be > 0");
+  }
+  if (!(output_rate < input_rate)) {
+    std::ostringstream msg;
+    msg << "thin requires output rate < input rate, got " << output_rate
+        << " >= " << input_rate
+        << " (the T operator's rate is strictly less than the original MDPP)";
+    return Status::InvalidArgument(msg.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ThinOperator>> ThinOperator::Make(std::string name,
+                                                         double input_rate,
+                                                         double output_rate,
+                                                         Rng rng) {
+  CRAQR_RETURN_NOT_OK(ValidateRates(input_rate, output_rate));
+  return std::unique_ptr<ThinOperator>(
+      new ThinOperator(std::move(name), input_rate, output_rate, rng));
+}
+
+Status ThinOperator::Push(const Tuple& tuple) {
+  CountIn();
+  if (rng_.Bernoulli(retain_probability())) {
+    return Emit(tuple);
+  }
+  return Status::OK();
+}
+
+Status ThinOperator::UpdateRates(double input_rate, double output_rate) {
+  CRAQR_RETURN_NOT_OK(ValidateRates(input_rate, output_rate));
+  input_rate_ = input_rate;
+  output_rate_ = output_rate;
+  return Status::OK();
+}
+
+}  // namespace ops
+}  // namespace craqr

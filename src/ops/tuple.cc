@@ -1,0 +1,28 @@
+#include "ops/tuple.h"
+
+#include <sstream>
+
+namespace craqr {
+namespace ops {
+
+std::string AttributeValueToString(const AttributeValue& value) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          os << "null";
+        } else if constexpr (std::is_same_v<T, bool>) {
+          os << (v ? "true" : "false");
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          os << '"' << v << '"';
+        } else {
+          os << v;
+        }
+      },
+      value);
+  return os.str();
+}
+
+}  // namespace ops
+}  // namespace craqr

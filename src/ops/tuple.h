@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "geometry/point.h"
+
+/// \file tuple.h
+/// \brief The crowdsensed tuple model (paper Section II).
+///
+/// A tuple of attribute A<j> is `(t, x, y, a)` where the first three entries
+/// are space-time coordinates and `a` is the attribute value; `id` is a
+/// unique tuple identifier across sensors.
+
+namespace craqr {
+namespace ops {
+
+/// Identifier of a registered attribute A<j>.
+using AttributeId = std::uint32_t;
+
+/// \brief The value payload of a crowdsensed tuple.
+///
+/// Boolean for human-sensed yes/no attributes (e.g. `rain`), double for
+/// sensor-sensed measurements (e.g. `temp`), int64 for counts, string for
+/// free-form human responses; monostate for coordinate-only tuples.
+using AttributeValue =
+    std::variant<std::monostate, bool, std::int64_t, double, std::string>;
+
+/// Renders an AttributeValue for logs and debug output.
+std::string AttributeValueToString(const AttributeValue& value);
+
+/// \brief One crowdsensed observation flowing through PMAT operators.
+struct Tuple {
+  /// Unique tuple identifier across sensors.
+  std::uint64_t id = 0;
+  /// Which attribute A<j> this tuple observes.
+  AttributeId attribute = 0;
+  /// Space-time coordinates (t in minutes, x/y in km).
+  geom::SpaceTimePoint point;
+  /// Observed value.
+  AttributeValue value;
+  /// Identifier of the mobile sensor that produced the tuple.
+  std::uint64_t sensor_id = 0;
+};
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,68 @@
+#include "ops/union_op.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace craqr {
+namespace ops {
+
+Result<std::unique_ptr<UnionOperator>> UnionOperator::Make(
+    std::string name, std::vector<geom::Rect> input_regions) {
+  if (input_regions.size() < 2) {
+    return Status::InvalidArgument("union requires at least two regions");
+  }
+  double total_area = 0.0;
+  geom::Rect bbox = input_regions.front();
+  for (std::size_t i = 0; i < input_regions.size(); ++i) {
+    const auto& region = input_regions[i];
+    if (region.IsEmpty()) {
+      return Status::InvalidArgument("union region " + std::to_string(i) +
+                                     " must have positive area");
+    }
+    total_area += region.Area();
+    bbox = geom::Rect(std::min(bbox.x_min(), region.x_min()),
+                      std::min(bbox.y_min(), region.y_min()),
+                      std::max(bbox.x_max(), region.x_max()),
+                      std::max(bbox.y_max(), region.y_max()));
+    for (std::size_t j = i + 1; j < input_regions.size(); ++j) {
+      if (!region.IsDisjoint(input_regions[j])) {
+        std::ostringstream msg;
+        msg << "union input regions must be disjoint; " << region.ToString()
+            << " overlaps " << input_regions[j].ToString();
+        return Status::FailedPrecondition(msg.str());
+      }
+    }
+  }
+  // The disjoint pieces must tile a rectangle — the k-way generalisation of
+  // the paper's "adjacent with a common side of equal length" rule.
+  const double area_gap = std::fabs(bbox.Area() - total_area);
+  if (area_gap > 1e-9 * std::max(1.0, bbox.Area())) {
+    std::ostringstream msg;
+    msg << "union input regions must tile a rectangle (adjacent with common "
+           "sides); pieces cover "
+        << total_area << " of bounding box " << bbox.ToString() << " area "
+        << bbox.Area();
+    return Status::FailedPrecondition(msg.str());
+  }
+  return std::unique_ptr<UnionOperator>(
+      new UnionOperator(std::move(name), std::move(input_regions), bbox));
+}
+
+Status UnionOperator::Push(const Tuple& tuple) {
+  CountIn();
+  bool inside = false;
+  for (const auto& region : input_regions_) {
+    if (region.Contains(tuple.point.x, tuple.point.y)) {
+      inside = true;
+      break;
+    }
+  }
+  if (!inside) {
+    ++out_of_region_;
+  }
+  return Emit(tuple);
+}
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/rect.h"
+#include "ops/operator.h"
+
+/// \file union_op.h
+/// \brief The U (Union) PMAT operator (paper Section IV-B-1).
+///
+/// Unions MDPPs P(lambda, R*_1) and P(lambda, R*_2) into P(lambda, R*_3)
+/// with R*_3 = R*_1 union R*_2. The paper requires "the rectangles should
+/// be adjacent and with a common side of equal length" and notes the
+/// operator "can be easily extended to union multiple MDPPs at once": this
+/// implementation accepts k >= 2 disjoint rectangles whose union is itself
+/// a rectangle (the k-way generalisation of the pairwise adjacency rule),
+/// validated at construction.
+
+namespace craqr {
+namespace ops {
+
+/// \brief Stream-merging operator over adjacent regions.
+///
+/// All upstream operators push into the same UnionOperator; tuples are
+/// forwarded unchanged, so the output is the superposition of the input
+/// processes — which, for equal-rate processes on disjoint adjacent
+/// regions, is exactly P(lambda, union of regions).
+class UnionOperator final : public Operator {
+ public:
+  /// Validating factory; see the class comment for the region rule.
+  static Result<std::unique_ptr<UnionOperator>> Make(
+      std::string name, std::vector<geom::Rect> input_regions);
+
+  Status Push(const Tuple& tuple) override;
+  OperatorKind kind() const override { return OperatorKind::kUnion; }
+
+  /// The merged output region R*_3.
+  const geom::Rect& output_region() const { return output_region_; }
+
+  /// The input regions.
+  const std::vector<geom::Rect>& input_regions() const {
+    return input_regions_;
+  }
+
+  /// Tuples that arrived outside every input region (still forwarded, but
+  /// counted as a topology diagnostic).
+  std::uint64_t out_of_region() const { return out_of_region_; }
+
+ private:
+  UnionOperator(std::string name, std::vector<geom::Rect> input_regions,
+                const geom::Rect& output_region)
+      : Operator(std::move(name)),
+        input_regions_(std::move(input_regions)),
+        output_region_(output_region) {}
+
+  std::vector<geom::Rect> input_regions_;
+  geom::Rect output_region_;
+  std::uint64_t out_of_region_ = 0;
+};
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,98 @@
+#include "pointprocess/gof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+#include "common/stats.h"
+
+namespace craqr {
+namespace pp {
+
+Result<HomogeneityReport> TestSpatialHomogeneity(
+    const std::vector<geom::SpaceTimePoint>& points,
+    const SpaceTimeWindow& window, std::size_t bins_x, std::size_t bins_y) {
+  if (!window.IsValid()) {
+    return Status::InvalidArgument("window must have positive volume");
+  }
+  if (bins_x * bins_y < 2) {
+    return Status::InvalidArgument(
+        "homogeneity test requires at least two cells");
+  }
+  const double cell_w = window.space.Width() / static_cast<double>(bins_x);
+  const double cell_h = window.space.Height() / static_cast<double>(bins_y);
+  std::vector<std::uint64_t> counts(bins_x * bins_y, 0);
+  std::uint64_t n = 0;
+  for (const auto& p : points) {
+    if (!window.Contains(p)) {
+      continue;
+    }
+    auto bx = static_cast<std::size_t>((p.x - window.space.x_min()) / cell_w);
+    auto by = static_cast<std::size_t>((p.y - window.space.y_min()) / cell_h);
+    bx = std::min(bx, bins_x - 1);
+    by = std::min(by, bins_y - 1);
+    ++counts[by * bins_x + bx];
+    ++n;
+  }
+
+  HomogeneityReport report;
+  report.n = n;
+  report.dof = static_cast<double>(counts.size()) - 1.0;
+  report.empirical_rate = static_cast<double>(n) / window.Volume();
+  report.expected_per_cell =
+      static_cast<double>(n) / static_cast<double>(counts.size());
+  if (n == 0) {
+    report.p_value = 1.0;
+    return report;
+  }
+  RunningStats stats;
+  double chi_square = 0.0;
+  const double expected = report.expected_per_cell;
+  for (std::uint64_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    chi_square += diff * diff / expected;
+    stats.Add(static_cast<double>(c));
+  }
+  report.chi_square = chi_square;
+  report.p_value = ChiSquareSurvival(chi_square, report.dof);
+  report.count_cv = stats.CoefficientOfVariation();
+  return report;
+}
+
+Result<KsReport> TestTemporalUniformity(
+    const std::vector<geom::SpaceTimePoint>& points,
+    const SpaceTimeWindow& window) {
+  if (!window.IsValid()) {
+    return Status::InvalidArgument("window must have positive volume");
+  }
+  std::vector<double> u;
+  u.reserve(points.size());
+  for (const auto& p : points) {
+    if (!window.Contains(p)) {
+      continue;
+    }
+    u.push_back((p.t - window.t_begin) / window.Duration());
+  }
+  std::sort(u.begin(), u.end());
+  KsReport report;
+  report.n = u.size();
+  report.statistic = KsTestUniform(u, &report.p_value);
+  return report;
+}
+
+double EmpiricalRate(const std::vector<geom::SpaceTimePoint>& points,
+                     const SpaceTimeWindow& window) {
+  if (!window.IsValid()) {
+    return 0.0;
+  }
+  std::uint64_t n = 0;
+  for (const auto& p : points) {
+    if (window.Contains(p)) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / window.Volume();
+}
+
+}  // namespace pp
+}  // namespace craqr

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+#include "pointprocess/window.h"
+
+/// \file gof.h
+/// \brief Goodness-of-fit and homogeneity diagnostics for MDPPs.
+///
+/// The Flatten operator's claim ("produces an approximately homogeneous
+/// point process", paper Section IV-B-1) is verified with these tests: a
+/// chi-square test of spatial cell counts against the
+/// complete-spatial-randomness null, the coefficient of variation of cell
+/// counts, and a Kolmogorov-Smirnov test of temporal uniformity.
+
+namespace craqr {
+namespace pp {
+
+/// \brief Outcome of the spatial homogeneity test.
+struct HomogeneityReport {
+  /// Pearson chi-square statistic of the cell counts against the uniform
+  /// expectation.
+  double chi_square = 0.0;
+  /// Degrees of freedom (#cells - 1).
+  double dof = 0.0;
+  /// Chi-square p-value: small values reject homogeneity.
+  double p_value = 1.0;
+  /// Coefficient of variation of the cell counts (stddev / mean); a
+  /// homogeneous Poisson pattern has CV ~ 1/sqrt(mean count).
+  double count_cv = 0.0;
+  /// Points per unit volume over the window.
+  double empirical_rate = 0.0;
+  /// Number of points inside the window.
+  std::uint64_t n = 0;
+  /// Mean expected count per cell (test power is low when this is < ~5).
+  double expected_per_cell = 0.0;
+};
+
+/// \brief Chi-square test of spatial homogeneity: partitions the window's
+/// spatial extent into `bins_x` x `bins_y` equal cells and compares counts
+/// to the uniform expectation.
+///
+/// Points outside the window are ignored. Requires a valid window and
+/// bins >= 2 in total.
+Result<HomogeneityReport> TestSpatialHomogeneity(
+    const std::vector<geom::SpaceTimePoint>& points,
+    const SpaceTimeWindow& window, std::size_t bins_x, std::size_t bins_y);
+
+/// \brief Outcome of the temporal uniformity (KS) test.
+struct KsReport {
+  /// KS statistic D.
+  double statistic = 0.0;
+  /// Asymptotic p-value; small values reject temporal homogeneity.
+  double p_value = 1.0;
+  /// Number of points tested.
+  std::uint64_t n = 0;
+};
+
+/// \brief Kolmogorov-Smirnov test that arrival times of points inside the
+/// window are uniform on [t_begin, t_end) — the temporal signature of a
+/// homogeneous MDPP.
+Result<KsReport> TestTemporalUniformity(
+    const std::vector<geom::SpaceTimePoint>& points,
+    const SpaceTimeWindow& window);
+
+/// \brief Points-per-volume estimate of the (assumed constant) rate:
+/// `#points inside window / window volume`.
+double EmpiricalRate(const std::vector<geom::SpaceTimePoint>& points,
+                     const SpaceTimeWindow& window);
+
+}  // namespace pp
+}  // namespace craqr

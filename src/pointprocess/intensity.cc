@@ -1,0 +1,337 @@
+#include "pointprocess/intensity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace craqr {
+namespace pp {
+
+std::string SpaceTimeWindow::ToString() const {
+  std::ostringstream os;
+  os << "[t=" << t_begin << ".." << t_end << ", " << space.ToString() << "]";
+  return os.str();
+}
+
+namespace {
+
+// Deterministic tensor midpoint quadrature used as the Integral() fallback.
+constexpr int kQuadraturePointsPerAxis = 24;
+
+// Evaluates the 8 corners of the window through `f` and returns the max.
+template <typename F>
+double MaxOverCorners(const SpaceTimeWindow& w, F&& f) {
+  const double ts[2] = {w.t_begin, w.t_end};
+  const double xs[2] = {w.space.x_min(), w.space.x_max()};
+  const double ys[2] = {w.space.y_min(), w.space.y_max()};
+  double best = 0.0;
+  for (double t : ts) {
+    for (double x : xs) {
+      for (double y : ys) {
+        best = std::max(best, f(geom::SpaceTimePoint{t, x, y}));
+      }
+    }
+  }
+  return best;
+}
+
+// exp-integral helper: integral of exp(b*u) du over [lo, hi].
+double ExpSegmentIntegral(double b, double lo, double hi) {
+  if (std::fabs(b) < 1e-12) {
+    return hi - lo;
+  }
+  return (std::exp(b * hi) - std::exp(b * lo)) / b;
+}
+
+}  // namespace
+
+double IntensityModel::Integral(const SpaceTimeWindow& window) const {
+  if (!window.IsValid()) {
+    return 0.0;
+  }
+  const int n = kQuadraturePointsPerAxis;
+  const double dt = window.Duration() / n;
+  const double dx = window.space.Width() / n;
+  const double dy = window.space.Height() / n;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = window.t_begin + (i + 0.5) * dt;
+    for (int j = 0; j < n; ++j) {
+      const double x = window.space.x_min() + (j + 0.5) * dx;
+      for (int k = 0; k < n; ++k) {
+        const double y = window.space.y_min() + (k + 0.5) * dy;
+        sum += Rate(geom::SpaceTimePoint{t, x, y});
+      }
+    }
+  }
+  return sum * dt * dx * dy;
+}
+
+// ---------------------------------------------------------------------------
+// ConstantIntensity
+
+Result<IntensityPtr> ConstantIntensity::Make(double rate) {
+  if (!(rate >= 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("constant intensity rate must be >= 0");
+  }
+  return IntensityPtr(new ConstantIntensity(rate));
+}
+
+std::string ConstantIntensity::ToString() const {
+  std::ostringstream os;
+  os << "Constant(rate=" << rate_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// LinearIntensity
+
+Result<IntensityPtr> LinearIntensity::Make(const Theta& theta,
+                                           double min_rate) {
+  for (double v : theta) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("linear intensity theta must be finite");
+    }
+  }
+  if (!(min_rate >= 0.0)) {
+    return Status::InvalidArgument("min_rate must be >= 0");
+  }
+  return IntensityPtr(new LinearIntensity(theta, min_rate));
+}
+
+double LinearIntensity::Rate(const geom::SpaceTimePoint& p) const {
+  return std::max(Linear(p), min_rate_);
+}
+
+double LinearIntensity::UpperBound(const SpaceTimeWindow& window) const {
+  // A linear function attains its maximum at a corner of the box.
+  return std::max(
+      min_rate_,
+      MaxOverCorners(window, [this](const geom::SpaceTimePoint& p) {
+        return Linear(p);
+      }));
+}
+
+double LinearIntensity::Integral(const SpaceTimeWindow& window) const {
+  if (!window.IsValid()) {
+    return 0.0;
+  }
+  // If the linear form stays above min_rate over the whole box (its minimum
+  // is at a corner), the integral is Volume * value-at-centroid.
+  const double ts[2] = {window.t_begin, window.t_end};
+  const double xs[2] = {window.space.x_min(), window.space.x_max()};
+  const double ys[2] = {window.space.y_min(), window.space.y_max()};
+  double corner_min = std::numeric_limits<double>::infinity();
+  for (double t : ts) {
+    for (double x : xs) {
+      for (double y : ys) {
+        corner_min = std::min(corner_min, Linear(geom::SpaceTimePoint{t, x, y}));
+      }
+    }
+  }
+  if (corner_min >= min_rate_) {
+    return window.Volume() * Linear(window.Centroid());
+  }
+  // Clamp active somewhere: fall back to quadrature.
+  return IntensityModel::Integral(window);
+}
+
+std::string LinearIntensity::ToString() const {
+  std::ostringstream os;
+  os << "Linear(theta=[" << theta_[0] << "," << theta_[1] << "," << theta_[2]
+     << "," << theta_[3] << "], min_rate=" << min_rate_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// LogLinearIntensity
+
+Result<IntensityPtr> LogLinearIntensity::Make(const Theta& theta) {
+  for (double v : theta) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "log-linear intensity theta must be finite");
+    }
+  }
+  return IntensityPtr(new LogLinearIntensity(theta));
+}
+
+double LogLinearIntensity::Rate(const geom::SpaceTimePoint& p) const {
+  return std::exp(theta_[0] + theta_[1] * p.t + theta_[2] * p.x +
+                  theta_[3] * p.y);
+}
+
+double LogLinearIntensity::UpperBound(const SpaceTimeWindow& window) const {
+  // exp of a linear form is maximised at a box corner.
+  return MaxOverCorners(window, [this](const geom::SpaceTimePoint& p) {
+    return Rate(p);
+  });
+}
+
+double LogLinearIntensity::Integral(const SpaceTimeWindow& window) const {
+  if (!window.IsValid()) {
+    return 0.0;
+  }
+  // Separable closed form.
+  return std::exp(theta_[0]) *
+         ExpSegmentIntegral(theta_[1], window.t_begin, window.t_end) *
+         ExpSegmentIntegral(theta_[2], window.space.x_min(),
+                            window.space.x_max()) *
+         ExpSegmentIntegral(theta_[3], window.space.y_min(),
+                            window.space.y_max());
+}
+
+std::string LogLinearIntensity::ToString() const {
+  std::ostringstream os;
+  os << "LogLinear(theta=[" << theta_[0] << "," << theta_[1] << ","
+     << theta_[2] << "," << theta_[3] << "])";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// GaussianBumpIntensity
+
+Result<IntensityPtr> GaussianBumpIntensity::Make(
+    double base_rate, std::vector<GaussianBump> bumps) {
+  if (!(base_rate >= 0.0) || !std::isfinite(base_rate)) {
+    return Status::InvalidArgument("base_rate must be >= 0");
+  }
+  for (const auto& bump : bumps) {
+    if (!(bump.amplitude >= 0.0) || !(bump.sigma > 0.0)) {
+      return Status::InvalidArgument(
+          "bumps require amplitude >= 0 and sigma > 0");
+    }
+  }
+  return IntensityPtr(new GaussianBumpIntensity(base_rate, std::move(bumps)));
+}
+
+double GaussianBumpIntensity::Rate(const geom::SpaceTimePoint& p) const {
+  double rate = base_rate_;
+  for (const auto& bump : bumps_) {
+    const double cx = bump.x0 + bump.vx * p.t;
+    const double cy = bump.y0 + bump.vy * p.t;
+    const double dx = p.x - cx;
+    const double dy = p.y - cy;
+    rate += bump.amplitude *
+            std::exp(-(dx * dx + dy * dy) / (2.0 * bump.sigma * bump.sigma));
+  }
+  return rate;
+}
+
+double GaussianBumpIntensity::UpperBound(const SpaceTimeWindow&) const {
+  double bound = base_rate_;
+  for (const auto& bump : bumps_) {
+    bound += bump.amplitude;
+  }
+  return bound;
+}
+
+std::string GaussianBumpIntensity::ToString() const {
+  std::ostringstream os;
+  os << "GaussianBumps(base=" << base_rate_ << ", bumps=" << bumps_.size()
+     << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// PiecewiseConstantIntensity
+
+Result<IntensityPtr> PiecewiseConstantIntensity::Make(
+    const geom::Rect& extent, std::size_t rows, std::size_t cols,
+    std::vector<double> rates) {
+  if (extent.IsEmpty()) {
+    return Status::InvalidArgument("extent must have positive area");
+  }
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("rows and cols must be >= 1");
+  }
+  if (rates.size() != rows * cols) {
+    return Status::InvalidArgument("rates size must equal rows*cols");
+  }
+  for (double r : rates) {
+    if (!(r >= 0.0) || !std::isfinite(r)) {
+      return Status::InvalidArgument("all cell rates must be >= 0");
+    }
+  }
+  return IntensityPtr(
+      new PiecewiseConstantIntensity(extent, rows, cols, std::move(rates)));
+}
+
+double PiecewiseConstantIntensity::Rate(const geom::SpaceTimePoint& p) const {
+  if (!extent_.Contains(p.x, p.y)) {
+    return 0.0;
+  }
+  const double cell_w = extent_.Width() / static_cast<double>(cols_);
+  const double cell_h = extent_.Height() / static_cast<double>(rows_);
+  auto col = static_cast<std::size_t>((p.x - extent_.x_min()) / cell_w);
+  auto row = static_cast<std::size_t>((p.y - extent_.y_min()) / cell_h);
+  col = std::min(col, cols_ - 1);
+  row = std::min(row, rows_ - 1);
+  return rates_[row * cols_ + col];
+}
+
+double PiecewiseConstantIntensity::UpperBound(const SpaceTimeWindow&) const {
+  return *std::max_element(rates_.begin(), rates_.end());
+}
+
+double PiecewiseConstantIntensity::Integral(
+    const SpaceTimeWindow& window) const {
+  if (!window.IsValid()) {
+    return 0.0;
+  }
+  const double cell_w = extent_.Width() / static_cast<double>(cols_);
+  const double cell_h = extent_.Height() / static_cast<double>(rows_);
+  double spatial = 0.0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (std::size_t col = 0; col < cols_; ++col) {
+      const double x0 = extent_.x_min() + static_cast<double>(col) * cell_w;
+      const double y0 = extent_.y_min() + static_cast<double>(row) * cell_h;
+      const geom::Rect cell(x0, y0, x0 + cell_w, y0 + cell_h);
+      spatial += rates_[row * cols_ + col] * cell.OverlapArea(window.space);
+    }
+  }
+  return spatial * window.Duration();
+}
+
+std::string PiecewiseConstantIntensity::ToString() const {
+  std::ostringstream os;
+  os << "PiecewiseConstant(" << rows_ << "x" << cols_ << " over "
+     << extent_.ToString() << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+
+Result<IntensityPtr> ScaledIntensity::Make(IntensityPtr inner, double factor) {
+  if (inner == nullptr) {
+    return Status::InvalidArgument("scaled intensity requires a model");
+  }
+  if (!(factor >= 0.0) || !std::isfinite(factor)) {
+    return Status::InvalidArgument("scale factor must be >= 0");
+  }
+  return IntensityPtr(new ScaledIntensity(std::move(inner), factor));
+}
+
+std::string ScaledIntensity::ToString() const {
+  std::ostringstream os;
+  os << "Scaled(" << factor_ << " * " << inner_->ToString() << ")";
+  return os.str();
+}
+
+Result<IntensityPtr> SumIntensity::Make(IntensityPtr a, IntensityPtr b) {
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidArgument("sum intensity requires two models");
+  }
+  return IntensityPtr(new SumIntensity(std::move(a), std::move(b)));
+}
+
+std::string SumIntensity::ToString() const {
+  std::ostringstream os;
+  os << "Sum(" << a_->ToString() << " + " << b_->ToString() << ")";
+  return os.str();
+}
+
+}  // namespace pp
+}  // namespace craqr

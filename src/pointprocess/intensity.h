@@ -1,0 +1,247 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/point.h"
+#include "pointprocess/window.h"
+
+/// \file intensity.h
+/// \brief Conditional-rate (intensity) models for multi-dimensional point
+/// processes (paper Section III-A).
+///
+/// An MDPP over (t, x, y) is fully described by its intensity
+/// lambda(t, x, y) >= 0.  The paper's Eq. (1) parameterises it linearly:
+/// `lambda(t,x,y; theta) = theta0 + theta1*t + theta2*x + theta3*y`.
+/// This header provides that model plus the additional families used by the
+/// simulator, the estimators and the Flatten operator.
+
+namespace craqr {
+namespace pp {
+
+/// \brief Abstract conditional-rate function of an MDPP.
+///
+/// Implementations must be immutable after construction so they can be
+/// shared across operators and threads.
+class IntensityModel {
+ public:
+  virtual ~IntensityModel() = default;
+
+  /// The intensity at a space-time point (tuples per km^2 per minute).
+  /// Always >= 0.
+  virtual double Rate(const geom::SpaceTimePoint& p) const = 0;
+
+  /// \brief An upper bound of Rate() over the window, used as the
+  /// dominating rate in Lewis-Shedler thinning. Must satisfy
+  /// `UpperBound(w) >= Rate(p)` for every p in w.
+  virtual double UpperBound(const SpaceTimeWindow& window) const = 0;
+
+  /// \brief The integral of Rate() over the window (expected point count).
+  ///
+  /// The default implementation uses a deterministic tensor midpoint rule;
+  /// subclasses with closed forms override it.
+  virtual double Integral(const SpaceTimeWindow& window) const;
+
+  /// Human-readable description of the model and its parameters.
+  virtual std::string ToString() const = 0;
+};
+
+/// Shared immutable intensity handle.
+using IntensityPtr = std::shared_ptr<const IntensityModel>;
+
+/// \brief Homogeneous MDPP: constant rate over space and time
+/// (paper's P(lambda, R)).
+class ConstantIntensity final : public IntensityModel {
+ public:
+  /// Validating factory; requires rate >= 0.
+  static Result<IntensityPtr> Make(double rate);
+
+  double Rate(const geom::SpaceTimePoint&) const override { return rate_; }
+  double UpperBound(const SpaceTimeWindow&) const override { return rate_; }
+  double Integral(const SpaceTimeWindow& window) const override {
+    return rate_ * window.Volume();
+  }
+  std::string ToString() const override;
+
+ private:
+  explicit ConstantIntensity(double rate) : rate_(rate) {}
+  double rate_;
+};
+
+/// \brief The paper's Eq. (1): `theta0 + theta1*t + theta2*x + theta3*y`,
+/// clamped below at `min_rate` to keep the intensity positive.
+class LinearIntensity final : public IntensityModel {
+ public:
+  /// Parameter vector theta = (theta0, theta1, theta2, theta3).
+  using Theta = std::array<double, 4>;
+
+  /// Validating factory; requires min_rate >= 0.
+  static Result<IntensityPtr> Make(const Theta& theta, double min_rate = 0.0);
+
+  double Rate(const geom::SpaceTimePoint& p) const override;
+  double UpperBound(const SpaceTimeWindow& window) const override;
+  double Integral(const SpaceTimeWindow& window) const override;
+  std::string ToString() const override;
+
+  /// The parameter vector.
+  const Theta& theta() const { return theta_; }
+
+  /// The unclamped linear form (may be negative).
+  double Linear(const geom::SpaceTimePoint& p) const {
+    return theta_[0] + theta_[1] * p.t + theta_[2] * p.x + theta_[3] * p.y;
+  }
+
+ private:
+  LinearIntensity(const Theta& theta, double min_rate)
+      : theta_(theta), min_rate_(min_rate) {}
+
+  Theta theta_;
+  double min_rate_;
+};
+
+/// \brief Log-linear intensity `exp(theta0 + theta1*t + theta2*x +
+/// theta3*y)`: always positive, with a closed-form integral. Used as the
+/// estimation-friendly alternative to the clamped linear model.
+class LogLinearIntensity final : public IntensityModel {
+ public:
+  using Theta = std::array<double, 4>;
+
+  static Result<IntensityPtr> Make(const Theta& theta);
+
+  double Rate(const geom::SpaceTimePoint& p) const override;
+  double UpperBound(const SpaceTimeWindow& window) const override;
+  double Integral(const SpaceTimeWindow& window) const override;
+  std::string ToString() const override;
+
+  const Theta& theta() const { return theta_; }
+
+ private:
+  explicit LogLinearIntensity(const Theta& theta) : theta_(theta) {}
+  Theta theta_;
+};
+
+/// \brief One moving Gaussian hotspot of crowd density.
+struct GaussianBump {
+  /// Peak additional intensity at the bump centre.
+  double amplitude = 1.0;
+  /// Centre at t = 0.
+  double x0 = 0.0;
+  double y0 = 0.0;
+  /// Spatial standard deviation (km).
+  double sigma = 1.0;
+  /// Centre drift velocity (km/min).
+  double vx = 0.0;
+  double vy = 0.0;
+};
+
+/// \brief Base rate plus a sum of (possibly moving) Gaussian hotspots —
+/// the synthetic "highly skewed spatio-temporal distribution" the paper's
+/// introduction motivates (mobile crowds cluster around hotspots).
+class GaussianBumpIntensity final : public IntensityModel {
+ public:
+  /// Validating factory; requires base_rate >= 0 and every bump to have
+  /// amplitude >= 0 and sigma > 0.
+  static Result<IntensityPtr> Make(double base_rate,
+                                   std::vector<GaussianBump> bumps);
+
+  double Rate(const geom::SpaceTimePoint& p) const override;
+  double UpperBound(const SpaceTimeWindow& window) const override;
+  std::string ToString() const override;
+
+ private:
+  GaussianBumpIntensity(double base_rate, std::vector<GaussianBump> bumps)
+      : base_rate_(base_rate), bumps_(std::move(bumps)) {}
+
+  double base_rate_;
+  std::vector<GaussianBump> bumps_;
+};
+
+/// \brief Piecewise-constant spatial intensity over a uniform grid, constant
+/// in time. Produced by the histogram estimator and useful for replaying
+/// empirical crowd densities.
+class PiecewiseConstantIntensity final : public IntensityModel {
+ public:
+  /// Validating factory. `rates` is row-major with `cols` columns over
+  /// `extent`; all rates must be >= 0. The rate outside `extent` is 0.
+  static Result<IntensityPtr> Make(const geom::Rect& extent,
+                                   std::size_t rows, std::size_t cols,
+                                   std::vector<double> rates);
+
+  double Rate(const geom::SpaceTimePoint& p) const override;
+  double UpperBound(const SpaceTimeWindow& window) const override;
+  double Integral(const SpaceTimeWindow& window) const override;
+  std::string ToString() const override;
+
+  /// The rate of cell (row, col).
+  double CellRate(std::size_t row, std::size_t col) const {
+    return rates_[row * cols_ + col];
+  }
+
+ private:
+  PiecewiseConstantIntensity(const geom::Rect& extent, std::size_t rows,
+                             std::size_t cols, std::vector<double> rates)
+      : extent_(extent), rows_(rows), cols_(cols), rates_(std::move(rates)) {}
+
+  geom::Rect extent_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> rates_;
+};
+
+/// \brief `factor * inner`: intensity scaled by a non-negative constant.
+class ScaledIntensity final : public IntensityModel {
+ public:
+  /// Validating factory; requires inner != nullptr and factor >= 0.
+  static Result<IntensityPtr> Make(IntensityPtr inner, double factor);
+
+  double Rate(const geom::SpaceTimePoint& p) const override {
+    return factor_ * inner_->Rate(p);
+  }
+  double UpperBound(const SpaceTimeWindow& window) const override {
+    return factor_ * inner_->UpperBound(window);
+  }
+  double Integral(const SpaceTimeWindow& window) const override {
+    return factor_ * inner_->Integral(window);
+  }
+  std::string ToString() const override;
+
+ private:
+  ScaledIntensity(IntensityPtr inner, double factor)
+      : inner_(std::move(inner)), factor_(factor) {}
+
+  IntensityPtr inner_;
+  double factor_;
+};
+
+/// \brief `a + b`: superposition of two intensities (the intensity of the
+/// superposed point process).
+class SumIntensity final : public IntensityModel {
+ public:
+  /// Validating factory; requires both operands non-null.
+  static Result<IntensityPtr> Make(IntensityPtr a, IntensityPtr b);
+
+  double Rate(const geom::SpaceTimePoint& p) const override {
+    return a_->Rate(p) + b_->Rate(p);
+  }
+  double UpperBound(const SpaceTimeWindow& window) const override {
+    return a_->UpperBound(window) + b_->UpperBound(window);
+  }
+  double Integral(const SpaceTimeWindow& window) const override {
+    return a_->Integral(window) + b_->Integral(window);
+  }
+  std::string ToString() const override;
+
+ private:
+  SumIntensity(IntensityPtr a, IntensityPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  IntensityPtr a_;
+  IntensityPtr b_;
+};
+
+}  // namespace pp
+}  // namespace craqr

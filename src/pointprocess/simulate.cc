@@ -1,0 +1,88 @@
+#include "pointprocess/simulate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace craqr {
+namespace pp {
+
+namespace {
+
+void SortByTime(std::vector<geom::SpaceTimePoint>* points) {
+  std::sort(points->begin(), points->end(),
+            [](const geom::SpaceTimePoint& a, const geom::SpaceTimePoint& b) {
+              return a.t < b.t;
+            });
+}
+
+geom::SpaceTimePoint UniformPoint(Rng* rng, const SpaceTimeWindow& window) {
+  return geom::SpaceTimePoint{
+      rng->Uniform(window.t_begin, window.t_end),
+      rng->Uniform(window.space.x_min(), window.space.x_max()),
+      rng->Uniform(window.space.y_min(), window.space.y_max())};
+}
+
+}  // namespace
+
+Result<std::vector<geom::SpaceTimePoint>> SimulateHomogeneous(
+    Rng* rng, double rate, const SpaceTimeWindow& window,
+    const SimulateOptions& options) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (!(rate >= 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("rate must be finite and >= 0");
+  }
+  if (!window.IsValid()) {
+    return Status::InvalidArgument("window must have positive volume: " +
+                                   window.ToString());
+  }
+  const std::uint64_t n = rng->Poisson(rate * window.Volume());
+  std::vector<geom::SpaceTimePoint> points;
+  points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    points.push_back(UniformPoint(rng, window));
+  }
+  if (options.sort_by_time) {
+    SortByTime(&points);
+  }
+  return points;
+}
+
+Result<std::vector<geom::SpaceTimePoint>> SimulateInhomogeneous(
+    Rng* rng, const IntensityModel& model, const SpaceTimeWindow& window,
+    const SimulateOptions& options) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (!window.IsValid()) {
+    return Status::InvalidArgument("window must have positive volume: " +
+                                   window.ToString());
+  }
+  const double bound = model.UpperBound(window);
+  if (!std::isfinite(bound) || bound < 0.0) {
+    return Status::InvalidArgument(
+        "intensity upper bound must be finite and >= 0, got " +
+        std::to_string(bound));
+  }
+  std::vector<geom::SpaceTimePoint> points;
+  if (bound == 0.0) {
+    return points;
+  }
+  const std::uint64_t candidates = rng->Poisson(bound * window.Volume());
+  points.reserve(candidates / 2);
+  for (std::uint64_t i = 0; i < candidates; ++i) {
+    const geom::SpaceTimePoint p = UniformPoint(rng, window);
+    const double acceptance = model.Rate(p) / bound;
+    if (rng->Bernoulli(acceptance)) {
+      points.push_back(p);
+    }
+  }
+  if (options.sort_by_time) {
+    SortByTime(&points);
+  }
+  return points;
+}
+
+}  // namespace pp
+}  // namespace craqr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "pointprocess/intensity.h"
+#include "pointprocess/window.h"
+
+/// \file simulate.h
+/// \brief Exact samplers for homogeneous and inhomogeneous MDPPs.
+///
+/// These generate ground-truth point patterns for tests, benchmarks and the
+/// crowd simulator: a homogeneous sampler (Poisson count + uniform
+/// placement) and a Lewis-Shedler thinning sampler for arbitrary bounded
+/// intensities.
+
+namespace craqr {
+namespace pp {
+
+/// \brief Options shared by the samplers.
+struct SimulateOptions {
+  /// Sort the returned points by arrival time (stream order).
+  bool sort_by_time = true;
+};
+
+/// \brief Samples a homogeneous MDPP P(rate, window.space) restricted to
+/// the window: draws N ~ Poisson(rate * Volume) and places points uniformly.
+///
+/// Requires rate >= 0 and a valid window.
+Result<std::vector<geom::SpaceTimePoint>> SimulateHomogeneous(
+    Rng* rng, double rate, const SpaceTimeWindow& window,
+    const SimulateOptions& options = {});
+
+/// \brief Samples an inhomogeneous MDPP with the given intensity via
+/// Lewis-Shedler thinning: candidates from a homogeneous process at the
+/// dominating rate `model.UpperBound(window)` are retained with probability
+/// `Rate(p) / bound`.
+///
+/// Requires a valid window; returns an error if the model's upper bound is
+/// not finite.
+Result<std::vector<geom::SpaceTimePoint>> SimulateInhomogeneous(
+    Rng* rng, const IntensityModel& model, const SpaceTimeWindow& window,
+    const SimulateOptions& options = {});
+
+}  // namespace pp
+}  // namespace craqr

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+/// \file window.h
+/// \brief The 3-D space-time box over which MDPPs are simulated, estimated
+/// and flattened.
+
+namespace craqr {
+namespace pp {
+
+/// \brief A space-time box: [t_begin, t_end) x spatial rectangle.
+///
+/// Volumes are measured in km^2 * min, so a rate in tuples/km^2/min times a
+/// window volume gives an expected tuple count.
+struct SpaceTimeWindow {
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  geom::Rect space;
+
+  /// Duration in minutes.
+  double Duration() const { return t_end - t_begin; }
+
+  /// 3-D volume = duration * area (km^2 * min).
+  double Volume() const { return Duration() * space.Area(); }
+
+  /// True when the point lies inside the half-open box.
+  bool Contains(const geom::SpaceTimePoint& p) const {
+    return p.t >= t_begin && p.t < t_end && space.Contains(p.x, p.y);
+  }
+
+  /// The box centre (mid-time, spatial centre).
+  geom::SpaceTimePoint Centroid() const {
+    const geom::SpacePoint c = space.Center();
+    return geom::SpaceTimePoint{(t_begin + t_end) / 2.0, c.x, c.y};
+  }
+
+  /// True when duration and area are both positive.
+  bool IsValid() const { return t_end > t_begin && !space.IsEmpty(); }
+
+  /// Debug representation.
+  std::string ToString() const;
+};
+
+}  // namespace pp
+}  // namespace craqr

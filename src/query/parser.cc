@@ -1,0 +1,208 @@
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/macros.h"
+#include "query/query.h"
+#include "query/units.h"
+
+namespace craqr {
+namespace query {
+
+std::string AcquisitionQuery::ToString() const {
+  std::ostringstream os;
+  os << "ACQUIRE " << attribute << " FROM REGION(" << region.x_min() << ", "
+     << region.y_min() << ", " << region.x_max() << ", " << region.y_max()
+     << ") RATE " << rate << " PER KM2 PER MIN";
+  return os.str();
+}
+
+Status AcquisitionQuery::Validate() const {
+  if (attribute.empty()) {
+    return Status::InvalidArgument("query attribute must not be empty");
+  }
+  if (region.IsEmpty()) {
+    return Status::InvalidArgument("query region must have positive area");
+  }
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("query rate must be > 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// \brief Token categories of the query language.
+enum class TokenKind { kWord, kNumber, kLParen, kRParen, kComma, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+/// Splits the input into words, numbers and punctuation.
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({TokenKind::kLParen, "(", 0.0});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({TokenKind::kRParen, ")", 0.0});
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({TokenKind::kComma, ",", 0.0});
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      std::size_t end = i;
+      std::size_t parsed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(text.substr(i), &parsed);
+      } catch (...) {
+        return Status::InvalidArgument("malformed number at position " +
+                                       std::to_string(i) + " in query");
+      }
+      end = i + parsed;
+      tokens.push_back({TokenKind::kNumber, text.substr(i, end - i), value});
+      i = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_' || text[end] == '^')) {
+        ++end;
+      }
+      tokens.push_back({TokenKind::kWord, text.substr(i, end - i), 0.0});
+      i = end;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in query");
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0.0});
+  return tokens;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char ch) { return std::toupper(ch); });
+  return out;
+}
+
+/// Recursive-descent cursor over the token stream.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  Token Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  /// Consumes a keyword (case-insensitive) or errors.
+  Status ExpectKeyword(const std::string& keyword) {
+    const Token token = Next();
+    if (token.kind != TokenKind::kWord || ToUpper(token.text) != keyword) {
+      return Status::InvalidArgument("expected keyword '" + keyword +
+                                     "', got '" + token.text + "'");
+    }
+    return Status::OK();
+  }
+
+  /// Consumes a punctuation token or errors.
+  Status ExpectPunct(TokenKind kind, const char* what) {
+    const Token token = Next();
+    if (token.kind != kind) {
+      return Status::InvalidArgument(std::string("expected '") + what +
+                                     "', got '" + token.text + "'");
+    }
+    return Status::OK();
+  }
+
+  /// Consumes a number or errors.
+  Result<double> ExpectNumber(const char* what) {
+    const Token token = Next();
+    if (token.kind != TokenKind::kNumber) {
+      return Status::InvalidArgument(std::string("expected number for ") +
+                                     what + ", got '" + token.text + "'");
+    }
+    return token.number;
+  }
+
+  /// Consumes a word or errors.
+  Result<std::string> ExpectWord(const char* what) {
+    const Token token = Next();
+    if (token.kind != TokenKind::kWord) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     ", got '" + token.text + "'");
+    }
+    return token.text;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<AcquisitionQuery> ParseQuery(const std::string& text) {
+  CRAQR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Cursor cursor(std::move(tokens));
+
+  AcquisitionQuery parsed;
+  CRAQR_RETURN_NOT_OK(cursor.ExpectKeyword("ACQUIRE"));
+  CRAQR_ASSIGN_OR_RETURN(parsed.attribute, cursor.ExpectWord("attribute name"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectKeyword("FROM"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectKeyword("REGION"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectPunct(TokenKind::kLParen, "("));
+  CRAQR_ASSIGN_OR_RETURN(const double x_min, cursor.ExpectNumber("x_min"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectPunct(TokenKind::kComma, ","));
+  CRAQR_ASSIGN_OR_RETURN(const double y_min, cursor.ExpectNumber("y_min"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectPunct(TokenKind::kComma, ","));
+  CRAQR_ASSIGN_OR_RETURN(const double x_max, cursor.ExpectNumber("x_max"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectPunct(TokenKind::kComma, ","));
+  CRAQR_ASSIGN_OR_RETURN(const double y_max, cursor.ExpectNumber("y_max"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectPunct(TokenKind::kRParen, ")"));
+  CRAQR_ASSIGN_OR_RETURN(parsed.region,
+                         geom::Rect::Make(x_min, y_min, x_max, y_max));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectKeyword("RATE"));
+  CRAQR_ASSIGN_OR_RETURN(const double value, cursor.ExpectNumber("rate"));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectKeyword("PER"));
+  CRAQR_ASSIGN_OR_RETURN(const std::string area_word,
+                         cursor.ExpectWord("area unit"));
+  CRAQR_ASSIGN_OR_RETURN(const AreaUnit area_unit, ParseAreaUnit(area_word));
+  CRAQR_RETURN_NOT_OK(cursor.ExpectKeyword("PER"));
+  CRAQR_ASSIGN_OR_RETURN(const std::string time_word,
+                         cursor.ExpectWord("time unit"));
+  CRAQR_ASSIGN_OR_RETURN(const TimeUnit time_unit, ParseTimeUnit(time_word));
+  if (cursor.Peek().kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("trailing tokens after query: '" +
+                                   cursor.Peek().text + "'");
+  }
+  parsed.rate = ToPerKm2PerMinute(value, area_unit, time_unit);
+  CRAQR_RETURN_NOT_OK(parsed.Validate());
+  return parsed;
+}
+
+}  // namespace query
+}  // namespace craqr

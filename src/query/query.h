@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "geometry/rect.h"
+
+/// \file query.h
+/// \brief The acquisitional query model (paper Section III).
+///
+/// "The most simplest queries for acquiring MCDS will have to specify the
+/// following parameters: 1) The attribute A<j> they want to acquire, 2) The
+/// region from which they want to acquire the given attribute, 3) the rate
+/// at which they want to acquire the attribute."
+
+namespace craqr {
+namespace query {
+
+/// Identifier assigned to a registered (inserted) query.
+using QueryId = std::uint64_t;
+
+/// \brief One acquisitional query Q<j>.
+///
+/// Example (the paper's Q<1>): acquire `rain` from R' at 10 /km2/min.
+struct AcquisitionQuery {
+  /// The attribute name (resolved against the attribute registry at
+  /// submission).
+  std::string attribute;
+  /// The query region R' (must intersect the system region R).
+  geom::Rect region;
+  /// Requested acquisition rate in tuples per km^2 per minute (canonical
+  /// units; see units.h for conversions).
+  double rate = 0.0;
+
+  /// Renders the query in the declarative syntax accepted by ParseQuery.
+  std::string ToString() const;
+
+  /// Validates attribute non-empty, region non-degenerate, rate > 0.
+  Status Validate() const;
+};
+
+/// \brief Parses the declarative acquisition syntax:
+///
+/// ```
+/// ACQUIRE <attribute>
+///   FROM REGION(<x_min>, <y_min>, <x_max>, <y_max>)
+///   RATE <value> PER <area-unit> PER <time-unit>
+/// ```
+///
+/// Keywords are case-insensitive; whitespace is free-form. Example:
+/// `ACQUIRE rain FROM REGION(0, 0, 2, 3) RATE 10 PER KM2 PER MIN`.
+/// The returned query's rate is converted to tuples/km^2/min.
+Result<AcquisitionQuery> ParseQuery(const std::string& text);
+
+}  // namespace query
+}  // namespace craqr

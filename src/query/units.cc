@@ -1,0 +1,107 @@
+#include "query/units.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace craqr {
+namespace query {
+
+namespace {
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+}  // namespace
+
+Result<AreaUnit> ParseAreaUnit(const std::string& token) {
+  const std::string t = ToUpper(token);
+  if (t == "KM2" || t == "KM^2" || t == "SQKM") {
+    return AreaUnit::kSquareKilometre;
+  }
+  if (t == "M2" || t == "M^2" || t == "SQM") {
+    return AreaUnit::kSquareMetre;
+  }
+  if (t == "HA" || t == "HECTARE") {
+    return AreaUnit::kHectare;
+  }
+  return Status::InvalidArgument("unknown area unit '" + token + "'");
+}
+
+Result<TimeUnit> ParseTimeUnit(const std::string& token) {
+  const std::string t = ToUpper(token);
+  if (t == "SEC" || t == "SECOND" || t == "S") {
+    return TimeUnit::kSecond;
+  }
+  if (t == "MIN" || t == "MINUTE" || t == "M") {
+    return TimeUnit::kMinute;
+  }
+  if (t == "HR" || t == "HOUR" || t == "H") {
+    return TimeUnit::kHour;
+  }
+  if (t == "DAY" || t == "D") {
+    return TimeUnit::kDay;
+  }
+  return Status::InvalidArgument("unknown time unit '" + token + "'");
+}
+
+double AreaUnitInKm2(AreaUnit unit) {
+  switch (unit) {
+    case AreaUnit::kSquareKilometre:
+      return 1.0;
+    case AreaUnit::kSquareMetre:
+      return 1e-6;
+    case AreaUnit::kHectare:
+      return 0.01;
+  }
+  return 1.0;
+}
+
+double TimeUnitInMinutes(TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::kSecond:
+      return 1.0 / 60.0;
+    case TimeUnit::kMinute:
+      return 1.0;
+    case TimeUnit::kHour:
+      return 60.0;
+    case TimeUnit::kDay:
+      return 1440.0;
+  }
+  return 1.0;
+}
+
+double ToPerKm2PerMinute(double value, AreaUnit area, TimeUnit time) {
+  // value tuples per (area in km2) per (time in minutes).
+  return value / AreaUnitInKm2(area) / TimeUnitInMinutes(time);
+}
+
+std::string AreaUnitName(AreaUnit unit) {
+  switch (unit) {
+    case AreaUnit::kSquareKilometre:
+      return "KM2";
+    case AreaUnit::kSquareMetre:
+      return "M2";
+    case AreaUnit::kHectare:
+      return "HA";
+  }
+  return "?";
+}
+
+std::string TimeUnitName(TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::kSecond:
+      return "SEC";
+    case TimeUnit::kMinute:
+      return "MIN";
+    case TimeUnit::kHour:
+      return "HR";
+    case TimeUnit::kDay:
+      return "DAY";
+  }
+  return "?";
+}
+
+}  // namespace query
+}  // namespace craqr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+
+/// \file units.h
+/// \brief Unit handling for acquisition rates.
+///
+/// The paper expresses rates like "10 /km^2/min". Internally CrAQR uses
+/// tuples per km^2 per minute everywhere; this header converts user-facing
+/// area and time units to that canonical form.
+
+namespace craqr {
+namespace query {
+
+/// \brief Supported area units.
+enum class AreaUnit {
+  kSquareKilometre,  ///< km2
+  kSquareMetre,      ///< m2
+  kHectare,          ///< ha
+};
+
+/// \brief Supported time units.
+enum class TimeUnit {
+  kSecond,
+  kMinute,
+  kHour,
+  kDay,
+};
+
+/// Parses an area-unit token ("KM2", "M2", "HA", case-insensitive).
+Result<AreaUnit> ParseAreaUnit(const std::string& token);
+
+/// Parses a time-unit token ("SEC", "SECOND", "MIN", "MINUTE", "HR",
+/// "HOUR", "DAY"; case-insensitive).
+Result<TimeUnit> ParseTimeUnit(const std::string& token);
+
+/// km^2 per one `unit`.
+double AreaUnitInKm2(AreaUnit unit);
+
+/// Minutes per one `unit`.
+double TimeUnitInMinutes(TimeUnit unit);
+
+/// Converts `value` tuples per `area` per `time` into tuples per km^2 per
+/// minute.
+double ToPerKm2PerMinute(double value, AreaUnit area, TimeUnit time);
+
+/// Canonical spelling of a unit.
+std::string AreaUnitName(AreaUnit unit);
+std::string TimeUnitName(TimeUnit unit);
+
+}  // namespace query
+}  // namespace craqr

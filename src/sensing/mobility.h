@@ -1,0 +1,124 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+/// \file mobility.h
+/// \brief Mobility models for mobile sensors.
+///
+/// The paper's premise is that "sensors are mobile and not stationary" with
+/// "uncontrollable mobility", which is what makes crowdsensed arrivals
+/// spatio-temporally skewed. Each sensor owns a MobilityModel instance
+/// (models may be stateful, e.g. random waypoint keeps its current
+/// destination); prototypes are cloned per sensor.
+
+namespace craqr {
+namespace sensing {
+
+/// \brief Per-sensor movement policy. Stateful; clone one instance per
+/// sensor.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advances a sensor at `position` by `dt` minutes and returns its new
+  /// position, kept inside `region` (implementations reflect or re-target
+  /// at the boundary).
+  virtual geom::SpacePoint Step(Rng* rng, const geom::SpacePoint& position,
+                                double dt, const geom::Rect& region) = 0;
+
+  /// Deep copy with independent state.
+  virtual std::unique_ptr<MobilityModel> Clone() const = 0;
+
+  /// Model name for diagnostics.
+  virtual std::string ToString() const = 0;
+};
+
+/// \brief A sensor that never moves (e.g. a parked vehicle) — the WSN
+/// degenerate case the paper contrasts against.
+class StaticMobility final : public MobilityModel {
+ public:
+  geom::SpacePoint Step(Rng* rng, const geom::SpacePoint& position, double dt,
+                        const geom::Rect& region) override;
+  std::unique_ptr<MobilityModel> Clone() const override;
+  std::string ToString() const override { return "Static"; }
+};
+
+/// \brief Gaussian random walk: displacement ~ N(0, sigma^2 * dt) per axis,
+/// reflected at the region boundary. `sigma` is in km per sqrt(minute).
+class GaussianWalkMobility final : public MobilityModel {
+ public:
+  /// Validating factory; requires sigma >= 0.
+  static Result<std::unique_ptr<MobilityModel>> Make(double sigma);
+
+  geom::SpacePoint Step(Rng* rng, const geom::SpacePoint& position, double dt,
+                        const geom::Rect& region) override;
+  std::unique_ptr<MobilityModel> Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  explicit GaussianWalkMobility(double sigma) : sigma_(sigma) {}
+  double sigma_;
+};
+
+/// \brief Random waypoint: pick a uniform destination in the region and a
+/// speed in [v_min, v_max] km/min, travel in a straight line, repeat.
+/// The classic pedestrian/vehicle model for crowdsensing studies.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  /// Validating factory; requires 0 < v_min <= v_max.
+  static Result<std::unique_ptr<MobilityModel>> Make(double v_min,
+                                                     double v_max);
+
+  geom::SpacePoint Step(Rng* rng, const geom::SpacePoint& position, double dt,
+                        const geom::Rect& region) override;
+  std::unique_ptr<MobilityModel> Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  RandomWaypointMobility(double v_min, double v_max)
+      : v_min_(v_min), v_max_(v_max) {}
+
+  double v_min_;
+  double v_max_;
+  bool has_target_ = false;
+  geom::SpacePoint target_;
+  double speed_ = 0.0;
+};
+
+/// \brief Levy flight: heavy-tailed (Pareto) step lengths in uniform
+/// directions, reflected at the boundary — models humans alternating many
+/// short moves with occasional long relocations.
+class LevyFlightMobility final : public MobilityModel {
+ public:
+  /// Validating factory; requires scale > 0, alpha > 0 and max_step >=
+  /// scale (steps are truncated at max_step km per minute of dt).
+  static Result<std::unique_ptr<MobilityModel>> Make(double scale,
+                                                     double alpha,
+                                                     double max_step);
+
+  geom::SpacePoint Step(Rng* rng, const geom::SpacePoint& position, double dt,
+                        const geom::Rect& region) override;
+  std::unique_ptr<MobilityModel> Clone() const override;
+  std::string ToString() const override;
+
+ private:
+  LevyFlightMobility(double scale, double alpha, double max_step)
+      : scale_(scale), alpha_(alpha), max_step_(max_step) {}
+
+  double scale_;
+  double alpha_;
+  double max_step_;
+};
+
+/// \brief Reflects a point into the region (helper shared by models and
+/// tests).
+geom::SpacePoint ReflectIntoRect(geom::SpacePoint p, const geom::Rect& region);
+
+}  // namespace sensing
+}  // namespace craqr

@@ -1,0 +1,152 @@
+#include "sensing/phenomena.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace craqr {
+namespace sensing {
+
+// ---------------------------------------------------------------------------
+// RainField
+
+Result<FieldPtr> RainField::Make(std::vector<RainCell> cells,
+                                 double misreport_prob) {
+  for (const auto& cell : cells) {
+    if (!(cell.radius > 0.0)) {
+      return Status::InvalidArgument("rain cell radius must be > 0");
+    }
+    if (!(cell.t_end > cell.t_start)) {
+      return Status::InvalidArgument("rain cell must end after it starts");
+    }
+  }
+  if (!(misreport_prob >= 0.0) || !(misreport_prob < 1.0)) {
+    return Status::InvalidArgument("misreport probability must be in [0, 1)");
+  }
+  return FieldPtr(new RainField(std::move(cells), misreport_prob));
+}
+
+bool RainField::IsRaining(const geom::SpaceTimePoint& p) const {
+  for (const auto& cell : cells_) {
+    if (p.t < cell.t_start || p.t >= cell.t_end) {
+      continue;
+    }
+    const double cx = cell.x0 + cell.vx * p.t;
+    const double cy = cell.y0 + cell.vy * p.t;
+    const double dx = p.x - cx;
+    const double dy = p.y - cy;
+    if (dx * dx + dy * dy <= cell.radius * cell.radius) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ops::AttributeValue RainField::GroundTruth(
+    const geom::SpaceTimePoint& p) const {
+  return IsRaining(p);
+}
+
+ops::AttributeValue RainField::Observe(Rng* rng,
+                                       const geom::SpaceTimePoint& p) const {
+  bool raining = IsRaining(p);
+  if (rng->Bernoulli(misreport_prob_)) {
+    raining = !raining;  // human judgment error
+  }
+  return raining;
+}
+
+std::string RainField::ToString() const {
+  std::ostringstream os;
+  os << "RainField(cells=" << cells_.size()
+     << ", misreport=" << misreport_prob_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TemperatureField
+
+Result<FieldPtr> TemperatureField::Make(const Params& params) {
+  if (!(params.diurnal_period > 0.0)) {
+    return Status::InvalidArgument("diurnal period must be > 0");
+  }
+  if (!(params.noise_sigma >= 0.0)) {
+    return Status::InvalidArgument("noise sigma must be >= 0");
+  }
+  return FieldPtr(new TemperatureField(params));
+}
+
+double TemperatureField::TemperatureAt(const geom::SpaceTimePoint& p) const {
+  const double diurnal =
+      params_.diurnal_amplitude *
+      std::sin(2.0 * M_PI * p.t / params_.diurnal_period);
+  return params_.base + params_.grad_x * p.x + params_.grad_y * p.y + diurnal;
+}
+
+ops::AttributeValue TemperatureField::GroundTruth(
+    const geom::SpaceTimePoint& p) const {
+  return TemperatureAt(p);
+}
+
+ops::AttributeValue TemperatureField::Observe(
+    Rng* rng, const geom::SpaceTimePoint& p) const {
+  return TemperatureAt(p) + rng->Normal(0.0, params_.noise_sigma);
+}
+
+std::string TemperatureField::ToString() const {
+  std::ostringstream os;
+  os << "TemperatureField(base=" << params_.base << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// AirQualityField
+
+Result<FieldPtr> AirQualityField::Make(double background,
+                                       std::vector<Source> sources,
+                                       double noise_sigma) {
+  if (!(background >= 0.0)) {
+    return Status::InvalidArgument("background AQI must be >= 0");
+  }
+  for (const auto& source : sources) {
+    if (!(source.spread > 0.0) || !(source.strength >= 0.0)) {
+      return Status::InvalidArgument(
+          "AQI sources require spread > 0 and strength >= 0");
+    }
+  }
+  if (!(noise_sigma >= 0.0)) {
+    return Status::InvalidArgument("noise sigma must be >= 0");
+  }
+  return FieldPtr(
+      new AirQualityField(background, std::move(sources), noise_sigma));
+}
+
+double AirQualityField::AqiAt(const geom::SpaceTimePoint& p) const {
+  double aqi = background_;
+  for (const auto& source : sources_) {
+    const double dx = p.x - source.x;
+    const double dy = p.y - source.y;
+    aqi += source.strength *
+           std::exp(-(dx * dx + dy * dy) / (2.0 * source.spread * source.spread));
+  }
+  return aqi;
+}
+
+ops::AttributeValue AirQualityField::GroundTruth(
+    const geom::SpaceTimePoint& p) const {
+  return AqiAt(p);
+}
+
+ops::AttributeValue AirQualityField::Observe(
+    Rng* rng, const geom::SpaceTimePoint& p) const {
+  return AqiAt(p) * rng->LogNormal(0.0, noise_sigma_);
+}
+
+std::string AirQualityField::ToString() const {
+  std::ostringstream os;
+  os << "AirQualityField(background=" << background_
+     << ", sources=" << sources_.size() << ")";
+  return os.str();
+}
+
+}  // namespace sensing
+}  // namespace craqr

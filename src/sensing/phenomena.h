@@ -1,0 +1,166 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "ops/tuple.h"
+
+/// \file phenomena.h
+/// \brief Synthetic ground-truth phenomena the crowd observes.
+///
+/// The paper's running examples are `rain` (a human-sensed boolean) and
+/// `temp` (a sensor-sensed real value). These fields provide deterministic,
+/// seedable ground truth so acquired tuple values have realistic
+/// spatio-temporal structure; observation noise models sensor inaccuracy
+/// and human judgment errors (paper Section VI "Handling errors").
+
+namespace craqr {
+namespace sensing {
+
+/// \brief A spatio-temporal field an observer samples at its location.
+class PhenomenonField {
+ public:
+  virtual ~PhenomenonField() = default;
+
+  /// The noiseless ground truth at a space-time point.
+  virtual ops::AttributeValue GroundTruth(
+      const geom::SpaceTimePoint& p) const = 0;
+
+  /// One noisy observation (what a sensor/human reports).
+  virtual ops::AttributeValue Observe(Rng* rng,
+                                      const geom::SpaceTimePoint& p) const = 0;
+
+  /// Field name for diagnostics.
+  virtual std::string ToString() const = 0;
+};
+
+/// Shared immutable field handle.
+using FieldPtr = std::shared_ptr<const PhenomenonField>;
+
+/// \brief One circular rain cell drifting across the region.
+struct RainCell {
+  /// Centre at t = 0.
+  double x0 = 0.0;
+  double y0 = 0.0;
+  /// Radius (km).
+  double radius = 1.0;
+  /// Drift velocity (km/min).
+  double vx = 0.0;
+  double vy = 0.0;
+  /// Minute the cell starts raining.
+  double t_start = 0.0;
+  /// Minute the cell dissipates (inf = never).
+  double t_end = 1e18;
+};
+
+/// \brief Boolean rain field: it rains at (t, x, y) iff the point lies in
+/// an active rain cell. Observations flip with probability
+/// `misreport_prob` (human judgment error).
+class RainField final : public PhenomenonField {
+ public:
+  /// Validating factory; requires cells with positive radius and
+  /// misreport_prob in [0, 1).
+  static Result<FieldPtr> Make(std::vector<RainCell> cells,
+                               double misreport_prob = 0.02);
+
+  ops::AttributeValue GroundTruth(
+      const geom::SpaceTimePoint& p) const override;
+  ops::AttributeValue Observe(Rng* rng,
+                              const geom::SpaceTimePoint& p) const override;
+  std::string ToString() const override;
+
+  /// Typed ground-truth accessor.
+  bool IsRaining(const geom::SpaceTimePoint& p) const;
+
+ private:
+  RainField(std::vector<RainCell> cells, double misreport_prob)
+      : cells_(std::move(cells)), misreport_prob_(misreport_prob) {}
+
+  std::vector<RainCell> cells_;
+  double misreport_prob_;
+};
+
+/// \brief Real-valued ambient temperature: a base level plus a linear
+/// spatial gradient plus a diurnal sine, observed with Gaussian sensor
+/// noise.
+class TemperatureField final : public PhenomenonField {
+ public:
+  /// \brief Field parameters.
+  struct Params {
+    /// Mean temperature (deg C).
+    double base = 20.0;
+    /// Spatial gradient (deg C per km).
+    double grad_x = 0.1;
+    double grad_y = -0.05;
+    /// Diurnal amplitude (deg C) and period (minutes; 1440 = 24 h).
+    double diurnal_amplitude = 5.0;
+    double diurnal_period = 1440.0;
+    /// Observation noise stddev (deg C).
+    double noise_sigma = 0.3;
+  };
+
+  /// Validating factory; requires diurnal_period > 0 and noise_sigma >= 0.
+  static Result<FieldPtr> Make(const Params& params);
+
+  ops::AttributeValue GroundTruth(
+      const geom::SpaceTimePoint& p) const override;
+  ops::AttributeValue Observe(Rng* rng,
+                              const geom::SpaceTimePoint& p) const override;
+  std::string ToString() const override;
+
+  /// Typed ground-truth accessor.
+  double TemperatureAt(const geom::SpaceTimePoint& p) const;
+
+ private:
+  explicit TemperatureField(const Params& params) : params_(params) {}
+  Params params_;
+};
+
+/// \brief Real-valued air-quality index: background plus Gaussian pollution
+/// plumes decaying from point sources, observed with multiplicative
+/// log-normal noise. The third domain scenario (OpenSense-style monitoring,
+/// paper reference [1]).
+class AirQualityField final : public PhenomenonField {
+ public:
+  /// \brief One pollution source.
+  struct Source {
+    double x = 0.0;
+    double y = 0.0;
+    /// Peak AQI contribution at the source.
+    double strength = 50.0;
+    /// Plume spread (km).
+    double spread = 0.8;
+  };
+
+  /// Validating factory; requires background >= 0, positive spreads, and
+  /// noise_sigma >= 0 (log-scale sigma).
+  static Result<FieldPtr> Make(double background, std::vector<Source> sources,
+                               double noise_sigma = 0.05);
+
+  ops::AttributeValue GroundTruth(
+      const geom::SpaceTimePoint& p) const override;
+  ops::AttributeValue Observe(Rng* rng,
+                              const geom::SpaceTimePoint& p) const override;
+  std::string ToString() const override;
+
+  /// Typed ground-truth accessor.
+  double AqiAt(const geom::SpaceTimePoint& p) const;
+
+ private:
+  AirQualityField(double background, std::vector<Source> sources,
+                  double noise_sigma)
+      : background_(background),
+        sources_(std::move(sources)),
+        noise_sigma_(noise_sigma) {}
+
+  double background_;
+  std::vector<Source> sources_;
+  double noise_sigma_;
+};
+
+}  // namespace sensing
+}  // namespace craqr

@@ -1,0 +1,111 @@
+#include "sensing/population.h"
+
+#include <cmath>
+
+namespace craqr {
+namespace sensing {
+
+namespace {
+
+Result<geom::SpacePoint> SamplePlacement(const PopulationConfig& config,
+                                         Rng* rng) {
+  const geom::Rect& region = config.region;
+  if (config.placement == PlacementKind::kUniform) {
+    return geom::SpacePoint{rng->Uniform(region.x_min(), region.x_max()),
+                            rng->Uniform(region.y_min(), region.y_max())};
+  }
+  // Rejection sampling against the placement intensity at t = 0.
+  const pp::SpaceTimeWindow window{0.0, 1.0, region};
+  const double bound = config.placement_intensity->UpperBound(window);
+  if (!(bound > 0.0) || !std::isfinite(bound)) {
+    return Status::InvalidArgument(
+        "placement intensity must have a positive finite upper bound");
+  }
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const geom::SpacePoint candidate{
+        rng->Uniform(region.x_min(), region.x_max()),
+        rng->Uniform(region.y_min(), region.y_max())};
+    const double rate = config.placement_intensity->Rate(
+        geom::SpaceTimePoint{0.0, candidate.x, candidate.y});
+    if (rng->Bernoulli(rate / bound)) {
+      return candidate;
+    }
+  }
+  return Status::Internal(
+      "placement rejection sampling failed to accept after 1e5 attempts "
+      "(intensity nearly zero everywhere?)");
+}
+
+}  // namespace
+
+Result<SensorPopulation> SensorPopulation::Make(const PopulationConfig& config,
+                                                Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("rng must not be null");
+  }
+  if (config.region.IsEmpty()) {
+    return Status::InvalidArgument("population region must have positive area");
+  }
+  if (config.num_sensors == 0) {
+    return Status::InvalidArgument("population requires at least one sensor");
+  }
+  if (config.placement == PlacementKind::kIntensity &&
+      config.placement_intensity == nullptr) {
+    return Status::InvalidArgument(
+        "intensity placement requires a placement_intensity");
+  }
+  if (!(config.responsiveness_sigma >= 0.0)) {
+    return Status::InvalidArgument("responsiveness sigma must be >= 0");
+  }
+
+  std::vector<Sensor> sensors;
+  sensors.reserve(config.num_sensors);
+  for (std::size_t i = 0; i < config.num_sensors; ++i) {
+    Sensor sensor;
+    sensor.id = i;
+    auto position = SamplePlacement(config, rng);
+    if (!position.ok()) {
+      return position.status();
+    }
+    sensor.position = position.MoveValue();
+    sensor.responsiveness_bias =
+        rng->Normal(0.0, config.responsiveness_sigma);
+    if (config.mobility_prototype != nullptr) {
+      sensor.mobility = config.mobility_prototype->Clone();
+    }
+    sensors.push_back(std::move(sensor));
+  }
+  return SensorPopulation(config.region, std::move(sensors));
+}
+
+void SensorPopulation::Advance(Rng* rng, double dt) {
+  for (auto& sensor : sensors_) {
+    if (sensor.mobility != nullptr) {
+      sensor.position = sensor.mobility->Step(rng, sensor.position, dt, region_);
+    }
+  }
+}
+
+std::vector<std::size_t> SensorPopulation::SensorsIn(
+    const geom::Rect& rect) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    if (rect.Contains(sensors_[i].position)) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+std::size_t SensorPopulation::CountIn(const geom::Rect& rect) const {
+  std::size_t count = 0;
+  for (const auto& sensor : sensors_) {
+    if (rect.Contains(sensor.position)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace sensing
+}  // namespace craqr

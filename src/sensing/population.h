@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "pointprocess/intensity.h"
+#include "sensing/mobility.h"
+
+/// \file population.h
+/// \brief The population of m mobile sensors s_1..s_m in region R
+/// (paper Section II).
+
+namespace craqr {
+namespace sensing {
+
+/// \brief How initial sensor positions are drawn.
+enum class PlacementKind {
+  /// Uniform over the region.
+  kUniform,
+  /// Rejection-sampled from a spatial intensity (hotspot placement) — the
+  /// skewed crowd distribution the paper's introduction describes.
+  kIntensity,
+};
+
+/// \brief Population construction parameters.
+struct PopulationConfig {
+  /// The region R all sensors live in.
+  geom::Rect region;
+  /// Number of mobile sensors m.
+  std::size_t num_sensors = 100;
+  /// Placement of initial positions.
+  PlacementKind placement = PlacementKind::kUniform;
+  /// Spatial placement density; required when placement == kIntensity
+  /// (evaluated at t = 0).
+  pp::IntensityPtr placement_intensity;
+  /// Mobility prototype cloned for every sensor; nullptr = static sensors.
+  const MobilityModel* mobility_prototype = nullptr;
+  /// Stddev of per-sensor responsiveness bias (logit scale); models
+  /// heterogeneous willingness to participate.
+  double responsiveness_sigma = 0.5;
+};
+
+/// \brief One mobile sensor.
+struct Sensor {
+  std::uint64_t id = 0;
+  geom::SpacePoint position;
+  /// Per-sensor additive logit bias for response probability.
+  double responsiveness_bias = 0.0;
+  /// Per-sensor mobility state.
+  std::unique_ptr<MobilityModel> mobility;
+};
+
+/// \brief Owns and advances the mobile-sensor population.
+class SensorPopulation {
+ public:
+  /// Validating factory; see PopulationConfig. Consumes randomness from
+  /// `rng` for placement and heterogeneity.
+  static Result<SensorPopulation> Make(const PopulationConfig& config,
+                                       Rng* rng);
+
+  /// Number of sensors m.
+  std::size_t size() const { return sensors_.size(); }
+
+  /// The region R.
+  const geom::Rect& region() const { return region_; }
+
+  /// Sensor accessor; index < size().
+  const Sensor& sensor(std::size_t index) const { return sensors_[index]; }
+
+  /// Moves every sensor forward by `dt` minutes.
+  void Advance(Rng* rng, double dt);
+
+  /// Indices of sensors currently inside `rect`.
+  std::vector<std::size_t> SensorsIn(const geom::Rect& rect) const;
+
+  /// Count of sensors currently inside `rect`.
+  std::size_t CountIn(const geom::Rect& rect) const;
+
+ private:
+  SensorPopulation(geom::Rect region, std::vector<Sensor> sensors)
+      : region_(region), sensors_(std::move(sensors)) {}
+
+  geom::Rect region_;
+  std::vector<Sensor> sensors_;
+};
+
+}  // namespace sensing
+}  // namespace craqr

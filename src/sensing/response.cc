@@ -1,0 +1,55 @@
+#include "sensing/response.h"
+
+#include <cmath>
+
+namespace craqr {
+namespace sensing {
+
+Result<ResponseModel> ResponseModel::Make(const ResponseBehavior& behavior) {
+  if (!std::isfinite(behavior.base_logit) ||
+      !std::isfinite(behavior.incentive_weight) ||
+      !std::isfinite(behavior.delay_mu)) {
+    return Status::InvalidArgument("response behaviour must be finite");
+  }
+  if (!(behavior.delay_sigma >= 0.0)) {
+    return Status::InvalidArgument("delay sigma must be >= 0");
+  }
+  return ResponseModel(behavior);
+}
+
+double ResponseModel::ResponseProbability(double incentive,
+                                          double personal_bias) const {
+  const double logit = behavior_.base_logit +
+                       behavior_.incentive_weight * incentive + personal_bias;
+  return 1.0 / (1.0 + std::exp(-logit));
+}
+
+bool ResponseModel::WillRespond(Rng* rng, double incentive,
+                                double personal_bias) const {
+  return rng->Bernoulli(ResponseProbability(incentive, personal_bias));
+}
+
+double ResponseModel::ResponseDelay(Rng* rng) const {
+  return rng->LogNormal(behavior_.delay_mu, behavior_.delay_sigma);
+}
+
+ResponseBehavior ResponseModel::DeviceBehavior() {
+  ResponseBehavior behavior;
+  behavior.base_logit = 3.0;        // ~95% respond
+  behavior.incentive_weight = 0.0;  // devices don't take money
+  behavior.delay_mu = -3.0;         // median ~0.05 min
+  behavior.delay_sigma = 0.3;
+  return behavior;
+}
+
+ResponseBehavior ResponseModel::HumanBehavior() {
+  ResponseBehavior behavior;
+  behavior.base_logit = -0.5;      // ~38% respond unincentivised
+  behavior.incentive_weight = 1.5; // incentives move the needle
+  behavior.delay_mu = 0.0;         // median 1 min
+  behavior.delay_sigma = 0.8;
+  return behavior;
+}
+
+}  // namespace sensing
+}  // namespace craqr

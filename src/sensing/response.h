@@ -1,0 +1,70 @@
+#pragma once
+
+#include "common/result.h"
+#include "common/rng.h"
+
+/// \file response.h
+/// \brief Human/device response behaviour, including incentives.
+///
+/// The paper motivates CrAQR with exactly this unpredictability: a human's
+/// "reply could be unpredictably delayed for several reasons: he/she is not
+/// interested in responding at this moment, he/she thinks that the
+/// incentive offered ... is not enough, or he/she has moved". Section VI
+/// lists incentive mechanisms as the first planned extension. This model
+/// makes the response probability a logistic function of the offered
+/// incentive and draws log-normal response delays.
+
+namespace craqr {
+namespace sensing {
+
+/// \brief Response behaviour parameters for one attribute kind.
+struct ResponseBehavior {
+  /// Logit of the response probability at zero incentive. Device-sensed
+  /// attributes use a large positive bias (devices almost always answer);
+  /// human-sensed attributes are typically negative (humans often decline
+  /// without incentive).
+  double base_logit = 2.0;
+  /// Additional logit per unit of incentive offered.
+  double incentive_weight = 0.0;
+  /// Log-normal response delay parameters (minutes): median delay
+  /// exp(delay_mu).
+  double delay_mu = -2.0;
+  double delay_sigma = 0.5;
+};
+
+/// \brief Samples whether and when a sensor answers a request.
+class ResponseModel {
+ public:
+  /// Validating factory; requires delay_sigma >= 0 and finite parameters.
+  static Result<ResponseModel> Make(const ResponseBehavior& behavior);
+
+  /// Probability of responding given the offered incentive:
+  /// `sigmoid(base_logit + incentive_weight * incentive + personal_bias)`.
+  /// `personal_bias` expresses per-sensor heterogeneity.
+  double ResponseProbability(double incentive, double personal_bias) const;
+
+  /// Draws whether the sensor responds.
+  bool WillRespond(Rng* rng, double incentive, double personal_bias) const;
+
+  /// Draws the response delay in minutes.
+  double ResponseDelay(Rng* rng) const;
+
+  /// The behaviour parameters.
+  const ResponseBehavior& behavior() const { return behavior_; }
+
+  /// Canned behaviour for device-sensed attributes: near-certain, fast.
+  static ResponseBehavior DeviceBehavior();
+
+  /// Canned behaviour for human-sensed attributes: incentive-sensitive,
+  /// slow and noisy.
+  static ResponseBehavior HumanBehavior();
+
+ private:
+  explicit ResponseModel(const ResponseBehavior& behavior)
+      : behavior_(behavior) {}
+
+  ResponseBehavior behavior_;
+};
+
+}  // namespace sensing
+}  // namespace craqr

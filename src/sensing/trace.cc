@@ -1,0 +1,263 @@
+#include "sensing/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/macros.h"
+
+namespace craqr {
+namespace sensing {
+
+namespace {
+
+char TypeTag(const ops::AttributeValue& value) {
+  switch (value.index()) {
+    case 0:
+      return 'n';
+    case 1:
+      return 'b';
+    case 2:
+      return 'i';
+    case 3:
+      return 'd';
+    case 4:
+      return 's';
+  }
+  return 'n';
+}
+
+std::string ValueField(const ops::AttributeValue& value) {
+  std::ostringstream os;
+  os.precision(17);
+  switch (value.index()) {
+    case 0:
+      break;
+    case 1:
+      os << (std::get<bool>(value) ? 1 : 0);
+      break;
+    case 2:
+      os << std::get<std::int64_t>(value);
+      break;
+    case 3:
+      os << std::get<double>(value);
+      break;
+    case 4:
+      os << std::get<std::string>(value);
+      break;
+  }
+  return os.str();
+}
+
+Result<ops::AttributeValue> ParseValue(char tag, const std::string& field) {
+  switch (tag) {
+    case 'n':
+      return ops::AttributeValue{};
+    case 'b':
+      if (field == "1") {
+        return ops::AttributeValue{true};
+      }
+      if (field == "0") {
+        return ops::AttributeValue{false};
+      }
+      return Status::InvalidArgument("bool trace value must be 0 or 1, got '" +
+                                     field + "'");
+    case 'i':
+      try {
+        return ops::AttributeValue{
+            static_cast<std::int64_t>(std::stoll(field))};
+      } catch (...) {
+        return Status::InvalidArgument("bad int64 trace value '" + field +
+                                       "'");
+      }
+    case 'd':
+      try {
+        return ops::AttributeValue{std::stod(field)};
+      } catch (...) {
+        return Status::InvalidArgument("bad double trace value '" + field +
+                                       "'");
+      }
+    case 's':
+      return ops::AttributeValue{field};
+    default:
+      return Status::InvalidArgument(std::string("unknown value type tag '") +
+                                     tag + "'");
+  }
+}
+
+Result<std::vector<std::string>> SplitFields(const std::string& line,
+                                             std::size_t expected) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(current);
+  if (fields.size() != expected) {
+    return Status::InvalidArgument(
+        "trace line has " + std::to_string(fields.size()) +
+        " fields, expected " + std::to_string(expected) + ": '" + line + "'");
+  }
+  return fields;
+}
+
+}  // namespace
+
+Status WriteTrace(const std::vector<ops::Tuple>& tuples, std::ostream* os) {
+  if (os == nullptr) {
+    return Status::InvalidArgument("output stream must not be null");
+  }
+  (*os) << "id,attribute,t,x,y,sensor_id,type,value\n";
+  os->precision(17);
+  for (const auto& tuple : tuples) {
+    const std::string value = ValueField(tuple.value);
+    if (value.find(',') != std::string::npos ||
+        value.find('\n') != std::string::npos) {
+      return Status::InvalidArgument(
+          "string trace values must not contain commas or newlines: '" +
+          value + "'");
+    }
+    (*os) << tuple.id << ',' << tuple.attribute << ',' << tuple.point.t << ','
+          << tuple.point.x << ',' << tuple.point.y << ',' << tuple.sensor_id
+          << ',' << TypeTag(tuple.value) << ',' << value << '\n';
+  }
+  if (!os->good()) {
+    return Status::Internal("trace write failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ops::Tuple>> ReadTrace(std::istream* is) {
+  if (is == nullptr) {
+    return Status::InvalidArgument("input stream must not be null");
+  }
+  std::vector<ops::Tuple> tuples;
+  std::string line;
+  bool first = true;
+  while (std::getline(*is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (first && line.rfind("id,", 0) == 0) {
+      first = false;
+      continue;  // header
+    }
+    first = false;
+    CRAQR_ASSIGN_OR_RETURN(const std::vector<std::string> fields,
+                           SplitFields(line, 8));
+    ops::Tuple tuple;
+    try {
+      tuple.id = std::stoull(fields[0]);
+      tuple.attribute = static_cast<ops::AttributeId>(std::stoul(fields[1]));
+      tuple.point.t = std::stod(fields[2]);
+      tuple.point.x = std::stod(fields[3]);
+      tuple.point.y = std::stod(fields[4]);
+      tuple.sensor_id = std::stoull(fields[5]);
+    } catch (...) {
+      return Status::InvalidArgument("malformed trace line: '" + line + "'");
+    }
+    if (fields[6].size() != 1) {
+      return Status::InvalidArgument("bad type tag in trace line: '" + line +
+                                     "'");
+    }
+    CRAQR_ASSIGN_OR_RETURN(tuple.value, ParseValue(fields[6][0], fields[7]));
+    tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+Status WriteTraceFile(const std::vector<ops::Tuple>& tuples,
+                      const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open trace file for writing: " +
+                                   path);
+  }
+  return WriteTrace(tuples, &file);
+}
+
+Result<std::vector<ops::Tuple>> ReadTraceFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  return ReadTrace(&file);
+}
+
+// ---------------------------------------------------------------------------
+// TraceReplayNetwork
+
+TraceReplayNetwork::TraceReplayNetwork(std::vector<ops::Tuple> trace,
+                                       const geom::Rect& region,
+                                       const Options& options)
+    : trace_(std::move(trace)),
+      consumed_(trace_.size(), false),
+      region_(region),
+      options_(options),
+      remaining_(trace_.size()) {}
+
+Result<TraceReplayNetwork> TraceReplayNetwork::Make(
+    std::vector<ops::Tuple> trace, const geom::Rect& region,
+    const Options& options) {
+  if (region.IsEmpty()) {
+    return Status::InvalidArgument("replay region must have positive area");
+  }
+  if (!(options.horizon >= 0.0)) {
+    return Status::InvalidArgument("replay horizon must be >= 0");
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const ops::Tuple& a, const ops::Tuple& b) {
+              return a.point.t < b.point.t;
+            });
+  return TraceReplayNetwork(std::move(trace), region, options);
+}
+
+Result<std::vector<ops::Tuple>> TraceReplayNetwork::SendRequests(
+    const AcquisitionRequest& request) {
+  std::vector<ops::Tuple> responses;
+  if (request.count == 0 || trace_.empty()) {
+    return responses;
+  }
+  const double window_end =
+      request.now + request.response_spread + options_.horizon;
+  // Binary search the first tuple past `now`, then scan the latency window.
+  const auto begin = std::lower_bound(
+      trace_.begin(), trace_.end(), request.now,
+      [](const ops::Tuple& tuple, double t) { return tuple.point.t <= t; });
+  for (auto it = begin;
+       it != trace_.end() && it->point.t <= window_end &&
+       responses.size() < request.count;
+       ++it) {
+    const auto index = static_cast<std::size_t>(it - trace_.begin());
+    if (consumed_[index] || it->attribute != request.attribute ||
+        !request.region.Contains(it->point.x, it->point.y)) {
+      continue;
+    }
+    consumed_[index] = true;
+    --remaining_;
+    ++served_;
+    responses.push_back(*it);
+  }
+  return responses;
+}
+
+std::size_t TraceReplayNetwork::AvailableSensors(
+    const geom::Rect& region) const {
+  std::unordered_set<std::uint64_t> sensors;
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    if (!consumed_[i] && region.Contains(trace_[i].point.x,
+                                         trace_[i].point.y)) {
+      sensors.insert(trace_[i].sensor_id);
+    }
+  }
+  return sensors.size();
+}
+
+}  // namespace sensing
+}  // namespace craqr

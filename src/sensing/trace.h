@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/rect.h"
+#include "ops/tuple.h"
+#include "sensing/world.h"
+
+/// \file trace.h
+/// \brief Recording and replaying crowdsensed tuple traces.
+///
+/// The paper's evaluation substrate (a live smartphone crowd, e.g. the
+/// OpenSense deployment of reference [1]) is not distributable; traces
+/// are. This module serialises crowdsensed tuples to a simple CSV format,
+/// and provides a MobileSensorNetwork implementation that answers
+/// acquisition requests from a recorded trace instead of a live simulator
+/// — so CrAQR runs can be captured once and replayed bit-identically, or
+/// driven from externally collected data.
+///
+/// CSV schema (one tuple per line, header optional):
+///   id,attribute,t,x,y,sensor_id,type,value
+/// where `type` is one of n/b/i/d/s (null, bool, int64, double, string)
+/// and `value` is empty for n, 0/1 for b, and unquoted otherwise (strings
+/// must not contain commas or newlines).
+
+namespace craqr {
+namespace sensing {
+
+/// \brief Serialises tuples as CSV into `os` (with header).
+Status WriteTrace(const std::vector<ops::Tuple>& tuples, std::ostream* os);
+
+/// \brief Parses a CSV trace (header line optional).
+Result<std::vector<ops::Tuple>> ReadTrace(std::istream* is);
+
+/// \brief Convenience: WriteTrace to a file path.
+Status WriteTraceFile(const std::vector<ops::Tuple>& tuples,
+                      const std::string& path);
+
+/// \brief Convenience: ReadTrace from a file path.
+Result<std::vector<ops::Tuple>> ReadTraceFile(const std::string& path);
+
+/// \brief A MobileSensorNetwork that answers acquisition requests from a
+/// recorded trace.
+///
+/// Tuples are kept sorted by time. An acquisition request at time `now`
+/// for attribute A over region R consumes up to `count` still-unconsumed
+/// trace tuples with `t in (now, now + response_spread + horizon]`,
+/// attribute A and position in R, mimicking the latency envelope of the
+/// live crowd. Each trace tuple is served at most once (a human answers a
+/// question once).
+/// \brief Replay tuning for TraceReplayNetwork.
+struct TraceReplayOptions {
+  /// How far past `now + response_spread` a response may arrive and still
+  /// be matched to a request (minutes).
+  double horizon = 1.0;
+};
+
+class TraceReplayNetwork final : public MobileSensorNetwork {
+ public:
+  /// Alias kept at namespace scope so it can default-construct in
+  /// signatures.
+  using Options = TraceReplayOptions;
+
+  /// Creates a replay network; the trace may be unsorted (it is sorted on
+  /// construction). `region` bounds AvailableSensors estimates.
+  static Result<TraceReplayNetwork> Make(
+      std::vector<ops::Tuple> trace, const geom::Rect& region,
+      const TraceReplayOptions& options = TraceReplayOptions());
+
+  Result<std::vector<ops::Tuple>> SendRequests(
+      const AcquisitionRequest& request) override;
+
+  /// Distinct sensors that produced still-unconsumed tuples in `region`.
+  std::size_t AvailableSensors(const geom::Rect& region) const override;
+
+  /// Tuples not yet served.
+  std::size_t remaining() const { return remaining_; }
+
+  /// Total tuples served so far.
+  std::uint64_t served() const { return served_; }
+
+ private:
+  TraceReplayNetwork(std::vector<ops::Tuple> trace, const geom::Rect& region,
+                     const Options& options);
+
+  std::vector<ops::Tuple> trace_;  // time-sorted
+  std::vector<bool> consumed_;
+  geom::Rect region_;
+  Options options_;
+  std::size_t remaining_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace sensing
+}  // namespace craqr

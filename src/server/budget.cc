@@ -1,0 +1,91 @@
+#include "server/budget.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace craqr {
+namespace server {
+
+Result<BudgetManager> BudgetManager::Make(const BudgetConfig& config) {
+  if (!(config.min > 0.0) || !(config.min <= config.initial) ||
+      !(config.initial <= config.max)) {
+    return Status::InvalidArgument(
+        "budget config requires 0 < min <= initial <= max");
+  }
+  if (!(config.delta > 0.0)) {
+    return Status::InvalidArgument("budget delta must be > 0");
+  }
+  if (!(config.violation_threshold >= 0.0) ||
+      !(config.violation_threshold <= 100.0)) {
+    return Status::InvalidArgument(
+        "violation threshold must be a percentage in [0, 100]");
+  }
+  if (!(config.decrease_threshold >= 0.0) ||
+      !(config.decrease_threshold <= config.violation_threshold)) {
+    return Status::InvalidArgument(
+        "decrease threshold must be in [0, violation_threshold]");
+  }
+  if (config.decrease_patience < 1) {
+    return Status::InvalidArgument("decrease patience must be >= 1");
+  }
+  return BudgetManager(config);
+}
+
+double BudgetManager::GetBudget(const BudgetKey& key) const {
+  const auto it = budgets_.find(key);
+  return it == budgets_.end() ? config_.initial : it->second;
+}
+
+double BudgetManager::ReportViolation(const BudgetKey& key,
+                                      double violation_percent) {
+  return ReportBatch(key, violation_percent,
+                     std::numeric_limits<double>::infinity());
+}
+
+double BudgetManager::ReportBatch(const BudgetKey& key,
+                                  double violation_percent,
+                                  double supply_ratio) {
+  double budget = GetBudget(key);
+  if (violation_percent > config_.violation_threshold) {
+    streaks_[key] = 0;
+    if (budget >= config_.max) {
+      // "If the budget cannot be increased beyond a limit, then the user is
+      // requested to either accept the feasible rate or pay more."
+      ++infeasible_events_;
+      if (infeasible_callback_) {
+        infeasible_callback_(key, budget);
+      }
+    } else {
+      budget = std::min(budget + config_.delta, config_.max);
+      ++increases_;
+    }
+  } else if (violation_percent < config_.decrease_threshold &&
+             supply_ratio >= config_.decrease_supply_ratio) {
+    if (++streaks_[key] >= config_.decrease_patience) {
+      streaks_[key] = 0;
+      const double lowered = std::max(budget - config_.delta, config_.min);
+      if (lowered < budget) {
+        ++decreases_;
+      }
+      budget = lowered;
+    }
+  } else {
+    // Dead band [decrease_threshold, violation_threshold]: hold and reset
+    // the decrease streak.
+    streaks_[key] = 0;
+  }
+  budgets_[key] = budget;
+  return budget;
+}
+
+bool BudgetManager::IsSaturated(const BudgetKey& key) const {
+  return GetBudget(key) >= config_.max;
+}
+
+void BudgetManager::Forget(const BudgetKey& key) {
+  budgets_.erase(key);
+  streaks_.erase(key);
+}
+
+}  // namespace server
+}  // namespace craqr

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "geometry/grid.h"
+#include "ops/tuple.h"
+
+/// \file budget.h
+/// \brief Per-attribute, per-cell acquisition budgets and the N_v-driven
+/// tuning rule (paper Sections IV-A and V).
+///
+/// "Budget is defined as the number of acquisitional requests per attribute
+/// and per grid cell that can be sent in a given duration of time. ... The
+/// budget specification does not need a spatial component, as all the grid
+/// cells are of equal size."  Tuning: "If N_v exceeds the threshold, then
+/// the budget beta<j>_(q,r) is increased by Delta-beta, otherwise it is
+/// decreased by the same amount. If the budget cannot be increased beyond a
+/// limit, then the user is requested to either accept the feasible rate or
+/// pay more to obtain the required rate."
+
+namespace craqr {
+namespace server {
+
+/// \brief Identifies one budget beta<j>_(q,r).
+struct BudgetKey {
+  ops::AttributeId attribute = 0;
+  geom::CellIndex cell;
+
+  bool operator==(const BudgetKey&) const = default;
+};
+
+/// \brief Hash for BudgetKey.
+struct BudgetKeyHash {
+  std::size_t operator()(const BudgetKey& key) const {
+    const std::size_t h1 = std::hash<std::uint64_t>{}(key.attribute);
+    const std::size_t h2 = geom::CellIndexHash{}(key.cell);
+    return h1 ^ (h2 + 0x9E3779B97F4A7C15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+/// \brief Budget-tuning parameters.
+struct BudgetConfig {
+  /// Starting budget (requests per cell per dispatch round).
+  double initial = 16.0;
+  /// Delta-beta: the tuning step.
+  double delta = 4.0;
+  /// Floor (never stop asking entirely while subscribed).
+  double min = 1.0;
+  /// Ceiling; reaching it triggers the infeasibility callback.
+  double max = 512.0;
+  /// N_v threshold (percent) above which the budget is raised.
+  double violation_threshold = 5.0;
+  /// Hysteresis: the budget is only lowered when N_v falls below this
+  /// (percent); between the two thresholds it holds. The paper's rule is
+  /// symmetric ("otherwise it is decreased by the same amount"), which
+  /// makes the loop oscillate right at the violation threshold and
+  /// under-deliver by the violation mass; a small dead band keeps the
+  /// equilibrium budget just above the required supply. Set equal to
+  /// violation_threshold for the paper-literal rule.
+  double decrease_threshold = 1.0;
+  /// Minimum supply margin (batch size / target count) required before a
+  /// decrease is applied. Near the supply edge, estimation noise on small
+  /// batches clamps many retaining probabilities at 1 and silently eats
+  /// delivered rate even while N_v looks healthy; requiring a ~2x margin
+  /// keeps the equilibrium in the regime where Eq. (3) is unbiased. Set
+  /// to 0 to disable (paper-literal behaviour).
+  double decrease_supply_ratio = 2.0;
+  /// Number of consecutive decrease-eligible batches required before a
+  /// decrease is applied (increases always apply immediately). Per-batch
+  /// N_v on small batches is nearly Bernoulli noise; symmetric reactions
+  /// make the budget random-walk below the required supply. Patience makes
+  /// decreases deliberate while starvation is still corrected instantly.
+  /// Set to 1 for the paper-literal (memoryless) rule.
+  std::uint32_t decrease_patience = 6;
+};
+
+/// \brief Tracks and tunes acquisition budgets.
+class BudgetManager {
+ public:
+  /// Invoked when a budget saturates at its ceiling while violations
+  /// persist — the paper's "accept the feasible rate or pay more" moment.
+  using InfeasibleCallback =
+      std::function<void(const BudgetKey& key, double budget)>;
+
+  /// Validating factory: requires 0 < min <= initial <= max, delta > 0 and
+  /// a threshold in [0, 100].
+  static Result<BudgetManager> Make(const BudgetConfig& config);
+
+  /// Current budget for a key (initial if never tuned).
+  double GetBudget(const BudgetKey& key) const;
+
+  /// \brief Applies the paper's tuning rule given a fresh percent rate
+  /// violation N_v from the key's F-operator. Returns the new budget.
+  /// Equivalent to ReportBatch with an infinite supply ratio.
+  double ReportViolation(const BudgetKey& key, double violation_percent);
+
+  /// \brief Full tuning rule: raise when N_v exceeds the violation
+  /// threshold; lower only when N_v is under the decrease threshold AND
+  /// the batch had at least `decrease_supply_ratio` times more tuples than
+  /// its target count; hold otherwise. Returns the new budget.
+  double ReportBatch(const BudgetKey& key, double violation_percent,
+                     double supply_ratio);
+
+  /// True when the key's budget sits at the ceiling.
+  bool IsSaturated(const BudgetKey& key) const;
+
+  /// Drops tuning state for a key (query deletion).
+  void Forget(const BudgetKey& key);
+
+  /// Registers the infeasibility callback (at most one).
+  void SetInfeasibleCallback(InfeasibleCallback callback) {
+    infeasible_callback_ = std::move(callback);
+  }
+
+  /// The configuration.
+  const BudgetConfig& config() const { return config_; }
+
+  /// Number of budget increases applied.
+  std::uint64_t increases() const { return increases_; }
+
+  /// Number of budget decreases applied.
+  std::uint64_t decreases() const { return decreases_; }
+
+  /// Number of infeasibility events raised.
+  std::uint64_t infeasible_events() const { return infeasible_events_; }
+
+ private:
+  explicit BudgetManager(const BudgetConfig& config) : config_(config) {}
+
+  BudgetConfig config_;
+  std::unordered_map<BudgetKey, double, BudgetKeyHash> budgets_;
+  /// Consecutive decrease-eligible batches seen per key.
+  std::unordered_map<BudgetKey, std::uint32_t, BudgetKeyHash> streaks_;
+  InfeasibleCallback infeasible_callback_;
+  std::uint64_t increases_ = 0;
+  std::uint64_t decreases_ = 0;
+  std::uint64_t infeasible_events_ = 0;
+};
+
+}  // namespace server
+}  // namespace craqr

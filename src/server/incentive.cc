@@ -1,0 +1,55 @@
+#include "server/incentive.h"
+
+#include <algorithm>
+
+namespace craqr {
+namespace server {
+
+Result<IncentiveController> IncentiveController::Make(
+    const IncentiveConfig& config) {
+  if (!(config.min <= config.initial) || !(config.initial <= config.max)) {
+    return Status::InvalidArgument(
+        "incentive config requires min <= initial <= max");
+  }
+  if (!(config.raise_step > 0.0)) {
+    return Status::InvalidArgument("incentive raise step must be > 0");
+  }
+  if (!(config.decay_factor > 0.0) || !(config.decay_factor <= 1.0)) {
+    return Status::InvalidArgument("decay factor must be in (0, 1]");
+  }
+  if (!(config.violation_threshold >= 0.0) ||
+      !(config.violation_threshold <= 100.0)) {
+    return Status::InvalidArgument(
+        "violation threshold must be a percentage in [0, 100]");
+  }
+  return IncentiveController(config);
+}
+
+double IncentiveController::GetIncentive(ops::AttributeId attribute) const {
+  const auto it = incentives_.find(attribute);
+  return it == incentives_.end() ? config_.initial : it->second;
+}
+
+double IncentiveController::Update(ops::AttributeId attribute,
+                                   double violation_percent,
+                                   bool budget_saturated) {
+  double incentive = GetIncentive(attribute);
+  if (violation_percent > config_.violation_threshold) {
+    if (budget_saturated) {
+      const double raised =
+          std::min(incentive + config_.raise_step, config_.max);
+      if (raised > incentive) {
+        ++raises_;
+      }
+      incentive = raised;
+    }
+    // Budget not yet saturated: let budget tuning do its job first.
+  } else {
+    incentive = std::max(incentive * config_.decay_factor, config_.min);
+  }
+  incentives_[attribute] = incentive;
+  return incentive;
+}
+
+}  // namespace server
+}  // namespace craqr

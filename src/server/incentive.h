@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "ops/tuple.h"
+
+/// \file incentive.h
+/// \brief Incentive controller — the paper's first planned extension
+/// (Section VI "Including incentives").
+///
+/// "Currently, if there are significant rate violations then the
+/// request/response handler, in the hope of reducing violations, increases
+/// its rate of sending acquisition requests. Another alternative is to
+/// offer more incentive to the mobile sensors to respond."
+///
+/// This controller raises the incentive for an attribute when its budget
+/// has saturated yet violations persist, and decays it multiplicatively
+/// when violations stay under control — a bounded additive-increase /
+/// multiplicative-decrease policy.
+
+namespace craqr {
+namespace server {
+
+/// \brief Incentive policy parameters.
+struct IncentiveConfig {
+  /// Incentive offered before any adjustment.
+  double initial = 1.0;
+  /// Additive raise applied when the budget is saturated and N_v is above
+  /// the threshold.
+  double raise_step = 0.5;
+  /// Multiplicative decay applied when N_v is under the threshold.
+  double decay_factor = 0.98;
+  /// Hard ceiling (the user's willingness to pay).
+  double max = 10.0;
+  /// Hard floor.
+  double min = 0.0;
+  /// N_v threshold (percent), usually mirroring the budget threshold.
+  double violation_threshold = 5.0;
+};
+
+/// \brief Per-attribute incentive state machine.
+class IncentiveController {
+ public:
+  /// Validating factory: requires min <= initial <= max, raise_step > 0
+  /// and decay_factor in (0, 1].
+  static Result<IncentiveController> Make(const IncentiveConfig& config);
+
+  /// Current incentive for an attribute.
+  double GetIncentive(ops::AttributeId attribute) const;
+
+  /// \brief Feeds one tuning observation and returns the updated
+  /// incentive. `budget_saturated` comes from
+  /// BudgetManager::IsSaturated — incentives only rise once budget
+  /// increases alone can no longer help.
+  double Update(ops::AttributeId attribute, double violation_percent,
+                bool budget_saturated);
+
+  /// Number of raises applied.
+  std::uint64_t raises() const { return raises_; }
+
+  /// The configuration.
+  const IncentiveConfig& config() const { return config_; }
+
+ private:
+  explicit IncentiveController(const IncentiveConfig& config)
+      : config_(config) {}
+
+  IncentiveConfig config_;
+  std::unordered_map<ops::AttributeId, double> incentives_;
+  std::uint64_t raises_ = 0;
+};
+
+}  // namespace server
+}  // namespace craqr

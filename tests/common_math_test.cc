@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace craqr {
+namespace {
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-10)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  // P(a, x) -> 1 as x -> inf.
+  EXPECT_NEAR(RegularizedGammaP(3.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.7, 2.0, 6.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaTest, HalfIntegerMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(RegularizedGammaP(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+  }
+}
+
+TEST(ChiSquareTest, KnownQuantiles) {
+  // Chi-square with 1 dof: P[X > 3.841] ~ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1.0), 0.05, 0.001);
+  // 5 dof: P[X > 11.070] ~ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(11.070, 5.0), 0.05, 0.001);
+  // 10 dof: P[X > 18.307] ~ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10.0), 0.05, 0.001);
+}
+
+TEST(ChiSquareTest, ZeroStatisticIsPValueOne) {
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(-1.0, 4.0), 1.0);
+}
+
+TEST(ChiSquareTest, MonotoneDecreasingInStatistic) {
+  double last = 1.0;
+  for (double x = 0.5; x < 40.0; x += 0.5) {
+    const double p = ChiSquareSurvival(x, 8.0);
+    EXPECT_LE(p, last + 1e-12);
+    last = p;
+  }
+}
+
+TEST(KolmogorovTest, KnownValues) {
+  // Q_KS(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.002);
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovSurvival(10.0), 0.0, 1e-12);
+}
+
+TEST(NormalCdfTest, SymmetryAndKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 0.0005);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 0.0005);
+  EXPECT_NEAR(NormalCdf(3.0) + NormalCdf(-3.0), 1.0, 1e-12);
+}
+
+TEST(PoissonSurvivalTest, MatchesDirectSum) {
+  // P[X >= 3] for mean 2: 1 - e^-2 (1 + 2 + 2) = 1 - 5 e^-2.
+  EXPECT_NEAR(PoissonSurvival(2.0, 3.0), 1.0 - 5.0 * std::exp(-2.0), 1e-10);
+  EXPECT_DOUBLE_EQ(PoissonSurvival(2.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonSurvival(0.0, 1.0), 0.0);
+}
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_NEAR(LogFactorial(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5.0), std::log(120.0), 1e-10);
+}
+
+TEST(PoissonTwoSidedTest, CenterHasHighPValue) {
+  EXPECT_GT(PoissonTwoSidedPValue(100.0, 100.0), 0.5);
+}
+
+TEST(PoissonTwoSidedTest, TailsHaveLowPValue) {
+  EXPECT_LT(PoissonTwoSidedPValue(100.0, 150.0), 1e-4);
+  EXPECT_LT(PoissonTwoSidedPValue(100.0, 60.0), 1e-4);
+}
+
+TEST(PoissonTwoSidedTest, DegenerateMean) {
+  EXPECT_DOUBLE_EQ(PoissonTwoSidedPValue(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PoissonTwoSidedPValue(0.0, 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace craqr

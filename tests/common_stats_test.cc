@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace craqr {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 4.0, 4.0, 9.0, -2.0, 7.5};
+  RunningStats stats;
+  double sum = 0.0;
+  for (double x : xs) {
+    stats.Add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - mean) * (x - mean);
+  }
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.Mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.Variance(), ss / (xs.size() - 1), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), -2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_NEAR(stats.Sum(), sum, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-10);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.Mean(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, CoefficientOfVariation) {
+  RunningStats stats;
+  stats.Add(10.0);
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.CoefficientOfVariation(), 0.0);
+  stats.Add(40.0);
+  EXPECT_GT(stats.CoefficientOfVariation(), 0.0);
+}
+
+TEST(SlidingWindowTest, EvictsOldest) {
+  SlidingWindow window(3);
+  window.Push(1.0);
+  window.Push(2.0);
+  window.Push(3.0);
+  EXPECT_DOUBLE_EQ(window.Mean(), 2.0);
+  window.Push(10.0);  // evicts 1.0
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.Mean(), 5.0);
+}
+
+TEST(SlidingWindowTest, FractionAbove) {
+  SlidingWindow window(4);
+  window.Push(0.0);
+  window.Push(1.0);
+  window.Push(1.0);
+  window.Push(0.0);
+  EXPECT_DOUBLE_EQ(window.FractionAbove(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(window.FractionAbove(2.0), 0.0);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindow window(2);
+  window.Push(5.0);
+  window.Clear();
+  EXPECT_TRUE(window.empty());
+  EXPECT_DOUBLE_EQ(window.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(window.Sum(), 0.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 4
+  h.Add(-5.0);   // clamped to bin 0
+  h.Add(100.0);  // clamped to bin 4
+  h.Add(4.0);    // bin 2
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(2), 1u);
+  EXPECT_EQ(h.BinCount(4), 2u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinLeft(3), 6.0);
+}
+
+TEST(KsUniformTest, UniformSamplesPass) {
+  Rng rng(77);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(rng.Uniform());
+  }
+  std::sort(samples.begin(), samples.end());
+  double p = 0.0;
+  const double d = KsTestUniform(samples, &p);
+  EXPECT_LT(d, 0.03);
+  EXPECT_GT(p, 0.01);
+}
+
+TEST(KsUniformTest, SkewedSamplesFail) {
+  Rng rng(78);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.Uniform();
+    samples.push_back(u * u);  // heavily skewed toward 0
+  }
+  std::sort(samples.begin(), samples.end());
+  double p = 1.0;
+  const double d = KsTestUniform(samples, &p);
+  EXPECT_GT(d, 0.1);
+  EXPECT_LT(p, 1e-6);
+}
+
+TEST(KsUniformTest, EmptySampleIsPValueOne) {
+  double p = 0.0;
+  EXPECT_DOUBLE_EQ(KsTestUniform({}, &p), 0.0);
+  EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+}  // namespace
+}  // namespace craqr

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace craqr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryProducesMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status status = Status::InvalidArgument("rate must be > 0");
+  EXPECT_EQ(status.ToString(), "Invalid argument: rate must be > 0");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::NotFound("q7");
+  EXPECT_EQ(os.str(), "Not found: q7");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "Resource exhausted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> result(Status::NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = result.MoveValue();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+namespace helpers {
+
+Status FailWhenNegative(int v) {
+  if (v < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int v) {
+  if (v <= 0) {
+    return Status::OutOfRange("not positive");
+  }
+  return 2 * v;
+}
+
+Status Chain(int v) {
+  CRAQR_RETURN_NOT_OK(FailWhenNegative(v));
+  CRAQR_ASSIGN_OR_RETURN(const int doubled, DoubleIfPositive(v));
+  if (doubled > 100) {
+    return Status::OutOfRange("too big");
+  }
+  return Status::OK();
+}
+
+}  // namespace helpers
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(helpers::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MacroTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(helpers::Chain(0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MacroTest, AssignOrReturnAssigns) {
+  EXPECT_TRUE(helpers::Chain(10).ok());
+  EXPECT_EQ(helpers::Chain(60).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace craqr

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace craqr {
+namespace engine {
+namespace {
+
+const geom::Rect kRegion(0, 0, 6, 6);
+
+sensing::CrowdWorld MakeWorld(std::size_t sensors, std::uint64_t seed = 5) {
+  sensing::PopulationConfig pc;
+  pc.region = kRegion;
+  pc.num_sensors = sensors;
+  pc.responsiveness_sigma = 0.2;
+  Rng rng(seed);
+  auto population = sensing::SensorPopulation::Make(pc, &rng);
+  EXPECT_TRUE(population.ok());
+  auto world =
+      sensing::CrowdWorld::Make(population.MoveValue(), rng.Fork()).MoveValue();
+
+  sensing::TemperatureField::Params tp;
+  sensing::ResponseBehavior device = sensing::ResponseModel::DeviceBehavior();
+  EXPECT_TRUE(world
+                  .RegisterAttribute(
+                      "temp", false,
+                      sensing::TemperatureField::Make(tp).MoveValue(), device)
+                  .ok());
+  sensing::RainCell cell;
+  cell.x0 = 3.0;
+  cell.y0 = 3.0;
+  cell.radius = 2.0;
+  sensing::ResponseBehavior human = sensing::ResponseModel::HumanBehavior();
+  human.base_logit = 2.0;  // co-operative crowd for tests
+  human.delay_mu = -1.0;
+  EXPECT_TRUE(world
+                  .RegisterAttribute(
+                      "rain", true,
+                      sensing::RainField::Make({cell}).MoveValue(), human)
+                  .ok());
+  return world;
+}
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.grid_h = 9;  // 2x2 km cells
+  config.step_dt = 1.0;
+  config.fabric.flatten_batch_size = 32;
+  config.budget.initial = 24.0;
+  config.budget.delta = 8.0;
+  config.budget.max = 256.0;
+  return config;
+}
+
+TEST(EngineTest, MakeValidatesConfig) {
+  EngineConfig bad = TestConfig();
+  bad.step_dt = 0.0;
+  EXPECT_FALSE(CraqrEngine::Make(MakeWorld(50), bad).ok());
+  bad = TestConfig();
+  bad.grid_h = 7;  // not a perfect square
+  EXPECT_FALSE(CraqrEngine::Make(MakeWorld(50), bad).ok());
+}
+
+TEST(EngineTest, SubmitResolvesAttributeAndSubscribes) {
+  auto engine = CraqrEngine::Make(MakeWorld(200), TestConfig()).MoveValue();
+  query::AcquisitionQuery q;
+  q.attribute = "temp";
+  q.region = geom::Rect(0, 0, 4, 4);
+  q.rate = 0.5;
+  const auto stream = engine->Submit(q);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(engine->handler().NumSubscriptions(), 4u);  // 4 cells of 2x2 km
+  EXPECT_EQ(engine->fabricator().NumQueries(), 1u);
+  // Unknown attribute rejected.
+  q.attribute = "humidity";
+  EXPECT_EQ(engine->Submit(q).status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, SubmitTextParsesDeclarativeSyntax) {
+  auto engine = CraqrEngine::Make(MakeWorld(200), TestConfig()).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE rain FROM REGION(0, 0, 4, 4) RATE 30 PER KM2 PER HR");
+  ASSERT_TRUE(stream.ok());
+  EXPECT_DOUBLE_EQ(stream->rate, 0.5);
+  EXPECT_FALSE(engine->SubmitText("DROP TABLE queries").ok());
+}
+
+TEST(EngineTest, EndToEndDeliversTuplesNearRequestedRate) {
+  auto engine = CraqrEngine::Make(MakeWorld(600, 6), TestConfig()).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 0.4 PER KM2 PER MIN");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(engine->RunFor(60.0).ok());
+  EXPECT_GT(engine->now(), 59.0);
+
+  // The sink received a stream; its empirical rate approximates the
+  // requested one (area 36 km^2, ~60 min -> expect ~860 tuples).
+  const double delivered =
+      static_cast<double>(stream->sink->total_received()) / (36.0 * 60.0);
+  EXPECT_GT(delivered, 0.2);
+  EXPECT_LT(delivered, 0.7);
+  // The monitor saw windows too.
+  EXPECT_GT(stream->monitor->window_rates().count(), 0u);
+  // Requests went out and were answered.
+  EXPECT_GT(engine->handler().requests_sent(), 0u);
+  EXPECT_GT(engine->world().total_responses(), 0u);
+}
+
+TEST(EngineTest, ValuesCarryPhenomenonObservations) {
+  auto engine = CraqrEngine::Make(MakeWorld(400), TestConfig()).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 0.3 PER KM2 PER MIN");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(engine->RunFor(30.0).ok());
+  ASSERT_GT(stream->sink->tuples().size(), 0u);
+  for (const auto& tuple : stream->sink->tuples()) {
+    ASSERT_TRUE(std::holds_alternative<double>(tuple.value));
+    // Plausible temperature (base 20, diurnal 5, small noise).
+    EXPECT_GT(std::get<double>(tuple.value), 0.0);
+    EXPECT_LT(std::get<double>(tuple.value), 40.0);
+  }
+}
+
+TEST(EngineTest, CancelRemovesTopologyAndSubscriptions) {
+  auto engine = CraqrEngine::Make(MakeWorld(200), TestConfig()).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 4, 4) RATE 0.5 PER KM2 PER MIN");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(engine->RunFor(5.0).ok());
+  ASSERT_TRUE(engine->Cancel(stream->id).ok());
+  EXPECT_EQ(engine->handler().NumSubscriptions(), 0u);
+  EXPECT_EQ(engine->fabricator().NumQueries(), 0u);
+  EXPECT_EQ(engine->fabricator().NumMaterializedCells(), 0u);
+  // Cancelling twice fails cleanly.
+  EXPECT_EQ(engine->Cancel(stream->id).code(), StatusCode::kNotFound);
+  // The engine keeps running fine afterwards.
+  EXPECT_TRUE(engine->RunFor(3.0).ok());
+}
+
+TEST(EngineTest, BudgetTuningRaisesBudgetUnderViolations) {
+  // A sparse crowd cannot satisfy an aggressive rate: budgets must climb.
+  auto engine = CraqrEngine::Make(MakeWorld(60), TestConfig()).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 5 PER KM2 PER MIN");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(engine->RunFor(40.0).ok());
+  EXPECT_GT(engine->budgets().increases(), 0u);
+}
+
+TEST(EngineTest, InfeasibleRateIsLogged) {
+  EngineConfig config = TestConfig();
+  config.budget.max = 32.0;  // low ceiling so saturation happens fast
+  auto engine = CraqrEngine::Make(MakeWorld(60), config).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 50 PER KM2 PER MIN");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(engine->RunFor(60.0).ok());
+  // "the user is requested to either accept the feasible rate or pay more".
+  EXPECT_FALSE(engine->infeasible_log().empty());
+}
+
+TEST(EngineTest, IncentiveExtensionRaisesIncentives) {
+  EngineConfig config = TestConfig();
+  config.budget.max = 32.0;
+  config.enable_incentives = true;
+  config.incentive.max = 8.0;
+  auto engine = CraqrEngine::Make(MakeWorld(80), config).MoveValue();
+  const auto stream = engine->SubmitText(
+      "ACQUIRE rain FROM REGION(0, 0, 6, 6) RATE 20 PER KM2 PER MIN");
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(engine->RunFor(80.0).ok());
+  EXPECT_GT(engine->incentives().raises(), 0u);
+  const auto rain_id = engine->world().AttributeIdByName("rain");
+  ASSERT_TRUE(rain_id.ok());
+  EXPECT_GT(engine->handler().GetIncentive(*rain_id), 1.0);
+}
+
+TEST(EngineTest, MultipleConcurrentQueriesAllDeliver) {
+  auto engine = CraqrEngine::Make(MakeWorld(600, 8), TestConfig()).MoveValue();
+  const auto s1 = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 4, 4) RATE 0.5 PER KM2 PER MIN");
+  const auto s2 = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(2, 2, 6, 6) RATE 0.25 PER KM2 PER MIN");
+  const auto s3 = engine->SubmitText(
+      "ACQUIRE rain FROM REGION(0, 0, 6, 6) RATE 0.2 PER KM2 PER MIN");
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  ASSERT_TRUE(engine->RunFor(50.0).ok());
+  EXPECT_GT(s1->sink->total_received(), 0u);
+  EXPECT_GT(s2->sink->total_received(), 0u);
+  EXPECT_GT(s3->sink->total_received(), 0u);
+  // Rain tuples are boolean.
+  ASSERT_GT(s3->sink->tuples().size(), 0u);
+  EXPECT_TRUE(std::holds_alternative<bool>(s3->sink->tuples()[0].value));
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace craqr

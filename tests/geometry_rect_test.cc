@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/rect.h"
+
+namespace craqr {
+namespace geom {
+namespace {
+
+TEST(RectTest, MakeValidatesCorners) {
+  EXPECT_TRUE(Rect::Make(0, 0, 1, 1).ok());
+  EXPECT_FALSE(Rect::Make(1, 0, 0, 1).ok());
+  EXPECT_FALSE(Rect::Make(0, 1, 1, 1).ok());
+  EXPECT_FALSE(Rect::Make(0, 0, 0, 1).ok());
+}
+
+TEST(RectTest, AreaWidthHeight) {
+  const Rect r(1, 2, 4, 8);
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 18.0);
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(Rect().IsEmpty());
+}
+
+TEST(RectTest, HalfOpenContainment) {
+  const Rect r(0, 0, 2, 2);
+  EXPECT_TRUE(r.Contains(0.0, 0.0));
+  EXPECT_TRUE(r.Contains(1.999, 1.999));
+  EXPECT_FALSE(r.Contains(2.0, 1.0));
+  EXPECT_FALSE(r.Contains(1.0, 2.0));
+  EXPECT_FALSE(r.Contains(-0.001, 1.0));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.ContainsRect(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect(Rect(5, 5, 11, 9)));
+}
+
+TEST(RectTest, Center) {
+  const Rect r(0, 2, 4, 10);
+  EXPECT_DOUBLE_EQ(r.Center().x, 2.0);
+  EXPECT_DOUBLE_EQ(r.Center().y, 6.0);
+}
+
+TEST(RectTest, Intersection) {
+  const Rect a(0, 0, 4, 4);
+  const Rect b(2, 2, 6, 6);
+  const auto overlap = a.Intersection(b);
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_EQ(*overlap, Rect(2, 2, 4, 4));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 4.0);
+}
+
+TEST(RectTest, DisjointIntersectionIsEmpty) {
+  const Rect a(0, 0, 1, 1);
+  const Rect b(2, 2, 3, 3);
+  EXPECT_FALSE(a.Intersection(b).has_value());
+  EXPECT_TRUE(a.IsDisjoint(b));
+  // Touching edges have zero overlap area -> disjoint.
+  EXPECT_TRUE(a.IsDisjoint(Rect(1, 0, 2, 1)));
+}
+
+TEST(RectTest, UnionCompatibilityRequiresFullCommonSide) {
+  const Rect a(0, 0, 2, 2);
+  // Right neighbour with equal vertical extent: compatible.
+  EXPECT_TRUE(a.IsUnionCompatible(Rect(2, 0, 5, 2)));
+  // Above with equal horizontal extent: compatible.
+  EXPECT_TRUE(a.IsUnionCompatible(Rect(0, 2, 2, 3)));
+  // Adjacent but with a shorter common side: not compatible.
+  EXPECT_FALSE(a.IsUnionCompatible(Rect(2, 0, 4, 1)));
+  // Diagonal: not compatible.
+  EXPECT_FALSE(a.IsUnionCompatible(Rect(2, 2, 4, 4)));
+  // Overlapping: not compatible.
+  EXPECT_FALSE(a.IsUnionCompatible(Rect(1, 0, 3, 2)));
+}
+
+TEST(RectTest, UnionWithProducesBoundingRect) {
+  const Rect a(0, 0, 2, 2);
+  const auto merged = a.UnionWith(Rect(2, 0, 5, 2));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, Rect(0, 0, 5, 2));
+  EXPECT_EQ(a.UnionWith(Rect(3, 0, 5, 2)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RectTest, SubtractFullCoverIsEmpty) {
+  const Rect outer(0, 0, 4, 4);
+  EXPECT_TRUE(Rect::Subtract(outer, outer).empty());
+  EXPECT_TRUE(Rect::Subtract(outer, Rect(-1, -1, 5, 5)).empty());
+}
+
+TEST(RectTest, SubtractDisjointReturnsOuter) {
+  const Rect outer(0, 0, 4, 4);
+  const auto pieces = Rect::Subtract(outer, Rect(5, 5, 6, 6));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], outer);
+}
+
+TEST(RectTest, SubtractCenterHoleGivesFourPieces) {
+  const Rect outer(0, 0, 4, 4);
+  const Rect hole(1, 1, 3, 3);
+  const auto pieces = Rect::Subtract(outer, hole);
+  EXPECT_EQ(pieces.size(), 4u);
+  double total = 0.0;
+  for (const auto& piece : pieces) {
+    total += piece.Area();
+    EXPECT_TRUE(piece.IsDisjoint(hole));
+    EXPECT_TRUE(outer.ContainsRect(piece));
+  }
+  EXPECT_NEAR(total, outer.Area() - hole.Area(), 1e-12);
+}
+
+/// Property sweep: random inner rectangles; pieces must be pairwise
+/// disjoint, disjoint from the hole, and cover exactly outer \ inner.
+class SubtractPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SubtractPropertyTest, PiecesTileTheDifference) {
+  Rng rng(GetParam());
+  const Rect outer(0, 0, 10, 10);
+  for (int iter = 0; iter < 50; ++iter) {
+    const double x0 = rng.Uniform(-2.0, 11.0);
+    const double y0 = rng.Uniform(-2.0, 11.0);
+    const double x1 = x0 + rng.Uniform(0.1, 8.0);
+    const double y1 = y0 + rng.Uniform(0.1, 8.0);
+    const Rect inner(x0, y0, x1, y1);
+    const auto pieces = Rect::Subtract(outer, inner);
+    double total = 0.0;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      total += pieces[i].Area();
+      EXPECT_TRUE(outer.ContainsRect(pieces[i]));
+      EXPECT_DOUBLE_EQ(pieces[i].OverlapArea(inner), 0.0);
+      for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_TRUE(pieces[i].IsDisjoint(pieces[j]));
+      }
+    }
+    EXPECT_NEAR(total, outer.Area() - outer.OverlapArea(inner), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtractPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(RectTest, ToStringFormat) {
+  EXPECT_EQ(Rect(0, 0, 2, 3).ToString(), "[0,0;2,3)");
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace craqr

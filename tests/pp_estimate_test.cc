@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+#include "pointprocess/estimate.h"
+#include "pointprocess/simulate.h"
+
+namespace craqr {
+namespace pp {
+namespace {
+
+SpaceTimeWindow FitWindow() {
+  return SpaceTimeWindow{0.0, 30.0, geom::Rect(0, 0, 5, 5)};
+}
+
+TEST(LinearMleTest, ValidatesInputs) {
+  const SpaceTimeWindow w = FitWindow();
+  EXPECT_FALSE(FitLinearMle({}, w).ok());
+  EXPECT_FALSE(FitLinearMle({{1.0, 1.0, 1.0}},
+                            SpaceTimeWindow{0.0, 0.0, geom::Rect(0, 0, 1, 1)})
+                   .ok());
+  LinearMleOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(FitLinearMle({{1.0, 1.0, 1.0}}, w, bad).ok());
+}
+
+TEST(LinearMleTest, HomogeneousDataRecoversConstantRate) {
+  Rng rng(11);
+  const SpaceTimeWindow w = FitWindow();
+  const auto points = SimulateHomogeneous(&rng, 4.0, w);
+  ASSERT_TRUE(points.ok());
+  const auto fit = FitLinearMle(*points, w);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged);
+  // Rate at the centroid should be close to the true rate; slope terms
+  // should be small relative to the base rate.
+  const auto c = w.Centroid();
+  const double rate_at_centroid = fit->theta[0] + fit->theta[1] * c.t +
+                                  fit->theta[2] * c.x + fit->theta[3] * c.y;
+  EXPECT_NEAR(rate_at_centroid, 4.0, 0.4);
+}
+
+/// Parameter-recovery sweep over distinct ground-truth thetas.
+struct MleCase {
+  std::array<double, 4> theta;
+  const char* name;
+};
+
+class LinearMleRecoveryTest : public ::testing::TestWithParam<MleCase> {};
+
+TEST_P(LinearMleRecoveryTest, RecoversGroundTruth) {
+  const MleCase test_case = GetParam();
+  const SpaceTimeWindow w = FitWindow();
+  const auto model = LinearIntensity::Make(test_case.theta);
+  ASSERT_TRUE(model.ok());
+  Rng rng(12);
+  // Pool several replicates for a tight estimate.
+  std::vector<geom::SpaceTimePoint> points;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto sample = SimulateInhomogeneous(&rng, **model, w);
+    ASSERT_TRUE(sample.ok());
+    points.insert(points.end(), sample->begin(), sample->end());
+  }
+  const auto fit = FitLinearMle(points, w);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit->converged) << test_case.name;
+  // Compare intensity surfaces (scaled by the replicate count) at probe
+  // points rather than raw parameters: the surface is what matters.
+  const auto truth = [&](const geom::SpaceTimePoint& p) {
+    return 5.0 * (test_case.theta[0] + test_case.theta[1] * p.t +
+                  test_case.theta[2] * p.x + test_case.theta[3] * p.y);
+  };
+  const auto fitted = [&](const geom::SpaceTimePoint& p) {
+    return fit->theta[0] + fit->theta[1] * p.t + fit->theta[2] * p.x +
+           fit->theta[3] * p.y;
+  };
+  for (const auto& probe :
+       {geom::SpaceTimePoint{5.0, 1.0, 1.0}, geom::SpaceTimePoint{15.0, 2.5, 2.5},
+        geom::SpaceTimePoint{25.0, 4.0, 4.0}}) {
+    const double t = truth(probe);
+    EXPECT_NEAR(fitted(probe) / t, 1.0, 0.15)
+        << test_case.name << " at t=" << probe.t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GroundTruths, LinearMleRecoveryTest,
+    ::testing::Values(MleCase{{2.0, 0.0, 0.0, 0.0}, "flat"},
+                      MleCase{{1.0, 0.05, 0.0, 0.0}, "time_ramp"},
+                      MleCase{{1.0, 0.0, 0.6, 0.0}, "x_gradient"},
+                      MleCase{{1.0, 0.0, 0.0, 0.6}, "y_gradient"},
+                      MleCase{{0.5, 0.03, 0.4, 0.3}, "all_slopes"}));
+
+TEST(LinearMleTest, LogLikelihoodImprovesOverHomogeneousInit) {
+  Rng rng(13);
+  const SpaceTimeWindow w = FitWindow();
+  const auto model = LinearIntensity::Make({0.5, 0.0, 1.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  ASSERT_GT(points->size(), 10u);
+  const auto fit = FitLinearMle(*points, w);
+  ASSERT_TRUE(fit.ok());
+  // The homogeneous LL with rate n/V.
+  const double n = static_cast<double>(points->size());
+  const double homogeneous_ll = n * std::log(n / w.Volume()) - n;
+  EXPECT_GT(fit->log_likelihood, homogeneous_ll);
+}
+
+TEST(LinearMleTest, ToIntensityBuildsModel) {
+  Rng rng(14);
+  const SpaceTimeWindow w = FitWindow();
+  const auto points = SimulateHomogeneous(&rng, 2.0, w);
+  ASSERT_TRUE(points.ok());
+  const auto fit = FitLinearMle(*points, w);
+  ASSERT_TRUE(fit.ok());
+  const auto intensity = fit->ToIntensity();
+  ASSERT_TRUE(intensity.ok());
+  EXPECT_GT((*intensity)->Rate(w.Centroid()), 0.0);
+}
+
+TEST(SgdEstimatorTest, ValidatesOptions) {
+  SgdOptions bad;
+  bad.eta0 = 0.0;
+  EXPECT_FALSE(SgdEstimator::Make(FitWindow(), bad).ok());
+  EXPECT_FALSE(
+      SgdEstimator::Make(SpaceTimeWindow{0.0, 0.0, geom::Rect(0, 0, 1, 1)})
+          .ok());
+}
+
+TEST(SgdEstimatorTest, ConvergesToHomogeneousRate) {
+  Rng rng(15);
+  const SpaceTimeWindow w{0.0, 200.0, geom::Rect(0, 0, 5, 5)};
+  const auto points = SimulateHomogeneous(&rng, 3.0, w);
+  ASSERT_TRUE(points.ok());
+  auto estimator = SgdEstimator::Make(w);
+  ASSERT_TRUE(estimator.ok());
+  for (const auto& p : *points) {
+    estimator->Update(p);
+  }
+  EXPECT_EQ(estimator->num_updates(), points->size());
+  EXPECT_NEAR(estimator->RateAt(w.Centroid()), 3.0, 0.75);
+}
+
+TEST(SgdEstimatorTest, TracksSpatialGradientDirection) {
+  Rng rng(16);
+  const SpaceTimeWindow w{0.0, 300.0, geom::Rect(0, 0, 4, 4)};
+  const auto model = LinearIntensity::Make({0.5, 0.0, 1.5, 0.0});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  auto estimator = SgdEstimator::Make(w);
+  ASSERT_TRUE(estimator.ok());
+  for (const auto& p : *points) {
+    estimator->Update(p);
+  }
+  // The x-slope must come out positive and dominate the y-slope.
+  const auto theta = estimator->theta();
+  EXPECT_GT(theta[2], 0.0);
+  EXPECT_GT(theta[2], std::fabs(theta[3]));
+  // The estimated surface must be higher at large x.
+  EXPECT_GT(estimator->RateAt({150.0, 3.5, 2.0}),
+            estimator->RateAt({150.0, 0.5, 2.0}));
+}
+
+TEST(SgdEstimatorTest, RateStaysPositive) {
+  const SpaceTimeWindow w = FitWindow();
+  auto estimator = SgdEstimator::Make(w);
+  ASSERT_TRUE(estimator.ok());
+  // Feed adversarial corner-only points.
+  for (int i = 0; i < 100; ++i) {
+    estimator->Update({static_cast<double>(i) * 0.01, 0.0, 0.0});
+  }
+  EXPECT_GT(estimator->RateAt({0.5, 4.9, 4.9}), 0.0);
+}
+
+TEST(PiecewiseConstantEstimatorTest, RecoversCellRates) {
+  Rng rng(17);
+  const SpaceTimeWindow w{0.0, 100.0, geom::Rect(0, 0, 2, 2)};
+  // Left half rate 1, right half rate 5.
+  const auto model = PiecewiseConstantIntensity::Make(
+      geom::Rect(0, 0, 2, 2), 1, 2, {1.0, 5.0});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  const auto fitted = FitPiecewiseConstant(*points, w, 1, 2);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR((*fitted)->Rate({50.0, 0.5, 1.0}), 1.0, 0.25);
+  EXPECT_NEAR((*fitted)->Rate({50.0, 1.5, 1.0}), 5.0, 0.5);
+}
+
+TEST(PiecewiseConstantEstimatorTest, ValidatesInputs) {
+  EXPECT_FALSE(FitPiecewiseConstant(
+                   {}, SpaceTimeWindow{0.0, 0.0, geom::Rect(0, 0, 1, 1)}, 2, 2)
+                   .ok());
+  EXPECT_FALSE(FitPiecewiseConstant({}, FitWindow(), 0, 2).ok());
+}
+
+TEST(PiecewiseConstantEstimatorTest, IgnoresPointsOutsideWindow) {
+  const SpaceTimeWindow w{0.0, 10.0, geom::Rect(0, 0, 2, 2)};
+  const std::vector<geom::SpaceTimePoint> points = {
+      {5.0, 1.0, 1.0}, {50.0, 1.0, 1.0}, {5.0, 10.0, 1.0}};
+  const auto fitted = FitPiecewiseConstant(points, w, 1, 1);
+  ASSERT_TRUE(fitted.ok());
+  // Only the first point is inside: rate = 1 / (4 km^2 * 10 min).
+  EXPECT_NEAR((*fitted)->Rate({5.0, 1.0, 1.0}), 1.0 / 40.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pp
+}  // namespace craqr

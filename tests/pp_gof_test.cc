@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pointprocess/gof.h"
+#include "pointprocess/simulate.h"
+
+namespace craqr {
+namespace pp {
+namespace {
+
+SpaceTimeWindow GofWindow() {
+  return SpaceTimeWindow{0.0, 40.0, geom::Rect(0, 0, 4, 4)};
+}
+
+TEST(SpatialHomogeneityTest, ValidatesInputs) {
+  EXPECT_FALSE(TestSpatialHomogeneity(
+                   {}, SpaceTimeWindow{0.0, 0.0, geom::Rect(0, 0, 1, 1)}, 2, 2)
+                   .ok());
+  EXPECT_FALSE(TestSpatialHomogeneity({}, GofWindow(), 1, 1).ok());
+}
+
+TEST(SpatialHomogeneityTest, EmptyPatternPasses) {
+  const auto report = TestSpatialHomogeneity({}, GofWindow(), 4, 4);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->n, 0u);
+  EXPECT_DOUBLE_EQ(report->p_value, 1.0);
+}
+
+TEST(SpatialHomogeneityTest, HomogeneousPatternPasses) {
+  Rng rng(21);
+  const SpaceTimeWindow w = GofWindow();
+  const auto points = SimulateHomogeneous(&rng, 10.0, w);
+  ASSERT_TRUE(points.ok());
+  const auto report = TestSpatialHomogeneity(*points, w, 4, 4);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->p_value, 1e-3);
+  EXPECT_NEAR(report->empirical_rate, 10.0, 1.0);
+  EXPECT_GT(report->expected_per_cell, 5.0);
+}
+
+TEST(SpatialHomogeneityTest, StronglySkewedPatternFails) {
+  Rng rng(22);
+  const SpaceTimeWindow w = GofWindow();
+  const auto model = LinearIntensity::Make({0.2, 0.0, 3.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  const auto report = TestSpatialHomogeneity(*points, w, 4, 4);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->p_value, 1e-8);
+  // CV of counts should be far above the homogeneous expectation.
+  EXPECT_GT(report->count_cv, 0.3);
+}
+
+TEST(SpatialHomogeneityTest, IgnoresPointsOutsideWindow) {
+  const SpaceTimeWindow w = GofWindow();
+  std::vector<geom::SpaceTimePoint> points = {{5.0, 1.0, 1.0},
+                                              {500.0, 1.0, 1.0},
+                                              {5.0, 100.0, 1.0}};
+  const auto report = TestSpatialHomogeneity(points, w, 2, 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->n, 1u);
+}
+
+TEST(TemporalUniformityTest, HomogeneousPasses) {
+  Rng rng(23);
+  const SpaceTimeWindow w = GofWindow();
+  const auto points = SimulateHomogeneous(&rng, 5.0, w);
+  ASSERT_TRUE(points.ok());
+  const auto report = TestTemporalUniformity(*points, w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->p_value, 1e-3);
+  EXPECT_EQ(report->n, points->size());
+}
+
+TEST(TemporalUniformityTest, TimeRampFails) {
+  Rng rng(24);
+  const SpaceTimeWindow w = GofWindow();
+  // Strong intensification over time.
+  const auto model = LinearIntensity::Make({0.1, 0.5, 0.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  const auto report = TestTemporalUniformity(*points, w);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->p_value, 1e-8);
+}
+
+TEST(TemporalUniformityTest, EmptyPatternPasses) {
+  const auto report = TestTemporalUniformity({}, GofWindow());
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->p_value, 1.0);
+}
+
+TEST(EmpiricalRateTest, CountsInsideOnly) {
+  const SpaceTimeWindow w{0.0, 10.0, geom::Rect(0, 0, 2, 5)};  // volume 100
+  std::vector<geom::SpaceTimePoint> points = {
+      {1.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, {11.0, 1.0, 1.0}, {1.0, 3.0, 1.0}};
+  EXPECT_NEAR(EmpiricalRate(points, w), 2.0 / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      EmpiricalRate(points, SpaceTimeWindow{0.0, 0.0, geom::Rect()}), 0.0);
+}
+
+TEST(EmpiricalRateTest, MatchesSimulatedRate) {
+  Rng rng(25);
+  const SpaceTimeWindow w = GofWindow();
+  const auto points = SimulateHomogeneous(&rng, 7.0, w);
+  ASSERT_TRUE(points.ok());
+  EXPECT_NEAR(EmpiricalRate(*points, w), 7.0, 0.8);
+}
+
+}  // namespace
+}  // namespace pp
+}  // namespace craqr

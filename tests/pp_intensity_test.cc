@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/point.h"
+#include "pointprocess/intensity.h"
+
+namespace craqr {
+namespace pp {
+namespace {
+
+SpaceTimeWindow UnitWindow() {
+  return SpaceTimeWindow{0.0, 10.0, geom::Rect(0, 0, 2, 3)};
+}
+
+TEST(ConstantIntensityTest, RateAndIntegral) {
+  const auto model = ConstantIntensity::Make(4.0);
+  ASSERT_TRUE(model.ok());
+  const SpaceTimeWindow w = UnitWindow();
+  EXPECT_DOUBLE_EQ((*model)->Rate({1.0, 1.0, 1.0}), 4.0);
+  EXPECT_DOUBLE_EQ((*model)->UpperBound(w), 4.0);
+  // Volume = 10 * 6 = 60.
+  EXPECT_DOUBLE_EQ((*model)->Integral(w), 240.0);
+}
+
+TEST(ConstantIntensityTest, RejectsNegativeRate) {
+  EXPECT_FALSE(ConstantIntensity::Make(-1.0).ok());
+  EXPECT_FALSE(ConstantIntensity::Make(std::nan("")).ok());
+}
+
+TEST(LinearIntensityTest, MatchesEquationOne) {
+  const auto model = LinearIntensity::Make({1.0, 0.5, -0.25, 2.0});
+  ASSERT_TRUE(model.ok());
+  // theta0 + theta1*t + theta2*x + theta3*y
+  EXPECT_DOUBLE_EQ((*model)->Rate({2.0, 4.0, 1.0}),
+                   1.0 + 0.5 * 2.0 + (-0.25) * 4.0 + 2.0 * 1.0);
+}
+
+TEST(LinearIntensityTest, ClampsBelowMinRate) {
+  const auto model = LinearIntensity::Make({-10.0, 0.0, 0.0, 0.0}, 0.5);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->Rate({0.0, 0.0, 0.0}), 0.5);
+}
+
+TEST(LinearIntensityTest, UpperBoundIsCornerMax) {
+  const auto model = LinearIntensity::Make({1.0, 1.0, 2.0, 3.0});
+  ASSERT_TRUE(model.ok());
+  const SpaceTimeWindow w = UnitWindow();
+  // Max at (t=10, x=2, y=3): 1 + 10 + 4 + 9 = 24.
+  EXPECT_DOUBLE_EQ((*model)->UpperBound(w), 24.0);
+}
+
+TEST(LinearIntensityTest, AnalyticIntegralMatchesCentroid) {
+  const auto model = LinearIntensity::Make({5.0, 0.2, -0.1, 0.3});
+  ASSERT_TRUE(model.ok());
+  const SpaceTimeWindow w = UnitWindow();
+  // All-positive over the window -> integral = V * lambda(centroid).
+  const double expected =
+      w.Volume() * (5.0 + 0.2 * 5.0 + (-0.1) * 1.0 + 0.3 * 1.5);
+  EXPECT_NEAR((*model)->Integral(w), expected, 1e-9);
+}
+
+TEST(LinearIntensityTest, ClampedIntegralFallsBackToQuadrature) {
+  // Goes negative over part of the window: integral must exceed the naive
+  // centroid formula's value because of the clamp at zero.
+  const auto model = LinearIntensity::Make({0.0, 0.0, 1.0, 0.0}, 0.0);
+  ASSERT_TRUE(model.ok());
+  const SpaceTimeWindow w{0.0, 1.0, geom::Rect(-1, 0, 1, 1)};
+  // True integral of max(x, 0) over x in [-1, 1], y in [0,1], t in [0,1]
+  // is 1/2.
+  EXPECT_NEAR((*model)->Integral(w), 0.5, 0.01);
+}
+
+TEST(LogLinearIntensityTest, RateAndClosedFormIntegral) {
+  const auto model = LogLinearIntensity::Make({0.1, 0.02, -0.3, 0.15});
+  ASSERT_TRUE(model.ok());
+  const SpaceTimeWindow w = UnitWindow();
+  EXPECT_NEAR((*model)->Rate({1.0, 1.0, 1.0}),
+              std::exp(0.1 + 0.02 - 0.3 + 0.15), 1e-12);
+  // Closed form vs the base-class quadrature.
+  const double quadrature = (*model)->IntensityModel::Integral(w);
+  EXPECT_NEAR((*model)->Integral(w) / quadrature, 1.0, 1e-3);
+}
+
+TEST(LogLinearIntensityTest, ZeroSlopesReduceToConstant) {
+  const auto model = LogLinearIntensity::Make({std::log(7.0), 0.0, 0.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  const SpaceTimeWindow w = UnitWindow();
+  EXPECT_NEAR((*model)->Integral(w), 7.0 * w.Volume(), 1e-9);
+}
+
+TEST(GaussianBumpIntensityTest, PeakAndBaseline) {
+  GaussianBump bump;
+  bump.amplitude = 10.0;
+  bump.x0 = 1.0;
+  bump.y0 = 1.0;
+  bump.sigma = 0.5;
+  const auto model = GaussianBumpIntensity::Make(2.0, {bump});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR((*model)->Rate({0.0, 1.0, 1.0}), 12.0, 1e-12);
+  // Far away the bump vanishes.
+  EXPECT_NEAR((*model)->Rate({0.0, 100.0, 100.0}), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ((*model)->UpperBound(UnitWindow()), 12.0);
+}
+
+TEST(GaussianBumpIntensityTest, MovingBumpTracksCentre) {
+  GaussianBump bump;
+  bump.amplitude = 5.0;
+  bump.x0 = 0.0;
+  bump.y0 = 0.0;
+  bump.sigma = 0.3;
+  bump.vx = 1.0;  // km/min
+  const auto model = GaussianBumpIntensity::Make(0.0, {bump});
+  ASSERT_TRUE(model.ok());
+  // At t=2 the centre is at x=2.
+  EXPECT_NEAR((*model)->Rate({2.0, 2.0, 0.0}), 5.0, 1e-12);
+  EXPECT_LT((*model)->Rate({2.0, 0.0, 0.0}), 0.01);
+}
+
+TEST(GaussianBumpIntensityTest, Validation) {
+  GaussianBump bad;
+  bad.sigma = 0.0;
+  EXPECT_FALSE(GaussianBumpIntensity::Make(1.0, {bad}).ok());
+  EXPECT_FALSE(GaussianBumpIntensity::Make(-1.0, {}).ok());
+}
+
+TEST(PiecewiseConstantIntensityTest, LookupAndIntegral) {
+  // 2x2 grid over [0,2)^2; rates row-major (row = y).
+  const auto model = PiecewiseConstantIntensity::Make(
+      geom::Rect(0, 0, 2, 2), 2, 2, {1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ((*model)->Rate({0.0, 0.5, 0.5}), 1.0);
+  EXPECT_DOUBLE_EQ((*model)->Rate({0.0, 1.5, 0.5}), 2.0);
+  EXPECT_DOUBLE_EQ((*model)->Rate({0.0, 0.5, 1.5}), 3.0);
+  EXPECT_DOUBLE_EQ((*model)->Rate({0.0, 1.5, 1.5}), 4.0);
+  EXPECT_DOUBLE_EQ((*model)->Rate({0.0, 5.0, 5.0}), 0.0);  // outside
+  EXPECT_DOUBLE_EQ((*model)->UpperBound(UnitWindow()), 4.0);
+  const SpaceTimeWindow w{0.0, 1.0, geom::Rect(0, 0, 2, 2)};
+  EXPECT_NEAR((*model)->Integral(w), 1.0 + 2.0 + 3.0 + 4.0, 1e-12);
+}
+
+TEST(PiecewiseConstantIntensityTest, PartialWindowIntegral) {
+  const auto model = PiecewiseConstantIntensity::Make(
+      geom::Rect(0, 0, 2, 2), 2, 2, {1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(model.ok());
+  // Window covering only the left column for 2 minutes.
+  const SpaceTimeWindow w{0.0, 2.0, geom::Rect(0, 0, 1, 2)};
+  EXPECT_NEAR((*model)->Integral(w), 2.0 * (1.0 + 3.0), 1e-12);
+}
+
+TEST(PiecewiseConstantIntensityTest, Validation) {
+  EXPECT_FALSE(
+      PiecewiseConstantIntensity::Make(geom::Rect(), 1, 1, {1.0}).ok());
+  EXPECT_FALSE(PiecewiseConstantIntensity::Make(geom::Rect(0, 0, 1, 1), 2, 2,
+                                                {1.0, 2.0})
+                   .ok());
+  EXPECT_FALSE(PiecewiseConstantIntensity::Make(geom::Rect(0, 0, 1, 1), 1, 1,
+                                                {-1.0})
+                   .ok());
+}
+
+TEST(CombinatorTest, ScaledIntensity) {
+  const auto base = ConstantIntensity::Make(3.0);
+  ASSERT_TRUE(base.ok());
+  const auto scaled = ScaledIntensity::Make(*base, 2.5);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_DOUBLE_EQ((*scaled)->Rate({0, 0, 0}), 7.5);
+  EXPECT_DOUBLE_EQ((*scaled)->Integral(UnitWindow()),
+                   2.5 * (*base)->Integral(UnitWindow()));
+  EXPECT_FALSE(ScaledIntensity::Make(nullptr, 1.0).ok());
+  EXPECT_FALSE(ScaledIntensity::Make(*base, -1.0).ok());
+}
+
+TEST(CombinatorTest, SumIntensity) {
+  const auto a = ConstantIntensity::Make(3.0);
+  const auto b = ConstantIntensity::Make(4.0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto sum = SumIntensity::Make(*a, *b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ((*sum)->Rate({0, 0, 0}), 7.0);
+  EXPECT_DOUBLE_EQ((*sum)->UpperBound(UnitWindow()), 7.0);
+  EXPECT_FALSE(SumIntensity::Make(*a, nullptr).ok());
+}
+
+TEST(WindowTest, VolumeAndContainment) {
+  const SpaceTimeWindow w = UnitWindow();
+  EXPECT_DOUBLE_EQ(w.Duration(), 10.0);
+  EXPECT_DOUBLE_EQ(w.Volume(), 60.0);
+  EXPECT_TRUE(w.Contains({5.0, 1.0, 1.0}));
+  EXPECT_FALSE(w.Contains({10.0, 1.0, 1.0}));  // half-open in time
+  EXPECT_FALSE(w.Contains({5.0, 2.5, 1.0}));
+  EXPECT_TRUE(w.IsValid());
+  EXPECT_FALSE((SpaceTimeWindow{1.0, 1.0, geom::Rect(0, 0, 1, 1)}).IsValid());
+  const auto c = w.Centroid();
+  EXPECT_DOUBLE_EQ(c.t, 5.0);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.5);
+}
+
+}  // namespace
+}  // namespace pp
+}  // namespace craqr

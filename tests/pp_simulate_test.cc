@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "pointprocess/gof.h"
+#include "pointprocess/simulate.h"
+
+namespace craqr {
+namespace pp {
+namespace {
+
+SpaceTimeWindow TestWindow() {
+  return SpaceTimeWindow{0.0, 20.0, geom::Rect(0, 0, 4, 5)};
+}
+
+TEST(SimulateHomogeneousTest, ValidatesArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(SimulateHomogeneous(nullptr, 1.0, TestWindow()).ok());
+  EXPECT_FALSE(SimulateHomogeneous(&rng, -1.0, TestWindow()).ok());
+  EXPECT_FALSE(
+      SimulateHomogeneous(&rng, 1.0,
+                          SpaceTimeWindow{5.0, 5.0, geom::Rect(0, 0, 1, 1)})
+          .ok());
+}
+
+TEST(SimulateHomogeneousTest, CountMatchesPoissonLaw) {
+  Rng rng(2);
+  const SpaceTimeWindow w = TestWindow();
+  const double rate = 2.5;
+  const auto points = SimulateHomogeneous(&rng, rate, w);
+  ASSERT_TRUE(points.ok());
+  const double expected = rate * w.Volume();  // 1000
+  // Exact two-sided Poisson test at alpha = 1e-6 (seeded, deterministic).
+  EXPECT_GT(PoissonTwoSidedPValue(expected,
+                                  static_cast<double>(points->size())),
+            1e-6);
+}
+
+TEST(SimulateHomogeneousTest, AllPointsInsideWindowAndTimeSorted) {
+  Rng rng(3);
+  const SpaceTimeWindow w = TestWindow();
+  const auto points = SimulateHomogeneous(&rng, 1.0, w);
+  ASSERT_TRUE(points.ok());
+  double last_t = -1.0;
+  for (const auto& p : *points) {
+    EXPECT_TRUE(w.Contains(p));
+    EXPECT_GE(p.t, last_t);
+    last_t = p.t;
+  }
+}
+
+TEST(SimulateHomogeneousTest, ZeroRateIsEmpty) {
+  Rng rng(4);
+  const auto points = SimulateHomogeneous(&rng, 0.0, TestWindow());
+  ASSERT_TRUE(points.ok());
+  EXPECT_TRUE(points->empty());
+}
+
+TEST(SimulateHomogeneousTest, DeterministicBySeed) {
+  Rng a(42);
+  Rng b(42);
+  const auto pa = SimulateHomogeneous(&a, 1.5, TestWindow());
+  const auto pb = SimulateHomogeneous(&b, 1.5, TestWindow());
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  ASSERT_EQ(pa->size(), pb->size());
+  for (std::size_t i = 0; i < pa->size(); ++i) {
+    EXPECT_EQ((*pa)[i], (*pb)[i]);
+  }
+}
+
+TEST(SimulateHomogeneousTest, OutputPassesHomogeneityTests) {
+  Rng rng(5);
+  const SpaceTimeWindow w = TestWindow();
+  const auto points = SimulateHomogeneous(&rng, 5.0, w);
+  ASSERT_TRUE(points.ok());
+  const auto spatial = TestSpatialHomogeneity(*points, w, 4, 4);
+  ASSERT_TRUE(spatial.ok());
+  EXPECT_GT(spatial->p_value, 1e-4);
+  const auto temporal = TestTemporalUniformity(*points, w);
+  ASSERT_TRUE(temporal.ok());
+  EXPECT_GT(temporal->p_value, 1e-4);
+}
+
+TEST(SimulateInhomogeneousTest, EmptyForZeroIntensity) {
+  Rng rng(6);
+  const auto model = ConstantIntensity::Make(0.0);
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, TestWindow());
+  ASSERT_TRUE(points.ok());
+  EXPECT_TRUE(points->empty());
+}
+
+TEST(SimulateInhomogeneousTest, CountMatchesIntegral) {
+  Rng rng(7);
+  const SpaceTimeWindow w = TestWindow();
+  const auto model = LinearIntensity::Make({1.0, 0.05, 0.5, 0.2});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  const double expected = (*model)->Integral(w);
+  EXPECT_GT(PoissonTwoSidedPValue(expected,
+                                  static_cast<double>(points->size())),
+            1e-6);
+}
+
+TEST(SimulateInhomogeneousTest, DensityFollowsIntensityShape) {
+  Rng rng(8);
+  const SpaceTimeWindow w{0.0, 50.0, geom::Rect(0, 0, 4, 4)};
+  // Strong x-gradient: lambda = 0.2 + 2x.
+  const auto model = LinearIntensity::Make({0.2, 0.0, 2.0, 0.0});
+  ASSERT_TRUE(model.ok());
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  std::size_t low = 0;
+  std::size_t high = 0;
+  for (const auto& p : *points) {
+    (p.x < 2.0 ? low : high) += 1;
+  }
+  // Expected ratio: integral over [0,2] (0.2+2x)dx = 4.4 vs [2,4] = 12.4.
+  const double ratio = static_cast<double>(high) / static_cast<double>(low);
+  EXPECT_NEAR(ratio, 12.4 / 4.4, 0.35);
+}
+
+TEST(SimulateInhomogeneousTest, MatchesHomogeneousWhenConstant) {
+  const SpaceTimeWindow w = TestWindow();
+  const auto model = ConstantIntensity::Make(3.0);
+  ASSERT_TRUE(model.ok());
+  Rng rng(9);
+  const auto points = SimulateInhomogeneous(&rng, **model, w);
+  ASSERT_TRUE(points.ok());
+  EXPECT_GT(PoissonTwoSidedPValue(3.0 * w.Volume(),
+                                  static_cast<double>(points->size())),
+            1e-6);
+  const auto spatial = TestSpatialHomogeneity(*points, w, 4, 4);
+  ASSERT_TRUE(spatial.ok());
+  EXPECT_GT(spatial->p_value, 1e-4);
+}
+
+TEST(SimulateInhomogeneousTest, UnsortedOptionKeepsAllPoints) {
+  Rng rng(10);
+  SimulateOptions options;
+  options.sort_by_time = false;
+  const auto model = ConstantIntensity::Make(2.0);
+  ASSERT_TRUE(model.ok());
+  const auto points =
+      SimulateInhomogeneous(&rng, **model, TestWindow(), options);
+  ASSERT_TRUE(points.ok());
+  EXPECT_GT(points->size(), 0u);
+  for (const auto& p : *points) {
+    EXPECT_TRUE(TestWindow().Contains(p));
+  }
+}
+
+}  // namespace
+}  // namespace pp
+}  // namespace craqr

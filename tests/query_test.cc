@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/query.h"
+#include "query/units.h"
+
+namespace craqr {
+namespace query {
+namespace {
+
+TEST(UnitsTest, AreaParsing) {
+  EXPECT_EQ(*ParseAreaUnit("km2"), AreaUnit::kSquareKilometre);
+  EXPECT_EQ(*ParseAreaUnit("KM2"), AreaUnit::kSquareKilometre);
+  EXPECT_EQ(*ParseAreaUnit("m2"), AreaUnit::kSquareMetre);
+  EXPECT_EQ(*ParseAreaUnit("HA"), AreaUnit::kHectare);
+  EXPECT_EQ(*ParseAreaUnit("hectare"), AreaUnit::kHectare);
+  EXPECT_FALSE(ParseAreaUnit("acre").ok());
+}
+
+TEST(UnitsTest, TimeParsing) {
+  EXPECT_EQ(*ParseTimeUnit("min"), TimeUnit::kMinute);
+  EXPECT_EQ(*ParseTimeUnit("MINUTE"), TimeUnit::kMinute);
+  EXPECT_EQ(*ParseTimeUnit("sec"), TimeUnit::kSecond);
+  EXPECT_EQ(*ParseTimeUnit("hr"), TimeUnit::kHour);
+  EXPECT_EQ(*ParseTimeUnit("HOUR"), TimeUnit::kHour);
+  EXPECT_EQ(*ParseTimeUnit("day"), TimeUnit::kDay);
+  EXPECT_FALSE(ParseTimeUnit("fortnight").ok());
+}
+
+TEST(UnitsTest, CanonicalConversion) {
+  // 10 /km2/min is already canonical.
+  EXPECT_DOUBLE_EQ(
+      ToPerKm2PerMinute(10.0, AreaUnit::kSquareKilometre, TimeUnit::kMinute),
+      10.0);
+  // 60 /km2/hr = 1 /km2/min.
+  EXPECT_DOUBLE_EQ(
+      ToPerKm2PerMinute(60.0, AreaUnit::kSquareKilometre, TimeUnit::kHour),
+      1.0);
+  // 1 /m2/min = 1e6 /km2/min.
+  EXPECT_DOUBLE_EQ(
+      ToPerKm2PerMinute(1.0, AreaUnit::kSquareMetre, TimeUnit::kMinute), 1e6);
+  // 1 /ha/day = 100 /km2 / 1440 min.
+  EXPECT_NEAR(ToPerKm2PerMinute(1.0, AreaUnit::kHectare, TimeUnit::kDay),
+              100.0 / 1440.0, 1e-12);
+}
+
+TEST(UnitsTest, Names) {
+  EXPECT_EQ(AreaUnitName(AreaUnit::kSquareKilometre), "KM2");
+  EXPECT_EQ(TimeUnitName(TimeUnit::kMinute), "MIN");
+}
+
+TEST(ParserTest, ParsesThePaperExampleQuery) {
+  // Q<1>: acquire rain from R' at 10 /km2/min.
+  const auto q =
+      ParseQuery("ACQUIRE rain FROM REGION(0, 0, 2, 3) RATE 10 PER KM2 PER MIN");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->attribute, "rain");
+  EXPECT_EQ(q->region, geom::Rect(0, 0, 2, 3));
+  EXPECT_DOUBLE_EQ(q->rate, 10.0);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  const auto q =
+      ParseQuery("acquire Temp from region(1,1,4,4) rate 2.5 per km2 per hr");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->attribute, "Temp");  // attribute case preserved
+  EXPECT_NEAR(q->rate, 2.5 / 60.0, 1e-12);
+}
+
+TEST(ParserTest, NegativeCoordinatesAndScientificNumbers) {
+  const auto q = ParseQuery(
+      "ACQUIRE aqi FROM REGION(-2.5, -1, 3.5, 4) RATE 1e2 PER KM2 PER MIN");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->region.x_min(), -2.5);
+  EXPECT_DOUBLE_EQ(q->rate, 100.0);
+}
+
+class ParserRejectionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRejectionTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadQueries, ParserRejectionTest,
+    ::testing::Values(
+        "",                                                        // empty
+        "SELECT rain",                                             // wrong verb
+        "ACQUIRE FROM REGION(0,0,1,1) RATE 1 PER KM2 PER MIN",     // no attr
+        "ACQUIRE rain FROM REGION(0,0,1,1)",                       // no rate
+        "ACQUIRE rain FROM REGION(0,0,1,1) RATE PER KM2 PER MIN",  // no value
+        "ACQUIRE rain FROM REGION(1,1,0,0) RATE 1 PER KM2 PER MIN",  // bad rect
+        "ACQUIRE rain FROM REGION(0,0,1,1) RATE -5 PER KM2 PER MIN",  // bad rate
+        "ACQUIRE rain FROM REGION(0,0,1,1) RATE 0 PER KM2 PER MIN",   // zero
+        "ACQUIRE rain FROM REGION(0,0,1,1) RATE 1 PER ACRE PER MIN",  // unit
+        "ACQUIRE rain FROM REGION(0,0,1,1) RATE 1 PER KM2 PER EON",   // unit
+        "ACQUIRE rain FROM REGION(0,0,1) RATE 1 PER KM2 PER MIN",  // 3 coords
+        "ACQUIRE rain FROM REGION(0,0,1,1) RATE 1 PER KM2 PER MIN extra",
+        "ACQUIRE rain FROM REGION 0,0,1,1 RATE 1 PER KM2 PER MIN",  // parens
+        "ACQUIRE rain REGION(0,0,1,1) RATE 1 PER KM2 PER MIN"));    // no FROM
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  const auto original = ParseQuery(
+      "ACQUIRE temp FROM REGION(0.5, 1.5, 4.5, 6) RATE 3 PER KM2 PER MIN");
+  ASSERT_TRUE(original.ok());
+  const auto reparsed = ParseQuery(original->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->attribute, original->attribute);
+  EXPECT_EQ(reparsed->region, original->region);
+  EXPECT_DOUBLE_EQ(reparsed->rate, original->rate);
+}
+
+TEST(QueryValidateTest, ChecksAllFields) {
+  AcquisitionQuery q;
+  q.attribute = "rain";
+  q.region = geom::Rect(0, 0, 1, 1);
+  q.rate = 1.0;
+  EXPECT_TRUE(q.Validate().ok());
+  q.attribute = "";
+  EXPECT_FALSE(q.Validate().ok());
+  q.attribute = "rain";
+  q.region = geom::Rect();
+  EXPECT_FALSE(q.Validate().ok());
+  q.region = geom::Rect(0, 0, 1, 1);
+  q.rate = 0.0;
+  EXPECT_FALSE(q.Validate().ok());
+  q.rate = std::nan("");
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace craqr

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sensing/phenomena.h"
+
+namespace craqr {
+namespace sensing {
+namespace {
+
+TEST(RainFieldTest, Validation) {
+  RainCell bad;
+  bad.radius = 0.0;
+  EXPECT_FALSE(RainField::Make({bad}).ok());
+  RainCell inverted;
+  inverted.radius = 1.0;
+  inverted.t_start = 5.0;
+  inverted.t_end = 1.0;
+  EXPECT_FALSE(RainField::Make({inverted}).ok());
+  EXPECT_FALSE(RainField::Make({}, 1.0).ok());
+  EXPECT_TRUE(RainField::Make({}, 0.0).ok());
+}
+
+TEST(RainFieldTest, RainsInsideActiveCellOnly) {
+  RainCell cell;
+  cell.x0 = 2.0;
+  cell.y0 = 2.0;
+  cell.radius = 1.0;
+  cell.t_start = 10.0;
+  cell.t_end = 20.0;
+  const auto field = RainField::Make({cell}, 0.0);
+  ASSERT_TRUE(field.ok());
+  const auto* rain = static_cast<const RainField*>(field->get());
+  EXPECT_TRUE(rain->IsRaining({15.0, 2.0, 2.0}));
+  EXPECT_TRUE(rain->IsRaining({15.0, 2.9, 2.0}));
+  EXPECT_FALSE(rain->IsRaining({15.0, 3.5, 2.0}));  // outside radius
+  EXPECT_FALSE(rain->IsRaining({5.0, 2.0, 2.0}));   // before start
+  EXPECT_FALSE(rain->IsRaining({25.0, 2.0, 2.0}));  // after end
+}
+
+TEST(RainFieldTest, CellDriftsWithVelocity) {
+  RainCell cell;
+  cell.x0 = 0.0;
+  cell.y0 = 0.0;
+  cell.radius = 0.5;
+  cell.vx = 0.1;  // km/min
+  const auto field = RainField::Make({cell}, 0.0);
+  ASSERT_TRUE(field.ok());
+  const auto* rain = static_cast<const RainField*>(field->get());
+  EXPECT_TRUE(rain->IsRaining({0.0, 0.0, 0.0}));
+  EXPECT_FALSE(rain->IsRaining({0.0, 2.0, 0.0}));
+  // After 20 minutes the centre is at x = 2.
+  EXPECT_TRUE(rain->IsRaining({20.0, 2.0, 0.0}));
+  EXPECT_FALSE(rain->IsRaining({20.0, 0.0, 0.0}));
+}
+
+TEST(RainFieldTest, MisreportRateMatchesConfiguration) {
+  const auto field = RainField::Make({}, 0.2);  // never rains, 20% flips
+  ASSERT_TRUE(field.ok());
+  Rng rng(11);
+  int wrong = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (std::get<bool>((*field)->Observe(&rng, {0.0, 1.0, 1.0}))) {
+      ++wrong;
+    }
+  }
+  EXPECT_NEAR(wrong / static_cast<double>(kSamples), 0.2, 0.02);
+}
+
+TEST(TemperatureFieldTest, Validation) {
+  TemperatureField::Params params;
+  params.diurnal_period = 0.0;
+  EXPECT_FALSE(TemperatureField::Make(params).ok());
+  params = TemperatureField::Params{};
+  params.noise_sigma = -1.0;
+  EXPECT_FALSE(TemperatureField::Make(params).ok());
+}
+
+TEST(TemperatureFieldTest, SpatialGradientAndDiurnalCycle) {
+  TemperatureField::Params params;
+  params.base = 20.0;
+  params.grad_x = 1.0;
+  params.grad_y = 0.0;
+  params.diurnal_amplitude = 5.0;
+  params.diurnal_period = 1440.0;
+  params.noise_sigma = 0.0;
+  const auto field = TemperatureField::Make(params);
+  ASSERT_TRUE(field.ok());
+  const auto* temp = static_cast<const TemperatureField*>(field->get());
+  // Gradient: +1 degC per km of x.
+  EXPECT_NEAR(temp->TemperatureAt({0.0, 3.0, 0.0}) -
+                  temp->TemperatureAt({0.0, 0.0, 0.0}),
+              3.0, 1e-12);
+  // Diurnal peak at a quarter period.
+  EXPECT_NEAR(temp->TemperatureAt({360.0, 0.0, 0.0}), 25.0, 1e-9);
+  // Trough at three quarters.
+  EXPECT_NEAR(temp->TemperatureAt({1080.0, 0.0, 0.0}), 15.0, 1e-9);
+}
+
+TEST(TemperatureFieldTest, ObservationNoiseHasConfiguredSpread) {
+  TemperatureField::Params params;
+  params.noise_sigma = 0.5;
+  params.diurnal_amplitude = 0.0;
+  params.grad_x = 0.0;
+  params.grad_y = 0.0;
+  const auto field = TemperatureField::Make(params);
+  ASSERT_TRUE(field.ok());
+  Rng rng(12);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = std::get<double>((*field)->Observe(&rng, {0, 0, 0}));
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, params.base, 0.02);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.02);
+}
+
+TEST(AirQualityFieldTest, Validation) {
+  EXPECT_FALSE(AirQualityField::Make(-1.0, {}).ok());
+  AirQualityField::Source bad;
+  bad.spread = 0.0;
+  EXPECT_FALSE(AirQualityField::Make(10.0, {bad}).ok());
+  EXPECT_FALSE(AirQualityField::Make(10.0, {}, -0.1).ok());
+}
+
+TEST(AirQualityFieldTest, PlumePeaksAtSourceAndDecays) {
+  AirQualityField::Source source;
+  source.x = 1.0;
+  source.y = 1.0;
+  source.strength = 80.0;
+  source.spread = 0.5;
+  const auto field = AirQualityField::Make(20.0, {source}, 0.0);
+  ASSERT_TRUE(field.ok());
+  const auto* aqi = static_cast<const AirQualityField*>(field->get());
+  EXPECT_NEAR(aqi->AqiAt({0.0, 1.0, 1.0}), 100.0, 1e-9);
+  EXPECT_NEAR(aqi->AqiAt({0.0, 10.0, 10.0}), 20.0, 1e-6);
+  EXPECT_GT(aqi->AqiAt({0.0, 1.2, 1.0}), aqi->AqiAt({0.0, 2.0, 1.0}));
+}
+
+TEST(AirQualityFieldTest, GroundTruthIsNoiseless) {
+  const auto field = AirQualityField::Make(30.0, {}, 0.3);
+  ASSERT_TRUE(field.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>((*field)->GroundTruth({0, 0, 0})), 30.0);
+}
+
+TEST(PhenomenaTest, ToStringDescribes) {
+  EXPECT_NE(RainField::Make({})->get()->ToString().find("RainField"),
+            std::string::npos);
+  EXPECT_NE(TemperatureField::Make({})->get()->ToString().find(
+                "TemperatureField"),
+            std::string::npos);
+  EXPECT_NE(
+      AirQualityField::Make(1.0, {})->get()->ToString().find("AirQuality"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace sensing
+}  // namespace craqr

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "pointprocess/intensity.h"
+#include "sensing/population.h"
+
+namespace craqr {
+namespace sensing {
+namespace {
+
+const geom::Rect kRegion(0, 0, 10, 10);
+
+PopulationConfig BaseConfig(std::size_t n) {
+  PopulationConfig config;
+  config.region = kRegion;
+  config.num_sensors = n;
+  return config;
+}
+
+TEST(PopulationTest, Validation) {
+  Rng rng(1);
+  EXPECT_FALSE(SensorPopulation::Make(BaseConfig(0), &rng).ok());
+  EXPECT_FALSE(SensorPopulation::Make(BaseConfig(10), nullptr).ok());
+  PopulationConfig bad = BaseConfig(10);
+  bad.region = geom::Rect();
+  EXPECT_FALSE(SensorPopulation::Make(bad, &rng).ok());
+  bad = BaseConfig(10);
+  bad.placement = PlacementKind::kIntensity;  // missing intensity
+  EXPECT_FALSE(SensorPopulation::Make(bad, &rng).ok());
+  bad = BaseConfig(10);
+  bad.responsiveness_sigma = -1.0;
+  EXPECT_FALSE(SensorPopulation::Make(bad, &rng).ok());
+}
+
+TEST(PopulationTest, UniformPlacementInsideRegion) {
+  Rng rng(2);
+  const auto population = SensorPopulation::Make(BaseConfig(500), &rng);
+  ASSERT_TRUE(population.ok());
+  EXPECT_EQ(population->size(), 500u);
+  for (std::size_t i = 0; i < population->size(); ++i) {
+    EXPECT_TRUE(kRegion.Contains(population->sensor(i).position));
+    EXPECT_EQ(population->sensor(i).id, i);
+  }
+}
+
+TEST(PopulationTest, HotspotPlacementConcentratesSensors) {
+  Rng rng(3);
+  pp::GaussianBump hotspot;
+  hotspot.amplitude = 50.0;
+  hotspot.x0 = 2.0;
+  hotspot.y0 = 2.0;
+  hotspot.sigma = 1.0;
+  PopulationConfig config = BaseConfig(1000);
+  config.placement = PlacementKind::kIntensity;
+  config.placement_intensity =
+      pp::GaussianBumpIntensity::Make(1.0, {hotspot}).MoveValue();
+  const auto population = SensorPopulation::Make(config, &rng);
+  ASSERT_TRUE(population.ok());
+  // The 4x4 box around the hotspot holds 16% of the area; with the bump it
+  // must hold far more than 16% of the crowd.
+  const std::size_t near_hotspot =
+      population->CountIn(geom::Rect(0, 0, 4, 4));
+  EXPECT_GT(near_hotspot, 400u);
+}
+
+TEST(PopulationTest, ResponsivenessBiasHasSpread) {
+  Rng rng(4);
+  PopulationConfig config = BaseConfig(300);
+  config.responsiveness_sigma = 1.0;
+  const auto population = SensorPopulation::Make(config, &rng);
+  ASSERT_TRUE(population.ok());
+  double min_bias = 1e9;
+  double max_bias = -1e9;
+  for (std::size_t i = 0; i < population->size(); ++i) {
+    min_bias = std::min(min_bias, population->sensor(i).responsiveness_bias);
+    max_bias = std::max(max_bias, population->sensor(i).responsiveness_bias);
+  }
+  EXPECT_LT(min_bias, -0.5);
+  EXPECT_GT(max_bias, 0.5);
+}
+
+TEST(PopulationTest, AdvanceMovesMobileSensors) {
+  Rng rng(5);
+  PopulationConfig config = BaseConfig(50);
+  const auto mobility = GaussianWalkMobility::Make(0.5).MoveValue();
+  config.mobility_prototype = mobility.get();
+  auto population = SensorPopulation::Make(config, &rng);
+  ASSERT_TRUE(population.ok());
+  std::vector<geom::SpacePoint> before;
+  for (std::size_t i = 0; i < population->size(); ++i) {
+    before.push_back(population->sensor(i).position);
+  }
+  population->Advance(&rng, 1.0);
+  int moved = 0;
+  for (std::size_t i = 0; i < population->size(); ++i) {
+    const auto& now = population->sensor(i).position;
+    if (now.x != before[i].x || now.y != before[i].y) {
+      ++moved;
+    }
+    EXPECT_TRUE(kRegion.Contains(now));
+  }
+  EXPECT_EQ(moved, 50);
+}
+
+TEST(PopulationTest, StaticWithoutMobilityPrototype) {
+  Rng rng(6);
+  auto population = SensorPopulation::Make(BaseConfig(20), &rng);
+  ASSERT_TRUE(population.ok());
+  const auto before = population->sensor(7).position;
+  population->Advance(&rng, 10.0);
+  EXPECT_EQ(population->sensor(7).position, before);
+}
+
+TEST(PopulationTest, SensorsInFindsOnlyContained) {
+  Rng rng(7);
+  auto population = SensorPopulation::Make(BaseConfig(200), &rng);
+  ASSERT_TRUE(population.ok());
+  const geom::Rect box(0, 0, 5, 5);
+  const auto inside = population->SensorsIn(box);
+  EXPECT_EQ(inside.size(), population->CountIn(box));
+  for (const auto index : inside) {
+    EXPECT_TRUE(box.Contains(population->sensor(index).position));
+  }
+  // Complement check.
+  std::size_t outside = 0;
+  for (std::size_t i = 0; i < population->size(); ++i) {
+    if (!box.Contains(population->sensor(i).position)) {
+      ++outside;
+    }
+  }
+  EXPECT_EQ(inside.size() + outside, population->size());
+}
+
+}  // namespace
+}  // namespace sensing
+}  // namespace craqr

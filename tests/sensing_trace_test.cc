@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "sensing/trace.h"
+
+namespace craqr {
+namespace sensing {
+namespace {
+
+ops::Tuple MakeTuple(std::uint64_t id, double t, double x, double y,
+                     ops::AttributeValue value, ops::AttributeId attr = 0) {
+  ops::Tuple tuple;
+  tuple.id = id;
+  tuple.attribute = attr;
+  tuple.point = geom::SpaceTimePoint{t, x, y};
+  tuple.value = std::move(value);
+  tuple.sensor_id = id * 10;
+  return tuple;
+}
+
+TEST(TraceIoTest, RoundTripsAllValueTypes) {
+  std::vector<ops::Tuple> tuples;
+  tuples.push_back(MakeTuple(1, 0.5, 1.25, 2.5, ops::AttributeValue{}));
+  tuples.push_back(MakeTuple(2, 1.5, 0.0, 0.0, ops::AttributeValue{true}));
+  tuples.push_back(MakeTuple(3, 2.5, -1.0, 3.0, ops::AttributeValue{false}));
+  tuples.push_back(
+      MakeTuple(4, 3.5, 4.0, 5.0, ops::AttributeValue{std::int64_t{-42}}));
+  tuples.push_back(
+      MakeTuple(5, 4.5, 6.0, 7.0, ops::AttributeValue{19.8125}));
+  tuples.push_back(
+      MakeTuple(6, 5.5, 8.0, 9.0, ops::AttributeValue{std::string("wet")}));
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTrace(tuples, &out).ok());
+  std::istringstream in(out.str());
+  const auto parsed = ReadTrace(&in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), tuples.size());
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].id, tuples[i].id);
+    EXPECT_EQ((*parsed)[i].attribute, tuples[i].attribute);
+    EXPECT_EQ((*parsed)[i].point, tuples[i].point);
+    EXPECT_EQ((*parsed)[i].sensor_id, tuples[i].sensor_id);
+    EXPECT_EQ((*parsed)[i].value, tuples[i].value) << i;
+  }
+}
+
+TEST(TraceIoTest, PreservesDoublePrecision) {
+  std::vector<ops::Tuple> tuples;
+  tuples.push_back(MakeTuple(1, 0.1 + 0.2, 1.0 / 3.0, 2.0 / 7.0,
+                             ops::AttributeValue{1.0 / 9973.0}));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTrace(tuples, &out).ok());
+  std::istringstream in(out.str());
+  const auto parsed = ReadTrace(&in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ((*parsed)[0].point.t, 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(std::get<double>((*parsed)[0].value), 1.0 / 9973.0);
+}
+
+TEST(TraceIoTest, RejectsMalformedLines) {
+  for (const char* bad :
+       {"1,0,0,0,0,0,b",            // missing field
+        "1,0,0,0,0,0,b,2",          // bad bool
+        "1,0,0,0,0,0,z,1",          // unknown tag
+        "x,0,0,0,0,0,n,",           // bad id
+        "1,0,abc,0,0,0,n,"}) {      // bad time
+    std::istringstream in(bad);
+    EXPECT_FALSE(ReadTrace(&in).ok()) << bad;
+  }
+}
+
+TEST(TraceIoTest, RejectsCommasInStringValues) {
+  std::vector<ops::Tuple> tuples;
+  tuples.push_back(
+      MakeTuple(1, 0, 0, 0, ops::AttributeValue{std::string("a,b")}));
+  std::ostringstream out;
+  EXPECT_FALSE(WriteTrace(tuples, &out).ok());
+}
+
+TEST(TraceIoTest, SkipsHeaderAndBlankLines) {
+  std::istringstream in(
+      "id,attribute,t,x,y,sensor_id,type,value\n\n1,0,2.5,1,1,7,d,3.5\n");
+  const auto parsed = ReadTrace(&in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<double>((*parsed)[0].value), 3.5);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  std::vector<ops::Tuple> tuples;
+  for (int i = 0; i < 20; ++i) {
+    tuples.push_back(MakeTuple(i, i * 0.5, i * 0.1, i * 0.2,
+                               ops::AttributeValue{static_cast<double>(i)}));
+  }
+  const std::string path = ::testing::TempDir() + "/craqr_trace_test.csv";
+  ASSERT_TRUE(WriteTraceFile(tuples, path).ok());
+  const auto parsed = ReadTraceFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), tuples.size());
+  EXPECT_FALSE(ReadTraceFile(path + ".does-not-exist").ok());
+}
+
+std::vector<ops::Tuple> SyntheticTrace(std::size_t n) {
+  Rng rng(33);
+  std::vector<ops::Tuple> trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.push_back(MakeTuple(i, rng.Uniform(0.0, 100.0),
+                              rng.Uniform(0.0, 4.0), rng.Uniform(0.0, 4.0),
+                              ops::AttributeValue{rng.Normal(20.0, 1.0)}));
+    trace.back().sensor_id = i % 37;
+  }
+  return trace;
+}
+
+TEST(TraceReplayTest, Validation) {
+  EXPECT_FALSE(TraceReplayNetwork::Make({}, geom::Rect()).ok());
+  TraceReplayNetwork::Options bad;
+  bad.horizon = -1.0;
+  EXPECT_FALSE(
+      TraceReplayNetwork::Make({}, geom::Rect(0, 0, 1, 1), bad).ok());
+}
+
+TEST(TraceReplayTest, ServesMatchingTuplesOnce) {
+  auto network =
+      TraceReplayNetwork::Make(SyntheticTrace(500), geom::Rect(0, 0, 4, 4))
+          .MoveValue();
+  AcquisitionRequest request;
+  request.attribute = 0;
+  request.region = geom::Rect(0, 0, 4, 4);
+  request.count = 1000;
+  request.now = 10.0;
+  request.response_spread = 5.0;
+  const auto first = network.SendRequests(request).MoveValue();
+  EXPECT_GT(first.size(), 0u);
+  for (const auto& tuple : first) {
+    EXPECT_GT(tuple.point.t, 10.0);
+    EXPECT_LE(tuple.point.t, 16.0);  // spread 5 + horizon 1
+  }
+  // Re-asking the same window returns nothing: tuples are consumed.
+  const auto second = network.SendRequests(request).MoveValue();
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(network.served(), first.size());
+  EXPECT_EQ(network.remaining(), 500u - first.size());
+}
+
+TEST(TraceReplayTest, FiltersByRegionAndAttribute) {
+  auto trace = SyntheticTrace(400);
+  // Half the tuples carry a different attribute.
+  for (std::size_t i = 0; i < trace.size(); i += 2) {
+    trace[i].attribute = 1;
+  }
+  auto network =
+      TraceReplayNetwork::Make(std::move(trace), geom::Rect(0, 0, 4, 4))
+          .MoveValue();
+  AcquisitionRequest request;
+  request.attribute = 1;
+  request.region = geom::Rect(0, 0, 2, 4);  // left half only
+  request.count = 1000;
+  request.now = 0.0;
+  request.response_spread = 100.0;
+  const auto responses = network.SendRequests(request).MoveValue();
+  EXPECT_GT(responses.size(), 0u);
+  for (const auto& tuple : responses) {
+    EXPECT_EQ(tuple.attribute, 1u);
+    EXPECT_LT(tuple.point.x, 2.0);
+  }
+}
+
+TEST(TraceReplayTest, RespectsCountLimit) {
+  auto network =
+      TraceReplayNetwork::Make(SyntheticTrace(500), geom::Rect(0, 0, 4, 4))
+          .MoveValue();
+  AcquisitionRequest request;
+  request.attribute = 0;
+  request.region = geom::Rect(0, 0, 4, 4);
+  request.count = 7;
+  request.now = 0.0;
+  request.response_spread = 100.0;
+  const auto responses = network.SendRequests(request).MoveValue();
+  EXPECT_EQ(responses.size(), 7u);
+}
+
+TEST(TraceReplayTest, AvailableSensorsCountsDistinctUnconsumed) {
+  auto network =
+      TraceReplayNetwork::Make(SyntheticTrace(500), geom::Rect(0, 0, 4, 4))
+          .MoveValue();
+  // 37 distinct sensor ids in the synthetic trace.
+  EXPECT_EQ(network.AvailableSensors(geom::Rect(0, 0, 4, 4)), 37u);
+  EXPECT_EQ(network.AvailableSensors(geom::Rect(10, 10, 11, 11)), 0u);
+}
+
+TEST(TraceReplayTest, RecordThenReplayIsDeterministic) {
+  // Capture a live crowd's responses, then replay them: the replayed
+  // network serves exactly the recorded tuples.
+  PopulationConfig pc;
+  pc.region = geom::Rect(0, 0, 4, 4);
+  pc.num_sensors = 100;
+  Rng rng(88);
+  auto population = SensorPopulation::Make(pc, &rng).MoveValue();
+  auto world =
+      CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+  TemperatureField::Params tp;
+  ResponseBehavior device = ResponseModel::DeviceBehavior();
+  const auto attr =
+      world
+          .RegisterAttribute("temp", false,
+                             TemperatureField::Make(tp).MoveValue(), device)
+          .MoveValue();
+
+  AcquisitionRequest request;
+  request.attribute = attr;
+  request.region = geom::Rect(0, 0, 4, 4);
+  request.count = 50;
+  request.now = 1.0;
+  request.response_spread = 1.0;
+  const auto recorded = world.SendRequests(request).MoveValue();
+  ASSERT_GT(recorded.size(), 20u);
+
+  // Round-trip through CSV, then replay.
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTrace(recorded, &out).ok());
+  std::istringstream in(out.str());
+  auto replayed_trace = ReadTrace(&in).MoveValue();
+  auto replay = TraceReplayNetwork::Make(std::move(replayed_trace),
+                                         geom::Rect(0, 0, 4, 4))
+                    .MoveValue();
+  const auto replay_responses = replay.SendRequests(request).MoveValue();
+  EXPECT_EQ(replay_responses.size(), recorded.size());
+}
+
+}  // namespace
+}  // namespace sensing
+}  // namespace craqr

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sensing/world.h"
+
+namespace craqr {
+namespace sensing {
+namespace {
+
+const geom::Rect kRegion(0, 0, 6, 6);
+
+CrowdWorld MakeWorld(std::size_t sensors, std::uint64_t seed = 10) {
+  PopulationConfig config;
+  config.region = kRegion;
+  config.num_sensors = sensors;
+  config.responsiveness_sigma = 0.0;
+  Rng rng(seed);
+  auto population = SensorPopulation::Make(config, &rng);
+  EXPECT_TRUE(population.ok());
+  return CrowdWorld::Make(population.MoveValue(), rng.Fork()).MoveValue();
+}
+
+FieldPtr ConstantTempField() {
+  TemperatureField::Params params;
+  params.noise_sigma = 0.0;
+  params.grad_x = 0.0;
+  params.grad_y = 0.0;
+  params.diurnal_amplitude = 0.0;
+  return TemperatureField::Make(params).MoveValue();
+}
+
+ResponseBehavior AlwaysRespond() {
+  ResponseBehavior behavior;
+  behavior.base_logit = 50.0;  // p ~ 1
+  behavior.delay_mu = -3.0;
+  behavior.delay_sigma = 0.1;
+  return behavior;
+}
+
+ResponseBehavior NeverRespond() {
+  ResponseBehavior behavior;
+  behavior.base_logit = -50.0;  // p ~ 0
+  return behavior;
+}
+
+TEST(CrowdWorldTest, AttributeRegistration) {
+  CrowdWorld world = MakeWorld(10);
+  const auto id =
+      world.RegisterAttribute("temp", false, ConstantTempField(),
+                              ResponseModel::DeviceBehavior());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(world.NumAttributes(), 1u);
+  // Duplicate name rejected.
+  EXPECT_EQ(world
+                .RegisterAttribute("temp", false, ConstantTempField(),
+                                   ResponseModel::DeviceBehavior())
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Lookup by name.
+  EXPECT_EQ(*world.AttributeIdByName("temp"), 0u);
+  EXPECT_FALSE(world.AttributeIdByName("rain").ok());
+  // Metadata round-trip.
+  const auto spec = world.GetAttribute(*id);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "temp");
+  EXPECT_FALSE(spec->human_sensed);
+  EXPECT_FALSE(world.GetAttribute(99).ok());
+}
+
+TEST(CrowdWorldTest, RegistrationValidation) {
+  CrowdWorld world = MakeWorld(10);
+  EXPECT_FALSE(world
+                   .RegisterAttribute("", false, ConstantTempField(),
+                                      ResponseModel::DeviceBehavior())
+                   .ok());
+  EXPECT_FALSE(world
+                   .RegisterAttribute("x", false, nullptr,
+                                      ResponseModel::DeviceBehavior())
+                   .ok());
+  ResponseBehavior bad;
+  bad.delay_sigma = -1.0;
+  EXPECT_FALSE(
+      world.RegisterAttribute("x", false, ConstantTempField(), bad).ok());
+}
+
+TEST(CrowdWorldTest, SendRequestsRespectsCount) {
+  CrowdWorld world = MakeWorld(200);
+  const auto id = world.RegisterAttribute("temp", false, ConstantTempField(),
+                                          AlwaysRespond());
+  ASSERT_TRUE(id.ok());
+  AcquisitionRequest request;
+  request.attribute = *id;
+  request.region = kRegion;
+  request.count = 50;
+  request.now = 10.0;
+  const auto responses = world.SendRequests(request);
+  ASSERT_TRUE(responses.ok());
+  // Everyone responds: exactly `count` tuples.
+  EXPECT_EQ(responses->size(), 50u);
+  EXPECT_EQ(world.total_requests_sent(), 50u);
+  EXPECT_EQ(world.total_responses(), 50u);
+  for (const auto& tuple : *responses) {
+    EXPECT_EQ(tuple.attribute, *id);
+    EXPECT_GT(tuple.point.t, request.now);  // delayed arrival
+    EXPECT_TRUE(kRegion.Contains(tuple.point.x, tuple.point.y));
+    EXPECT_TRUE(std::holds_alternative<double>(tuple.value));
+  }
+}
+
+TEST(CrowdWorldTest, TupleIdsAreUnique) {
+  CrowdWorld world = MakeWorld(100);
+  const auto id = world.RegisterAttribute("temp", false, ConstantTempField(),
+                                          AlwaysRespond());
+  ASSERT_TRUE(id.ok());
+  AcquisitionRequest request;
+  request.attribute = *id;
+  request.region = kRegion;
+  request.count = 30;
+  std::set<std::uint64_t> seen;
+  for (int round = 0; round < 5; ++round) {
+    request.now = round;
+    const auto responses = world.SendRequests(request);
+    ASSERT_TRUE(responses.ok());
+    for (const auto& tuple : *responses) {
+      EXPECT_TRUE(seen.insert(tuple.id).second);
+    }
+  }
+}
+
+TEST(CrowdWorldTest, NoRespondersMeansNoTuples) {
+  CrowdWorld world = MakeWorld(100);
+  const auto id = world.RegisterAttribute("rain", true, ConstantTempField(),
+                                          NeverRespond());
+  ASSERT_TRUE(id.ok());
+  AcquisitionRequest request;
+  request.attribute = *id;
+  request.region = kRegion;
+  request.count = 50;
+  const auto responses = world.SendRequests(request);
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE(responses->empty());
+}
+
+TEST(CrowdWorldTest, IncentiveRaisesResponseRate) {
+  ResponseBehavior human;
+  human.base_logit = -2.0;      // ~12% baseline
+  human.incentive_weight = 2.0; // strong incentive effect
+  CrowdWorld world = MakeWorld(300);
+  const auto id =
+      world.RegisterAttribute("rain", true, ConstantTempField(), human);
+  ASSERT_TRUE(id.ok());
+  AcquisitionRequest request;
+  request.attribute = *id;
+  request.region = kRegion;
+  request.count = 300;
+  request.incentive = 0.0;
+  const auto low = world.SendRequests(request);
+  ASSERT_TRUE(low.ok());
+  request.incentive = 3.0;  // logit -2 + 6 = 4 -> ~98%
+  const auto high = world.SendRequests(request);
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(high->size(), 3 * std::max<std::size_t>(low->size(), 1));
+}
+
+TEST(CrowdWorldTest, RequestsOutsideRegionFindNoSensors) {
+  CrowdWorld world = MakeWorld(100);
+  const auto id = world.RegisterAttribute("temp", false, ConstantTempField(),
+                                          AlwaysRespond());
+  ASSERT_TRUE(id.ok());
+  AcquisitionRequest request;
+  request.attribute = *id;
+  request.region = geom::Rect(100, 100, 101, 101);
+  request.count = 10;
+  const auto responses = world.SendRequests(request);
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE(responses->empty());
+  EXPECT_EQ(world.AvailableSensors(request.region), 0u);
+}
+
+TEST(CrowdWorldTest, UnknownAttributeRejected) {
+  CrowdWorld world = MakeWorld(10);
+  AcquisitionRequest request;
+  request.attribute = 7;
+  request.region = kRegion;
+  request.count = 1;
+  EXPECT_EQ(world.SendRequests(request).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CrowdWorldTest, OversubscribedCellSamplesWithReplacement) {
+  // Ask for more responses than sensors exist: sampling proceeds with
+  // replacement, so we still get ~count responses.
+  CrowdWorld world = MakeWorld(20);
+  const auto id = world.RegisterAttribute("temp", false, ConstantTempField(),
+                                          AlwaysRespond());
+  ASSERT_TRUE(id.ok());
+  AcquisitionRequest request;
+  request.attribute = *id;
+  request.region = kRegion;
+  request.count = 100;
+  const auto responses = world.SendRequests(request);
+  ASSERT_TRUE(responses.ok());
+  EXPECT_EQ(responses->size(), 100u);
+  // Sensors must repeat.
+  std::set<std::uint64_t> sensors;
+  for (const auto& tuple : *responses) {
+    sensors.insert(tuple.sensor_id);
+  }
+  EXPECT_LE(sensors.size(), 20u);
+}
+
+TEST(CrowdWorldTest, AdvanceMovesTime) {
+  CrowdWorld world = MakeWorld(10);
+  world.Advance(5.0);  // must not crash with static sensors
+  EXPECT_EQ(world.population().size(), 10u);
+}
+
+}  // namespace
+}  // namespace sensing
+}  // namespace craqr

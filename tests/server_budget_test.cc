@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "server/budget.h"
+
+namespace craqr {
+namespace server {
+namespace {
+
+BudgetConfig SmallConfig() {
+  BudgetConfig config;
+  config.initial = 10.0;
+  config.delta = 2.0;
+  config.min = 2.0;
+  config.max = 20.0;
+  config.violation_threshold = 5.0;
+  // Memoryless decreases for crisp unit-level behaviour; the patience
+  // mechanism is tested separately.
+  config.decrease_patience = 1;
+  return config;
+}
+
+const BudgetKey kKey{0, geom::CellIndex{1, 2}};
+
+TEST(BudgetManagerTest, Validation) {
+  BudgetConfig bad = SmallConfig();
+  bad.min = 0.0;
+  EXPECT_FALSE(BudgetManager::Make(bad).ok());
+  bad = SmallConfig();
+  bad.initial = 100.0;  // above max
+  EXPECT_FALSE(BudgetManager::Make(bad).ok());
+  bad = SmallConfig();
+  bad.delta = 0.0;
+  EXPECT_FALSE(BudgetManager::Make(bad).ok());
+  bad = SmallConfig();
+  bad.violation_threshold = 150.0;
+  EXPECT_FALSE(BudgetManager::Make(bad).ok());
+  EXPECT_TRUE(BudgetManager::Make(SmallConfig()).ok());
+}
+
+TEST(BudgetManagerTest, DefaultsToInitial) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 10.0);
+}
+
+TEST(BudgetManagerTest, IncreasesOnHighViolation) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  // N_v = 30% > 5% threshold -> budget += delta.
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 30.0), 12.0);
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 30.0), 14.0);
+  EXPECT_EQ(manager.increases(), 2u);
+}
+
+TEST(BudgetManagerTest, DecreasesOnLowViolation) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.5), 6.0);
+  EXPECT_EQ(manager.decreases(), 2u);
+}
+
+TEST(BudgetManagerTest, HoldsInsideHysteresisBand) {
+  // Between decrease_threshold (1%) and violation_threshold (5%) the
+  // budget holds steady instead of oscillating.
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 4.9), 10.0);
+  EXPECT_EQ(manager.increases(), 0u);
+  EXPECT_EQ(manager.decreases(), 0u);
+}
+
+TEST(BudgetManagerTest, PaperLiteralSymmetricRule) {
+  // decrease_threshold == violation_threshold recovers the paper's exact
+  // rule: any N_v at or below the threshold lowers the budget.
+  BudgetConfig config = SmallConfig();
+  config.decrease_threshold = config.violation_threshold;
+  auto manager = BudgetManager::Make(config).MoveValue();
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 4.9), 8.0);
+  EXPECT_EQ(manager.decreases(), 1u);
+}
+
+TEST(BudgetManagerTest, DecreasePatienceRequiresAStreak) {
+  BudgetConfig config = SmallConfig();
+  config.decrease_patience = 3;
+  auto manager = BudgetManager::Make(config).MoveValue();
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 10.0);  // streak 1
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 10.0);  // streak 2
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 8.0);   // streak 3
+  // A violation resets the streak.
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 50.0), 10.0);
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(manager.ReportViolation(kKey, 0.0), 8.0);
+}
+
+TEST(BudgetManagerTest, LowSupplyRatioBlocksDecrease) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  // Healthy N_v but the batch barely covered its target: hold.
+  EXPECT_DOUBLE_EQ(manager.ReportBatch(kKey, 0.0, 1.2), 10.0);
+  // Ample supply: decrease.
+  EXPECT_DOUBLE_EQ(manager.ReportBatch(kKey, 0.0, 5.0), 8.0);
+}
+
+TEST(BudgetManagerTest, DecreaseThresholdValidated) {
+  BudgetConfig config = SmallConfig();
+  config.decrease_threshold = config.violation_threshold + 1.0;
+  EXPECT_FALSE(BudgetManager::Make(config).ok());
+  config.decrease_threshold = -0.1;
+  EXPECT_FALSE(BudgetManager::Make(config).ok());
+}
+
+TEST(BudgetManagerTest, ClampsAtFloor) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  for (int i = 0; i < 20; ++i) {
+    manager.ReportViolation(kKey, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 2.0);
+}
+
+TEST(BudgetManagerTest, SaturatesAtCeilingAndFiresCallback) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  int infeasible_calls = 0;
+  manager.SetInfeasibleCallback(
+      [&infeasible_calls](const BudgetKey& key, double budget) {
+        EXPECT_EQ(key, kKey);
+        EXPECT_DOUBLE_EQ(budget, 20.0);
+        ++infeasible_calls;
+      });
+  // 5 increases reach the ceiling of 20; further violations fire the
+  // "accept the feasible rate or pay more" callback.
+  for (int i = 0; i < 8; ++i) {
+    manager.ReportViolation(kKey, 50.0);
+  }
+  EXPECT_TRUE(manager.IsSaturated(kKey));
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 20.0);
+  EXPECT_EQ(infeasible_calls, 3);
+  EXPECT_EQ(manager.infeasible_events(), 3u);
+}
+
+TEST(BudgetManagerTest, RecoversAfterSaturation) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  for (int i = 0; i < 8; ++i) {
+    manager.ReportViolation(kKey, 50.0);
+  }
+  EXPECT_TRUE(manager.IsSaturated(kKey));
+  manager.ReportViolation(kKey, 0.0);
+  EXPECT_FALSE(manager.IsSaturated(kKey));
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 18.0);
+}
+
+TEST(BudgetManagerTest, KeysAreIndependent) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  const BudgetKey other{1, geom::CellIndex{1, 2}};
+  manager.ReportViolation(kKey, 50.0);
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 12.0);
+  EXPECT_DOUBLE_EQ(manager.GetBudget(other), 10.0);
+  const BudgetKey other_cell{0, geom::CellIndex{2, 1}};
+  EXPECT_DOUBLE_EQ(manager.GetBudget(other_cell), 10.0);
+}
+
+TEST(BudgetManagerTest, ForgetResetsToInitial) {
+  auto manager = BudgetManager::Make(SmallConfig()).MoveValue();
+  manager.ReportViolation(kKey, 50.0);
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 12.0);
+  manager.Forget(kKey);
+  EXPECT_DOUBLE_EQ(manager.GetBudget(kKey), 10.0);
+}
+
+TEST(BudgetKeyTest, HashDistinguishesComponents) {
+  const BudgetKeyHash hash;
+  EXPECT_NE(hash(BudgetKey{0, geom::CellIndex{1, 2}}),
+            hash(BudgetKey{0, geom::CellIndex{2, 1}}));
+  EXPECT_NE(hash(BudgetKey{0, geom::CellIndex{1, 2}}),
+            hash(BudgetKey{1, geom::CellIndex{1, 2}}));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace craqr

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "server/incentive.h"
+
+namespace craqr {
+namespace server {
+namespace {
+
+IncentiveConfig SmallConfig() {
+  IncentiveConfig config;
+  config.initial = 1.0;
+  config.raise_step = 0.5;
+  config.decay_factor = 0.9;
+  config.max = 3.0;
+  config.min = 0.1;
+  config.violation_threshold = 5.0;
+  return config;
+}
+
+TEST(IncentiveTest, Validation) {
+  IncentiveConfig bad = SmallConfig();
+  bad.initial = 10.0;  // above max
+  EXPECT_FALSE(IncentiveController::Make(bad).ok());
+  bad = SmallConfig();
+  bad.raise_step = 0.0;
+  EXPECT_FALSE(IncentiveController::Make(bad).ok());
+  bad = SmallConfig();
+  bad.decay_factor = 1.5;
+  EXPECT_FALSE(IncentiveController::Make(bad).ok());
+  bad = SmallConfig();
+  bad.violation_threshold = -1.0;
+  EXPECT_FALSE(IncentiveController::Make(bad).ok());
+  EXPECT_TRUE(IncentiveController::Make(SmallConfig()).ok());
+}
+
+TEST(IncentiveTest, StartsAtInitial) {
+  auto controller = IncentiveController::Make(SmallConfig()).MoveValue();
+  EXPECT_DOUBLE_EQ(controller.GetIncentive(0), 1.0);
+}
+
+TEST(IncentiveTest, RaisesOnlyWhenBudgetSaturated) {
+  auto controller = IncentiveController::Make(SmallConfig()).MoveValue();
+  // High violation, budget NOT saturated: budget tuning should act first,
+  // incentive unchanged.
+  EXPECT_DOUBLE_EQ(controller.Update(0, 50.0, /*budget_saturated=*/false),
+                   1.0);
+  // Saturated: raise.
+  EXPECT_DOUBLE_EQ(controller.Update(0, 50.0, /*budget_saturated=*/true),
+                   1.5);
+  EXPECT_EQ(controller.raises(), 1u);
+}
+
+TEST(IncentiveTest, ClampsAtMax) {
+  auto controller = IncentiveController::Make(SmallConfig()).MoveValue();
+  for (int i = 0; i < 20; ++i) {
+    controller.Update(0, 50.0, true);
+  }
+  EXPECT_DOUBLE_EQ(controller.GetIncentive(0), 3.0);
+}
+
+TEST(IncentiveTest, DecaysWhenViolationsLow) {
+  auto controller = IncentiveController::Make(SmallConfig()).MoveValue();
+  controller.Update(0, 50.0, true);  // 1.5
+  EXPECT_NEAR(controller.Update(0, 1.0, false), 1.35, 1e-12);
+  EXPECT_NEAR(controller.Update(0, 0.0, true), 1.215, 1e-12);
+}
+
+TEST(IncentiveTest, DecayStopsAtFloor) {
+  auto controller = IncentiveController::Make(SmallConfig()).MoveValue();
+  for (int i = 0; i < 200; ++i) {
+    controller.Update(0, 0.0, false);
+  }
+  EXPECT_DOUBLE_EQ(controller.GetIncentive(0), 0.1);
+}
+
+TEST(IncentiveTest, AttributesAreIndependent) {
+  auto controller = IncentiveController::Make(SmallConfig()).MoveValue();
+  controller.Update(0, 50.0, true);
+  EXPECT_DOUBLE_EQ(controller.GetIncentive(0), 1.5);
+  EXPECT_DOUBLE_EQ(controller.GetIncentive(1), 1.0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace craqr
