@@ -1,0 +1,241 @@
+/// \file bench_sharded_throughput.cc
+/// \brief Sharded-runtime scaling sweep: tuples/sec for shards ∈ {1,2,4,8}.
+///
+/// Drives the multi-query operator-throughput workload (many overlapping
+/// acquisitional queries over an 8x8-cell grid, dense monotone-time tuple
+/// batches) through the single-threaded StreamFabricator and through the
+/// runtime::ShardedFabricator at increasing shard counts, using the
+/// pipelined EnqueueBatch path so shard workers overlap with routing.
+/// Prints tuples/sec per configuration and the speedup over one shard.
+///
+/// Scaling is bounded by std::thread::hardware_concurrency(): on a
+/// single-core container every configuration serializes onto one CPU and
+/// speedups hover near (or slightly below) 1x; the >= 2x target at four
+/// shards needs >= 4 physical cores.
+///
+/// Usage: bench_sharded_throughput [batches] [batch_size] [queries]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/fabricator.h"
+#include "runtime/sharded_fabricator.h"
+
+namespace {
+
+using namespace craqr;  // NOLINT
+
+constexpr double kWorldSize = 8.0;
+
+geom::Grid BenchGrid() {
+  return geom::Grid::Make(geom::Rect(0, 0, kWorldSize, kWorldSize), 64)
+      .MoveValue();
+}
+
+fabric::FabricConfig BenchFabricConfig() {
+  fabric::FabricConfig config;
+  config.flatten_batch_size = 64;
+  config.seed = 0xBE7CB;
+  return config;
+}
+
+/// Overlapping multi-query mix: full-region monitors, quadrant queries and
+/// small roaming rectangles across two attributes.
+template <typename Fab>
+bool InsertQueries(Fab* fab, std::size_t queries) {
+  Rng rng(17);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const ops::AttributeId attribute = i % 3 == 0 ? 1 : 0;
+    geom::Rect region(0, 0, kWorldSize, kWorldSize);
+    if (i % 4 == 1) {
+      region = geom::Rect(0, 0, kWorldSize / 2, kWorldSize);
+    } else if (i % 4 == 2) {
+      const double x0 = rng.Uniform(0.0, kWorldSize - 2.0);
+      const double y0 = rng.Uniform(0.0, kWorldSize - 2.0);
+      region = geom::Rect(x0, y0, x0 + 2.0, y0 + 2.0);
+    }
+    const double rate = 0.5 + static_cast<double>(i % 6);
+    if (!fab->InsertQuery(attribute, region, rate).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<ops::Tuple>> MakeBatches(std::size_t batches,
+                                                 std::size_t batch_size) {
+  Rng rng(23);
+  double t = 0.0;
+  std::uint64_t id = 1;
+  std::vector<std::vector<ops::Tuple>> out;
+  out.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::vector<ops::Tuple> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      ops::Tuple tuple;
+      tuple.id = id++;
+      tuple.attribute = i % 3 == 0 ? 1 : 0;
+      t += 0.0005;
+      tuple.point = geom::SpaceTimePoint{t, rng.Uniform(0.0, kWorldSize),
+                                         rng.Uniform(0.0, kWorldSize)};
+      batch.push_back(tuple);
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+struct RunResult {
+  double tuples_per_sec = 0.0;
+  std::uint64_t routed = 0;
+};
+
+/// Pumps every batch and reports end-to-end tuples/sec (routing + shard
+/// processing + merge). `pump` owns the per-path batch submission.
+template <typename PumpFn>
+RunResult TimedRun(const std::vector<std::vector<ops::Tuple>>& batches,
+                   PumpFn&& pump) {
+  const auto start = std::chrono::steady_clock::now();
+  pump();
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  std::size_t total = 0;
+  for (const auto& batch : batches) {
+    total += batch.size();
+  }
+  RunResult result;
+  result.tuples_per_sec =
+      seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+  return result;
+}
+
+RunResult RunSingleThreaded(const std::vector<std::vector<ops::Tuple>>& batches,
+                            std::size_t queries) {
+  auto fab =
+      fabric::StreamFabricator::Make(BenchGrid(), BenchFabricConfig())
+          .MoveValue();
+  if (!InsertQueries(fab.get(), queries)) {
+    std::fprintf(stderr, "query insertion failed\n");
+    std::exit(1);
+  }
+  auto result = TimedRun(batches, [&] {
+    for (const auto& batch : batches) {
+      if (!fab->ProcessBatch(batch).ok()) {
+        std::fprintf(stderr, "ProcessBatch failed\n");
+        std::exit(1);
+      }
+    }
+  });
+  result.routed = fab->tuples_routed();
+  return result;
+}
+
+RunResult RunSharded(const std::vector<std::vector<ops::Tuple>>& batches,
+                     std::size_t queries, std::size_t num_shards) {
+  runtime::ShardedConfig config;
+  config.num_shards = num_shards;
+  config.fabric = BenchFabricConfig();
+  auto fab = runtime::ShardedFabricator::Make(BenchGrid(), config).MoveValue();
+  if (!InsertQueries(fab.get(), queries)) {
+    std::fprintf(stderr, "query insertion failed\n");
+    std::exit(1);
+  }
+  auto result = TimedRun(batches, [&] {
+    for (const auto& batch : batches) {
+      if (!fab->EnqueueBatch(batch).ok()) {
+        std::fprintf(stderr, "EnqueueBatch failed\n");
+        std::exit(1);
+      }
+    }
+    if (!fab->Drain().ok()) {
+      std::fprintf(stderr, "Drain failed\n");
+      std::exit(1);
+    }
+  });
+  const auto stats = fab->TrySnapshot();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "TrySnapshot failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  result.routed = stats->tuples_routed;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // std::stoul alone accepts "-5" (wrapping to a huge unsigned), so args
+  // must be all-digits, and are capped to keep allocations sane.
+  constexpr std::size_t kMaxArg = 1u << 24;
+  const auto parse_arg = [&](int index, std::size_t fallback) {
+    if (argc <= index) {
+      return fallback;
+    }
+    const std::string text = argv[index];
+    std::size_t value = 0;
+    try {
+      if (text.empty() ||
+          text.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument(text);
+      }
+      value = static_cast<std::size_t>(std::stoul(text));
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "invalid argument '%s' (expected 0..%zu)\n"
+                   "usage: %s [batches] [batch_size] [queries]\n",
+                   argv[index], kMaxArg, argv[0]);
+      std::exit(2);
+    }
+    return std::min(value, kMaxArg);
+  };
+  const std::size_t batches = parse_arg(1, 150);
+  const std::size_t batch_size = parse_arg(2, 512);
+  const std::size_t queries = parse_arg(3, 24);
+
+  std::printf("sharded-runtime throughput sweep\n");
+  std::printf("  workload: %zu queries, %zu batches x %zu tuples\n", queries,
+              batches, batch_size);
+  std::printf("  hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-28s %14s %12s %10s\n", "configuration", "tuples/sec",
+              "routed", "speedup");
+
+  const auto all_batches = MakeBatches(batches, batch_size);
+
+  const RunResult base = RunSingleThreaded(all_batches, queries);
+  std::printf("%-28s %14.0f %12llu %9s\n", "fabricator (in-process)",
+              base.tuples_per_sec,
+              static_cast<unsigned long long>(base.routed), "-");
+
+  double one_shard = 0.0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const RunResult r = RunSharded(all_batches, queries, shards);
+    if (shards == 1) {
+      one_shard = r.tuples_per_sec;
+    }
+    const std::string label = "sharded, " + std::to_string(shards) +
+                              (shards == 1 ? " shard" : " shards");
+    std::printf("%-28s %14.0f %12llu %9.2fx\n", label.c_str(),
+                r.tuples_per_sec, static_cast<unsigned long long>(r.routed),
+                one_shard > 0.0 ? r.tuples_per_sec / one_shard : 0.0);
+    if (r.routed != base.routed) {
+      std::fprintf(stderr,
+                   "FAIL: sharded routed %llu tuples, baseline routed %llu\n",
+                   static_cast<unsigned long long>(r.routed),
+                   static_cast<unsigned long long>(base.routed));
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -9,23 +9,26 @@ namespace craqr {
 
 namespace {
 
-std::uint64_t SplitMix64(std::uint64_t* state) {
-  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 std::uint64_t Rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
 }  // namespace
 
+std::uint64_t SplitMix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 Rng::Rng(std::uint64_t seed) {
+  // Bit-identical to the classic stateful SplitMix64 loop: each word mixes
+  // seed + k * golden-gamma.
   std::uint64_t sm = seed;
   for (auto& word : state_) {
-    word = SplitMix64(&sm);
+    word = SplitMix64(sm);
+    sm += 0x9E3779B97F4A7C15ULL;
   }
 }
 

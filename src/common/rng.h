@@ -12,6 +12,11 @@
 
 namespace craqr {
 
+/// \brief SplitMix64 finalizer: mixes one word into a well-distributed
+/// 64-bit value. The single source of truth for seed-derivation chains
+/// (Rng seeding, StreamFabricator::OperatorSeed).
+std::uint64_t SplitMix64(std::uint64_t z);
+
 /// \brief Counter-free 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
 ///
 /// Not thread-safe; use one Rng per thread or component.  The generator is

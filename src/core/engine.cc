@@ -11,12 +11,14 @@ namespace engine {
 CraqrEngine::CraqrEngine(sensing::CrowdWorld world, const geom::Grid& grid,
                          const EngineConfig& config,
                          std::unique_ptr<fabric::StreamFabricator> fabricator,
+                         std::unique_ptr<runtime::ShardedFabricator> sharded,
                          server::BudgetManager budgets,
                          server::IncentiveController incentives)
     : world_(std::move(world)),
       grid_(grid),
       config_(config),
       fabricator_(std::move(fabricator)),
+      sharded_(std::move(sharded)),
       budgets_(std::move(budgets)),
       incentives_(std::move(incentives)) {}
 
@@ -25,11 +27,24 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
   if (!(config.step_dt > 0.0)) {
     return Status::InvalidArgument("step_dt must be > 0");
   }
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
   CRAQR_ASSIGN_OR_RETURN(
       geom::Grid grid,
       geom::Grid::Make(world.population().region(), config.grid_h));
-  CRAQR_ASSIGN_OR_RETURN(auto fabricator,
-                         fabric::StreamFabricator::Make(grid, config.fabric));
+  std::unique_ptr<fabric::StreamFabricator> fabricator;
+  std::unique_ptr<runtime::ShardedFabricator> sharded;
+  if (config.num_shards == 1) {
+    CRAQR_ASSIGN_OR_RETURN(fabricator,
+                           fabric::StreamFabricator::Make(grid, config.fabric));
+  } else {
+    runtime::ShardedConfig sc;
+    sc.num_shards = config.num_shards;
+    sc.queue_capacity = config.shard_queue_capacity;
+    sc.fabric = config.fabric;
+    CRAQR_ASSIGN_OR_RETURN(sharded, runtime::ShardedFabricator::Make(grid, sc));
+  }
   CRAQR_ASSIGN_OR_RETURN(server::BudgetManager budgets,
                          server::BudgetManager::Make(config.budget));
   CRAQR_ASSIGN_OR_RETURN(server::IncentiveController incentives,
@@ -37,7 +52,8 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
 
   auto engine = std::unique_ptr<CraqrEngine>(
       new CraqrEngine(std::move(world), grid, config, std::move(fabricator),
-                      std::move(budgets), std::move(incentives)));
+                      std::move(sharded), std::move(budgets),
+                      std::move(incentives)));
 
   // The handler needs stable pointers into the engine, so it is built
   // after the engine object exists.
@@ -51,11 +67,18 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
   // N_v into the budget manager; optionally incentives react once budgets
   // saturate (Section VI extension).
   CraqrEngine* raw = engine.get();
-  engine->fabricator_->SetViolationCallback(
+  const fabric::ViolationCallback on_violation =
       [raw](ops::AttributeId attribute, const geom::CellIndex& cell,
             const ops::FlattenBatchReport& report) {
         raw->OnViolationReport(attribute, cell, report);
-      });
+      };
+  if (engine->fabricator_ != nullptr) {
+    engine->fabricator_->SetViolationCallback(on_violation);
+  } else {
+    // Shard workers buffer reports; the runtime replays them on the
+    // engine's thread at batch boundaries, so this stays single-threaded.
+    engine->sharded_->SetViolationCallback(on_violation);
+  }
   engine->budgets_.SetInfeasibleCallback(
       [raw](const server::BudgetKey& key, double budget) {
         (void)budget;
@@ -85,11 +108,17 @@ Result<fabric::QueryStream> CraqrEngine::Submit(
   CRAQR_RETURN_NOT_OK(q.Validate());
   CRAQR_ASSIGN_OR_RETURN(const ops::AttributeId attribute,
                          world_.AttributeIdByName(q.attribute));
-  CRAQR_ASSIGN_OR_RETURN(fabric::QueryStream stream,
-                         fabricator_->InsertQuery(attribute, q.region,
-                                                  q.rate));
-  CRAQR_ASSIGN_OR_RETURN(std::vector<geom::CellIndex> cells,
-                         fabricator_->QueryCells(stream.id));
+  fabric::QueryStream stream;
+  std::vector<geom::CellIndex> cells;
+  if (sharded_ != nullptr) {
+    CRAQR_ASSIGN_OR_RETURN(stream,
+                           sharded_->InsertQuery(attribute, q.region, q.rate));
+    CRAQR_ASSIGN_OR_RETURN(cells, sharded_->QueryCells(stream.id));
+  } else {
+    CRAQR_ASSIGN_OR_RETURN(
+        stream, fabricator_->InsertQuery(attribute, q.region, q.rate));
+    CRAQR_ASSIGN_OR_RETURN(cells, fabricator_->QueryCells(stream.id));
+  }
   for (const auto& cell : cells) {
     CRAQR_RETURN_NOT_OK(handler_->Subscribe(attribute, cell));
   }
@@ -103,11 +132,17 @@ Result<fabric::QueryStream> CraqrEngine::SubmitText(const std::string& text) {
 }
 
 Status CraqrEngine::Cancel(query::QueryId id) {
-  CRAQR_ASSIGN_OR_RETURN(const fabric::QueryStream stream,
-                         fabricator_->GetStream(id));
-  CRAQR_ASSIGN_OR_RETURN(std::vector<geom::CellIndex> cells,
-                         fabricator_->QueryCells(id));
-  CRAQR_RETURN_NOT_OK(fabricator_->RemoveQuery(id));
+  fabric::QueryStream stream;
+  std::vector<geom::CellIndex> cells;
+  if (sharded_ != nullptr) {
+    CRAQR_ASSIGN_OR_RETURN(stream, sharded_->GetStream(id));
+    CRAQR_ASSIGN_OR_RETURN(cells, sharded_->QueryCells(id));
+    CRAQR_RETURN_NOT_OK(sharded_->RemoveQuery(id));
+  } else {
+    CRAQR_ASSIGN_OR_RETURN(stream, fabricator_->GetStream(id));
+    CRAQR_ASSIGN_OR_RETURN(cells, fabricator_->QueryCells(id));
+    CRAQR_RETURN_NOT_OK(fabricator_->RemoveQuery(id));
+  }
   for (const auto& cell : cells) {
     CRAQR_RETURN_NOT_OK(handler_->Unsubscribe(stream.attribute, cell));
   }
@@ -118,7 +153,44 @@ Status CraqrEngine::Step() {
   now_ += config_.step_dt;
   world_.Advance(config_.step_dt);
   CRAQR_ASSIGN_OR_RETURN(std::vector<ops::Tuple> batch, handler_->Step(now_));
-  return fabricator_->ProcessBatch(batch);
+  return sharded_ != nullptr ? sharded_->ProcessBatch(batch)
+                             : fabricator_->ProcessBatch(batch);
+}
+
+runtime::ShardedStats CraqrEngine::Stats() const {
+  if (sharded_ != nullptr) {
+    return sharded_->Snapshot();
+  }
+  runtime::ShardedStats stats;
+  stats.tuples_routed = fabricator_->tuples_routed();
+  stats.tuples_unrouted = fabricator_->tuples_unrouted();
+  stats.total_operator_evaluations = fabricator_->TotalOperatorEvaluations();
+  stats.total_operators = fabricator_->TotalOperators();
+  stats.materialized_cells = fabricator_->NumMaterializedCells();
+  stats.live_queries = fabricator_->NumQueries();
+  return stats;
+}
+
+std::uint64_t CraqrEngine::TuplesRouted() const {
+  return Stats().tuples_routed;
+}
+
+std::uint64_t CraqrEngine::TuplesUnrouted() const {
+  return Stats().tuples_unrouted;
+}
+
+std::uint64_t CraqrEngine::TotalOperatorEvaluations() const {
+  return Stats().total_operator_evaluations;
+}
+
+std::size_t CraqrEngine::NumLiveQueries() const {
+  return sharded_ != nullptr ? sharded_->NumQueries()
+                             : fabricator_->NumQueries();
+}
+
+Status CraqrEngine::ValidateTopology() const {
+  return sharded_ != nullptr ? sharded_->ValidateInvariants()
+                             : fabricator_->ValidateInvariants();
 }
 
 Status CraqrEngine::RunFor(double minutes) {

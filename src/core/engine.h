@@ -1,15 +1,18 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/result.h"
 #include "fabric/fabricator.h"
 #include "geometry/grid.h"
 #include "query/query.h"
+#include "runtime/sharded_fabricator.h"
 #include "sensing/world.h"
 #include "server/budget.h"
 #include "server/handler.h"
@@ -45,6 +48,18 @@ struct EngineConfig {
   bool enable_incentives = false;
   /// Incentive-policy parameters (used when enable_incentives).
   server::IncentiveConfig incentive;
+  /// \brief Execution shards. 1 (the default) keeps today's in-process
+  /// single-threaded StreamFabricator; >= 2 routes batches through the
+  /// sharded runtime (runtime::ShardedFabricator), one worker thread per
+  /// shard. Cell-local operator seeding makes the delivered streams
+  /// identical either way for a fixed master seed — except under
+  /// enable_incentives, whose order-sensitive feedback may drift slightly
+  /// across shard counts (see the caveat in sharded_fabricator.h); runs
+  /// stay deterministic for a fixed shard count regardless.
+  std::size_t num_shards = 1;
+  /// Sub-batches each shard queue buffers before back-pressure (used when
+  /// num_shards >= 2).
+  std::size_t shard_queue_capacity = 64;
 };
 
 /// \brief The CrAQR engine.
@@ -87,7 +102,22 @@ class CraqrEngine {
   ///@{
   const sensing::CrowdWorld& world() const { return world_; }
   sensing::CrowdWorld& world() { return world_; }
-  const fabric::StreamFabricator& fabricator() const { return *fabricator_; }
+  /// The in-process fabricator; only valid when config.num_shards == 1
+  /// (IsSharded() false). Aborts with a diagnostic instead of
+  /// dereferencing null when the engine is sharded — use the
+  /// execution-path-independent aggregates below for code that must work
+  /// either way.
+  const fabric::StreamFabricator& fabricator() const {
+    if (fabricator_ == nullptr) {
+      CRAQR_LOG(ERROR) << "CraqrEngine::fabricator() called on a sharded "
+                          "engine (num_shards >= 2); use sharded() or the "
+                          "aggregate accessors";
+      std::abort();
+    }
+    return *fabricator_;
+  }
+  /// The sharded runtime; nullptr when config.num_shards == 1.
+  const runtime::ShardedFabricator* sharded() const { return sharded_.get(); }
   const server::BudgetManager& budgets() const { return budgets_; }
   const server::RequestResponseHandler& handler() const { return *handler_; }
   const server::IncentiveController& incentives() const {
@@ -103,10 +133,30 @@ class CraqrEngine {
     return infeasible_log_;
   }
 
+  /// True when batches run through the sharded runtime.
+  bool IsSharded() const { return sharded_ != nullptr; }
+
+  /// \name Execution-path-independent aggregates
+  /// Dispatch to the in-process fabricator or aggregate across shards.
+  /// When sharded, every accessor (and Stats()) costs one cross-shard
+  /// barrier — callers needing several counters should take one Stats()
+  /// snapshot instead of chaining the scalar accessors.
+  ///@{
+  runtime::ShardedStats Stats() const;
+  std::uint64_t TuplesRouted() const;
+  std::uint64_t TuplesUnrouted() const;
+  std::uint64_t TotalOperatorEvaluations() const;
+  std::size_t NumLiveQueries() const;
+  /// Structural self-check of the Section-V topology rules on whichever
+  /// execution path is active.
+  Status ValidateTopology() const;
+  ///@}
+
  private:
   CraqrEngine(sensing::CrowdWorld world, const geom::Grid& grid,
               const EngineConfig& config,
               std::unique_ptr<fabric::StreamFabricator> fabricator,
+              std::unique_ptr<runtime::ShardedFabricator> sharded,
               server::BudgetManager budgets,
               server::IncentiveController incentives);
 
@@ -117,7 +167,9 @@ class CraqrEngine {
   sensing::CrowdWorld world_;
   geom::Grid grid_;
   EngineConfig config_;
+  /// Exactly one of fabricator_ / sharded_ is set (num_shards == 1 vs >= 2).
   std::unique_ptr<fabric::StreamFabricator> fabricator_;
+  std::unique_ptr<runtime::ShardedFabricator> sharded_;
   server::BudgetManager budgets_;
   server::IncentiveController incentives_;
   std::optional<server::RequestResponseHandler> handler_;

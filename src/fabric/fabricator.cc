@@ -21,6 +21,53 @@ bool RatesEqual(double a, double b) {
 
 }  // namespace
 
+Result<ops::Operator*> BuildMergeStage(
+    QueryStream* stream, ops::Pipeline* pipeline,
+    const std::vector<geom::CellOverlap>& overlaps, double monitor_window,
+    std::size_t sink_capacity) {
+  std::ostringstream base;
+  base << "Q" << stream->id;
+  ops::Operator* merge_head = nullptr;
+  if (overlaps.size() >= 2) {
+    std::vector<geom::Rect> pieces;
+    pieces.reserve(overlaps.size());
+    for (const auto& overlap : overlaps) {
+      pieces.push_back(overlap.region);
+    }
+    CRAQR_ASSIGN_OR_RETURN(
+        auto union_owned,
+        ops::UnionOperator::Make(base.str() + "-union", std::move(pieces)));
+    merge_head = pipeline->Add(std::move(union_owned));
+  } else {
+    CRAQR_ASSIGN_OR_RETURN(
+        auto pass_owned, ops::PassThroughOperator::Make(base.str() + "-merge"));
+    merge_head = pipeline->Add(std::move(pass_owned));
+  }
+  CRAQR_ASSIGN_OR_RETURN(
+      auto monitor_owned,
+      ops::RateMonitorOperator::Make(base.str() + "-monitor", monitor_window,
+                                     stream->region.Area()));
+  ops::RateMonitorOperator* monitor = pipeline->Add(std::move(monitor_owned));
+  CRAQR_ASSIGN_OR_RETURN(
+      auto sink_owned,
+      ops::SinkOperator::Make(base.str() + "-sink", sink_capacity));
+  ops::SinkOperator* sink = pipeline->Add(std::move(sink_owned));
+  merge_head->AddOutput(monitor);
+  monitor->AddOutput(sink);
+  stream->monitor = monitor;
+  stream->sink = sink;
+  return merge_head;
+}
+
+std::uint64_t StreamFabricator::OperatorSeed(const geom::CellIndex& index,
+                                             ops::AttributeId attribute,
+                                             std::uint64_t seq) const {
+  std::uint64_t s = SplitMix64(config_.seed);
+  s = SplitMix64(s ^ ((static_cast<std::uint64_t>(index.q) << 32) | index.r));
+  s = SplitMix64(s ^ attribute);
+  return SplitMix64(s ^ seq);
+}
+
 Result<std::unique_ptr<StreamFabricator>> StreamFabricator::Make(
     const geom::Grid& grid, const FabricConfig& config) {
   if (!(config.headroom > 1.0)) {
@@ -75,16 +122,17 @@ Result<StreamFabricator::Chain*> StreamFabricator::GetOrCreateChain(
   fc.min_batch_for_estimation = config_.flatten_min_batch_for_estimation;
   std::ostringstream name;
   name << "F[a" << attribute << "]" << index.ToString();
-  CRAQR_ASSIGN_OR_RETURN(auto flatten,
-                         ops::FlattenOperator::Make(name.str(), fc,
-                                                    rng_.Fork()));
+  Chain chain;
+  CRAQR_ASSIGN_OR_RETURN(
+      auto flatten,
+      ops::FlattenOperator::Make(
+          name.str(), fc, Rng(OperatorSeed(index, attribute, chain.op_seq++))));
   flatten->SetReportCallback(
       [this, attribute, index](const ops::FlattenBatchReport& report) {
         if (violation_callback_) {
           violation_callback_(attribute, index, report);
         }
       });
-  Chain chain;
   chain.flatten = cell->pipeline.Add(std::move(flatten));
   chain.f_target = fc.target_rate;
   auto emplaced = cell->chains.emplace(attribute, std::move(chain));
@@ -144,9 +192,11 @@ Status StreamFabricator::InsertTap(QueryState* qs,
     std::ostringstream name;
     name << "T[a" << qs->stream.attribute << "]" << index.ToString() << "("
          << input_rate << "->" << rate << ")";
-    CRAQR_ASSIGN_OR_RETURN(auto thin_owned,
-                           ops::ThinOperator::Make(name.str(), input_rate,
-                                                   rate, rng_.Fork()));
+    CRAQR_ASSIGN_OR_RETURN(
+        auto thin_owned,
+        ops::ThinOperator::Make(
+            name.str(), input_rate, rate,
+            Rng(OperatorSeed(index, qs->stream.attribute, chain->op_seq++))));
     ops::ThinOperator* thin = cell->pipeline.Add(std::move(thin_owned));
     ops::Operator* prev =
         pos == 0 ? static_cast<ops::Operator*>(chain->flatten)
@@ -224,50 +274,61 @@ Result<QueryStream> StreamFabricator::InsertQuery(ops::AttributeId attribute,
   qs.stream.region = *clipped;
   qs.stream.rate = rate;
 
-  // Merge stage (paper Fig. 2(c)): U over the per-cell partial streams,
-  // then a delivered-rate monitor, then the user-facing sink.
-  std::ostringstream base;
-  base << "Q" << id;
-  if (overlaps.size() >= 2) {
-    std::vector<geom::Rect> pieces;
-    pieces.reserve(overlaps.size());
-    for (const auto& overlap : overlaps) {
-      pieces.push_back(overlap.region);
-    }
-    CRAQR_ASSIGN_OR_RETURN(
-        auto union_owned,
-        ops::UnionOperator::Make(base.str() + "-union", std::move(pieces)));
-    qs.merge_head = qs.merge_pipeline.Add(std::move(union_owned));
-  } else {
-    CRAQR_ASSIGN_OR_RETURN(
-        auto pass_owned,
-        ops::PassThroughOperator::Make(base.str() + "-merge"));
-    qs.merge_head = qs.merge_pipeline.Add(std::move(pass_owned));
-  }
   CRAQR_ASSIGN_OR_RETURN(
-      auto monitor_owned,
-      ops::RateMonitorOperator::Make(base.str() + "-monitor",
-                                     config_.monitor_window,
-                                     clipped->Area()));
-  ops::RateMonitorOperator* monitor =
-      qs.merge_pipeline.Add(std::move(monitor_owned));
-  CRAQR_ASSIGN_OR_RETURN(auto sink_owned,
-                         ops::SinkOperator::Make(base.str() + "-sink",
-                                                 config_.sink_capacity));
-  ops::SinkOperator* sink = qs.merge_pipeline.Add(std::move(sink_owned));
-  qs.merge_head->AddOutput(monitor);
-  monitor->AddOutput(sink);
-  qs.stream.monitor = monitor;
-  qs.stream.sink = sink;
+      qs.merge_head,
+      BuildMergeStage(&qs.stream, &qs.merge_pipeline, overlaps,
+                      config_.monitor_window, config_.sink_capacity));
 
+  return FinishInsert(std::move(qs), overlaps, rate);
+}
+
+Result<QueryStream> StreamFabricator::FinishInsert(
+    QueryState qs, const std::vector<geom::CellOverlap>& overlaps,
+    double rate) {
   // Process stage: one tap per overlapped cell.
   for (const auto& overlap : overlaps) {
     CRAQR_RETURN_NOT_OK(InsertTap(&qs, overlap, rate));
   }
 
   const QueryStream handle = qs.stream;
-  queries_.emplace(id, std::move(qs));
+  queries_.emplace(handle.id, std::move(qs));
   return handle;
+}
+
+Result<QueryStream> StreamFabricator::InsertQueryPartial(
+    ops::AttributeId attribute, const geom::Rect& region, double rate,
+    const std::vector<geom::CellOverlap>& overlaps,
+    ops::SinkOperator::Callback on_deliver) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("query rate must be > 0");
+  }
+  if (overlaps.empty()) {
+    return Status::InvalidArgument("partial query needs at least one cell");
+  }
+
+  const query::QueryId id = next_query_id_++;
+  QueryState qs;
+  qs.stream.id = id;
+  qs.stream.attribute = attribute;
+  qs.stream.region = region;
+  qs.stream.rate = rate;
+
+  // No U merge and no rate monitor here: the per-cell partial streams of
+  // this fabricator converge in a bare forwarding sink, and the caller
+  // merges across fabricators (paper Fig. 2(c)'s U stage, lifted one level
+  // up by the sharded runtime). Capacity 1: tuples leave via the callback.
+  std::ostringstream base;
+  base << "Q" << id;
+  CRAQR_ASSIGN_OR_RETURN(
+      auto sink_owned,
+      ops::SinkOperator::Make(base.str() + "-partial-sink", 1,
+                              std::move(on_deliver)));
+  ops::SinkOperator* sink = qs.merge_pipeline.Add(std::move(sink_owned));
+  qs.merge_head = sink;
+  qs.stream.sink = sink;
+  qs.stream.monitor = nullptr;
+
+  return FinishInsert(std::move(qs), overlaps, rate);
 }
 
 Status StreamFabricator::RemoveTap(QueryState* qs, const Tap& tap) {

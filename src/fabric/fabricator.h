@@ -89,6 +89,18 @@ using ViolationCallback = std::function<void(
     ops::AttributeId attribute, const geom::CellIndex& cell,
     const ops::FlattenBatchReport& report)>;
 
+/// \brief Builds a query's merge stage (paper Fig. 2(c)) into `pipeline`:
+/// a U operator over the per-cell overlap pieces (pass-through when the
+/// query touches a single cell), a delivered-rate monitor over the clipped
+/// region `stream->region`, and the user-facing sink. Sets the handle's
+/// monitor/sink pointers and returns the stage's input operator. Shared by
+/// StreamFabricator and the sharded runtime's router so the two execution
+/// paths cannot diverge.
+Result<ops::Operator*> BuildMergeStage(
+    QueryStream* stream, ops::Pipeline* pipeline,
+    const std::vector<geom::CellOverlap>& overlaps, double monitor_window,
+    std::size_t sink_capacity);
+
 /// \brief Multi-query stream fabricator over a logical grid.
 class StreamFabricator {
  public:
@@ -106,6 +118,19 @@ class StreamFabricator {
   /// stay valid until RemoveQuery.
   Result<QueryStream> InsertQuery(ops::AttributeId attribute,
                                   const geom::Rect& region, double rate);
+
+  /// \brief Inserts a query that materializes taps only for `overlaps` — a
+  /// subset of the query region's cell overlaps — and funnels the per-cell
+  /// partial streams straight into a bare sink that invokes `on_deliver`
+  /// for every tuple. The caller owns the cross-partition U merge stage;
+  /// this is the shard-local half of the sharded runtime
+  /// (runtime::ShardedFabricator). `region` is the full clipped query
+  /// region, recorded on the handle for reference only; it is not
+  /// re-validated here.
+  Result<QueryStream> InsertQueryPartial(
+      ops::AttributeId attribute, const geom::Rect& region, double rate,
+      const std::vector<geom::CellOverlap>& overlaps,
+      ops::SinkOperator::Callback on_deliver);
 
   /// \brief Deletes a query (paper Section V "Query Deletions"): its
   /// stream is unwired right-to-left until a branching point; emptied
@@ -191,6 +216,9 @@ class StreamFabricator {
     ops::FlattenOperator* flatten = nullptr;
     double f_target = 0.0;
     std::vector<ThinNode> thins;  // descending out_rate
+    /// Monotone per-chain operator-creation counter; seeds the next F/T
+    /// RNG (see OperatorSeed).
+    std::uint64_t op_seq = 0;
   };
 
   /// Materialized cell topology (one hashmap value).
@@ -219,7 +247,24 @@ class StreamFabricator {
   };
 
   StreamFabricator(const geom::Grid& grid, const FabricConfig& config)
-      : grid_(grid), config_(config), rng_(config.seed) {}
+      : grid_(grid), config_(config) {}
+
+  /// \brief Deterministic RNG seed for the `seq`-th operator ever created
+  /// in the (cell, attribute) chain, derived from the master seed.
+  ///
+  /// Seeding operators by *where they live* rather than by global creation
+  /// order makes every per-cell stream a pure function of the master seed
+  /// and that cell's own query/tuple history. Two fabricators that own
+  /// disjoint cell subsets therefore produce, cell by cell, exactly the
+  /// streams a single fabricator owning all cells would — the property the
+  /// sharded runtime's equivalence guarantee rests on.
+  std::uint64_t OperatorSeed(const geom::CellIndex& index,
+                             ops::AttributeId attribute,
+                             std::uint64_t seq) const;
+
+  Result<QueryStream> FinishInsert(QueryState qs,
+                                   const std::vector<geom::CellOverlap>& overlaps,
+                                   double rate);
 
   Cell* GetOrCreateCell(const geom::CellIndex& index);
   Result<Chain*> GetOrCreateChain(Cell* cell, const geom::CellIndex& index,
@@ -232,7 +277,6 @@ class StreamFabricator {
 
   geom::Grid grid_;
   FabricConfig config_;
-  Rng rng_;
   std::unordered_map<geom::CellIndex, std::unique_ptr<Cell>,
                      geom::CellIndexHash>
       cells_;

@@ -23,7 +23,7 @@ struct CellIndex {
   std::uint32_t q = 0;
   std::uint32_t r = 0;
 
-  bool operator==(const CellIndex&) const = default;
+  bool operator==(const CellIndex& o) const { return q == o.q && r == o.r; }
 
   /// Debug representation "(q,r)".
   std::string ToString() const;

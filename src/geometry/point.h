@@ -15,7 +15,7 @@ struct SpacePoint {
   double x = 0.0;
   double y = 0.0;
 
-  bool operator==(const SpacePoint&) const = default;
+  bool operator==(const SpacePoint& o) const { return x == o.x && y == o.y; }
 };
 
 /// \brief A 3-D space-time point (t in minutes, x/y in kilometres) — the
@@ -25,7 +25,9 @@ struct SpaceTimePoint {
   double x = 0.0;
   double y = 0.0;
 
-  bool operator==(const SpaceTimePoint&) const = default;
+  bool operator==(const SpaceTimePoint& o) const {
+    return t == o.t && x == o.x && y == o.y;
+  }
 
   /// The spatial projection (x, y).
   SpacePoint Spatial() const { return SpacePoint{x, y}; }

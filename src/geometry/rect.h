@@ -87,7 +87,10 @@ class Rect {
   /// Debug representation, e.g. "[0,0;2,3)".
   std::string ToString() const;
 
-  bool operator==(const Rect&) const = default;
+  bool operator==(const Rect& o) const {
+    return x_min_ == o.x_min_ && y_min_ == o.y_min_ && x_max_ == o.x_max_ &&
+           y_max_ == o.y_max_;
+  }
 
   /// \brief Decomposes `outer \ inner` into at most four disjoint
   /// rectangles (left/right strips and top/bottom caps). Used by the

@@ -1,0 +1,117 @@
+#include "runtime/shard.h"
+
+#include <future>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace craqr {
+namespace runtime {
+
+Result<std::unique_ptr<Shard>> Shard::Make(std::size_t index,
+                                           const geom::Grid& grid,
+                                           const fabric::FabricConfig& config,
+                                           std::size_t queue_capacity) {
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument("shard queue capacity must be >= 1");
+  }
+  CRAQR_ASSIGN_OR_RETURN(auto fabricator,
+                         fabric::StreamFabricator::Make(grid, config));
+  auto shard = std::unique_ptr<Shard>(
+      new Shard(index, std::move(fabricator), queue_capacity));
+  // F-operator reports fire on the worker thread mid-batch; buffer them in
+  // the outbox so the router can replay them single-threaded.
+  Shard* raw = shard.get();
+  shard->fabricator_->SetViolationCallback(
+      [raw](ops::AttributeId attribute, const geom::CellIndex& cell,
+            const ops::FlattenBatchReport& report) {
+        std::lock_guard<std::mutex> lock(raw->outbox_mu_);
+        raw->outbox_.violations.push_back({attribute, cell, report});
+      });
+  shard->worker_ = std::thread([raw] { raw->WorkerLoop(); });
+  return shard;
+}
+
+Shard::Shard(std::size_t index,
+             std::unique_ptr<fabric::StreamFabricator> fabricator,
+             std::size_t queue_capacity)
+    : index_(index),
+      fabricator_(std::move(fabricator)),
+      queue_(queue_capacity) {}
+
+Shard::~Shard() { Stop(); }
+
+void Shard::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  queue_.Close();
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+Status Shard::EnqueueBatch(std::vector<ops::Tuple> batch) {
+  Task task;
+  task.batch = std::move(batch);
+  if (!queue_.Push(std::move(task))) {
+    return Status::FailedPrecondition("shard is stopped");
+  }
+  return Status::OK();
+}
+
+Status Shard::RunControl(ControlFn fn) {
+  std::promise<void> done;
+  std::future<void> future = done.get_future();
+  Task task;
+  task.control = [&done, fn = std::move(fn)](fabric::StreamFabricator& f) {
+    fn(f);
+    done.set_value();
+  };
+  if (!queue_.Push(std::move(task))) {
+    return Status::FailedPrecondition("shard is stopped");
+  }
+  future.wait();
+  return Status::OK();
+}
+
+void Shard::Deliver(query::QueryId query, const ops::Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(outbox_mu_);
+  outbox_.delivered.push_back({query, tuple});
+}
+
+ShardOutbox Shard::TakeOutbox() {
+  std::lock_guard<std::mutex> lock(outbox_mu_);
+  ShardOutbox out = std::move(outbox_);
+  outbox_ = ShardOutbox();
+  return out;
+}
+
+Status Shard::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+void Shard::WorkerLoop() {
+  while (true) {
+    std::optional<Task> task = queue_.Pop();
+    if (!task.has_value()) {
+      return;  // closed and drained
+    }
+    if (task->control) {
+      task->control(*fabricator_);
+      continue;
+    }
+    Status status = fabricator_->ProcessBatch(task->batch);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      if (status_.ok()) {
+        status_ = std::move(status);  // latch the first failure
+      }
+    }
+  }
+}
+
+}  // namespace runtime
+}  // namespace craqr

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "fabric/fabricator.h"
+#include "geometry/grid.h"
+#include "ops/tuple.h"
+#include "query/query.h"
+#include "runtime/task_queue.h"
+
+/// \file shard.h
+/// \brief One shard of the sharded execution runtime.
+///
+/// A shard owns an independent StreamFabricator over its subset of grid
+/// cells and a dedicated worker thread that drains a bounded task queue.
+/// Tasks are either tuple sub-batches (the hot path) or control commands
+/// (query insertion/removal, barriers); FIFO order keeps control changes
+/// correctly interleaved with the batches around them. Tuples delivered by
+/// the shard's partial query streams accumulate in an outbox the router
+/// collects at batch boundaries and feeds into the per-query U merge
+/// stage.
+
+namespace craqr {
+namespace runtime {
+
+/// \brief An F-operator batch report captured on a worker thread, replayed
+/// to the router's violation callback on the collecting thread (so budget
+/// tuning stays single-threaded).
+struct ViolationEvent {
+  ops::AttributeId attribute = 0;
+  geom::CellIndex cell;
+  ops::FlattenBatchReport report;
+};
+
+/// \brief One tuple delivered by a shard-local partial stream, tagged with
+/// the router-level query id.
+struct Delivery {
+  query::QueryId query = 0;
+  ops::Tuple tuple;
+};
+
+/// \brief Everything a shard produced since the last collection.
+struct ShardOutbox {
+  std::vector<Delivery> delivered;
+  std::vector<ViolationEvent> violations;
+};
+
+/// \brief A worker thread plus the StreamFabricator it exclusively drives.
+class Shard {
+ public:
+  /// A command executed on the worker thread, in queue order, with
+  /// exclusive access to the shard's fabricator.
+  using ControlFn = std::function<void(fabric::StreamFabricator&)>;
+
+  /// Creates a shard and starts its worker. All shards share the master
+  /// fabric config (operator RNG seeds are cell-local, so disjoint cell
+  /// subsets yield streams identical to a single fabricator's).
+  static Result<std::unique_ptr<Shard>> Make(std::size_t index,
+                                             const geom::Grid& grid,
+                                             const fabric::FabricConfig& config,
+                                             std::size_t queue_capacity);
+
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Enqueues a tuple sub-batch for asynchronous processing; blocks when
+  /// the queue is full (back-pressure).
+  Status EnqueueBatch(std::vector<ops::Tuple> batch);
+
+  /// Runs `fn` on the worker thread after all previously queued tasks and
+  /// waits for it to finish. The function reports its own results through
+  /// captured state.
+  Status RunControl(ControlFn fn);
+
+  /// Waits until every task enqueued so far has been processed.
+  Status Drain() {
+    return RunControl([](fabric::StreamFabricator&) {});
+  }
+
+  /// Appends a delivered tuple to the outbox; called from partial-stream
+  /// sink callbacks on the worker thread.
+  void Deliver(query::QueryId query, const ops::Tuple& tuple);
+
+  /// Moves the accumulated outbox out.
+  ShardOutbox TakeOutbox();
+
+  /// First batch-processing error, latched (control errors are reported
+  /// through the control functions themselves).
+  Status status() const;
+
+  /// \brief The shard's fabricator. Worker-owned: other threads may touch
+  /// it only between a Drain() and the next enqueue (the drain's
+  /// promise/future pair publishes the worker's writes).
+  fabric::StreamFabricator& fabricator() { return *fabricator_; }
+  const fabric::StreamFabricator& fabricator() const { return *fabricator_; }
+
+  /// This shard's index in the runtime.
+  std::size_t index() const { return index_; }
+
+  /// Tasks currently queued (diagnostics).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Closes the queue and joins the worker; idempotent.
+  void Stop();
+
+ private:
+  struct Task {
+    std::vector<ops::Tuple> batch;
+    ControlFn control;  // non-null => control task
+  };
+
+  Shard(std::size_t index, std::unique_ptr<fabric::StreamFabricator> fabricator,
+        std::size_t queue_capacity);
+
+  void WorkerLoop();
+
+  std::size_t index_;
+  std::unique_ptr<fabric::StreamFabricator> fabricator_;
+  BoundedTaskQueue<Task> queue_;
+  std::thread worker_;
+  bool stopped_ = false;
+
+  mutable std::mutex outbox_mu_;
+  ShardOutbox outbox_;
+
+  mutable std::mutex status_mu_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace runtime
+}  // namespace craqr

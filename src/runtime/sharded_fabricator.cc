@@ -1,0 +1,411 @@
+#include "runtime/sharded_fabricator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/macros.h"
+#include "ops/extras.h"
+
+namespace craqr {
+namespace runtime {
+
+Result<std::unique_ptr<ShardedFabricator>> ShardedFabricator::Make(
+    const geom::Grid& grid, const ShardedConfig& config) {
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  auto runtime =
+      std::unique_ptr<ShardedFabricator>(new ShardedFabricator(grid, config));
+  runtime->shards_.reserve(config.num_shards);
+  for (std::size_t i = 0; i < config.num_shards; ++i) {
+    CRAQR_ASSIGN_OR_RETURN(
+        auto shard, Shard::Make(i, grid, config.fabric, config.queue_capacity));
+    runtime->shards_.push_back(std::move(shard));
+  }
+  return runtime;
+}
+
+ShardedFabricator::~ShardedFabricator() {
+  for (auto& shard : shards_) {
+    shard->Stop();
+  }
+}
+
+void ShardedFabricator::SetViolationCallback(
+    fabric::ViolationCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  violation_callback_ = std::move(callback);
+}
+
+Status ShardedFabricator::BarrierLocked() const {
+  for (const auto& shard : shards_) {
+    CRAQR_RETURN_NOT_OK(shard->Drain());
+    CRAQR_RETURN_NOT_OK(shard->status());
+  }
+  return Status::OK();
+}
+
+Status ShardedFabricator::CollectLocked() {
+  // Gather in ascending shard order so replayed violation reports are
+  // deterministic for a fixed shard count.
+  std::unordered_map<query::QueryId, std::vector<ops::Tuple>> per_query;
+  std::vector<ViolationEvent> violations;
+  for (const auto& shard : shards_) {
+    ShardOutbox box = shard->TakeOutbox();
+    for (Delivery& d : box.delivered) {
+      per_query[d.query].push_back(std::move(d.tuple));
+    }
+    for (ViolationEvent& v : box.violations) {
+      violations.push_back(std::move(v));
+    }
+  }
+
+  for (auto& [id, tuples] : per_query) {
+    const auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      // RemoveQuery flushes deliveries before detaching, so a delivery for
+      // a dead query means the bookkeeping broke.
+      return Status::Internal("delivery for dead query " + std::to_string(id));
+    }
+    // Each shard's partial stream is time-ordered; restore one global time
+    // order before the merge stage so the rate monitor sees the same
+    // monotone tuple times the single-threaded fabricator produces. Tuple
+    // ids break ties, making the merged order independent of shard count.
+    std::sort(tuples.begin(), tuples.end(),
+              [](const ops::Tuple& a, const ops::Tuple& b) {
+                if (a.point.t != b.point.t) {
+                  return a.point.t < b.point.t;
+                }
+                return a.id < b.id;
+              });
+    QueryState& qs = it->second;
+    for (const ops::Tuple& tuple : tuples) {
+      CRAQR_RETURN_NOT_OK(qs.merge_head->Push(tuple));
+    }
+    CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
+  }
+
+  // Buffered, not invoked: the callback is user code and may re-enter the
+  // runtime, so it only runs once mu_ is released (ReplayViolationsAndUnlock).
+  pending_violations_.insert(pending_violations_.end(),
+                             std::make_move_iterator(violations.begin()),
+                             std::make_move_iterator(violations.end()));
+  return Status::OK();
+}
+
+void ShardedFabricator::ReplayViolationsAndUnlock(
+    std::unique_lock<std::mutex>& lock) {
+  std::vector<ViolationEvent> events = std::move(pending_violations_);
+  pending_violations_.clear();
+  const fabric::ViolationCallback callback = violation_callback_;
+  lock.unlock();
+  if (callback) {
+    for (const ViolationEvent& v : events) {
+      callback(v.attribute, v.cell, v.report);
+    }
+  }
+}
+
+Status ShardedFabricator::EnqueueBatchLocked(
+    const std::vector<ops::Tuple>& batch) {
+  std::vector<std::vector<ops::Tuple>> sub(shards_.size());
+  for (const ops::Tuple& tuple : batch) {
+    const auto cell = grid_.CellContaining(tuple.point.x, tuple.point.y);
+    if (!cell.has_value()) {
+      ++router_unrouted_;  // outside R; shards count in-grid drops
+      continue;
+    }
+    sub[ShardForCell(*cell)].push_back(tuple);
+  }
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    if (!sub[i].empty()) {
+      CRAQR_RETURN_NOT_OK(shards_[i]->EnqueueBatch(std::move(sub[i])));
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedFabricator::EnqueueBatch(const std::vector<ops::Tuple>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnqueueBatchLocked(batch);
+}
+
+Status ShardedFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = [&]() -> Status {
+    CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch));
+    CRAQR_RETURN_NOT_OK(BarrierLocked());
+    return CollectLocked();
+  }();
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+Status ShardedFabricator::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = [&]() -> Status {
+    CRAQR_RETURN_NOT_OK(BarrierLocked());
+    return CollectLocked();
+  }();
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+Result<fabric::QueryStream> ShardedFabricator::InsertQuery(
+    ops::AttributeId attribute, const geom::Rect& region, double rate) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Result<fabric::QueryStream> result =
+      InsertQueryLocked(attribute, region, rate);
+  ReplayViolationsAndUnlock(lock);
+  return result;
+}
+
+Result<fabric::QueryStream> ShardedFabricator::InsertQueryLocked(
+    ops::AttributeId attribute, const geom::Rect& region, double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    return Status::InvalidArgument("query rate must be > 0");
+  }
+  CRAQR_RETURN_NOT_OK(grid_.ValidateQueryRegion(region));
+  CRAQR_ASSIGN_OR_RETURN(std::vector<geom::CellOverlap> overlaps,
+                         grid_.Overlaps(region));
+  const auto clipped = grid_.region().Intersection(region);
+  if (!clipped.has_value()) {
+    return Status::InvalidArgument(
+        "query region does not intersect the system region");
+  }
+
+  // Reach a stable point before topology surgery, mirroring the
+  // single-threaded fabricator where insertion happens between batches.
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  CRAQR_RETURN_NOT_OK(CollectLocked());
+
+  const query::QueryId id = next_query_id_++;
+  QueryState qs;
+  qs.stream.id = id;
+  qs.stream.attribute = attribute;
+  qs.stream.region = *clipped;
+  qs.stream.rate = rate;
+
+  // Cross-shard merge stage: built by the same fabric::BuildMergeStage the
+  // single-threaded fabricator uses, so the two paths cannot diverge.
+  CRAQR_ASSIGN_OR_RETURN(
+      qs.merge_head,
+      fabric::BuildMergeStage(&qs.stream, &qs.merge_pipeline, overlaps,
+                              config_.fabric.monitor_window,
+                              config_.fabric.sink_capacity));
+
+  // Broadcast partial inserts to the shards owning overlapped cells, in
+  // ascending shard order (insertion order inside each shard fabricator is
+  // then deterministic).
+  std::vector<std::vector<geom::CellOverlap>> per_shard(shards_.size());
+  for (const auto& overlap : overlaps) {
+    per_shard[ShardForCell(overlap.cell)].push_back(overlap);
+    qs.cells.push_back(overlap.cell);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (per_shard[s].empty()) {
+      continue;
+    }
+    Shard* shard = shards_[s].get();
+    Result<fabric::QueryStream> local =
+        Status::Internal("partial insert did not run");
+    const Status control = shard->RunControl(
+        [&local, shard, id, attribute, rate, &clipped,
+         &shard_overlaps = per_shard[s]](fabric::StreamFabricator& f) {
+          local = f.InsertQueryPartial(
+              attribute, *clipped, rate, shard_overlaps,
+              [shard, id](const ops::Tuple& tuple) {
+                shard->Deliver(id, tuple);
+              });
+        });
+    if (control.ok() && local.ok()) {
+      qs.attachments.push_back({s, local->id});
+      continue;
+    }
+    // Roll back the shards already attached so a failed insert leaves no
+    // orphan partial streams behind.
+    for (const ShardAttachment& a : qs.attachments) {
+      (void)shards_[a.shard]->RunControl(
+          [&a](fabric::StreamFabricator& f) { (void)f.RemoveQuery(a.local_id); });
+    }
+    return control.ok() ? local.status() : control;
+  }
+
+  const fabric::QueryStream handle = qs.stream;
+  queries_.emplace(id, std::move(qs));
+  return handle;
+}
+
+Status ShardedFabricator::RemoveQuery(query::QueryId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = RemoveQueryLocked(id);
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+Status ShardedFabricator::RemoveQueryLocked(query::QueryId id) {
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  // Flush in-flight deliveries into the sink before detaching, so the
+  // stream ends exactly where the single-threaded one would.
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  CRAQR_RETURN_NOT_OK(CollectLocked());
+
+  Status first = Status::OK();
+  for (const ShardAttachment& a : it->second.attachments) {
+    Status removed = Status::OK();
+    const Status control = shards_[a.shard]->RunControl(
+        [&removed, &a](fabric::StreamFabricator& f) {
+          removed = f.RemoveQuery(a.local_id);
+        });
+    if (first.ok() && !control.ok()) {
+      first = control;
+    }
+    if (first.ok() && !removed.ok()) {
+      first = removed;
+    }
+  }
+  queries_.erase(it);
+  return first;
+}
+
+Result<fabric::QueryStream> ShardedFabricator::GetStream(
+    query::QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  return it->second.stream;
+}
+
+Result<std::vector<geom::CellIndex>> ShardedFabricator::QueryCells(
+    query::QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  return it->second.cells;
+}
+
+std::size_t ShardedFabricator::NumQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+ShardedStats ShardedFabricator::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto stats = SnapshotLocked();
+  if (!stats.ok()) {
+    // No Status channel in this signature; the latched shard error still
+    // surfaces on the next ProcessBatch/Drain/TrySnapshot.
+    CRAQR_LOG(ERROR) << "Snapshot barrier failed, returning zeroed stats: "
+                     << stats.status().ToString();
+    return ShardedStats();
+  }
+  return *stats;
+}
+
+Result<ShardedStats> ShardedFabricator::TrySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
+  ShardedStats stats;
+  // The barrier publishes every worker's writes; afterwards the workers
+  // block on their empty queues, so reading the fabricators is safe.
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  stats.tuples_unrouted = router_unrouted_;
+  for (const auto& shard : shards_) {
+    const fabric::StreamFabricator& f = shard->fabricator();
+    stats.tuples_routed += f.tuples_routed();
+    stats.tuples_unrouted += f.tuples_unrouted();
+    stats.total_operator_evaluations += f.TotalOperatorEvaluations();
+    stats.total_operators += f.TotalOperators();
+    stats.materialized_cells += f.NumMaterializedCells();
+  }
+  for (const auto& [id, qs] : queries_) {
+    (void)id;
+    stats.total_operator_evaluations +=
+        qs.merge_pipeline.TotalOperatorEvaluations();
+    stats.total_operators += qs.merge_pipeline.size();
+  }
+  stats.live_queries = queries_.size();
+  return stats;
+}
+
+Status ShardedFabricator::ValidateInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  for (const auto& shard : shards_) {
+    CRAQR_RETURN_NOT_OK(shard->fabricator().ValidateInvariants());
+  }
+  const auto fail = [](const std::string& what) {
+    return Status::Internal("runtime invariant violated: " + what);
+  };
+  for (const auto& [id, qs] : queries_) {
+    if (qs.attachments.empty()) {
+      return fail("query " + std::to_string(id) + " has no shard attachments");
+    }
+    for (const ShardAttachment& a : qs.attachments) {
+      if (a.shard >= shards_.size()) {
+        return fail("query " + std::to_string(id) + " attached to bad shard");
+      }
+      const auto local = shards_[a.shard]->fabricator().GetStream(a.local_id);
+      if (!local.ok()) {
+        return fail("query " + std::to_string(id) +
+                    " lost its partial stream on shard " +
+                    std::to_string(a.shard));
+      }
+      if (local->attribute != qs.stream.attribute) {
+        return fail("query " + std::to_string(id) +
+                    " partial stream attribute mismatch");
+      }
+    }
+    for (const geom::CellIndex& cell : qs.cells) {
+      const std::size_t owner = ShardForCell(cell);
+      const bool attached =
+          std::any_of(qs.attachments.begin(), qs.attachments.end(),
+                      [owner](const ShardAttachment& a) {
+                        return a.shard == owner;
+                      });
+      if (!attached) {
+        return fail("query " + std::to_string(id) + " cell " +
+                    cell.ToString() + " owned by unattached shard");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ShardedFabricator::DescribeTopology() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  if (!BarrierLocked().ok()) {
+    return "<runtime failed>";
+  }
+  for (const auto& shard : shards_) {
+    os << "shard " << shard->index() << ":\n"
+       << shard->fabricator().DescribeTopology();
+  }
+  for (const auto& [id, qs] : queries_) {
+    os << "Q" << id << " merge: " << qs.attachments.size()
+       << " shard stream(s) -> "
+       << (qs.merge_head->kind() == ops::OperatorKind::kUnion ? "U" : "Id")
+       << " -> Mon -> Sink\n";
+  }
+  return os.str();
+}
+
+}  // namespace runtime
+}  // namespace craqr

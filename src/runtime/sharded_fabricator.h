@@ -1,0 +1,221 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "fabric/fabricator.h"
+#include "geometry/grid.h"
+#include "ops/tuple.h"
+#include "query/query.h"
+#include "runtime/shard.h"
+
+/// \file sharded_fabricator.h
+/// \brief Sharded parallel execution runtime over the stream fabricator.
+///
+/// The paper's map phase — hash each crowdsensed tuple to its grid cell's
+/// topology — partitions perfectly by cell, so the runtime assigns every
+/// grid cell to one of N shards (cell-index hash mod N). Each shard owns
+/// an independent StreamFabricator over its cell subset, drained by a
+/// dedicated worker thread pulling batches from a bounded queue:
+///
+///   world -> handler batch -> [shard router] -> per-shard sub-batches
+///          -> per-cell PMAT topologies (parallel) -> partial streams
+///          -> per-query U merge stage -> rate monitor -> sink
+///
+/// Query insert/remove are broadcast as control commands to the shards
+/// owning overlapped cells; each query's per-shard partial streams are
+/// combined by the same U-operator merge stage a single fabricator would
+/// use, so the delivered MCDS is equivalent to the single-threaded
+/// fabricator's. Operator RNG seeds are cell-local functions of the master
+/// seed (StreamFabricator::OperatorSeed), which makes delivered streams
+/// identical for ANY shard count, not merely deterministic for a fixed
+/// one.
+///
+/// Caveat on closed-loop feedback: violation reports are replayed grouped
+/// by ascending shard, not in the single-threaded per-tuple firing order
+/// (FlattenBatchReport carries no timestamp to reconstruct it). Feedback
+/// consumers that are order-sensitive across cells of one attribute — the
+/// Section-VI incentive controller's non-commutative raise/decay update —
+/// can therefore evolve slightly differently than under num_shards == 1,
+/// though still deterministically for a fixed shard count. Open-loop
+/// delivery (no callback, or per-(attribute, cell) consumers like the
+/// budget tuner) is unaffected.
+///
+/// Thread-safety: the public API is serialized by an internal mutex and
+/// may be called from multiple threads; parallelism happens inside, across
+/// the shard workers. The violation callback is invoked on the collecting
+/// thread with the mutex released, so it may safely call back into the
+/// runtime.
+
+namespace craqr {
+namespace runtime {
+
+/// \brief Runtime construction parameters.
+struct ShardedConfig {
+  /// Number of shards / worker threads (>= 1).
+  std::size_t num_shards = 1;
+  /// Sub-batches each shard queue holds before producers block.
+  std::size_t queue_capacity = 64;
+  /// Fabric parameters shared by every shard (the master seed included;
+  /// per-operator seeds are derived cell-locally from it).
+  fabric::FabricConfig fabric;
+};
+
+/// \brief Aggregated runtime counters (see Snapshot()).
+struct ShardedStats {
+  std::uint64_t tuples_routed = 0;
+  std::uint64_t tuples_unrouted = 0;
+  std::uint64_t total_operator_evaluations = 0;
+  std::size_t total_operators = 0;
+  std::size_t materialized_cells = 0;
+  std::size_t live_queries = 0;
+};
+
+/// \brief Partitions the grid's cells across N shard fabricators and
+/// merges their per-query partial streams into the final MCDS.
+class ShardedFabricator {
+ public:
+  /// Creates the runtime and starts one worker thread per shard.
+  static Result<std::unique_ptr<ShardedFabricator>> Make(
+      const geom::Grid& grid, const ShardedConfig& config = ShardedConfig());
+
+  ~ShardedFabricator();
+
+  ShardedFabricator(const ShardedFabricator&) = delete;
+  ShardedFabricator& operator=(const ShardedFabricator&) = delete;
+
+  /// \brief Inserts an acquisitional query: validates the region, builds
+  /// the cross-shard U merge stage (U -> rate monitor -> sink), and
+  /// broadcasts partial-insert control commands to the shards owning
+  /// overlapped cells. The returned handle's sink/monitor point at the
+  /// merge stage and stay valid until RemoveQuery.
+  Result<fabric::QueryStream> InsertQuery(ops::AttributeId attribute,
+                                          const geom::Rect& region,
+                                          double rate);
+
+  /// \brief Removes a live query from every shard owning one of its cells
+  /// and tears down its merge stage. In-flight deliveries are flushed to
+  /// the sink first.
+  Status RemoveQuery(query::QueryId id);
+
+  /// \brief Routes a batch: partitions tuples by cell->shard hash,
+  /// enqueues the sub-batches, waits for all shards to drain, then merges
+  /// delivered partial streams (by tuple time) into each query's merge
+  /// stage. Synchronous — equivalent to StreamFabricator::ProcessBatch.
+  Status ProcessBatch(const std::vector<ops::Tuple>& batch);
+
+  /// \brief Pipelined variant: partitions and enqueues without waiting.
+  /// Deliveries accumulate in shard outboxes until the next Drain() /
+  /// ProcessBatch(). Back-pressure applies when a shard queue fills.
+  Status EnqueueBatch(const std::vector<ops::Tuple>& batch);
+
+  /// Waits for all queued work and flushes deliveries into query sinks.
+  Status Drain();
+
+  /// Registers the N_v callback consumed by the budget tuner; replayed on
+  /// the collecting thread, never on shard workers.
+  void SetViolationCallback(fabric::ViolationCallback callback);
+
+  /// The merge-stage stream handle of a live query.
+  Result<fabric::QueryStream> GetStream(query::QueryId id) const;
+
+  /// Grid cells a query's region overlaps (for handler subscriptions).
+  Result<std::vector<geom::CellIndex>> QueryCells(query::QueryId id) const;
+
+  /// The shard owning a grid cell.
+  std::size_t ShardForCell(const geom::CellIndex& index) const {
+    return geom::CellIndexHash{}(index) % shards_.size();
+  }
+
+  /// \brief Aggregated counters across every shard fabricator plus the
+  /// merge stages. Waits for queued work first, so the numbers are
+  /// consistent with all enqueued batches. If a shard has latched a
+  /// processing error the stats come back zeroed (with an ERROR log) —
+  /// use TrySnapshot when the caller can propagate a Status.
+  ShardedStats Snapshot() const;
+
+  /// \brief Status-carrying Snapshot(): surfaces a latched shard error
+  /// instead of silently zeroed counters.
+  Result<ShardedStats> TrySnapshot() const;
+
+  /// Tuples routed into some shard topology (aggregate; drains first).
+  std::uint64_t tuples_routed() const { return Snapshot().tuples_routed; }
+
+  /// Tuples dropped in the map phase, on the router or inside shards.
+  std::uint64_t tuples_unrouted() const { return Snapshot().tuples_unrouted; }
+
+  /// Total operator evaluations across shards and merge stages.
+  std::uint64_t TotalOperatorEvaluations() const {
+    return Snapshot().total_operator_evaluations;
+  }
+
+  /// Live queries.
+  std::size_t NumQueries() const;
+
+  /// Worker shards.
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// \brief Runs StreamFabricator::ValidateInvariants on every shard (after
+  /// a drain) and checks the router's own bookkeeping: every query's shard
+  /// attachments resolve to live partial queries on the right shards.
+  Status ValidateInvariants() const;
+
+  /// Concatenated per-shard topology descriptions plus merge-stage lines.
+  std::string DescribeTopology() const;
+
+  /// The logical grid.
+  const geom::Grid& grid() const { return grid_; }
+
+ private:
+  /// A query's partial stream on one shard.
+  struct ShardAttachment {
+    std::size_t shard = 0;
+    query::QueryId local_id = 0;  // id assigned by the shard's fabricator
+  };
+
+  /// Router-level per-query state: the cross-shard merge stage.
+  struct QueryState {
+    fabric::QueryStream stream;
+    ops::Pipeline merge_pipeline;
+    ops::Operator* merge_head = nullptr;  // U (or pass-through) input
+    std::vector<ShardAttachment> attachments;
+    std::vector<geom::CellIndex> cells;
+  };
+
+  ShardedFabricator(const geom::Grid& grid, const ShardedConfig& config)
+      : grid_(grid), config_(config) {}
+
+  Status EnqueueBatchLocked(const std::vector<ops::Tuple>& batch);
+  Status BarrierLocked() const;
+  Status CollectLocked();
+  Result<ShardedStats> SnapshotLocked() const;
+  Result<fabric::QueryStream> InsertQueryLocked(ops::AttributeId attribute,
+                                                const geom::Rect& region,
+                                                double rate);
+  Status RemoveQueryLocked(query::QueryId id);
+  /// Releases `lock` and then invokes the violation callback on the events
+  /// CollectLocked buffered. The callback is user code and may re-enter
+  /// any public method, so it must never run under mu_.
+  void ReplayViolationsAndUnlock(std::unique_lock<std::mutex>& lock);
+
+  geom::Grid grid_;
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<query::QueryId, QueryState> queries_;
+  query::QueryId next_query_id_ = 1;
+  fabric::ViolationCallback violation_callback_;
+  /// Events collected from shard outboxes but not yet replayed to the
+  /// callback (replay happens after mu_ is released).
+  std::vector<ViolationEvent> pending_violations_;
+  std::uint64_t router_unrouted_ = 0;  // tuples outside the grid region
+};
+
+}  // namespace runtime
+}  // namespace craqr

@@ -29,7 +29,9 @@ struct BudgetKey {
   ops::AttributeId attribute = 0;
   geom::CellIndex cell;
 
-  bool operator==(const BudgetKey&) const = default;
+  bool operator==(const BudgetKey& o) const {
+    return attribute == o.attribute && cell == o.cell;
+  }
 };
 
 /// \brief Hash for BudgetKey.

@@ -194,6 +194,32 @@ TEST(EngineTest, MultipleConcurrentQueriesAllDeliver) {
   EXPECT_TRUE(std::holds_alternative<bool>(s3->sink->tuples()[0].value));
 }
 
+TEST(EngineTest, ShardedEngineMatchesSingleThreadedEngine) {
+  // The same deterministic world driven through the in-process fabricator
+  // and through the 4-shard runtime must route and deliver identically.
+  auto run = [](std::size_t num_shards) {
+    EngineConfig config = TestConfig();
+    config.num_shards = num_shards;
+    auto engine = CraqrEngine::Make(MakeWorld(400, 11), config).MoveValue();
+    EXPECT_EQ(engine->IsSharded(), num_shards > 1);
+    const auto s1 = engine->SubmitText(
+        "ACQUIRE temp FROM REGION(0, 0, 4, 4) RATE 0.5 PER KM2 PER MIN");
+    const auto s2 = engine->SubmitText(
+        "ACQUIRE rain FROM REGION(1, 1, 6, 6) RATE 0.25 PER KM2 PER MIN");
+    EXPECT_TRUE(s1.ok() && s2.ok());
+    EXPECT_TRUE(engine->RunFor(20.0).ok());
+    EXPECT_TRUE(engine->Cancel(s1->id).ok());
+    EXPECT_TRUE(engine->RunFor(10.0).ok());
+    EXPECT_TRUE(engine->ValidateTopology().ok());
+    const runtime::ShardedStats stats = engine->Stats();
+    return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                      std::size_t>{stats.tuples_routed, stats.tuples_unrouted,
+                                   s2->sink->total_received(),
+                                   stats.live_queries};
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace craqr

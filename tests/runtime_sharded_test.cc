@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fabric/fabricator.h"
+#include "runtime/sharded_fabricator.h"
+
+namespace craqr {
+namespace runtime {
+namespace {
+
+constexpr ops::AttributeId kRain = 0;
+constexpr ops::AttributeId kTemp = 1;
+
+geom::Grid TestGrid() {
+  return geom::Grid::Make(geom::Rect(0, 0, 4, 4), 16).MoveValue();
+}
+
+fabric::FabricConfig TestFabricConfig() {
+  fabric::FabricConfig config;
+  config.flatten_batch_size = 32;
+  config.seed = 0xC0FFEE;
+  return config;
+}
+
+/// Deterministic batch of `n` tuples spread over the grid, with times
+/// advancing from *t (monotone across batches, as the handler produces).
+std::vector<ops::Tuple> MakeBatch(Rng* rng, double* t, std::size_t n,
+                                  std::uint64_t first_id) {
+  std::vector<ops::Tuple> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops::Tuple tuple;
+    tuple.id = first_id + i;
+    tuple.attribute = (i % 3 == 0) ? kTemp : kRain;
+    *t += 0.002;
+    tuple.point = geom::SpaceTimePoint{*t, rng->Uniform(0.0, 4.0),
+                                       rng->Uniform(0.0, 4.0)};
+    batch.push_back(tuple);
+  }
+  return batch;
+}
+
+/// What one workload run delivered, independent of execution order: per
+/// query the count and the sorted ids of delivered tuples, plus the
+/// router-level aggregates.
+struct WorkloadResult {
+  std::uint64_t tuples_routed = 0;
+  std::uint64_t tuples_unrouted = 0;
+  std::map<query::QueryId, std::uint64_t> delivered_counts;
+  std::map<query::QueryId, std::vector<std::uint64_t>> delivered_ids;
+};
+
+/// Drives the same churn workload against either a StreamFabricator or a
+/// ShardedFabricator (identical public verbs) and snapshots what each
+/// live query's sink received. Invariants are validated mid-churn.
+/// (Out-parameter because ASSERT_* requires a void-returning function.)
+template <typename Fab>
+void RunChurnWorkload(Fab* fab, WorkloadResult* result) {
+  Rng rng(99);
+  double t = 0.0;
+  std::uint64_t next_id = 1;
+  auto pump = [&](std::size_t batches) {
+    for (std::size_t b = 0; b < batches; ++b) {
+      auto batch = MakeBatch(&rng, &t, 96, next_id);
+      next_id += batch.size();
+      ASSERT_TRUE(fab->ProcessBatch(batch).ok());
+    }
+  };
+
+  const auto q1 = fab->InsertQuery(kRain, geom::Rect(0, 0, 4, 4), 6.0);
+  ASSERT_TRUE(q1.ok());
+  const auto q2 = fab->InsertQuery(kRain, geom::Rect(1, 1, 3, 3), 3.0);
+  ASSERT_TRUE(q2.ok());
+  const auto q3 = fab->InsertQuery(kTemp, geom::Rect(0, 0, 2, 4), 4.0);
+  ASSERT_TRUE(q3.ok());
+  pump(5);
+  ASSERT_TRUE(fab->ValidateInvariants().ok());
+
+  // Churn: drop the nested query (exercises T-chain re-merge on every
+  // overlapped cell), keep pumping, add a fresh overlapping query.
+  ASSERT_TRUE(fab->RemoveQuery(q2->id).ok());
+  pump(3);
+  const auto q4 = fab->InsertQuery(kRain, geom::Rect(2, 0, 4, 3), 2.0);
+  ASSERT_TRUE(q4.ok());
+  pump(4);
+  ASSERT_TRUE(fab->ValidateInvariants().ok());
+
+  result->tuples_routed = fab->tuples_routed();
+  result->tuples_unrouted = fab->tuples_unrouted();
+  for (const auto id : {q1->id, q3->id, q4->id}) {
+    const auto stream = fab->GetStream(id);
+    ASSERT_TRUE(stream.ok());
+    result->delivered_counts[id] = stream->sink->total_received();
+    std::vector<std::uint64_t> ids;
+    for (const auto& tuple : stream->sink->tuples()) {
+      ids.push_back(tuple.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    result->delivered_ids[id] = std::move(ids);
+  }
+}
+
+WorkloadResult RunSharded(std::size_t num_shards) {
+  ShardedConfig config;
+  config.num_shards = num_shards;
+  config.fabric = TestFabricConfig();
+  auto fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+  WorkloadResult result;
+  RunChurnWorkload(fab.get(), &result);
+  return result;
+}
+
+WorkloadResult RunSingleThreaded() {
+  auto fab =
+      fabric::StreamFabricator::Make(TestGrid(), TestFabricConfig())
+          .MoveValue();
+  WorkloadResult result;
+  RunChurnWorkload(fab.get(), &result);
+  return result;
+}
+
+void ExpectSameDelivery(const WorkloadResult& a, const WorkloadResult& b) {
+  EXPECT_EQ(a.tuples_routed, b.tuples_routed);
+  EXPECT_EQ(a.tuples_unrouted, b.tuples_unrouted);
+  EXPECT_EQ(a.delivered_counts, b.delivered_counts);
+  EXPECT_EQ(a.delivered_ids, b.delivered_ids);
+}
+
+TEST(ShardedEquivalenceTest, MatchesSingleThreadedFabricatorUnderChurn) {
+  const WorkloadResult reference = RunSingleThreaded();
+  ASSERT_FALSE(reference.delivered_counts.empty());
+  std::uint64_t total = 0;
+  for (const auto& [id, count] : reference.delivered_counts) {
+    (void)id;
+    total += count;
+  }
+  ASSERT_GT(total, 0u) << "workload delivered nothing; test is vacuous";
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    ExpectSameDelivery(reference, RunSharded(shards));
+  }
+}
+
+TEST(ShardedEquivalenceTest, FixedShardCountIsDeterministic) {
+  ExpectSameDelivery(RunSharded(3), RunSharded(3));
+}
+
+TEST(ShardedEquivalenceTest, CellsPartitionAcrossShards) {
+  ShardedConfig config;
+  config.num_shards = 4;
+  config.fabric = TestFabricConfig();
+  auto fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+  EXPECT_EQ(fab->num_shards(), 4u);
+  // Every cell maps to exactly one shard, stably.
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      const geom::CellIndex index{r, c};
+      const std::size_t shard = fab->ShardForCell(index);
+      EXPECT_LT(shard, 4u);
+      EXPECT_EQ(shard, fab->ShardForCell(index));
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, PipelinedEnqueueMatchesSynchronousBatches) {
+  ShardedConfig config;
+  config.num_shards = 4;
+  config.queue_capacity = 4;  // exercise back-pressure
+  config.fabric = TestFabricConfig();
+  auto sync_fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+  auto async_fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+  const auto qs = sync_fab->InsertQuery(kRain, geom::Rect(0, 0, 4, 4), 5.0);
+  const auto qa = async_fab->InsertQuery(kRain, geom::Rect(0, 0, 4, 4), 5.0);
+  ASSERT_TRUE(qs.ok());
+  ASSERT_TRUE(qa.ok());
+
+  Rng rng_s(7), rng_a(7);
+  double t_s = 0.0, t_a = 0.0;
+  std::uint64_t id_s = 1, id_a = 1;
+  for (int b = 0; b < 12; ++b) {
+    auto batch = MakeBatch(&rng_s, &t_s, 64, id_s);
+    id_s += batch.size();
+    ASSERT_TRUE(sync_fab->ProcessBatch(batch).ok());
+    batch = MakeBatch(&rng_a, &t_a, 64, id_a);
+    id_a += batch.size();
+    ASSERT_TRUE(async_fab->EnqueueBatch(batch).ok());
+  }
+  ASSERT_TRUE(async_fab->Drain().ok());
+  EXPECT_EQ(sync_fab->tuples_routed(), async_fab->tuples_routed());
+  EXPECT_EQ(sync_fab->GetStream(qs->id)->sink->total_received(),
+            async_fab->GetStream(qa->id)->sink->total_received());
+  EXPECT_TRUE(async_fab->ValidateInvariants().ok());
+}
+
+TEST(ShardedStressTest, ConcurrentQueryChurnWhileBatchesFlow) {
+  ShardedConfig config;
+  config.num_shards = 4;
+  config.queue_capacity = 2;  // small queues so back-pressure engages
+  config.fabric = TestFabricConfig();
+  auto fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+
+  // One long-lived query so tuples always have somewhere to land.
+  const auto anchor = fab->InsertQuery(kRain, geom::Rect(0, 0, 4, 4), 8.0);
+  ASSERT_TRUE(anchor.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> batches_pumped{0};
+  std::atomic<std::uint64_t> churn_cycles{0};
+
+  std::thread pump([&] {
+    Rng rng(41);
+    double t = 0.0;
+    std::uint64_t next_id = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto batch = MakeBatch(&rng, &t, 48, next_id);
+      next_id += batch.size();
+      ASSERT_TRUE(fab->EnqueueBatch(batch).ok());
+      batches_pumped.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::thread churn([&] {
+    Rng rng(43);
+    for (int i = 0; i < 60; ++i) {
+      const double x0 = rng.Uniform(0.0, 2.0);
+      const double y0 = rng.Uniform(0.0, 2.0);
+      const auto q = fab->InsertQuery(
+          (i % 2 == 0) ? kRain : kTemp,
+          geom::Rect(x0, y0, x0 + 2.0, y0 + 2.0), 1.0 + (i % 5));
+      ASSERT_TRUE(q.ok());
+      if (i % 3 != 0) {
+        ASSERT_TRUE(fab->RemoveQuery(q->id).ok());
+      }
+      churn_cycles.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  churn.join();
+  stop = true;
+  pump.join();
+
+  ASSERT_TRUE(fab->Drain().ok());
+  EXPECT_TRUE(fab->ValidateInvariants().ok());
+  EXPECT_EQ(churn_cycles.load(), 60u);
+  EXPECT_GT(batches_pumped.load(), 0u);
+
+  const ShardedStats stats = fab->Snapshot();
+  // Every pumped tuple was either routed into some shard topology or
+  // counted as unrouted; none vanish.
+  EXPECT_EQ(stats.tuples_routed + stats.tuples_unrouted,
+            batches_pumped.load() * 48u);
+  // 60 churn queries, 1/3 kept (i % 3 == 0), plus the anchor.
+  EXPECT_EQ(stats.live_queries, 21u);
+  EXPECT_GT(stats.tuples_routed, 0u);
+  EXPECT_GT(fab->GetStream(anchor->id)->sink->total_received(), 0u);
+}
+
+TEST(ShardedEquivalenceTest, ViolationCallbackMayReenterTheRuntime) {
+  // The callback is user code (budget tuning); it must be able to call
+  // back into the runtime without deadlocking on the router mutex.
+  ShardedConfig config;
+  config.num_shards = 2;
+  config.fabric = TestFabricConfig();
+  config.fabric.flatten_batch_size = 16;  // frequent F reports
+  auto fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+  const auto q = fab->InsertQuery(kRain, geom::Rect(0, 0, 4, 4), 6.0);
+  ASSERT_TRUE(q.ok());
+
+  std::uint64_t reports = 0;
+  fab->SetViolationCallback(
+      [&](ops::AttributeId, const geom::CellIndex&,
+          const ops::FlattenBatchReport&) {
+        ++reports;
+        EXPECT_TRUE(fab->GetStream(q->id).ok());   // re-entrant read
+        EXPECT_EQ(fab->NumQueries(), 1u);          // re-entrant read
+      });
+
+  Rng rng(3);
+  double t = 0.0;
+  std::uint64_t next_id = 1;
+  for (int b = 0; b < 10; ++b) {
+    auto batch = MakeBatch(&rng, &t, 96, next_id);
+    next_id += batch.size();
+    ASSERT_TRUE(fab->ProcessBatch(batch).ok());
+  }
+  EXPECT_GT(reports, 0u) << "no F reports fired; callback path untested";
+}
+
+TEST(ShardedStressTest, DestructorJoinsWorkersWithQueuedWork) {
+  ShardedConfig config;
+  config.num_shards = 4;
+  config.fabric = TestFabricConfig();
+  auto fab = ShardedFabricator::Make(TestGrid(), config).MoveValue();
+  ASSERT_TRUE(fab->InsertQuery(kRain, geom::Rect(0, 0, 4, 4), 4.0).ok());
+  Rng rng(5);
+  double t = 0.0;
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_TRUE(
+        fab->EnqueueBatch(MakeBatch(&rng, &t, 32, 1 + 32 * b)).ok());
+  }
+  // Destruction with work still queued must not hang or crash.
+  fab.reset();
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace craqr

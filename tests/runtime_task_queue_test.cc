@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/task_queue.h"
+
+namespace craqr {
+namespace runtime {
+namespace {
+
+TEST(TaskQueueTest, FifoOrder) {
+  BoundedTaskQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Push(i));
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(TaskQueueTest, CapacityIsEnforcedWithBackPressure) {
+  BoundedTaskQueue<int> queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+
+  // A third push must block until the consumer makes room.
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(TaskQueueTest, ZeroCapacityIsClampedToOne) {
+  BoundedTaskQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(7));
+  EXPECT_EQ(queue.Pop().value(), 7);
+}
+
+TEST(TaskQueueTest, CloseDrainsPendingThenSignalsEnd) {
+  BoundedTaskQueue<int> queue(8);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));  // rejected after close
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());  // closed and drained
+}
+
+TEST(TaskQueueTest, CloseWakesBlockedConsumer) {
+  BoundedTaskQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  consumer.join();
+}
+
+TEST(TaskQueueTest, MultipleProducersAllItemsArrive) {
+  BoundedTaskQueue<int> queue(4);
+  constexpr int kPerProducer = 200;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    ASSERT_GE(*item, 0);
+    ASSERT_LT(*item, kProducers * kPerProducer);
+    EXPECT_FALSE(seen[*item]);
+    seen[*item] = true;
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace craqr
