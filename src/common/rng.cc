@@ -7,14 +7,6 @@
 
 namespace craqr {
 
-namespace {
-
-std::uint64_t Rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
-
 std::uint64_t SplitMix64(std::uint64_t z) {
   z += 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -32,27 +24,6 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-std::uint64_t Rng::NextU64() {
-  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::Uniform() {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) {
-  return lo + (hi - lo) * Uniform();
-}
-
 std::uint64_t Rng::UniformInt(std::uint64_t n) {
   assert(n > 0);
   // Rejection to remove modulo bias.
@@ -62,16 +33,6 @@ std::uint64_t Rng::UniformInt(std::uint64_t n) {
     v = NextU64();
   }
   return v % n;
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) {
-    return false;
-  }
-  if (p >= 1.0) {
-    return true;
-  }
-  return Uniform() < p;
 }
 
 std::uint64_t Rng::Poisson(double mean) {

@@ -28,20 +28,43 @@ class Rng {
   /// streams on all platforms.
   explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL);
 
-  /// Returns the next raw 64-bit word.
-  std::uint64_t NextU64();
+  /// Returns the next raw 64-bit word. Inline: one draw per tuple is the
+  /// innermost cost of the batch-native Thin/Flatten sweeps.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Returns a double uniformly distributed in [0, 1).
-  double Uniform();
+  double Uniform() {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Returns a double uniformly distributed in [lo, hi).
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
   /// Returns an integer uniformly distributed in [0, n). Requires n > 0.
   std::uint64_t UniformInt(std::uint64_t n);
 
-  /// Returns true with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  /// Returns true with probability p (clamped to [0, 1]). Degenerate
+  /// probabilities decide without consuming a draw.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return Uniform() < p;
+  }
 
   /// Returns a Poisson-distributed count with the given mean >= 0.
   /// Uses Knuth multiplication for small means and the PTRS transformed
@@ -78,6 +101,10 @@ class Rng {
   Rng Fork();
 
  private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t state_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -153,8 +153,12 @@ Status CraqrEngine::Step() {
   now_ += config_.step_dt;
   world_.Advance(config_.step_dt);
   CRAQR_ASSIGN_OR_RETURN(std::vector<ops::Tuple> batch, handler_->Step(now_));
-  return sharded_ != nullptr ? sharded_->ProcessBatch(batch)
-                             : fabricator_->ProcessBatch(batch);
+  // The handler's responses enter the execution stack as one TupleBatch
+  // (no copy); the fabricators consume it tuple-by-tuple into per-chain /
+  // per-shard batches.
+  ops::TupleBatch tuple_batch(std::move(batch));
+  return sharded_ != nullptr ? sharded_->ProcessBatch(tuple_batch)
+                             : fabricator_->ProcessBatch(tuple_batch);
 }
 
 runtime::ShardedStats CraqrEngine::Stats() const {

@@ -52,10 +52,10 @@ struct EngineConfig {
   /// single-threaded StreamFabricator; >= 2 routes batches through the
   /// sharded runtime (runtime::ShardedFabricator), one worker thread per
   /// shard. Cell-local operator seeding makes the delivered streams
-  /// identical either way for a fixed master seed — except under
-  /// enable_incentives, whose order-sensitive feedback may drift slightly
-  /// across shard counts (see the caveat in sharded_fabricator.h); runs
-  /// stay deterministic for a fixed shard count regardless.
+  /// identical either way for a fixed master seed, and violation reports
+  /// replay in completion-time order on both paths, so even the
+  /// order-sensitive enable_incentives feedback evolves identically
+  /// across shard counts (see sharded_fabricator.h).
   std::size_t num_shards = 1;
   /// Sub-batches each shard queue buffers before back-pressure (used when
   /// num_shards >= 2).

@@ -21,6 +21,38 @@ bool RatesEqual(double a, double b) {
 
 }  // namespace
 
+bool ViolationReplayLess(const ViolationReplayKey& a,
+                         const ViolationReplayKey& b) {
+  if (a.completed_at != b.completed_at) {
+    return a.completed_at < b.completed_at;
+  }
+  if (a.attribute != b.attribute) {
+    return a.attribute < b.attribute;
+  }
+  if (a.cell.q != b.cell.q) {
+    return a.cell.q < b.cell.q;
+  }
+  return a.cell.r < b.cell.r;
+}
+
+Status ValidateMergeStageCounters(const QueryStream& stream,
+                                  const ops::Operator& merge_head) {
+  if (stream.monitor == nullptr) {
+    return Status::OK();  // partial stream: bare forwarding sink
+  }
+  const auto fail = [&stream](const std::string& what) {
+    return Status::Internal("merge stage counters violated: query " +
+                            std::to_string(stream.id) + " " + what);
+  };
+  if (stream.monitor->stats().tuples_in != merge_head.stats().tuples_out) {
+    return fail("merge head emits do not all reach the monitor");
+  }
+  if (stream.sink->stats().tuples_in != stream.monitor->stats().tuples_out) {
+    return fail("monitor emits do not all reach the sink");
+  }
+  return Status::OK();
+}
+
 Result<ops::Operator*> BuildMergeStage(
     QueryStream* stream, ops::Pipeline* pipeline,
     const std::vector<geom::CellOverlap>& overlaps, double monitor_window,
@@ -127,10 +159,13 @@ Result<StreamFabricator::Chain*> StreamFabricator::GetOrCreateChain(
       auto flatten,
       ops::FlattenOperator::Make(
           name.str(), fc, Rng(OperatorSeed(index, attribute, chain.op_seq++))));
+  // Reports are buffered and replayed at the batch boundary in
+  // completion-time order (ReplayPendingViolations), so feedback consumers
+  // see the same canonical order on every execution path.
   flatten->SetReportCallback(
       [this, attribute, index](const ops::FlattenBatchReport& report) {
         if (violation_callback_) {
-          violation_callback_(attribute, index, report);
+          pending_violations_.push_back({attribute, index, report});
         }
       });
   chain.flatten = cell->pipeline.Add(std::move(flatten));
@@ -426,30 +461,70 @@ Status StreamFabricator::RemoveQuery(query::QueryId id) {
   return Status::OK();
 }
 
-Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
+StreamFabricator::Chain* StreamFabricator::RouteTarget(
+    const ops::Tuple& tuple) {
   const auto index = grid_.CellContaining(tuple.point.x, tuple.point.y);
   if (!index.has_value()) {
     ++tuples_unrouted_;
-    return Status::OK();
+    return nullptr;
   }
   const auto cell_it = cells_.find(*index);
   if (cell_it == cells_.end()) {
     ++tuples_unrouted_;
-    return Status::OK();
+    return nullptr;
   }
   const auto chain_it = cell_it->second->chains.find(tuple.attribute);
   if (chain_it == cell_it->second->chains.end()) {
     ++tuples_unrouted_;
-    return Status::OK();
+    return nullptr;
   }
   ++tuples_routed_;
-  return chain_it->second.flatten->Push(tuple);
+  return &chain_it->second;
+}
+
+Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
+  Chain* chain = RouteTarget(tuple);
+  if (chain == nullptr) {
+    return Status::OK();
+  }
+  return chain->flatten->Push(tuple);
+}
+
+Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
+  batch.Materialize();
+  for (ops::Tuple& tuple : batch.tuples()) {
+    Chain* chain = RouteTarget(tuple);
+    if (chain == nullptr) {
+      continue;
+    }
+    if (chain->inbox.empty()) {
+      batch_touched_.push_back(chain);
+    }
+    chain->inbox.Append(std::move(tuple));
+  }
+  batch.Clear();
+  return DispatchInboxesAndFlush();
 }
 
 Status StreamFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
-  for (const auto& tuple : batch) {
-    CRAQR_RETURN_NOT_OK(ProcessTuple(tuple));
+  // Convenience path (tests, benches): one copy, then the hot overload.
+  ops::TupleBatch copy{std::vector<ops::Tuple>(batch)};
+  return ProcessBatch(copy);
+}
+
+Status StreamFabricator::DispatchInboxesAndFlush() {
+  Status status = Status::OK();
+  for (Chain* chain : batch_touched_) {
+    if (status.ok()) {
+      status = chain->flatten->PushBatch(chain->inbox);
+    }
+    // Drained even on error so no tuple leaks into the next batch.
+    chain->inbox.Clear();
   }
+  // Cleared before FlushAll: a violation callback replayed there may
+  // re-enter with topology surgery that deletes chains.
+  batch_touched_.clear();
+  CRAQR_RETURN_NOT_OK(status);
   return FlushAll();
 }
 
@@ -462,7 +537,35 @@ Status StreamFabricator::FlushAll() {
     (void)id;
     CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
   }
+  ReplayPendingViolations();
   return Status::OK();
+}
+
+void StreamFabricator::ReplayPendingViolations() {
+  if (pending_violations_.empty()) {
+    return;
+  }
+  std::vector<PendingViolation> events = std::move(pending_violations_);
+  pending_violations_.clear();
+  // Canonical replay order (ViolationReplayLess). Stable, so one F
+  // operator's reports keep their firing order. The sharded runtime
+  // sorts its cross-shard replay with the same comparator, which is what
+  // makes feedback consumers (budget tuning, incentives) evolve
+  // identically for every shard count.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const PendingViolation& a, const PendingViolation& b) {
+                     return ViolationReplayLess(
+                         {a.report.completed_at, a.attribute, a.cell},
+                         {b.report.completed_at, b.attribute, b.cell});
+                   });
+  // The callback is user code and may re-enter the fabricator (the local
+  // copy of the event list keeps the replay safe).
+  const ViolationCallback callback = violation_callback_;
+  if (callback) {
+    for (const PendingViolation& event : events) {
+      callback(event.attribute, event.cell, event.report);
+    }
+  }
 }
 
 Result<QueryStream> StreamFabricator::GetStream(query::QueryId id) const {
@@ -651,6 +754,21 @@ Status StreamFabricator::ValidateInvariants() const {
                     " missing P -> merge edge in " + tap.cell.ToString());
       }
     }
+  }
+  // Counter conservation: the batch path must account tuples_in/out
+  // exactly like the per-tuple path on every operator...
+  Status stats_status = Status::OK();
+  VisitOperators([&stats_status](const ops::Operator& op) {
+    if (stats_status.ok()) {
+      stats_status = ops::ValidateStatsConservation(op);
+    }
+  });
+  CRAQR_RETURN_NOT_OK(stats_status);
+  // ...and across merge-stage edges, which are created atomically with
+  // the stage (ValidateMergeStageCounters).
+  for (const auto& [id, qs] : queries_) {
+    (void)id;
+    CRAQR_RETURN_NOT_OK(ValidateMergeStageCounters(qs.stream, *qs.merge_head));
   }
   return Status::OK();
 }

@@ -37,6 +37,17 @@
 ///    U operator into the final MCDS, delivered through a rate monitor
 ///    into a sink.
 ///
+/// Execution is batch-native: `ProcessBatch` routes the incoming handler
+/// batch into one recycled `ops::TupleBatch` inbox per touched (cell,
+/// attribute) chain and drives each chain through `Operator::PushBatch`,
+/// so the hot path pays one virtual call per operator per batch instead
+/// of per tuple. `ProcessTuple` remains as the tuple-at-a-time reference
+/// path; both deliver identical per-query streams (asserted in
+/// tests/ops_batch_test.cc). F-operator violation reports are buffered
+/// while a batch is in flight and replayed at the batch boundary sorted
+/// by `FlattenBatchReport::completed_at` — the canonical simulation-time
+/// order that the sharded runtime reproduces for any shard count.
+///
 /// Query insertion and deletion follow the paper's topology-surgery rules:
 /// T chains stay sorted; consecutive T operators with no branching point
 /// between them are merged into one; deleting a query removes its stream
@@ -89,6 +100,29 @@ using ViolationCallback = std::function<void(
     ops::AttributeId attribute, const geom::CellIndex& cell,
     const ops::FlattenBatchReport& report)>;
 
+/// \brief Sort key of the canonical violation-report replay order:
+/// completion time, ties broken by (attribute, cell). Both the
+/// single-threaded fabricator and the sharded runtime stable_sort their
+/// replay with this one comparator — the shard-count independence of the
+/// feedback loop rests on the two paths never diverging here.
+struct ViolationReplayKey {
+  double completed_at = 0.0;
+  ops::AttributeId attribute = 0;
+  geom::CellIndex cell;
+};
+
+/// Strict weak ordering over ViolationReplayKey (see above).
+bool ViolationReplayLess(const ViolationReplayKey& a,
+                         const ViolationReplayKey& b);
+
+/// \brief Counter conservation across a merge stage built by
+/// BuildMergeStage: everything the merge head emits reaches the monitor
+/// and everything the monitor forwards reaches the sink. Shared by both
+/// ValidateInvariants implementations (no-op for partial streams, which
+/// have no monitor).
+Status ValidateMergeStageCounters(const QueryStream& stream,
+                                  const ops::Operator& merge_head);
+
 /// \brief Builds a query's merge stage (paper Fig. 2(c)) into `pipeline`:
 /// a U operator over the per-cell overlap pieces (pass-through when the
 /// query touches a single cell), a delivered-rate monitor over the clipped
@@ -139,16 +173,32 @@ class StreamFabricator {
 
   /// \brief Routes one crowdsensed tuple to its grid cell's topology (the
   /// map phase). Tuples landing outside every materialized cell or with
-  /// an attribute no query asked for are counted and dropped.
+  /// an attribute no query asked for are counted and dropped. Violation
+  /// reports fired by an F batch boundary crossed here are buffered and
+  /// delivered only at the next FlushAll / ProcessBatch — drivers that
+  /// use ProcessTuple with a violation callback must flush at their own
+  /// batch boundaries (as ProcessBatch does) or no report is replayed.
   Status ProcessTuple(const ops::Tuple& tuple);
 
-  /// Pushes a whole batch, then flushes every topology (batch boundary).
+  /// \brief Batch-native map phase: routes the batch into one recycled
+  /// TupleBatch per touched (cell, attribute) chain, drives each chain
+  /// through PushBatch, then flushes every topology (batch boundary) and
+  /// replays buffered violation reports in completion-time order. The
+  /// batch is consumed (tuples move into the topologies).
+  Status ProcessBatch(ops::TupleBatch& batch);
+
+  /// Copying convenience overload of the batch-native ProcessBatch.
   Status ProcessBatch(const std::vector<ops::Tuple>& batch);
 
-  /// Flushes all cell topologies and query merge stages.
+  /// Flushes all cell topologies and query merge stages, then replays
+  /// buffered violation reports sorted by completion time.
   Status FlushAll();
 
-  /// Registers the N_v callback consumed by the budget tuner.
+  /// \brief Registers the N_v callback consumed by the budget tuner.
+  /// Reports fire at batch boundaries (end of ProcessBatch / FlushAll),
+  /// sorted by (completed_at, attribute, cell) — the same canonical order
+  /// the sharded runtime replays, so feedback consumers evolve
+  /// identically on both execution paths.
   void SetViolationCallback(ViolationCallback callback);
 
   /// The stream handle of a live query.
@@ -219,6 +269,9 @@ class StreamFabricator {
     /// Monotone per-chain operator-creation counter; seeds the next F/T
     /// RNG (see OperatorSeed).
     std::uint64_t op_seq = 0;
+    /// Recycled routing inbox ProcessBatch fills for this chain; always
+    /// drained before ProcessBatch returns.
+    ops::TupleBatch inbox;
   };
 
   /// Materialized cell topology (one hashmap value).
@@ -269,11 +322,27 @@ class StreamFabricator {
   Cell* GetOrCreateCell(const geom::CellIndex& index);
   Result<Chain*> GetOrCreateChain(Cell* cell, const geom::CellIndex& index,
                                   ops::AttributeId attribute, double rate);
+  /// Map-phase lookup: the chain owning `tuple`, or nullptr with the
+  /// routed/unrouted counters updated.
+  Chain* RouteTarget(const ops::Tuple& tuple);
+  /// Drives every inbox ProcessBatch filled (in first-touch order) and
+  /// ends the batch: FlushAll + violation replay.
+  Status DispatchInboxesAndFlush();
+  /// Replays buffered F reports to the violation callback, sorted by
+  /// (completed_at, attribute, cell) — see the class comment.
+  void ReplayPendingViolations();
   Status InsertTap(QueryState* qs, const geom::CellOverlap& overlap,
                    double rate);
   Status RemoveTap(QueryState* qs, const Tap& tap);
   /// Input rate of the thin at `index` (F target for the first thin).
   static double ThinInputRate(const Chain& chain, std::size_t index);
+
+  /// An F report captured mid-batch, replayed sorted at the boundary.
+  struct PendingViolation {
+    ops::AttributeId attribute = 0;
+    geom::CellIndex cell;
+    ops::FlattenBatchReport report;
+  };
 
   geom::Grid grid_;
   FabricConfig config_;
@@ -283,6 +352,10 @@ class StreamFabricator {
   std::unordered_map<query::QueryId, QueryState> queries_;
   query::QueryId next_query_id_ = 1;
   ViolationCallback violation_callback_;
+  /// Chains whose inbox the in-flight ProcessBatch touched, in first-touch
+  /// order; empty between calls.
+  std::vector<Chain*> batch_touched_;
+  std::vector<PendingViolation> pending_violations_;
   std::uint64_t tuples_routed_ = 0;
   std::uint64_t tuples_unrouted_ = 0;
 };

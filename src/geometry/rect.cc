@@ -25,10 +25,6 @@ double Rect::Area() const {
   return Width() * Height();
 }
 
-bool Rect::Contains(double x, double y) const {
-  return x >= x_min_ && x < x_max_ && y >= y_min_ && y < y_max_;
-}
-
 bool Rect::ContainsRect(const Rect& other) const {
   return other.x_min_ >= x_min_ && other.x_max_ <= x_max_ &&
          other.y_min_ >= y_min_ && other.y_max_ <= y_max_;

@@ -52,7 +52,11 @@ class Rect {
   bool IsEmpty() const { return x_max_ <= x_min_ || y_max_ <= y_min_; }
 
   /// True when (x, y) lies inside the half-open extent.
-  bool Contains(double x, double y) const;
+  /// Half-open membership test; inline because the batch-native
+  /// Partition/Union sweeps call it once per tuple.
+  bool Contains(double x, double y) const {
+    return x >= x_min_ && x < x_max_ && y >= y_min_ && y < y_max_;
+  }
 
   /// True when the point lies inside the half-open extent.
   bool Contains(const SpacePoint& p) const { return Contains(p.x, p.y); }

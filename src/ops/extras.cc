@@ -1,6 +1,7 @@
 #include "ops/extras.h"
 
 #include <cmath>
+#include <utility>
 
 namespace craqr {
 namespace ops {
@@ -17,6 +18,11 @@ Result<std::unique_ptr<SuperposeOperator>> SuperposeOperator::Make(
 Status SuperposeOperator::Push(const Tuple& tuple) {
   CountIn();
   return Emit(tuple);
+}
+
+Status SuperposeOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  return Emit(batch);
 }
 
 // ---------------------------------------------------------------------------
@@ -39,6 +45,12 @@ Status FilterOperator::Push(const Tuple& tuple) {
   return Status::OK();
 }
 
+Status FilterOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  batch.Retain([this](const Tuple& tuple) { return predicate_(tuple); });
+  return Emit(batch);
+}
+
 // ---------------------------------------------------------------------------
 // MapOperator
 
@@ -54,6 +66,12 @@ Result<std::unique_ptr<MapOperator>> MapOperator::Make(std::string name,
 Status MapOperator::Push(const Tuple& tuple) {
   CountIn();
   return Emit(transform_(tuple));
+}
+
+Status MapOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  batch.ForEach([this](Tuple& tuple) { tuple = transform_(tuple); });
+  return Emit(batch);
 }
 
 // ---------------------------------------------------------------------------
@@ -80,9 +98,7 @@ void RateMonitorOperator::CloseWindowsUpTo(double t) {
   }
 }
 
-Status RateMonitorOperator::Push(const Tuple& tuple) {
-  CountIn();
-  const double t = tuple.point.t;
+void RateMonitorOperator::Observe(double t) {
   if (!window_open_) {
     window_open_ = true;
     window_end_ = t + window_duration_;
@@ -90,7 +106,18 @@ Status RateMonitorOperator::Push(const Tuple& tuple) {
     CloseWindowsUpTo(t);
   }
   ++window_count_;
+}
+
+Status RateMonitorOperator::Push(const Tuple& tuple) {
+  CountIn();
+  Observe(tuple.point.t);
   return Emit(tuple);
+}
+
+Status RateMonitorOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  batch.ForEach([this](const Tuple& tuple) { Observe(tuple.point.t); });
+  return Emit(batch);
 }
 
 void RateMonitorOperator::CloseCurrentWindow() {
@@ -115,8 +142,7 @@ Result<std::unique_ptr<SinkOperator>> SinkOperator::Make(std::string name,
       new SinkOperator(std::move(name), capacity, std::move(callback)));
 }
 
-Status SinkOperator::Push(const Tuple& tuple) {
-  CountIn();
+void SinkOperator::Store(Tuple tuple) {
   if (callback_) {
     callback_(tuple);
   }
@@ -125,7 +151,20 @@ Status SinkOperator::Push(const Tuple& tuple) {
     tuples_.erase(tuples_.begin(),
                   tuples_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2 + 1));
   }
-  tuples_.push_back(tuple);
+  tuples_.push_back(std::move(tuple));
+}
+
+Status SinkOperator::Push(const Tuple& tuple) {
+  CountIn();
+  Store(tuple);
+  return Status::OK();
+}
+
+Status SinkOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  // Moving out of the active slots is allowed; restructuring the
+  // caller's (possibly port-shared) storage is not.
+  batch.ForEach([this](Tuple& tuple) { Store(std::move(tuple)); });
   return Status::OK();
 }
 
@@ -141,6 +180,11 @@ Result<std::unique_ptr<PassThroughOperator>> PassThroughOperator::Make(
 Status PassThroughOperator::Push(const Tuple& tuple) {
   CountIn();
   return Emit(tuple);
+}
+
+Status PassThroughOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  return Emit(batch);
 }
 
 }  // namespace ops

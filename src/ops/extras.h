@@ -31,6 +31,7 @@ class SuperposeOperator final : public Operator {
   static Result<std::unique_ptr<SuperposeOperator>> Make(std::string name);
 
   Status Push(const Tuple& tuple) override;
+  Status PushBatch(TupleBatch& batch) override;
   OperatorKind kind() const override { return OperatorKind::kSuperpose; }
 
  private:
@@ -49,6 +50,11 @@ class FilterOperator final : public Operator {
                                                       Predicate predicate);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: in-place compaction of the tuples satisfying the
+  /// predicate, then one downstream emit.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kFilter; }
 
  private:
@@ -69,6 +75,10 @@ class MapOperator final : public Operator {
                                                    Transform transform);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: transforms every tuple in place, then one emit.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kMap; }
 
  private:
@@ -94,6 +104,10 @@ class RateMonitorOperator final : public Operator {
 
   Status Push(const Tuple& tuple) override;
 
+  /// Batch-native: one sweep advancing the window accounting (identical
+  /// per-tuple window transitions), then the batch is forwarded whole.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kRateMonitor; }
 
   /// \brief Closes the currently open (partial) window and records it.
@@ -113,6 +127,10 @@ class RateMonitorOperator final : public Operator {
       : Operator(std::move(name)),
         window_duration_(window_duration),
         area_(area) {}
+
+  /// Advances the window accounting by one arrival at time `t`; shared by
+  /// the per-tuple and batch paths so they cannot drift.
+  void Observe(double t);
 
   void CloseWindowsUpTo(double t);
 
@@ -140,6 +158,11 @@ class SinkOperator final : public Operator {
       Callback callback = nullptr);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: appends the whole batch (moving each tuple) with the
+  /// same eviction points the per-tuple path produces.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kSink; }
 
   /// Retained tuples, oldest first.
@@ -157,6 +180,10 @@ class SinkOperator final : public Operator {
         capacity_(capacity),
         callback_(std::move(callback)) {}
 
+  /// Delivers one tuple (callback + capped buffer append with eviction);
+  /// shared by the per-tuple and batch paths so they cannot drift.
+  void Store(Tuple tuple);
+
   std::size_t capacity_;
   Callback callback_;
   std::vector<Tuple> tuples_;
@@ -170,6 +197,7 @@ class PassThroughOperator final : public Operator {
   static Result<std::unique_ptr<PassThroughOperator>> Make(std::string name);
 
   Status Push(const Tuple& tuple) override;
+  Status PushBatch(TupleBatch& batch) override;
   OperatorKind kind() const override { return OperatorKind::kPassThrough; }
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "pointprocess/window.h"
@@ -52,7 +54,7 @@ Result<std::unique_ptr<FlattenOperator>> FlattenOperator::Make(
   auto op = std::unique_ptr<FlattenOperator>(
       new FlattenOperator(std::move(name), config, rng));
   if (config.mode == FlattenMode::kBatch) {
-    op->buffer_.reserve(config.batch_size);
+    op->buffer_.Reserve(config.batch_size);
   }
   return op;
 }
@@ -70,16 +72,38 @@ Status FlattenOperator::Push(const Tuple& tuple) {
   if (config_.mode == FlattenMode::kOnline) {
     return PushOnline(tuple);
   }
-  buffer_.push_back(tuple);
+  buffer_.Append(tuple);
   if (buffer_.size() >= config_.batch_size) {
-    return ProcessBatch();
+    return ProcessBufferedBatch();
   }
   return Status::OK();
 }
 
+Status FlattenOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  if (config_.mode == FlattenMode::kOnline) {
+    return PushOnlineBatch(batch);
+  }
+  // Move the active tuples into the estimation buffer, firing at exactly
+  // the buffer boundaries the per-tuple path fires at. Only active slots
+  // are moved from; the caller's storage is left in place (it may be
+  // shared across Partition ports).
+  Status status = Status::OK();
+  batch.ForEach([this, &status](Tuple& tuple) {
+    if (!status.ok()) {
+      return;
+    }
+    buffer_.Append(std::move(tuple));
+    if (buffer_.size() >= config_.batch_size) {
+      status = ProcessBufferedBatch();
+    }
+  });
+  return status;
+}
+
 Status FlattenOperator::Flush() {
   if (config_.mode == FlattenMode::kBatch && !buffer_.empty()) {
-    return ProcessBatch();
+    return ProcessBufferedBatch();
   }
   return Status::OK();
 }
@@ -99,7 +123,7 @@ void FlattenOperator::PublishReport(const FlattenBatchReport& report) {
   }
 }
 
-Status FlattenOperator::ProcessBatch() {
+Status FlattenOperator::ProcessBufferedBatch() {
   const std::size_t n = buffer_.size();
   if (n == 0) {
     return Status::OK();
@@ -110,7 +134,7 @@ Status FlattenOperator::ProcessBatch() {
   // tuple span) keeps the per-volume target honest on sparse streams.
   double t_min = std::numeric_limits<double>::infinity();
   double t_max = -std::numeric_limits<double>::infinity();
-  for (const auto& tuple : buffer_) {
+  for (const auto& tuple : buffer_.tuples()) {
     t_min = std::min(t_min, tuple.point.t);
     t_max = std::max(t_max, tuple.point.t);
   }
@@ -124,18 +148,15 @@ Status FlattenOperator::ProcessBatch() {
   const pp::SpaceTimeWindow window{t_min, t_max, config_.region};
 
   // Estimate the conditional rate lambda~(.; theta) of the batch (Eq. 1)
-  // by exact maximum likelihood. On pathological batches the MLE can fail
-  // (e.g. all points identical); fall back to the homogeneous estimate so
-  // the operator degrades to plain thinning.
-  std::vector<geom::SpaceTimePoint> points;
-  points.reserve(n);
-  for (const auto& tuple : buffer_) {
-    points.push_back(tuple.point);
-  }
+  // by exact maximum likelihood over the batch's point column. On
+  // pathological batches the MLE can fail (e.g. all points identical);
+  // fall back to the homogeneous estimate so the operator degrades to
+  // plain thinning.
+  buffer_.CollectPoints(&points_scratch_);
   std::array<double, 4> theta{static_cast<double>(n) / window.Volume(), 0.0,
                               0.0, 0.0};
   if (n >= config_.min_batch_for_estimation) {
-    auto fit = pp::FitLinearMle(points, window);
+    auto fit = pp::FitLinearMle(points_scratch_, window);
     if (fit.ok()) {
       theta = fit->theta;
     }
@@ -149,10 +170,11 @@ Status FlattenOperator::ProcessBatch() {
 
   // lambda_c = sum_i 1 / lambda~(p_i; theta)  (constant over the batch).
   double lambda_c = 0.0;
-  std::vector<double> rates(n);
+  rates_scratch_.clear();
+  rates_scratch_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    rates[i] = rate_at(buffer_[i].point);
-    lambda_c += 1.0 / rates[i];
+    rates_scratch_.push_back(rate_at(points_scratch_[i]));
+    lambda_c += 1.0 / rates_scratch_[i];
   }
 
   const double target_count =
@@ -161,39 +183,48 @@ Status FlattenOperator::ProcessBatch() {
           : config_.target_rate * window.Volume();
 
   FlattenBatchReport report;
+  report.completed_at = t_max;
   report.n = n;
   report.theta = theta;
   report.lambda_c = lambda_c;
   report.target_count = target_count;
 
   // Eq. (3): p_i = lambda-bar / (lambda~_i * lambda_c), rounded down to 1
-  // on rate violations.
-  Status status = Status::OK();
-  for (std::size_t i = 0; i < n; ++i) {
-    double p = target_count / (rates[i] * lambda_c);
-    if (p > 1.0) {
-      ++report.violations;
-      p = 1.0;
-    }
-    if (rng_.Bernoulli(p)) {
-      ++report.retained;
-      status = Emit(buffer_[i]);
-    } else {
-      status = Discard(buffer_[i]);
-    }
-    if (!status.ok()) {
-      buffer_.clear();
-      return status;
-    }
-  }
+  // on rate violations. One RNG sweep in arrival order (matching the
+  // per-tuple draws) deselects the dropped tuples in place; the buffer
+  // itself then leaves as the retained batch — no tuple moves on the
+  // retain path. Discards move to the side batch only when a discard
+  // output is connected.
+  std::size_t i = 0;
+  buffer_.Retain(
+      [this, &report, target_count, lambda_c, &i](const Tuple&) {
+        double p = target_count / (rates_scratch_[i++] * lambda_c);
+        if (p > 1.0) {
+          ++report.violations;
+          p = 1.0;
+        }
+        const bool keep = rng_.Bernoulli(p);
+        if (keep) {
+          ++report.retained;
+        }
+        return keep;
+      },
+      discarded_ != nullptr ? &discard_scratch_ : nullptr);
   report.violation_percent =
       100.0 * static_cast<double>(report.violations) / static_cast<double>(n);
-  buffer_.clear();
+
+  Status status = Emit(buffer_);
+  buffer_.Clear();
+  if (status.ok() && discarded_ != nullptr && !discard_scratch_.empty()) {
+    status = discarded_->PushBatch(discard_scratch_);
+  }
+  discard_scratch_.Clear();
+  CRAQR_RETURN_NOT_OK(status);
   PublishReport(report);
   return Status::OK();
 }
 
-Status FlattenOperator::PushOnline(const Tuple& tuple) {
+Result<bool> FlattenOperator::OnlineStep(const Tuple& tuple) {
   if (!sgd_.has_value()) {
     // Lazily bind the estimation domain at the first tuple so the
     // normalised time frame starts at the stream's own epoch.
@@ -213,7 +244,7 @@ Status FlattenOperator::PushOnline(const Tuple& tuple) {
   ++online_seen_;
 
   if (online_seen_ <= config_.online_warmup) {
-    return Emit(tuple);  // warm-up: forward unthinned
+    return true;  // warm-up: forward unthinned
   }
 
   const double rate = sgd_->RateAt(tuple.point);
@@ -224,6 +255,7 @@ Status FlattenOperator::PushOnline(const Tuple& tuple) {
 
   if (online_seen_ % std::max<std::size_t>(config_.violation_window, 1) == 0) {
     FlattenBatchReport report;
+    report.completed_at = tuple.point.t;
     report.n = online_probs_.size();
     report.violations =
         static_cast<std::size_t>(std::llround(online_probs_.Sum()));
@@ -233,10 +265,44 @@ Status FlattenOperator::PushOnline(const Tuple& tuple) {
     PublishReport(report);
   }
 
-  if (rng_.Bernoulli(p)) {
+  return rng_.Bernoulli(p);
+}
+
+Status FlattenOperator::PushOnline(const Tuple& tuple) {
+  CRAQR_ASSIGN_OR_RETURN(const bool keep, OnlineStep(tuple));
+  if (keep) {
     return Emit(tuple);
   }
   return Discard(tuple);
+}
+
+Status FlattenOperator::PushOnlineBatch(TupleBatch& batch) {
+  // One estimator/RNG sweep in arrival order; dropped tuples are
+  // deselected (or moved to the discard side batch), survivors stay put.
+  Status first = Status::OK();
+  batch.Retain(
+      [this, &first](const Tuple& tuple) {
+        if (!first.ok()) {
+          return false;  // already failed; decisions no longer matter
+        }
+        auto keep = OnlineStep(tuple);
+        if (!keep.ok()) {
+          first = keep.status();
+          return false;
+        }
+        return *keep;
+      },
+      discarded_ != nullptr ? &discard_scratch_ : nullptr);
+  if (!first.ok()) {
+    discard_scratch_.Clear();
+    return first;
+  }
+  Status status = Emit(batch);
+  if (status.ok() && discarded_ != nullptr && !discard_scratch_.empty()) {
+    status = discarded_->PushBatch(discard_scratch_);
+  }
+  discard_scratch_.Clear();
+  return status;
 }
 
 }  // namespace ops

@@ -93,6 +93,12 @@ struct FlattenConfig {
 
 /// \brief Per-batch diagnostics reported by the F operator.
 struct FlattenBatchReport {
+  /// \brief Simulation time (minutes) at which the batch completed: the
+  /// latest tuple time the batch covers (its completing tuple's time, for
+  /// the time-monotone streams the handler produces). Lets feedback
+  /// consumers replay reports from many cells — or many shards — in one
+  /// canonical time order (see StreamFabricator / ShardedFabricator).
+  double completed_at = 0.0;
   /// Batch size n.
   std::size_t n = 0;
   /// Number of tuples with retaining probability > 1.
@@ -125,6 +131,14 @@ class FlattenOperator final : public Operator {
                                                        Rng rng);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: accumulates the incoming batch into the estimation
+  /// buffer with exactly the per-tuple firing boundaries (kBatch), or
+  /// runs one estimator/RNG sweep deselecting dropped tuples (kOnline).
+  /// Retained tuples leave as whole (selected) batches without being
+  /// moved; discarded tuples reach the side output as one batch per
+  /// firing.
+  Status PushBatch(TupleBatch& batch) override;
 
   /// Processes any buffered partial batch (kBatch mode).
   Status Flush() override;
@@ -164,14 +178,26 @@ class FlattenOperator final : public Operator {
  private:
   FlattenOperator(std::string name, const FlattenConfig& config, Rng rng);
 
-  Status ProcessBatch();
+  Status ProcessBufferedBatch();
   Status PushOnline(const Tuple& tuple);
+  Status PushOnlineBatch(TupleBatch& batch);
+  /// Advances the online estimator with one tuple (warm-up, window report,
+  /// retention draw) and returns whether the tuple is retained. Shared by
+  /// the per-tuple and batch paths so both draw identically.
+  Result<bool> OnlineStep(const Tuple& tuple);
   Status Discard(const Tuple& tuple);
   void PublishReport(const FlattenBatchReport& report);
 
   FlattenConfig config_;
   Rng rng_;
-  std::vector<Tuple> buffer_;
+  /// Estimation buffer; after a firing's Retain sweep it IS the retained
+  /// batch (selection active) and leaves through Emit without any moves.
+  TupleBatch buffer_;
+  /// Recycled per-firing scratch: discarded tuples (when a side output is
+  /// connected) and the point/rate columns of the estimation batch.
+  TupleBatch discard_scratch_;
+  std::vector<geom::SpaceTimePoint> points_scratch_;
+  std::vector<double> rates_scratch_;
   /// Start of the next batch's time coverage: batches are priced over the
   /// full elapsed interval since the previous batch (quiet gaps included),
   /// not just the tuple span — otherwise a starved stream reports a

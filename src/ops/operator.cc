@@ -1,6 +1,9 @@
 #include "ops/operator.h"
 
+#include <string>
+
 #include "common/macros.h"
+#include "ops/partition.h"
 
 namespace craqr {
 namespace ops {
@@ -61,6 +64,91 @@ Status Operator::EmitTo(std::size_t port, const Tuple& tuple) {
   }
   ++stats_.tuples_out;
   return outputs_[port]->Push(tuple);
+}
+
+Status Operator::PushBatch(TupleBatch& batch) {
+  // Fallback for operators that have not opted into batch execution: the
+  // per-tuple path, tuple by tuple in arrival order.
+  Status status = Status::OK();
+  batch.ForEach([this, &status](const Tuple& tuple) {
+    if (status.ok()) {
+      status = Push(tuple);
+    }
+  });
+  return status;
+}
+
+Status Operator::Emit(TupleBatch& batch) {
+  stats_.tuples_out += batch.size();
+  if (batch.empty() || outputs_.empty()) {
+    return Status::OK();
+  }
+  // Port order matches the per-tuple Emit; all but the last output
+  // receive a materialized copy, the last consumes the batch in place.
+  if (outputs_.size() > 1 && broadcast_scratch_ == nullptr) {
+    broadcast_scratch_ = std::make_unique<TupleBatch>();
+  }
+  for (std::size_t i = 0; i + 1 < outputs_.size(); ++i) {
+    broadcast_scratch_->CopyFrom(batch);
+    CRAQR_RETURN_NOT_OK(outputs_[i]->PushBatch(*broadcast_scratch_));
+    broadcast_scratch_->Clear();
+  }
+  return outputs_.back()->PushBatch(batch);
+}
+
+Status Operator::EmitTo(std::size_t port, TupleBatch& batch) {
+  if (port >= outputs_.size()) {
+    return Status::OutOfRange("no operator connected to output port " +
+                              std::to_string(port) + " of " + name_);
+  }
+  stats_.tuples_out += batch.size();
+  return outputs_[port]->PushBatch(batch);
+}
+
+Status ValidateStatsConservation(const Operator& op) {
+  const OperatorStats& s = op.stats();
+  const auto fail = [&op](const std::string& what) {
+    return Status::Internal("operator stats conservation violated: " +
+                            op.name() + " " + what);
+  };
+  switch (op.kind()) {
+    case OperatorKind::kUnion:
+    case OperatorKind::kSuperpose:
+    case OperatorKind::kMap:
+    case OperatorKind::kRateMonitor:
+    case OperatorKind::kPassThrough:
+      if (s.tuples_out != s.tuples_in) {
+        return fail("forwards all tuples but out=" +
+                    std::to_string(s.tuples_out) + " != in=" +
+                    std::to_string(s.tuples_in));
+      }
+      break;
+    case OperatorKind::kPartition: {
+      const auto& partition = static_cast<const PartitionOperator&>(op);
+      if (s.tuples_out + partition.unrouted() != s.tuples_in) {
+        return fail("out=" + std::to_string(s.tuples_out) + " + unrouted=" +
+                    std::to_string(partition.unrouted()) + " != in=" +
+                    std::to_string(s.tuples_in));
+      }
+      break;
+    }
+    case OperatorKind::kSink:
+      if (s.tuples_out != 0) {
+        return fail("sink emitted " + std::to_string(s.tuples_out) +
+                    " tuples");
+      }
+      break;
+    case OperatorKind::kFlatten:  // may buffer and discard
+    case OperatorKind::kThin:
+    case OperatorKind::kFilter:
+      if (s.tuples_out > s.tuples_in) {
+        return fail("emitted more than received: out=" +
+                    std::to_string(s.tuples_out) + " > in=" +
+                    std::to_string(s.tuples_in));
+      }
+      break;
+  }
+  return Status::OK();
 }
 
 }  // namespace ops

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "ops/tuple.h"
+#include "ops/tuple_batch.h"
 
 /// \file operator.h
 /// \brief Base class of PMAT (point-process transformation) operators.
@@ -16,6 +18,14 @@
 /// outputs.  An operator with more than one output is a *branching point*
 /// in the paper's terminology; the Partition operator routes each tuple to
 /// exactly one branch while every other operator broadcasts.
+///
+/// Execution is batch-at-a-time on the hot path: the fabricator drives
+/// each cell topology through `PushBatch`, and batch-native operators
+/// forward whole `TupleBatch`es downstream (moving the batch when a single
+/// output consumes it). The tuple-at-a-time `Push` remains both as the
+/// fallback the base `PushBatch` uses — so operators opt in one at a time
+/// — and as the reference semantics: a batch-driven topology must deliver
+/// exactly the streams the per-tuple path delivers.
 
 namespace craqr {
 namespace ops {
@@ -59,6 +69,35 @@ class Operator {
   /// Processes one incoming tuple, possibly emitting to outputs.
   virtual Status Push(const Tuple& tuple) = 0;
 
+  /// \brief Processes a whole batch of tuples (the vectorized hot path).
+  ///
+  /// Contract:
+  ///  - **consumption**: `batch` is consumed. The callee may deselect
+  ///    tuples (selection vector), transform active tuples in place, and
+  ///    move *out of* active slots — but must never restructure the
+  ///    caller's storage (no Clear/Swap/Materialize/TakeTuples): the
+  ///    storage may be shared across a Partition's output ports. The
+  ///    owner treats the contents as unspecified afterwards and Clear()s
+  ///    before reuse (capacity is retained — recycling).
+  ///  - **ordering**: active tuples arrive in stream order and
+  ///    implementations process them — and in particular draw randomness
+  ///    — in that order, so batch execution delivers byte-for-byte the
+  ///    per-tuple stream along every downstream edge. When one operator
+  ///    consumes several upstream edges (two Partition branches, or a
+  ///    multi-cell query's merge head fed by several cell chains), the
+  ///    interleaving *across* edges is batch-grouped rather than
+  ///    per-tuple-interleaved: the consumer sees the same per-edge
+  ///    subsequences, so delivered tuple content is path-independent,
+  ///    but cross-edge order (and order-sensitive probes like the rate
+  ///    monitor's windows) can differ slightly between execution paths.
+  ///  - **counters**: implementations account `OperatorStats` exactly as
+  ///    the per-tuple path would (`CountIn(batch.size())` on entry; batch
+  ///    `Emit`/`EmitTo` add the emitted batch size to `tuples_out`).
+  ///  - **opt-in**: the base implementation falls back to per-tuple
+  ///    `Push`, so mixed chains of batch-native and per-tuple operators
+  ///    stay correct.
+  virtual Status PushBatch(TupleBatch& batch);
+
   /// \brief Signals a batch boundary (request/response handler batches,
   /// paper Section V "Stream Fabrication"). Buffering operators release
   /// retained tuples here; the default implementation does nothing.
@@ -95,17 +134,44 @@ class Operator {
   /// Records an arrival; subclasses call this at the top of Push.
   void CountIn() { ++stats_.tuples_in; }
 
+  /// Records `n` arrivals; batch-native subclasses call this at the top
+  /// of PushBatch.
+  void CountIn(std::size_t n) { stats_.tuples_in += n; }
+
   /// Broadcasts a tuple to all outputs (counting it once as emitted).
   Status Emit(const Tuple& tuple);
 
   /// Sends a tuple to one output port only (Partition-style routing).
   Status EmitTo(std::size_t port, const Tuple& tuple);
 
+  /// \brief Broadcasts a batch to all outputs, counting `batch.size()`
+  /// emitted tuples. Outputs are fed in port order; all but the last
+  /// receive a copy (via a recycled scratch batch) and the last consumes
+  /// the batch itself — so the common single-output edge moves, never
+  /// copies. The batch is consumed either way.
+  Status Emit(TupleBatch& batch);
+
+  /// Sends a batch to one output port only, counting `batch.size()`
+  /// emitted tuples; the downstream operator consumes the batch (move).
+  Status EmitTo(std::size_t port, TupleBatch& batch);
+
  private:
   std::string name_;
   std::vector<Operator*> outputs_;
   OperatorStats stats_;
+  /// Recycled copy target for multi-output batch broadcasts; allocated
+  /// lazily on the first broadcast so the many single-output operators
+  /// (sinks, monitors, untapped chain links) don't carry it.
+  std::unique_ptr<TupleBatch> broadcast_scratch_;
 };
+
+/// \brief Per-operator throughput-counter conservation check, used by the
+/// fabricator invariant validators to assert the batch path accounts
+/// `tuples_in`/`tuples_out` exactly like the per-tuple path: forwarding
+/// operators (U, S, Id, Map, Mon) emit everything they receive, Partition
+/// emits everything it does not count unrouted, a Sink emits nothing, and
+/// dropping operators (F, T, Sel) never emit more than they received.
+Status ValidateStatsConservation(const Operator& op);
 
 }  // namespace ops
 }  // namespace craqr

@@ -1,6 +1,7 @@
 #include "ops/partition.h"
 
 #include <sstream>
+#include <utility>
 
 namespace craqr {
 namespace ops {
@@ -43,6 +44,47 @@ Status PartitionOperator::Push(const Tuple& tuple) {
   }
   ++unrouted_;
   return Status::OK();
+}
+
+Status PartitionOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  if (port_selection_.size() < regions_.size()) {
+    port_selection_.resize(regions_.size());
+  }
+  const std::size_t connected = outputs().size();
+  // One routing pass builds per-port index lists; the ports then share
+  // the batch's storage through adopted selections — no tuple is moved.
+  batch.ForEachIndexed([this, connected](std::uint32_t idx, Tuple& tuple) {
+    for (std::size_t k = 0; k < regions_.size(); ++k) {
+      if (regions_[k].Contains(tuple.point.x, tuple.point.y)) {
+        if (k >= connected) {
+          ++unrouted_;  // branch not connected
+        } else {
+          port_selection_[k].push_back(idx);
+        }
+        return;
+      }
+    }
+    ++unrouted_;
+  });
+  // Every routed port is emitted even after a downstream error (first
+  // error latched): EmitTo's tuples_out accounting must cover every
+  // routed tuple or the kPartition conservation invariant
+  // (in == out + unrouted) breaks permanently.
+  Status status = Status::OK();
+  for (std::size_t k = 0; k < port_selection_.size(); ++k) {
+    if (port_selection_[k].empty()) {
+      continue;
+    }
+    batch.AdoptSelection(&port_selection_[k]);
+    Status port_status = EmitTo(k, batch);
+    if (status.ok() && !port_status.ok()) {
+      status = std::move(port_status);
+    }
+    // Drained unconditionally so no index leaks into the next batch.
+    port_selection_[k].clear();
+  }
+  return status;
 }
 
 }  // namespace ops

@@ -34,6 +34,14 @@ class PartitionOperator final : public Operator {
       std::string name, std::vector<geom::Rect> regions);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: one routing pass builds per-port index lists, then
+  /// every non-empty port receives the same batch storage with its list
+  /// adopted as the selection — tuples are never moved. The lists are
+  /// recycled members and are always drained before returning, so
+  /// Partition never buffers across batch boundaries.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kPartition; }
 
   /// The branch regions, in output-port order.
@@ -48,6 +56,8 @@ class PartitionOperator final : public Operator {
 
   std::vector<geom::Rect> regions_;
   std::uint64_t unrouted_ = 0;
+  /// Per-output-port routed index lists, recycled across batches.
+  std::vector<std::vector<std::uint32_t>> port_selection_;
 };
 
 }  // namespace ops

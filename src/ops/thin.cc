@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/macros.h"
 
@@ -44,6 +46,15 @@ Status ThinOperator::Push(const Tuple& tuple) {
     return Emit(tuple);
   }
   return Status::OK();
+}
+
+Status ThinOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  const double p = retain_probability();
+  // One RNG sweep in arrival order; survivors stay put, the selection
+  // vector does the thinning.
+  batch.Retain([this, p](const Tuple&) { return rng_.Bernoulli(p); });
+  return Emit(batch);
 }
 
 Status ThinOperator::UpdateRates(double input_rate, double output_rate) {

@@ -30,6 +30,12 @@ class ThinOperator final : public Operator {
                                                     Rng rng);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: one RNG sweep over the batch deselecting non-survivors
+  /// (no tuple is moved), then a single downstream emit. Draw order
+  /// equals the per-tuple path's.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kThin; }
 
   /// The assumed input rate lambda1.

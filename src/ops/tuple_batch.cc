@@ -1,0 +1,36 @@
+#include "ops/tuple_batch.h"
+
+namespace craqr {
+namespace ops {
+
+void TupleBatch::CollectIds(std::vector<std::uint64_t>* ids) const {
+  ids->clear();
+  ids->reserve(size());
+  ForEach([ids](const Tuple& tuple) { ids->push_back(tuple.id); });
+}
+
+void TupleBatch::CollectAttributes(std::vector<AttributeId>* attributes) const {
+  attributes->clear();
+  attributes->reserve(size());
+  ForEach([attributes](const Tuple& tuple) {
+    attributes->push_back(tuple.attribute);
+  });
+}
+
+void TupleBatch::CollectPoints(
+    std::vector<geom::SpaceTimePoint>* points) const {
+  points->clear();
+  points->reserve(size());
+  ForEach([points](const Tuple& tuple) { points->push_back(tuple.point); });
+}
+
+void TupleBatch::CollectSensorIds(std::vector<std::uint64_t>* sensor_ids) const {
+  sensor_ids->clear();
+  sensor_ids->reserve(size());
+  ForEach([sensor_ids](const Tuple& tuple) {
+    sensor_ids->push_back(tuple.sensor_id);
+  });
+}
+
+}  // namespace ops
+}  // namespace craqr

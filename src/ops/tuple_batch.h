@@ -1,0 +1,252 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+#include "ops/tuple.h"
+
+/// \file tuple_batch.h
+/// \brief The unit of batch-at-a-time PMAT execution.
+///
+/// A TupleBatch is a reusable, move-friendly container of tuples flowing
+/// through `Operator::PushBatch`. It exists to amortise the per-tuple
+/// costs that dominate the tuple-at-a-time path — one virtual call and one
+/// downstream `Emit` fan-out per observation — into one call per batch:
+///
+///  - **recycling**: `Clear()` keeps the underlying capacity (tuple
+///    storage and selection alike) and `Swap()` exchanges storage in
+///    O(1), so operators keep scratch batches as members and never
+///    reallocate on the steady-state hot path;
+///  - **selection vector**: dropping operators (T, Sel, online F) retire
+///    tuples by *deselecting* them — one 32-bit index write — instead of
+///    physically moving ~90-byte tuples. A whole selected batch flows
+///    down a single-output edge untouched; only operators that must
+///    materialise (Partition's per-port routing, Sink storage, broadcast
+///    copies) compact;
+///  - **move discipline**: copying is deleted; accidental per-batch
+///    copies are exactly the cost this type removes, so the only copy is
+///    the explicit `CopyFrom` used by multi-output broadcasts;
+///  - **column views**: `CollectIds` / `CollectAttributes` /
+///    `CollectPoints` / `CollectSensorIds` gather the numeric hot fields
+///    of the *active* tuples into caller-owned scratch columns (also
+///    recycled) — e.g. Flatten's MLE fit reads the point column without
+///    touching the `AttributeValue` variants.
+///
+/// Active-tuple order inside a batch is arrival order and is semantically
+/// significant: operators draw their randomness per tuple in this order,
+/// which is what keeps batch-driven topologies delivering exactly the
+/// streams the per-tuple path delivers.
+
+namespace craqr {
+namespace ops {
+
+/// \brief A reusable batch of crowdsensed tuples (see file comment).
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+  /// Wraps an existing tuple vector (takes ownership; no copy).
+  explicit TupleBatch(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
+
+  TupleBatch(TupleBatch&&) = default;
+  TupleBatch& operator=(TupleBatch&&) = default;
+
+  /// Copying is explicit (CopyFrom): an accidental batch copy is the
+  /// per-tuple cost this type exists to remove.
+  TupleBatch(const TupleBatch&) = delete;
+  TupleBatch& operator=(const TupleBatch&) = delete;
+
+  /// Number of *active* tuples.
+  std::size_t size() const {
+    return has_selection_ ? selection_.size() : tuples_.size();
+  }
+
+  /// True when no tuple is active.
+  bool empty() const { return size() == 0; }
+
+  /// Pre-allocates room for `n` tuples.
+  void Reserve(std::size_t n) { tuples_.reserve(n); }
+
+  /// Drops all tuples and the selection but keeps both capacities
+  /// (scratch recycling).
+  void Clear() {
+    tuples_.clear();
+    selection_.clear();
+    has_selection_ = false;
+  }
+
+  /// O(1) storage exchange.
+  void Swap(TupleBatch& other) {
+    tuples_.swap(other.tuples_);
+    selection_.swap(other.selection_);
+    std::swap(has_selection_, other.has_selection_);
+  }
+
+  /// Appends one tuple (pass by value; move at the call site). Only valid
+  /// while no selection is active — producers fill plain batches;
+  /// selections appear as the batch flows through dropping operators.
+  void Append(Tuple tuple) {
+    assert(!has_selection_ && "Append on a batch with an active selection");
+    tuples_.push_back(std::move(tuple));
+  }
+
+  /// Replaces this batch's contents with a copy of `other`'s *active*
+  /// tuples, reusing the existing capacity. The one sanctioned copy path
+  /// (multi-output broadcast in Operator::Emit).
+  void CopyFrom(const TupleBatch& other) {
+    Clear();
+    tuples_.reserve(other.size());
+    other.ForEach([this](const Tuple& tuple) { tuples_.push_back(tuple); });
+  }
+
+  /// Invokes `fn(Tuple&)` on every active tuple in arrival order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    if (!has_selection_) {
+      for (Tuple& tuple : tuples_) {
+        fn(tuple);
+      }
+    } else {
+      for (const std::uint32_t idx : selection_) {
+        fn(tuples_[idx]);
+      }
+    }
+  }
+
+  /// Const overload of ForEach.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (!has_selection_) {
+      for (const Tuple& tuple : tuples_) {
+        fn(tuple);
+      }
+    } else {
+      for (const std::uint32_t idx : selection_) {
+        fn(tuples_[idx]);
+      }
+    }
+  }
+
+  /// Invokes `fn(raw_index, Tuple&)` on every active tuple in arrival
+  /// order; `raw_index` indexes the underlying storage and is valid for
+  /// AdoptSelection index lists.
+  template <typename Fn>
+  void ForEachIndexed(Fn&& fn) {
+    if (!has_selection_) {
+      for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(tuples_.size());
+           ++i) {
+        fn(i, tuples_[i]);
+      }
+    } else {
+      for (const std::uint32_t idx : selection_) {
+        fn(idx, tuples_[idx]);
+      }
+    }
+  }
+
+  /// \brief Replaces the selection by swapping in `indices` (ascending
+  /// raw-storage indices; the previous selection lands in `indices`).
+  /// This is how Partition shares one batch's storage across output
+  /// ports: route once, then adopt each port's index list in turn — no
+  /// tuple is moved.
+  void AdoptSelection(std::vector<std::uint32_t>* indices) {
+    selection_.swap(*indices);
+    has_selection_ = true;
+  }
+
+  /// \brief The vectorized drop primitive: keeps the active tuples for
+  /// which `fn(Tuple&)` returns true, in order, by rewriting the
+  /// selection — no tuple is moved. `fn` is invoked exactly once per
+  /// active tuple in arrival order (operators draw randomness inside it).
+  /// When `dropped` is non-null, dropped tuples are move-appended to it
+  /// (the Flatten discard side output); their storage slots stay behind
+  /// as inactive husks until Clear().
+  template <typename Fn>
+  void Retain(Fn&& fn, TupleBatch* dropped = nullptr) {
+    if (!has_selection_) {
+      // Indexed writes into a pre-sized selection (recycled capacity)
+      // instead of per-element push_back: this loop is the innermost cost
+      // of every Thin/Filter sweep.
+      const auto n = static_cast<std::uint32_t>(tuples_.size());
+      selection_.resize(n);
+      std::size_t out = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (fn(tuples_[i])) {
+          selection_[out++] = i;
+        } else if (dropped != nullptr) {
+          dropped->Append(std::move(tuples_[i]));
+        }
+      }
+      selection_.resize(out);
+      has_selection_ = true;
+    } else {
+      std::size_t out = 0;
+      for (const std::uint32_t idx : selection_) {
+        if (fn(tuples_[idx])) {
+          selection_[out++] = idx;
+        } else if (dropped != nullptr) {
+          dropped->Append(std::move(tuples_[idx]));
+        }
+      }
+      selection_.resize(out);
+    }
+  }
+
+  /// Physically compacts the storage down to the active tuples and drops
+  /// the selection. No-op on a plain batch. Call before touching
+  /// `tuples()` / `TakeTuples()` on a batch that may carry a selection.
+  void Materialize() {
+    if (!has_selection_) {
+      return;
+    }
+    std::size_t out = 0;
+    for (const std::uint32_t idx : selection_) {
+      if (idx != out) {
+        tuples_[out] = std::move(tuples_[idx]);
+      }
+      ++out;
+    }
+    tuples_.resize(out);
+    selection_.clear();
+    has_selection_ = false;
+  }
+
+  /// True when a selection is active (size() < raw storage size is then
+  /// possible).
+  bool has_selection() const { return has_selection_; }
+
+  /// Direct access to the underlying storage. With an active selection
+  /// this includes inactive slots — Materialize() first unless the batch
+  /// is known plain.
+  std::vector<Tuple>& tuples() { return tuples_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Materializes and moves the storage out, leaving the batch empty.
+  std::vector<Tuple> TakeTuples() {
+    Materialize();
+    return std::move(tuples_);
+  }
+
+  /// \name Column views
+  /// Gather one numeric hot field of the active tuples into a
+  /// caller-owned scratch column (cleared first, capacity recycled).
+  ///@{
+  void CollectIds(std::vector<std::uint64_t>* ids) const;
+  void CollectAttributes(std::vector<AttributeId>* attributes) const;
+  void CollectPoints(std::vector<geom::SpaceTimePoint>* points) const;
+  void CollectSensorIds(std::vector<std::uint64_t>* sensor_ids) const;
+  ///@}
+
+ private:
+  std::vector<Tuple> tuples_;
+  /// Indices of the active tuples, ascending; meaningful only while
+  /// has_selection_ is true.
+  std::vector<std::uint32_t> selection_;
+  bool has_selection_ = false;
+};
+
+}  // namespace ops
+}  // namespace craqr

@@ -64,5 +64,22 @@ Status UnionOperator::Push(const Tuple& tuple) {
   return Emit(tuple);
 }
 
+Status UnionOperator::PushBatch(TupleBatch& batch) {
+  CountIn(batch.size());
+  batch.ForEach([this](const Tuple& tuple) {
+    bool inside = false;
+    for (const auto& region : input_regions_) {
+      if (region.Contains(tuple.point.x, tuple.point.y)) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) {
+      ++out_of_region_;
+    }
+  });
+  return Emit(batch);
+}
+
 }  // namespace ops
 }  // namespace craqr

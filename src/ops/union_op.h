@@ -35,6 +35,11 @@ class UnionOperator final : public Operator {
       std::string name, std::vector<geom::Rect> input_regions);
 
   Status Push(const Tuple& tuple) override;
+
+  /// Batch-native: one membership sweep for the out-of-region diagnostic,
+  /// then the whole batch is forwarded in a single emit.
+  Status PushBatch(TupleBatch& batch) override;
+
   OperatorKind kind() const override { return OperatorKind::kUnion; }
 
   /// The merged output region R*_3.

@@ -52,7 +52,7 @@ void Shard::Stop() {
   }
 }
 
-Status Shard::EnqueueBatch(std::vector<ops::Tuple> batch) {
+Status Shard::EnqueueBatch(ops::TupleBatch batch) {
   Task task;
   task.batch = std::move(batch);
   if (!queue_.Push(std::move(task))) {

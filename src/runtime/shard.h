@@ -11,6 +11,7 @@
 #include "fabric/fabricator.h"
 #include "geometry/grid.h"
 #include "ops/tuple.h"
+#include "ops/tuple_batch.h"
 #include "query/query.h"
 #include "runtime/task_queue.h"
 
@@ -72,8 +73,15 @@ class Shard {
   Shard& operator=(const Shard&) = delete;
 
   /// Enqueues a tuple sub-batch for asynchronous processing; blocks when
-  /// the queue is full (back-pressure).
-  Status EnqueueBatch(std::vector<ops::Tuple> batch);
+  /// the queue is full (back-pressure). The batch storage moves into the
+  /// task queue and is consumed by the worker's batch-native
+  /// StreamFabricator::ProcessBatch.
+  Status EnqueueBatch(ops::TupleBatch batch);
+
+  /// Convenience overload wrapping a tuple vector (no copy).
+  Status EnqueueBatch(std::vector<ops::Tuple> batch) {
+    return EnqueueBatch(ops::TupleBatch(std::move(batch)));
+  }
 
   /// Runs `fn` on the worker thread after all previously queued tasks and
   /// waits for it to finish. The function reports its own results through
@@ -113,7 +121,7 @@ class Shard {
 
  private:
   struct Task {
-    std::vector<ops::Tuple> batch;
+    ops::TupleBatch batch;
     ControlFn control;  // non-null => control task
   };
 

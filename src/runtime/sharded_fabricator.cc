@@ -52,21 +52,21 @@ Status ShardedFabricator::BarrierLocked() const {
 }
 
 Status ShardedFabricator::CollectLocked() {
-  // Gather in ascending shard order so replayed violation reports are
-  // deterministic for a fixed shard count.
-  std::unordered_map<query::QueryId, std::vector<ops::Tuple>> per_query;
+  // Gather in ascending shard order; the replay sort below (and the
+  // per-query time sort) make the result independent of that order.
+  std::unordered_map<query::QueryId, ops::TupleBatch> per_query;
   std::vector<ViolationEvent> violations;
   for (const auto& shard : shards_) {
     ShardOutbox box = shard->TakeOutbox();
     for (Delivery& d : box.delivered) {
-      per_query[d.query].push_back(std::move(d.tuple));
+      per_query[d.query].Append(std::move(d.tuple));
     }
     for (ViolationEvent& v : box.violations) {
       violations.push_back(std::move(v));
     }
   }
 
-  for (auto& [id, tuples] : per_query) {
+  for (auto& [id, batch] : per_query) {
     const auto it = queries_.find(id);
     if (it == queries_.end()) {
       // RemoveQuery flushes deliveries before detaching, so a delivery for
@@ -77,6 +77,7 @@ Status ShardedFabricator::CollectLocked() {
     // order before the merge stage so the rate monitor sees the same
     // monotone tuple times the single-threaded fabricator produces. Tuple
     // ids break ties, making the merged order independent of shard count.
+    std::vector<ops::Tuple>& tuples = batch.tuples();
     std::sort(tuples.begin(), tuples.end(),
               [](const ops::Tuple& a, const ops::Tuple& b) {
                 if (a.point.t != b.point.t) {
@@ -85,9 +86,7 @@ Status ShardedFabricator::CollectLocked() {
                 return a.id < b.id;
               });
     QueryState& qs = it->second;
-    for (const ops::Tuple& tuple : tuples) {
-      CRAQR_RETURN_NOT_OK(qs.merge_head->Push(tuple));
-    }
+    CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
     CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
   }
 
@@ -103,6 +102,17 @@ void ShardedFabricator::ReplayViolationsAndUnlock(
     std::unique_lock<std::mutex>& lock) {
   std::vector<ViolationEvent> events = std::move(pending_violations_);
   pending_violations_.clear();
+  // Canonical replay order (fabric::ViolationReplayLess — the one
+  // comparator StreamFabricator also sorts with), stable so each F
+  // operator's reports keep their firing order. Sharing the comparator
+  // is what makes feedback consumers evolve identically for every shard
+  // count.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ViolationEvent& a, const ViolationEvent& b) {
+                     return fabric::ViolationReplayLess(
+                         {a.report.completed_at, a.attribute, a.cell},
+                         {b.report.completed_at, b.attribute, b.cell});
+                   });
   const fabric::ViolationCallback callback = violation_callback_;
   lock.unlock();
   if (callback) {
@@ -114,15 +124,30 @@ void ShardedFabricator::ReplayViolationsAndUnlock(
 
 Status ShardedFabricator::EnqueueBatchLocked(
     const std::vector<ops::Tuple>& batch) {
-  std::vector<std::vector<ops::Tuple>> sub(shards_.size());
-  for (const ops::Tuple& tuple : batch) {
+  // Convenience path (tests, benches): one copy, then the hot overload.
+  ops::TupleBatch copy{std::vector<ops::Tuple>(batch)};
+  return EnqueueBatchLocked(copy);
+}
+
+Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch) {
+  // One routing pass builds the per-shard sub-batches, moving each tuple
+  // out of the consumed input batch.
+  batch.Materialize();
+  std::vector<ops::TupleBatch> sub(shards_.size());
+  for (ops::Tuple& tuple : batch.tuples()) {
     const auto cell = grid_.CellContaining(tuple.point.x, tuple.point.y);
     if (!cell.has_value()) {
       ++router_unrouted_;  // outside R; shards count in-grid drops
       continue;
     }
-    sub[ShardForCell(*cell)].push_back(tuple);
+    sub[ShardForCell(*cell)].Append(std::move(tuple));
   }
+  batch.Clear();
+  return EnqueueSubBatchesLocked(sub);
+}
+
+Status ShardedFabricator::EnqueueSubBatchesLocked(
+    std::vector<ops::TupleBatch>& sub) {
   for (std::size_t i = 0; i < sub.size(); ++i) {
     if (!sub[i].empty()) {
       CRAQR_RETURN_NOT_OK(shards_[i]->EnqueueBatch(std::move(sub[i])));
@@ -136,7 +161,23 @@ Status ShardedFabricator::EnqueueBatch(const std::vector<ops::Tuple>& batch) {
   return EnqueueBatchLocked(batch);
 }
 
+Status ShardedFabricator::EnqueueBatch(ops::TupleBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnqueueBatchLocked(batch);
+}
+
 Status ShardedFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = [&]() -> Status {
+    CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch));
+    CRAQR_RETURN_NOT_OK(BarrierLocked());
+    return CollectLocked();
+  }();
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+Status ShardedFabricator::ProcessBatch(ops::TupleBatch& batch) {
   std::unique_lock<std::mutex> lock(mu_);
   const Status status = [&]() -> Status {
     CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch));
@@ -383,6 +424,30 @@ Status ShardedFabricator::ValidateInvariants() const {
         return fail("query " + std::to_string(id) + " cell " +
                     cell.ToString() + " owned by unattached shard");
       }
+    }
+    // Counter conservation across batch emits, cross-shard edition: every
+    // merge-stage operator accounts tuples_in/out exactly like the
+    // per-tuple path...
+    for (const auto& op : qs.merge_pipeline.operators()) {
+      CRAQR_RETURN_NOT_OK(ops::ValidateStatsConservation(*op));
+    }
+    CRAQR_RETURN_NOT_OK(
+        fabric::ValidateMergeStageCounters(qs.stream, *qs.merge_head));
+    // ...and the merge head never sees more tuples than the shard partial
+    // streams delivered (deliveries still sitting in shard outboxes make
+    // this an inequality, not an equality).
+    std::uint64_t partial_delivered = 0;
+    for (const ShardAttachment& a : qs.attachments) {
+      const auto local = shards_[a.shard]->fabricator().GetStream(a.local_id);
+      if (local.ok()) {
+        partial_delivered += local->sink->total_received();
+      }
+    }
+    if (qs.merge_head->stats().tuples_in > partial_delivered) {
+      return fail("query " + std::to_string(id) + " merge head received " +
+                  std::to_string(qs.merge_head->stats().tuples_in) +
+                  " tuples but shard partial streams only delivered " +
+                  std::to_string(partial_delivered));
     }
   }
   return Status::OK();

@@ -11,6 +11,7 @@
 #include "fabric/fabricator.h"
 #include "geometry/grid.h"
 #include "ops/tuple.h"
+#include "ops/tuple_batch.h"
 #include "query/query.h"
 #include "runtime/shard.h"
 
@@ -32,19 +33,29 @@
 /// combined by the same U-operator merge stage a single fabricator would
 /// use, so the delivered MCDS is equivalent to the single-threaded
 /// fabricator's. Operator RNG seeds are cell-local functions of the master
-/// seed (StreamFabricator::OperatorSeed), which makes delivered streams
+/// seed (StreamFabricator::OperatorSeed), which makes the delivered
+/// stream content — every query's full set of delivered tuples —
 /// identical for ANY shard count, not merely deterministic for a fixed
-/// one.
+/// one. One ordering nuance: a multi-cell query's merge stage is fed
+/// time-sorted here (CollectLocked) but chain-grouped by the in-process
+/// fabricator, so within-query delivery order (and windowed monitor
+/// statistics) can differ between num_shards == 1 and >= 2; across
+/// sharded counts (>= 2) order is identical.
 ///
-/// Caveat on closed-loop feedback: violation reports are replayed grouped
-/// by ascending shard, not in the single-threaded per-tuple firing order
-/// (FlattenBatchReport carries no timestamp to reconstruct it). Feedback
-/// consumers that are order-sensitive across cells of one attribute — the
-/// Section-VI incentive controller's non-commutative raise/decay update —
-/// can therefore evolve slightly differently than under num_shards == 1,
-/// though still deterministically for a fixed shard count. Open-loop
-/// delivery (no callback, or per-(attribute, cell) consumers like the
-/// budget tuner) is unaffected.
+/// The runtime is batch-native end to end: the router partitions each
+/// incoming batch into per-shard `ops::TupleBatch` sub-batches in one
+/// pass (moving tuples), shard workers drive their fabricators through
+/// the batch-at-a-time operator path, and collected partial deliveries
+/// re-enter each query's merge stage as one time-sorted batch.
+///
+/// Closed-loop feedback is replayed in a canonical order: every
+/// FlattenBatchReport is stamped with its completing tuple's simulation
+/// time (`completed_at`), and the collector replays reports sorted by
+/// (completed_at, attribute, cell) — the same order the single-threaded
+/// StreamFabricator replays at its batch boundaries. Order-sensitive
+/// feedback consumers (the Section-VI incentive controller's
+/// non-commutative raise/decay update included) therefore evolve
+/// identically for every shard count, num_shards == 1 included.
 ///
 /// Thread-safety: the public API is serialized by an internal mutex and
 /// may be called from multiple threads; parallelism happens inside, across
@@ -103,15 +114,24 @@ class ShardedFabricator {
   /// the sink first.
   Status RemoveQuery(query::QueryId id);
 
-  /// \brief Routes a batch: partitions tuples by cell->shard hash,
-  /// enqueues the sub-batches, waits for all shards to drain, then merges
-  /// delivered partial streams (by tuple time) into each query's merge
-  /// stage. Synchronous — equivalent to StreamFabricator::ProcessBatch.
+  /// \brief Routes a batch: partitions tuples by cell->shard hash into
+  /// per-shard TupleBatches in one pass (moving tuples), enqueues the
+  /// sub-batches, waits for all shards to drain, then merges delivered
+  /// partial streams (one time-sorted batch per query) into each query's
+  /// merge stage. Synchronous — equivalent to
+  /// StreamFabricator::ProcessBatch. The batch is consumed.
+  Status ProcessBatch(ops::TupleBatch& batch);
+
+  /// Copying convenience overload of the batch-native ProcessBatch.
   Status ProcessBatch(const std::vector<ops::Tuple>& batch);
 
   /// \brief Pipelined variant: partitions and enqueues without waiting.
   /// Deliveries accumulate in shard outboxes until the next Drain() /
   /// ProcessBatch(). Back-pressure applies when a shard queue fills.
+  /// The batch is consumed.
+  Status EnqueueBatch(ops::TupleBatch& batch);
+
+  /// Copying convenience overload of the batch-native EnqueueBatch.
   Status EnqueueBatch(const std::vector<ops::Tuple>& batch);
 
   /// Waits for all queued work and flushes deliveries into query sinks.
@@ -162,7 +182,10 @@ class ShardedFabricator {
 
   /// \brief Runs StreamFabricator::ValidateInvariants on every shard (after
   /// a drain) and checks the router's own bookkeeping: every query's shard
-  /// attachments resolve to live partial queries on the right shards.
+  /// attachments resolve to live partial queries on the right shards, the
+  /// cross-shard merge stages conserve the operator throughput counters
+  /// across batch emits (head -> monitor -> sink), and no merge stage has
+  /// received more tuples than its shard partial streams delivered.
   Status ValidateInvariants() const;
 
   /// Concatenated per-shard topology descriptions plus merge-stage lines.
@@ -191,6 +214,8 @@ class ShardedFabricator {
       : grid_(grid), config_(config) {}
 
   Status EnqueueBatchLocked(const std::vector<ops::Tuple>& batch);
+  Status EnqueueBatchLocked(ops::TupleBatch& batch);
+  Status EnqueueSubBatchesLocked(std::vector<ops::TupleBatch>& sub);
   Status BarrierLocked() const;
   Status CollectLocked();
   Result<ShardedStats> SnapshotLocked() const;
@@ -199,7 +224,9 @@ class ShardedFabricator {
                                                 double rate);
   Status RemoveQueryLocked(query::QueryId id);
   /// Releases `lock` and then invokes the violation callback on the events
-  /// CollectLocked buffered. The callback is user code and may re-enter
+  /// CollectLocked buffered, sorted by (completed_at, attribute, cell) —
+  /// the canonical order StreamFabricator replays in, making feedback
+  /// shard-count-independent. The callback is user code and may re-enter
   /// any public method, so it must never run under mu_.
   void ReplayViolationsAndUnlock(std::unique_lock<std::mutex>& lock);
 

@@ -220,6 +220,35 @@ TEST(EngineTest, ShardedEngineMatchesSingleThreadedEngine) {
   EXPECT_EQ(run(1), run(4));
 }
 
+TEST(EngineTest, ShardedEngineMatchesSingleThreadedWithIncentives) {
+  // The historically excluded case: enable_incentives makes the feedback
+  // loop order-sensitive across cells. Violation reports now replay in
+  // completion-time order on both execution paths, so even this closed
+  // loop must evolve identically for any shard count.
+  auto run = [](std::size_t num_shards) {
+    EngineConfig config = TestConfig();
+    config.num_shards = num_shards;
+    config.budget.max = 32.0;  // saturate fast so incentives engage
+    config.enable_incentives = true;
+    config.incentive.max = 8.0;
+    auto engine = CraqrEngine::Make(MakeWorld(80), config).MoveValue();
+    const auto stream = engine->SubmitText(
+        "ACQUIRE rain FROM REGION(0, 0, 6, 6) RATE 20 PER KM2 PER MIN");
+    EXPECT_TRUE(stream.ok());
+    EXPECT_TRUE(engine->RunFor(40.0).ok());
+    const auto rain_id = engine->world().AttributeIdByName("rain");
+    EXPECT_TRUE(rain_id.ok());
+    return std::tuple<std::uint64_t, std::uint64_t, double, std::uint64_t>{
+        engine->TuplesRouted(), stream->sink->total_received(),
+        engine->handler().GetIncentive(*rain_id),
+        engine->incentives().raises()};
+  };
+  const auto reference = run(1);
+  EXPECT_GT(std::get<3>(reference), 0u) << "incentives never engaged";
+  EXPECT_EQ(reference, run(2));
+  EXPECT_EQ(reference, run(4));
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace craqr
