@@ -216,8 +216,7 @@ void BM_Fig2TopologyBatch(benchmark::State& state) {
   for (auto _ : state) {
     // The refill copy is part of the measured cost — the fabricator's
     // routing pass pays the same copy when it builds per-chain batches.
-    batch.Clear();
-    batch.tuples().assign(tuples.begin(), tuples.end());
+    batch.Assign(tuples);
     benchmark::DoNotOptimize(topo.head->PushBatch(batch));
     topo.sink->Clear();
   }
@@ -244,14 +243,129 @@ void BM_ThinChainDepthBatch(benchmark::State& state) {
   const auto tuples = MakeTuples(kFig2BatchSize);
   ops::TupleBatch batch;
   for (auto _ : state) {
-    batch.Clear();
-    batch.tuples().assign(tuples.begin(), tuples.end());
+    batch.Assign(tuples);
     benchmark::DoNotOptimize(chain.front()->PushBatch(batch));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(kFig2BatchSize));
 }
 BENCHMARK(BM_ThinChainDepthBatch)->Arg(1)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// String-carrying Flatten chain: the columnar-payload case
+//
+// Every tuple carries a categorical string value. Before the columnar
+// refactor each hop moved a ~90-byte tuple with a std::string inside its
+// variant; now values are 12-byte interned PayloadRef handles, so the
+// Flatten buffer append, the retain sweep and the sink store never touch
+// string bytes. The PerTuple/Batch pair records the batch-execution win on
+// this chain in the release-bench CI logs.
+
+std::vector<ops::Tuple> MakeStringTuples(std::size_t n) {
+  static const char* kCategories[7] = {"clear", "drizzle", "rain", "downpour",
+                                       "hail",  "sleet",   "fog"};
+  Rng rng(78);
+  std::vector<ops::Tuple> tuples;
+  tuples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ops::Tuple t;
+    t.id = i;
+    t.sensor_id = 100 + (i % 17);
+    t.point = geom::SpaceTimePoint{static_cast<double>(i) * 0.01,
+                                   rng.Uniform(0.0, 4.0),
+                                   rng.Uniform(0.0, 4.0)};
+    t.value = ops::PayloadRef::String(kCategories[i % 7]);
+    tuples.push_back(t);
+  }
+  return tuples;
+}
+
+/// The string-carrying Fig-2/Flatten chain: an online F head into the
+/// Fig-2 cell-chain shape (descending T chain -> P -> U -> Mon -> sink),
+/// every tuple carrying a categorical string payload. F runs in kOnline
+/// mode because that is where the two execution models actually diverge:
+/// the batch path does one estimator/RNG sweep that deselects drops in
+/// place, the per-tuple path pays a full per-tuple emit cascade. (A kBatch
+/// F buffers and re-batches the stream identically under both models, so
+/// it would only add an identical constant to both sides — the reason the
+/// plain Fig-2 pair omits the F head entirely.)
+struct StringFlattenChain {
+  ops::Pipeline pipeline;
+  ops::FlattenOperator* head = nullptr;
+  ops::SinkOperator* sink = nullptr;
+};
+
+StringFlattenChain MakeStringFlattenChain() {
+  StringFlattenChain topo;
+  ops::FlattenConfig config;
+  config.region = geom::Rect(0, 0, 4, 4);
+  config.mode = ops::FlattenMode::kOnline;
+  config.target_rate = 1000.0;  // retain ~everything: worst case for moves
+  config.target_mode = ops::FlattenTargetMode::kRatePerVolume;
+  topo.head = topo.pipeline.Add(
+      ops::FlattenOperator::Make("f", config, Rng(31)).MoveValue());
+  // A 6-deep descending T chain with close consecutive rates — the shape
+  // six near-rate queries on one cell produce, and the expensive case for
+  // per-tuple dispatch (most tuples survive to the bottom).
+  std::vector<ops::ThinOperator*> thins;
+  double rate = 20.0;
+  for (int i = 0; i < 6; ++i) {
+    auto thin = ops::ThinOperator::Make("t" + std::to_string(i + 1), rate,
+                                        rate - 1.0, Rng(32 + i))
+                    .MoveValue();
+    rate -= 1.0;
+    thins.push_back(topo.pipeline.Add(std::move(thin)));
+    if (i > 0) {
+      thins[i - 1]->AddOutput(thins[i]);
+    }
+  }
+  auto* p = topo.pipeline.Add(
+      ops::PartitionOperator::Make(
+          "p", {geom::Rect(0, 0, 2, 4), geom::Rect(2, 0, 4, 4)})
+          .MoveValue());
+  auto* u = topo.pipeline.Add(
+      ops::UnionOperator::Make(
+          "u", {geom::Rect(0, 0, 2, 4), geom::Rect(2, 0, 4, 4)})
+          .MoveValue());
+  auto* mon = topo.pipeline.Add(
+      ops::RateMonitorOperator::Make("mon", 1.0, 16.0).MoveValue());
+  topo.sink = topo.pipeline.Add(ops::SinkOperator::Make("sink").MoveValue());
+  topo.head->AddOutput(thins.front());
+  thins.back()->AddOutput(p);
+  p->AddOutput(u);
+  p->AddOutput(u);
+  u->AddOutput(mon);
+  mon->AddOutput(topo.sink);
+  return topo;
+}
+
+void BM_StringFlattenChainPerTuple(benchmark::State& state) {
+  StringFlattenChain topo = MakeStringFlattenChain();
+  const auto tuples = MakeStringTuples(kFig2BatchSize);
+  for (auto _ : state) {
+    for (const ops::Tuple& tuple : tuples) {
+      benchmark::DoNotOptimize(topo.head->Push(tuple));
+    }
+    topo.sink->Clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kFig2BatchSize));
+}
+BENCHMARK(BM_StringFlattenChainPerTuple);
+
+void BM_StringFlattenChainBatch(benchmark::State& state) {
+  StringFlattenChain topo = MakeStringFlattenChain();
+  const auto tuples = MakeStringTuples(kFig2BatchSize);
+  ops::TupleBatch batch;
+  for (auto _ : state) {
+    batch.Assign(tuples);
+    benchmark::DoNotOptimize(topo.head->PushBatch(batch));
+    topo.sink->Clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kFig2BatchSize));
+}
+BENCHMARK(BM_StringFlattenChainBatch);
 
 void BM_ThinChainDepth(benchmark::State& state) {
   // A descending T chain of the given depth, as built by query insertion.

@@ -68,7 +68,7 @@ int main() {
     const auto& t = tuples[i];
     std::printf("  (t=%6.2f min, x=%5.2f, y=%5.2f) temp=%s from sensor %llu\n",
                 t.point.t, t.point.x, t.point.y,
-                ops::AttributeValueToString(t.value).c_str(),
+                ops::PayloadToString(t.value).c_str(),
                 static_cast<unsigned long long>(t.sensor_id));
   }
   const double delivered =

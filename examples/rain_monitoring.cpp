@@ -85,8 +85,8 @@ int main() {
     for (const auto& tuple : stream.sink->tuples()) {
       if (tuple.point.t > engine->now() - 10.0) {
         ++total;
-        if (std::holds_alternative<bool>(tuple.value) &&
-            std::get<bool>(tuple.value)) {
+        if (tuple.value.kind() == ops::PayloadKind::kBool &&
+            tuple.value.AsBool()) {
           ++wet;
         }
       }

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file span.h
+/// \brief A minimal non-owning view over a contiguous array (C++17 stand-in
+/// for std::span).
+///
+/// Used by the columnar tuple layout: `ops::TupleBatch` hands out zero-copy
+/// `Span`s over its struct-of-arrays columns, and consumers (the F
+/// operator's MLE fit, benchmarks, tests) read them without gathering.
+
+namespace craqr {
+
+/// \brief Pointer + length view; never owns, never allocates.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace craqr

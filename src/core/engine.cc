@@ -152,13 +152,12 @@ Status CraqrEngine::Cancel(query::QueryId id) {
 Status CraqrEngine::Step() {
   now_ += config_.step_dt;
   world_.Advance(config_.step_dt);
-  CRAQR_ASSIGN_OR_RETURN(std::vector<ops::Tuple> batch, handler_->Step(now_));
-  // The handler's responses enter the execution stack as one TupleBatch
-  // (no copy); the fabricators consume it tuple-by-tuple into per-chain /
-  // per-shard batches.
-  ops::TupleBatch tuple_batch(std::move(batch));
-  return sharded_ != nullptr ? sharded_->ProcessBatch(tuple_batch)
-                             : fabricator_->ProcessBatch(tuple_batch);
+  // The handler scatters its responses straight into the recycled batch's
+  // columns; the fabricators consume it row-by-row into per-chain /
+  // per-shard batches. No intermediate tuple vector exists on this path.
+  CRAQR_RETURN_NOT_OK(handler_->Step(now_, &step_batch_));
+  return sharded_ != nullptr ? sharded_->ProcessBatch(step_batch_)
+                             : fabricator_->ProcessBatch(step_batch_);
 }
 
 runtime::ShardedStats CraqrEngine::Stats() const {

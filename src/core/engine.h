@@ -174,6 +174,9 @@ class CraqrEngine {
   server::IncentiveController incentives_;
   std::optional<server::RequestResponseHandler> handler_;
   std::vector<server::BudgetKey> infeasible_log_;
+  /// Recycled columnar batch the handler fills and the fabricator drains
+  /// every Step() (capacity persists across steps).
+  ops::TupleBatch step_batch_;
   double now_ = 0.0;
 };
 

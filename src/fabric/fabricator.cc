@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/macros.h"
+#include "ops/reorder.h"
 
 namespace craqr {
 namespace fabric {
@@ -44,6 +45,8 @@ Status ValidateMergeStageCounters(const QueryStream& stream,
     return Status::Internal("merge stage counters violated: query " +
                             std::to_string(stream.id) + " " + what);
   };
+  // With a reorder buffer between head and monitor this holds at step
+  // boundaries (the buffer always drains on Flush); validators run there.
   if (stream.monitor->stats().tuples_in != merge_head.stats().tuples_out) {
     return fail("merge head emits do not all reach the monitor");
   }
@@ -60,6 +63,7 @@ Result<ops::Operator*> BuildMergeStage(
   std::ostringstream base;
   base << "Q" << stream->id;
   ops::Operator* merge_head = nullptr;
+  ops::Operator* pre_monitor = nullptr;  // last operator before the monitor
   if (overlaps.size() >= 2) {
     std::vector<geom::Rect> pieces;
     pieces.reserve(overlaps.size());
@@ -70,10 +74,21 @@ Result<ops::Operator*> BuildMergeStage(
         auto union_owned,
         ops::UnionOperator::Make(base.str() + "-union", std::move(pieces)));
     merge_head = pipeline->Add(std::move(union_owned));
+    // Multi-cell merges interleave several upstream chains; the reorder
+    // buffer flushes each processing step in canonical (t, id) order so
+    // delivery order is identical on every execution path and shard
+    // count. Single-cell streams skip it: one chain is already
+    // time-ordered.
+    CRAQR_ASSIGN_OR_RETURN(
+        auto reorder_owned, ops::ReorderOperator::Make(base.str() + "-order"));
+    ops::ReorderOperator* reorder = pipeline->Add(std::move(reorder_owned));
+    merge_head->AddOutput(reorder);
+    pre_monitor = reorder;
   } else {
     CRAQR_ASSIGN_OR_RETURN(
         auto pass_owned, ops::PassThroughOperator::Make(base.str() + "-merge"));
     merge_head = pipeline->Add(std::move(pass_owned));
+    pre_monitor = merge_head;
   }
   CRAQR_ASSIGN_OR_RETURN(
       auto monitor_owned,
@@ -84,7 +99,7 @@ Result<ops::Operator*> BuildMergeStage(
       auto sink_owned,
       ops::SinkOperator::Make(base.str() + "-sink", sink_capacity));
   ops::SinkOperator* sink = pipeline->Add(std::move(sink_owned));
-  merge_head->AddOutput(monitor);
+  pre_monitor->AddOutput(monitor);
   monitor->AddOutput(sink);
   stream->monitor = monitor;
   stream->sink = sink;
@@ -333,7 +348,7 @@ Result<QueryStream> StreamFabricator::FinishInsert(
 Result<QueryStream> StreamFabricator::InsertQueryPartial(
     ops::AttributeId attribute, const geom::Rect& region, double rate,
     const std::vector<geom::CellOverlap>& overlaps,
-    ops::SinkOperator::Callback on_deliver) {
+    ops::SinkOperator::BatchCallback on_deliver) {
   if (!(rate > 0.0) || !std::isfinite(rate)) {
     return Status::InvalidArgument("query rate must be > 0");
   }
@@ -349,15 +364,15 @@ Result<QueryStream> StreamFabricator::InsertQueryPartial(
   qs.stream.rate = rate;
 
   // No U merge and no rate monitor here: the per-cell partial streams of
-  // this fabricator converge in a bare forwarding sink, and the caller
+  // this fabricator converge in a delivery-only sink, and the caller
   // merges across fabricators (paper Fig. 2(c)'s U stage, lifted one level
-  // up by the sharded runtime). Capacity 1: tuples leave via the callback.
+  // up by the sharded runtime). Whole batches leave via the callback.
   std::ostringstream base;
   base << "Q" << id;
   CRAQR_ASSIGN_OR_RETURN(
       auto sink_owned,
-      ops::SinkOperator::Make(base.str() + "-partial-sink", 1,
-                              std::move(on_deliver)));
+      ops::SinkOperator::MakeBatched(base.str() + "-partial-sink",
+                                     std::move(on_deliver)));
   ops::SinkOperator* sink = qs.merge_pipeline.Add(std::move(sink_owned));
   qs.merge_head = sink;
   qs.stream.sink = sink;
@@ -462,8 +477,8 @@ Status StreamFabricator::RemoveQuery(query::QueryId id) {
 }
 
 StreamFabricator::Chain* StreamFabricator::RouteTarget(
-    const ops::Tuple& tuple) {
-  const auto index = grid_.CellContaining(tuple.point.x, tuple.point.y);
+    double x, double y, ops::AttributeId attribute) {
+  const auto index = grid_.CellContaining(x, y);
   if (!index.has_value()) {
     ++tuples_unrouted_;
     return nullptr;
@@ -473,7 +488,7 @@ StreamFabricator::Chain* StreamFabricator::RouteTarget(
     ++tuples_unrouted_;
     return nullptr;
   }
-  const auto chain_it = cell_it->second->chains.find(tuple.attribute);
+  const auto chain_it = cell_it->second->chains.find(attribute);
   if (chain_it == cell_it->second->chains.end()) {
     ++tuples_unrouted_;
     return nullptr;
@@ -483,7 +498,7 @@ StreamFabricator::Chain* StreamFabricator::RouteTarget(
 }
 
 Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
-  Chain* chain = RouteTarget(tuple);
+  Chain* chain = RouteTarget(tuple.point.x, tuple.point.y, tuple.attribute);
   if (chain == nullptr) {
     return Status::OK();
   }
@@ -491,25 +506,29 @@ Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
 }
 
 Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
+  // Route over the point/attribute columns only; matched rows column-copy
+  // (56 flat bytes) into the owning chain's recycled inbox.
   batch.Materialize();
-  for (ops::Tuple& tuple : batch.tuples()) {
-    Chain* chain = RouteTarget(tuple);
+  const auto n = static_cast<std::uint32_t>(batch.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const geom::SpaceTimePoint& p = batch.point_at(i);
+    Chain* chain = RouteTarget(p.x, p.y, batch.attribute_at(i));
     if (chain == nullptr) {
       continue;
     }
     if (chain->inbox.empty()) {
       batch_touched_.push_back(chain);
     }
-    chain->inbox.Append(std::move(tuple));
+    chain->inbox.AppendRow(batch, i);
   }
   batch.Clear();
   return DispatchInboxesAndFlush();
 }
 
 Status StreamFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
-  // Convenience path (tests, benches): one copy, then the hot overload.
-  ops::TupleBatch copy{std::vector<ops::Tuple>(batch)};
-  return ProcessBatch(copy);
+  // Convenience path (tests, benches): one scatter, then the hot overload.
+  ops::TupleBatch columns(batch);
+  return ProcessBatch(columns);
 }
 
 Status StreamFabricator::DispatchInboxesAndFlush() {

@@ -34,8 +34,10 @@
 ///    queries needing only part of a cell get a P operator to carve out
 ///    their sub-region;
 ///  - **merge**: each query's per-cell partial streams are combined by a
-///    U operator into the final MCDS, delivered through a rate monitor
-///    into a sink.
+///    U operator into the final MCDS, delivered through a reorder buffer
+///    (multi-cell queries: restores canonical (t, id) order at each step
+///    boundary, so delivery order is identical on every execution path and
+///    shard count) and a rate monitor into a sink.
 ///
 /// Execution is batch-native: `ProcessBatch` routes the incoming handler
 /// batch into one recycled `ops::TupleBatch` inbox per touched (cell,
@@ -125,11 +127,13 @@ Status ValidateMergeStageCounters(const QueryStream& stream,
 
 /// \brief Builds a query's merge stage (paper Fig. 2(c)) into `pipeline`:
 /// a U operator over the per-cell overlap pieces (pass-through when the
-/// query touches a single cell), a delivered-rate monitor over the clipped
-/// region `stream->region`, and the user-facing sink. Sets the handle's
-/// monitor/sink pointers and returns the stage's input operator. Shared by
-/// StreamFabricator and the sharded runtime's router so the two execution
-/// paths cannot diverge.
+/// query touches a single cell), a reorder buffer restoring canonical
+/// (t, id) delivery order at step boundaries (multi-cell queries only —
+/// a single cell chain is already time-ordered), a delivered-rate monitor
+/// over the clipped region `stream->region`, and the user-facing sink.
+/// Sets the handle's monitor/sink pointers and returns the stage's input
+/// operator. Shared by StreamFabricator and the sharded runtime's router
+/// so the two execution paths cannot diverge — in content *or* order.
 Result<ops::Operator*> BuildMergeStage(
     QueryStream* stream, ops::Pipeline* pipeline,
     const std::vector<geom::CellOverlap>& overlaps, double monitor_window,
@@ -155,16 +159,18 @@ class StreamFabricator {
 
   /// \brief Inserts a query that materializes taps only for `overlaps` — a
   /// subset of the query region's cell overlaps — and funnels the per-cell
-  /// partial streams straight into a bare sink that invokes `on_deliver`
-  /// for every tuple. The caller owns the cross-partition U merge stage;
-  /// this is the shard-local half of the sharded runtime
-  /// (runtime::ShardedFabricator). `region` is the full clipped query
-  /// region, recorded on the handle for reference only; it is not
-  /// re-validated here.
+  /// partial streams straight into a delivery-only sink that invokes
+  /// `on_deliver` once per delivered batch (active tuples, arrival order).
+  /// The caller owns the cross-partition U merge stage; this is the
+  /// shard-local half of the sharded runtime (runtime::ShardedFabricator),
+  /// and the batch-shaped callback is what lets a shard splice a whole
+  /// delivery into its outbox under one mutex acquisition. `region` is the
+  /// full clipped query region, recorded on the handle for reference only;
+  /// it is not re-validated here.
   Result<QueryStream> InsertQueryPartial(
       ops::AttributeId attribute, const geom::Rect& region, double rate,
       const std::vector<geom::CellOverlap>& overlaps,
-      ops::SinkOperator::Callback on_deliver);
+      ops::SinkOperator::BatchCallback on_deliver);
 
   /// \brief Deletes a query (paper Section V "Query Deletions"): its
   /// stream is unwired right-to-left until a branching point; emptied
@@ -322,9 +328,11 @@ class StreamFabricator {
   Cell* GetOrCreateCell(const geom::CellIndex& index);
   Result<Chain*> GetOrCreateChain(Cell* cell, const geom::CellIndex& index,
                                   ops::AttributeId attribute, double rate);
-  /// Map-phase lookup: the chain owning `tuple`, or nullptr with the
-  /// routed/unrouted counters updated.
-  Chain* RouteTarget(const ops::Tuple& tuple);
+  /// Map-phase lookup: the chain owning a tuple at (x, y) with the given
+  /// attribute, or nullptr with the routed/unrouted counters updated.
+  /// Column-shaped so the batch path reads only the point and attribute
+  /// columns.
+  Chain* RouteTarget(double x, double y, ops::AttributeId attribute);
   /// Drives every inbox ProcessBatch filled (in first-touch order) and
   /// ends the batch: FlushAll + violation replay.
   Status DispatchInboxesAndFlush();

@@ -70,7 +70,12 @@ Status MapOperator::Push(const Tuple& tuple) {
 
 Status MapOperator::PushBatch(TupleBatch& batch) {
   CountIn(batch.size());
-  batch.ForEach([this](Tuple& tuple) { tuple = transform_(tuple); });
+  // Gather row -> user transform -> scatter back: Map is the one operator
+  // whose contract is expressed over whole tuples, so it pays the 56-byte
+  // row round-trip per active tuple.
+  batch.ForEachRaw([this, &batch](std::uint32_t raw) {
+    batch.StoreRowAt(raw, transform_(batch.RowAt(raw)));
+  });
   return Emit(batch);
 }
 
@@ -116,7 +121,9 @@ Status RateMonitorOperator::Push(const Tuple& tuple) {
 
 Status RateMonitorOperator::PushBatch(TupleBatch& batch) {
   CountIn(batch.size());
-  batch.ForEach([this](const Tuple& tuple) { Observe(tuple.point.t); });
+  // Window accounting reads only the time column.
+  batch.ForEachRaw(
+      [this, &batch](std::uint32_t raw) { Observe(batch.point_at(raw).t); });
   return Emit(batch);
 }
 
@@ -138,11 +145,20 @@ Result<std::unique_ptr<SinkOperator>> SinkOperator::Make(std::string name,
   if (capacity < 1) {
     return Status::InvalidArgument("sink capacity must be >= 1");
   }
-  return std::unique_ptr<SinkOperator>(
-      new SinkOperator(std::move(name), capacity, std::move(callback)));
+  return std::unique_ptr<SinkOperator>(new SinkOperator(
+      std::move(name), capacity, std::move(callback), nullptr));
 }
 
-void SinkOperator::Store(Tuple tuple) {
+Result<std::unique_ptr<SinkOperator>> SinkOperator::MakeBatched(
+    std::string name, BatchCallback callback) {
+  if (!callback) {
+    return Status::InvalidArgument("batched sink requires a callback");
+  }
+  return std::unique_ptr<SinkOperator>(
+      new SinkOperator(std::move(name), 1, nullptr, std::move(callback)));
+}
+
+void SinkOperator::Store(const Tuple& tuple) {
   if (callback_) {
     callback_(tuple);
   }
@@ -151,20 +167,34 @@ void SinkOperator::Store(Tuple tuple) {
     tuples_.erase(tuples_.begin(),
                   tuples_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2 + 1));
   }
-  tuples_.push_back(std::move(tuple));
+  tuples_.push_back(tuple);
 }
 
 Status SinkOperator::Push(const Tuple& tuple) {
   CountIn();
+  if (batch_callback_) {
+    // Row-at-a-time reference path of a delivery-only sink: wrap the tuple
+    // in a recycled single-row batch so consumers see one shape.
+    push_scratch_.Clear();
+    push_scratch_.Append(tuple);
+    batch_callback_(push_scratch_);
+    return Status::OK();
+  }
   Store(tuple);
   return Status::OK();
 }
 
 Status SinkOperator::PushBatch(TupleBatch& batch) {
   CountIn(batch.size());
-  // Moving out of the active slots is allowed; restructuring the
+  if (batch_callback_) {
+    // One delivery per batch — the consumer (shard outbox) copies the
+    // active rows out under a single lock acquisition.
+    batch_callback_(batch);
+    return Status::OK();
+  }
+  // Copying out of the active slots is allowed; restructuring the
   // caller's (possibly port-shared) storage is not.
-  batch.ForEach([this](Tuple& tuple) { Store(std::move(tuple)); });
+  batch.ForEach([this](const Tuple& tuple) { Store(tuple); });
   return Status::OK();
 }
 

@@ -147,9 +147,20 @@ class RateMonitorOperator final : public Operator {
 /// Collects tuples into an in-memory buffer and/or forwards them to a
 /// callback. The buffer is capped; once full, the oldest tuples are
 /// evicted (the stream is a stream, not a table).
+///
+/// Two delivery shapes exist: the per-tuple `Callback` (plus the capped
+/// buffer), and the whole-batch `BatchCallback` used by delivery-only
+/// sinks (MakeBatched) — e.g. the sharded runtime's partial streams, which
+/// splice each delivered batch into the shard outbox under one mutex
+/// acquisition instead of one per tuple. Batched sinks do not retain
+/// tuples in the buffer (they exist to forward, not to store); counters
+/// account arrivals identically either way.
 class SinkOperator final : public Operator {
  public:
   using Callback = std::function<void(const Tuple&)>;
+  /// Receives each delivered batch; active tuples only, arrival order.
+  /// The batch is the caller's storage — copy out, never restructure.
+  using BatchCallback = std::function<void(const TupleBatch&)>;
 
   /// Creates a sink retaining up to `capacity` most-recent tuples
   /// (capacity >= 1); `callback` may be null.
@@ -157,10 +168,16 @@ class SinkOperator final : public Operator {
       std::string name, std::size_t capacity = 1 << 20,
       Callback callback = nullptr);
 
+  /// Creates a delivery-only sink: every pushed tuple/batch reaches
+  /// `callback` as a batch; nothing is buffered.
+  static Result<std::unique_ptr<SinkOperator>> MakeBatched(
+      std::string name, BatchCallback callback);
+
   Status Push(const Tuple& tuple) override;
 
-  /// Batch-native: appends the whole batch (moving each tuple) with the
-  /// same eviction points the per-tuple path produces.
+  /// Batch-native: one batch-callback invocation (batched sinks) or one
+  /// storing sweep with the same eviction points the per-tuple path
+  /// produces.
   Status PushBatch(TupleBatch& batch) override;
 
   OperatorKind kind() const override { return OperatorKind::kSink; }
@@ -175,18 +192,23 @@ class SinkOperator final : public Operator {
   void Clear() { tuples_.clear(); }
 
  private:
-  SinkOperator(std::string name, std::size_t capacity, Callback callback)
+  SinkOperator(std::string name, std::size_t capacity, Callback callback,
+               BatchCallback batch_callback)
       : Operator(std::move(name)),
         capacity_(capacity),
-        callback_(std::move(callback)) {}
+        callback_(std::move(callback)),
+        batch_callback_(std::move(batch_callback)) {}
 
   /// Delivers one tuple (callback + capped buffer append with eviction);
   /// shared by the per-tuple and batch paths so they cannot drift.
-  void Store(Tuple tuple);
+  void Store(const Tuple& tuple);
 
   std::size_t capacity_;
   Callback callback_;
+  BatchCallback batch_callback_;
   std::vector<Tuple> tuples_;
+  /// Recycled single-row wrapper for Push on a batched sink.
+  TupleBatch push_scratch_;
 };
 
 /// \brief Id: forwards tuples unchanged. Used as an explicit branching

@@ -84,16 +84,16 @@ Status FlattenOperator::PushBatch(TupleBatch& batch) {
   if (config_.mode == FlattenMode::kOnline) {
     return PushOnlineBatch(batch);
   }
-  // Move the active tuples into the estimation buffer, firing at exactly
-  // the buffer boundaries the per-tuple path fires at. Only active slots
-  // are moved from; the caller's storage is left in place (it may be
-  // shared across Partition ports).
+  // Column-copy the active rows into the estimation buffer, firing at
+  // exactly the buffer boundaries the per-tuple path fires at. The
+  // caller's storage is left in place (it may be shared across Partition
+  // ports).
   Status status = Status::OK();
-  batch.ForEach([this, &status](Tuple& tuple) {
+  batch.ForEachRaw([this, &status, &batch](std::uint32_t raw) {
     if (!status.ok()) {
       return;
     }
-    buffer_.Append(std::move(tuple));
+    buffer_.AppendRow(batch, raw);
     if (buffer_.size() >= config_.batch_size) {
       status = ProcessBufferedBatch();
     }
@@ -129,14 +129,19 @@ Status FlattenOperator::ProcessBufferedBatch() {
     return Status::OK();
   }
 
+  // The buffer is plain (built by appends), so its point column is a
+  // zero-copy span — the MLE fit and the rate sweep below read it in
+  // place; no per-tuple gather, no variant in sight.
+  const Span<const geom::SpaceTimePoint> points = buffer_.Points();
+
   // The batch's space-time window: the configured region R* over the time
   // covered since the previous batch. Using full coverage (rather than the
   // tuple span) keeps the per-volume target honest on sparse streams.
   double t_min = std::numeric_limits<double>::infinity();
   double t_max = -std::numeric_limits<double>::infinity();
-  for (const auto& tuple : buffer_.tuples()) {
-    t_min = std::min(t_min, tuple.point.t);
-    t_max = std::max(t_max, tuple.point.t);
+  for (const auto& point : points) {
+    t_min = std::min(t_min, point.t);
+    t_max = std::max(t_max, point.t);
   }
   if (!std::isnan(coverage_start_) && coverage_start_ < t_min) {
     t_min = coverage_start_;
@@ -152,11 +157,10 @@ Status FlattenOperator::ProcessBufferedBatch() {
   // pathological batches the MLE can fail (e.g. all points identical);
   // fall back to the homogeneous estimate so the operator degrades to
   // plain thinning.
-  buffer_.CollectPoints(&points_scratch_);
   std::array<double, 4> theta{static_cast<double>(n) / window.Volume(), 0.0,
                               0.0, 0.0};
   if (n >= config_.min_batch_for_estimation) {
-    auto fit = pp::FitLinearMle(points_scratch_, window);
+    auto fit = pp::FitLinearMle(points, window);
     if (fit.ok()) {
       theta = fit->theta;
     }
@@ -173,7 +177,7 @@ Status FlattenOperator::ProcessBufferedBatch() {
   rates_scratch_.clear();
   rates_scratch_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    rates_scratch_.push_back(rate_at(points_scratch_[i]));
+    rates_scratch_.push_back(rate_at(points[i]));
     lambda_c += 1.0 / rates_scratch_[i];
   }
 
@@ -196,8 +200,8 @@ Status FlattenOperator::ProcessBufferedBatch() {
   // retain path. Discards move to the side batch only when a discard
   // output is connected.
   std::size_t i = 0;
-  buffer_.Retain(
-      [this, &report, target_count, lambda_c, &i](const Tuple&) {
+  buffer_.RetainRaw(
+      [this, &report, target_count, lambda_c, &i](std::uint32_t) {
         double p = target_count / (rates_scratch_[i++] * lambda_c);
         if (p > 1.0) {
           ++report.violations;
@@ -224,12 +228,11 @@ Status FlattenOperator::ProcessBufferedBatch() {
   return Status::OK();
 }
 
-Result<bool> FlattenOperator::OnlineStep(const Tuple& tuple) {
+Result<bool> FlattenOperator::OnlineStep(const geom::SpaceTimePoint& point) {
   if (!sgd_.has_value()) {
     // Lazily bind the estimation domain at the first tuple so the
     // normalised time frame starts at the stream's own epoch.
-    const pp::SpaceTimeWindow domain{tuple.point.t, tuple.point.t + 1.0,
-                                     config_.region};
+    const pp::SpaceTimeWindow domain{point.t, point.t + 1.0, config_.region};
     pp::SgdOptions sgd_options = config_.sgd;
     // A global time trend is not identifiable on an unbounded stream; the
     // online estimator tracks level drift through theta0 instead.
@@ -240,14 +243,14 @@ Result<bool> FlattenOperator::OnlineStep(const Tuple& tuple) {
     }
     sgd_.emplace(estimator.MoveValue());
   }
-  sgd_->Update(tuple.point);
+  sgd_->Update(point);
   ++online_seen_;
 
   if (online_seen_ <= config_.online_warmup) {
     return true;  // warm-up: forward unthinned
   }
 
-  const double rate = sgd_->RateAt(tuple.point);
+  const double rate = sgd_->RateAt(point);
   double p = config_.target_rate / rate;
   const bool violation = p > 1.0;
   p = std::min(p, 1.0);
@@ -255,7 +258,7 @@ Result<bool> FlattenOperator::OnlineStep(const Tuple& tuple) {
 
   if (online_seen_ % std::max<std::size_t>(config_.violation_window, 1) == 0) {
     FlattenBatchReport report;
-    report.completed_at = tuple.point.t;
+    report.completed_at = point.t;
     report.n = online_probs_.size();
     report.violations =
         static_cast<std::size_t>(std::llround(online_probs_.Sum()));
@@ -269,7 +272,7 @@ Result<bool> FlattenOperator::OnlineStep(const Tuple& tuple) {
 }
 
 Status FlattenOperator::PushOnline(const Tuple& tuple) {
-  CRAQR_ASSIGN_OR_RETURN(const bool keep, OnlineStep(tuple));
+  CRAQR_ASSIGN_OR_RETURN(const bool keep, OnlineStep(tuple.point));
   if (keep) {
     return Emit(tuple);
   }
@@ -280,12 +283,12 @@ Status FlattenOperator::PushOnlineBatch(TupleBatch& batch) {
   // One estimator/RNG sweep in arrival order; dropped tuples are
   // deselected (or moved to the discard side batch), survivors stay put.
   Status first = Status::OK();
-  batch.Retain(
-      [this, &first](const Tuple& tuple) {
+  batch.RetainRaw(
+      [this, &first, &batch](std::uint32_t raw) {
         if (!first.ok()) {
           return false;  // already failed; decisions no longer matter
         }
-        auto keep = OnlineStep(tuple);
+        auto keep = OnlineStep(batch.point_at(raw));
         if (!keep.ok()) {
           first = keep.status();
           return false;

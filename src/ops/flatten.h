@@ -181,22 +181,25 @@ class FlattenOperator final : public Operator {
   Status ProcessBufferedBatch();
   Status PushOnline(const Tuple& tuple);
   Status PushOnlineBatch(TupleBatch& batch);
-  /// Advances the online estimator with one tuple (warm-up, window report,
-  /// retention draw) and returns whether the tuple is retained. Shared by
-  /// the per-tuple and batch paths so both draw identically.
-  Result<bool> OnlineStep(const Tuple& tuple);
+  /// Advances the online estimator with one observation point (warm-up,
+  /// window report, retention draw) and returns whether the tuple is
+  /// retained. Shared by the per-tuple and batch paths so both draw
+  /// identically; takes only the point — the estimator never touches the
+  /// other columns.
+  Result<bool> OnlineStep(const geom::SpaceTimePoint& point);
   Status Discard(const Tuple& tuple);
   void PublishReport(const FlattenBatchReport& report);
 
   FlattenConfig config_;
   Rng rng_;
-  /// Estimation buffer; after a firing's Retain sweep it IS the retained
-  /// batch (selection active) and leaves through Emit without any moves.
+  /// Estimation buffer; always plain (built by appends), so the MLE fit
+  /// reads its point column as a zero-copy span. After a firing's retain
+  /// sweep it IS the retained batch (selection active) and leaves through
+  /// Emit without any moves.
   TupleBatch buffer_;
   /// Recycled per-firing scratch: discarded tuples (when a side output is
-  /// connected) and the point/rate columns of the estimation batch.
+  /// connected) and the per-tuple rate column of the estimation batch.
   TupleBatch discard_scratch_;
-  std::vector<geom::SpaceTimePoint> points_scratch_;
   std::vector<double> rates_scratch_;
   /// Start of the next batch's time coverage: batches are priced over the
   /// full elapsed interval since the previous batch (quiet gaps included),

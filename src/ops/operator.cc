@@ -30,6 +30,8 @@ const char* OperatorKindLabel(OperatorKind kind) {
       return "Sink";
     case OperatorKind::kPassThrough:
       return "Id";
+    case OperatorKind::kReorder:
+      return "Ord";
   }
   return "?";
 }
@@ -141,6 +143,7 @@ Status ValidateStatsConservation(const Operator& op) {
     case OperatorKind::kFlatten:  // may buffer and discard
     case OperatorKind::kThin:
     case OperatorKind::kFilter:
+    case OperatorKind::kReorder:  // buffers between push and flush
       if (s.tuples_out > s.tuples_in) {
         return fail("emitted more than received: out=" +
                     std::to_string(s.tuples_out) + " > in=" +

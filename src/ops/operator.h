@@ -41,7 +41,8 @@ enum class OperatorKind {
   kMap,        ///< extension: tuple transform
   kRateMonitor,///< extension: windowed empirical-rate probe
   kSink,       ///< stream endpoint collecting the fabricated MCDS
-  kPassThrough ///< no-op connector / explicit branching point
+  kPassThrough,///< no-op connector / explicit branching point
+  kReorder     ///< merge-stage buffer restoring canonical (t, id) order
 };
 
 /// Short block label for an operator kind ("F", "T", ...).
@@ -73,12 +74,15 @@ class Operator {
   ///
   /// Contract:
   ///  - **consumption**: `batch` is consumed. The callee may deselect
-  ///    tuples (selection vector), transform active tuples in place, and
-  ///    move *out of* active slots — but must never restructure the
-  ///    caller's storage (no Clear/Swap/Materialize/TakeTuples): the
-  ///    storage may be shared across a Partition's output ports. The
-  ///    owner treats the contents as unspecified afterwards and Clear()s
-  ///    before reuse (capacity is retained — recycling).
+  ///    tuples (selection vector), transform active rows in place
+  ///    (StoreRowAt), and copy active rows out — but must never
+  ///    restructure the caller's storage (no
+  ///    Clear/Swap/Materialize/SortByTimeThenId/Append): the storage may
+  ///    be shared across a Partition's output ports. The owner treats the
+  ///    contents as unspecified afterwards and Clear()s before reuse
+  ///    (capacity is retained — recycling). Rows are 56-byte flat values
+  ///    (columnar storage, pool-backed string payloads), so "moving" a
+  ///    tuple out is an ordinary copy with no heap traffic.
   ///  - **ordering**: active tuples arrive in stream order and
   ///    implementations process them — and in particular draw randomness
   ///    — in that order, so batch execution delivers byte-for-byte the
@@ -170,7 +174,10 @@ class Operator {
 /// `tuples_in`/`tuples_out` exactly like the per-tuple path: forwarding
 /// operators (U, S, Id, Map, Mon) emit everything they receive, Partition
 /// emits everything it does not count unrouted, a Sink emits nothing, and
-/// dropping operators (F, T, Sel) never emit more than they received.
+/// buffering or dropping operators (F, T, Sel, Ord) never emit more than
+/// they received (Ord holds tuples only between a push and the flush that
+/// ends the processing step, so validation at step boundaries sees
+/// equality).
 Status ValidateStatsConservation(const Operator& op);
 
 }  // namespace ops

@@ -52,11 +52,13 @@ Status PartitionOperator::PushBatch(TupleBatch& batch) {
     port_selection_.resize(regions_.size());
   }
   const std::size_t connected = outputs().size();
-  // One routing pass builds per-port index lists; the ports then share
-  // the batch's storage through adopted selections — no tuple is moved.
-  batch.ForEachIndexed([this, connected](std::uint32_t idx, Tuple& tuple) {
+  // One routing pass over the point column builds per-port index lists;
+  // the ports then share the batch's storage through adopted selections —
+  // no tuple is moved (or even materialized).
+  batch.ForEachRaw([this, connected, &batch](std::uint32_t idx) {
+    const geom::SpaceTimePoint& p = batch.point_at(idx);
     for (std::size_t k = 0; k < regions_.size(); ++k) {
-      if (regions_[k].Contains(tuple.point.x, tuple.point.y)) {
+      if (regions_[k].Contains(p.x, p.y)) {
         if (k >= connected) {
           ++unrouted_;  // branch not connected
         } else {

@@ -52,8 +52,9 @@ Status ThinOperator::PushBatch(TupleBatch& batch) {
   CountIn(batch.size());
   const double p = retain_probability();
   // One RNG sweep in arrival order; survivors stay put, the selection
-  // vector does the thinning.
-  batch.Retain([this, p](const Tuple&) { return rng_.Bernoulli(p); });
+  // vector does the thinning. Raw-index form: the draw needs no tuple
+  // fields, so no row is ever materialized.
+  batch.RetainRaw([this, p](std::uint32_t) { return rng_.Bernoulli(p); });
   return Emit(batch);
 }
 

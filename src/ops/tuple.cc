@@ -24,5 +24,61 @@ std::string AttributeValueToString(const AttributeValue& value) {
   return os.str();
 }
 
+PayloadRef::PayloadRef(const AttributeValue& value) {
+  *this = MakePayload(value);
+}
+
+PayloadRef MakePayload(const AttributeValue& value, ValuePool& pool) {
+  switch (value.index()) {
+    case 0:
+      return PayloadRef::Null();
+    case 1:
+      return PayloadRef::Bool(std::get<bool>(value));
+    case 2:
+      return PayloadRef::Int64(std::get<std::int64_t>(value));
+    case 3:
+      return PayloadRef::Double(std::get<double>(value));
+    case 4:
+      return PayloadRef::String(std::get<std::string>(value), pool);
+  }
+  return PayloadRef::Null();
+}
+
+AttributeValue ToAttributeValue(const PayloadRef& value,
+                                const ValuePool& pool) {
+  switch (value.kind()) {
+    case PayloadKind::kNull:
+      return AttributeValue{};
+    case PayloadKind::kBool:
+      return AttributeValue{value.AsBool()};
+    case PayloadKind::kInt64:
+      return AttributeValue{value.AsInt64()};
+    case PayloadKind::kDouble:
+      return AttributeValue{value.AsDouble()};
+    case PayloadKind::kString:
+      return AttributeValue{value.AsString(pool)};
+  }
+  return AttributeValue{};
+}
+
+std::string PayloadToString(const PayloadRef& value, const ValuePool& pool) {
+  switch (value.kind()) {
+    case PayloadKind::kNull:
+      return "null";
+    case PayloadKind::kBool:
+      return value.AsBool() ? "true" : "false";
+    case PayloadKind::kInt64:
+      return std::to_string(value.AsInt64());
+    case PayloadKind::kDouble: {
+      std::ostringstream os;
+      os << value.AsDouble();
+      return os.str();
+    }
+    case PayloadKind::kString:
+      return '"' + value.AsString(pool) + '"';
+  }
+  return "null";
+}
+
 }  // namespace ops
 }  // namespace craqr

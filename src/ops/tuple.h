@@ -1,17 +1,32 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <variant>
 
 #include "geometry/point.h"
+#include "ops/value_pool.h"
 
 /// \file tuple.h
-/// \brief The crowdsensed tuple model (paper Section II).
+/// \brief The crowdsensed tuple model (paper Section II), columnar edition.
 ///
 /// A tuple of attribute A<j> is `(t, x, y, a)` where the first three entries
 /// are space-time coordinates and `a` is the attribute value; `id` is a
 /// unique tuple identifier across sensors.
+///
+/// The value payload is a compact tagged `PayloadRef`: bool/int64/double
+/// inline, strings as `ValueId` handles into a `ValuePool` (see
+/// value_pool.h). This keeps `Tuple` a 56-byte trivially-copyable exchange
+/// struct — down from ~90 bytes when the value was a
+/// `std::variant<..., std::string>` — so every remaining tuple move
+/// (Flatten buffers, Sink storage, shard outboxes, broadcasts) is a small
+/// flat copy, and `ops::TupleBatch` can store tuples as struct-of-arrays
+/// columns. The `AttributeValue` variant survives as the rich boundary
+/// type (phenomenon fields, trace parsing, debug rendering) with explicit
+/// bridges in both directions.
 
 namespace craqr {
 namespace ops {
@@ -19,30 +34,173 @@ namespace ops {
 /// Identifier of a registered attribute A<j>.
 using AttributeId = std::uint32_t;
 
-/// \brief The value payload of a crowdsensed tuple.
+/// \brief The boundary representation of a tuple's value payload.
 ///
 /// Boolean for human-sensed yes/no attributes (e.g. `rain`), double for
 /// sensor-sensed measurements (e.g. `temp`), int64 for counts, string for
-/// free-form human responses; monostate for coordinate-only tuples.
+/// free-form human responses; monostate for coordinate-only tuples. Used
+/// where values are produced or serialized; inside the data plane values
+/// travel as `PayloadRef`.
 using AttributeValue =
     std::variant<std::monostate, bool, std::int64_t, double, std::string>;
 
 /// Renders an AttributeValue for logs and debug output.
 std::string AttributeValueToString(const AttributeValue& value);
 
-/// \brief One crowdsensed observation flowing through PMAT operators.
+/// \brief Discriminates the payload kinds a PayloadRef can carry. The
+/// numeric values match the corresponding AttributeValue variant index.
+enum class PayloadKind : std::uint32_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// \brief Compact tagged value payload: 8 payload bytes + a 4-byte tag.
+///
+/// bool/int64/double are stored inline (doubles and int64s by bit
+/// pattern); strings are `ValueId` handles interned in a ValuePool —
+/// by default the process-wide `ValuePool::Global()`, whose append-only
+/// lifetime rules make handles freely copyable across threads and shards
+/// (see value_pool.h). The payload bytes are split into two 4-byte halves
+/// so the struct is 4-byte aligned and `Tuple` packs to 56 bytes.
+///
+/// Equality is bitwise (tag + payload). For strings interned in the same
+/// pool, deduplication makes id equality exactly string equality; comparing
+/// handles from different pools is meaningless — don't.
+class PayloadRef {
+ public:
+  /// Null payload (coordinate-only tuple).
+  constexpr PayloadRef() = default;
+
+  /// Implicit bridge from the boundary variant; string values intern into
+  /// the global pool. Convenience for producers and tests — hot paths use
+  /// the typed factories below.
+  PayloadRef(const AttributeValue& value);  // NOLINT(runtime/explicit)
+
+  static constexpr PayloadRef Null() { return PayloadRef(); }
+
+  static PayloadRef Bool(bool v) {
+    PayloadRef r;
+    r.kind_ = PayloadKind::kBool;
+    r.lo_ = v ? 1u : 0u;
+    return r;
+  }
+
+  static PayloadRef Int64(std::int64_t v) {
+    PayloadRef r;
+    r.kind_ = PayloadKind::kInt64;
+    r.SetBits(static_cast<std::uint64_t>(v));
+    return r;
+  }
+
+  static PayloadRef Double(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PayloadRef r;
+    r.kind_ = PayloadKind::kDouble;
+    r.SetBits(bits);
+    return r;
+  }
+
+  /// Interns `v` (deduplicating) and returns the handle payload.
+  static PayloadRef String(std::string_view v,
+                           ValuePool& pool = ValuePool::Global()) {
+    return InternedString(pool.Intern(v));
+  }
+
+  /// Wraps an already-interned handle.
+  static PayloadRef InternedString(ValueId id) {
+    PayloadRef r;
+    r.kind_ = PayloadKind::kString;
+    r.lo_ = id;
+    return r;
+  }
+
+  PayloadKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == PayloadKind::kNull; }
+
+  /// \name Typed accessors
+  /// Valid only for the matching kind() (unchecked: misuse reads the raw
+  /// payload bits of another kind).
+  ///@{
+  bool AsBool() const { return lo_ != 0; }
+  std::int64_t AsInt64() const { return static_cast<std::int64_t>(Bits()); }
+  double AsDouble() const {
+    const std::uint64_t bits = Bits();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  ValueId string_id() const { return lo_; }
+  const std::string& AsString(const ValuePool& pool = ValuePool::Global()) const {
+    return pool.Get(lo_);
+  }
+  ///@}
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    return a.kind_ == b.kind_ && a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+  friend bool operator!=(const PayloadRef& a, const PayloadRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::uint64_t Bits() const {
+    return (static_cast<std::uint64_t>(hi_) << 32) | lo_;
+  }
+  void SetBits(std::uint64_t bits) {
+    lo_ = static_cast<std::uint32_t>(bits);
+    hi_ = static_cast<std::uint32_t>(bits >> 32);
+  }
+
+  std::uint32_t lo_ = 0;
+  std::uint32_t hi_ = 0;
+  PayloadKind kind_ = PayloadKind::kNull;
+};
+
+static_assert(sizeof(PayloadRef) == 12 && alignof(PayloadRef) == 4,
+              "PayloadRef must stay a 12-byte 4-byte-aligned tagged value "
+              "so Tuple packs to 56 bytes");
+static_assert(std::is_trivially_copyable<PayloadRef>::value,
+              "PayloadRef must be a flat copyable value");
+
+/// Converts a boundary variant into a payload, interning strings in `pool`.
+PayloadRef MakePayload(const AttributeValue& value,
+                       ValuePool& pool = ValuePool::Global());
+
+/// Materializes a payload back into the boundary variant (string copy).
+AttributeValue ToAttributeValue(const PayloadRef& value,
+                                const ValuePool& pool = ValuePool::Global());
+
+/// Renders a payload for logs and debug output (same format as
+/// AttributeValueToString).
+std::string PayloadToString(const PayloadRef& value,
+                            const ValuePool& pool = ValuePool::Global());
+
+/// \brief One crowdsensed observation flowing through PMAT operators — the
+/// materialized exchange struct of the columnar data plane (TupleBatch
+/// stores the same five fields as struct-of-arrays columns).
 struct Tuple {
   /// Unique tuple identifier across sensors.
   std::uint64_t id = 0;
-  /// Which attribute A<j> this tuple observes.
-  AttributeId attribute = 0;
   /// Space-time coordinates (t in minutes, x/y in km).
   geom::SpaceTimePoint point;
-  /// Observed value.
-  AttributeValue value;
   /// Identifier of the mobile sensor that produced the tuple.
   std::uint64_t sensor_id = 0;
+  /// Which attribute A<j> this tuple observes.
+  AttributeId attribute = 0;
+  /// Observed value (compact payload; strings live in the ValuePool).
+  PayloadRef value;
 };
+
+static_assert(sizeof(Tuple) <= 56,
+              "Tuple is the per-tuple exchange struct; the columnar "
+              "refactor budgets it at 56 bytes (down from ~90 with the "
+              "variant payload)");
+static_assert(std::is_trivially_copyable<Tuple>::value,
+              "Tuple moves must be flat copies (no heap parts)");
 
 }  // namespace ops
 }  // namespace craqr

@@ -6,50 +6,59 @@
 #include <utility>
 #include <vector>
 
+#include "common/span.h"
 #include "geometry/point.h"
 #include "ops/tuple.h"
 
 /// \file tuple_batch.h
-/// \brief The unit of batch-at-a-time PMAT execution.
+/// \brief The unit of batch-at-a-time PMAT execution, stored columnar.
 ///
 /// A TupleBatch is a reusable, move-friendly container of tuples flowing
-/// through `Operator::PushBatch`. It exists to amortise the per-tuple
-/// costs that dominate the tuple-at-a-time path — one virtual call and one
-/// downstream `Emit` fan-out per observation — into one call per batch:
+/// through `Operator::PushBatch`. Storage is struct-of-arrays: five
+/// parallel columns (ids, attributes, points, values, sensor_ids) instead
+/// of an array of ~90-byte structs, so
 ///
-///  - **recycling**: `Clear()` keeps the underlying capacity (tuple
-///    storage and selection alike) and `Swap()` exchanges storage in
-///    O(1), so operators keep scratch batches as members and never
-///    reallocate on the steady-state hot path;
+///  - **column views are zero-copy**: `Ids()` / `Attributes()` /
+///    `Points()` / `Values()` / `SensorIds()` return `Span`s straight over
+///    the columns of a plain (selection-free) batch — e.g. Flatten's MLE
+///    fit reads the point column in place; the gathering `Collect*`
+///    variants remain for selected batches;
+///  - **moves shrink**: `Materialize` / `Emit` / outbox appends copy
+///    24–32 bytes per tuple column-wise (string payloads are 12-byte
+///    `PayloadRef` handles into the ValuePool, never `std::string`s);
+///  - **recycling**: `Clear()` keeps every column's capacity and `Swap()`
+///    exchanges storage in O(1), so operators keep scratch batches as
+///    members and never reallocate on the steady-state hot path;
 ///  - **selection vector**: dropping operators (T, Sel, online F) retire
-///    tuples by *deselecting* them — one 32-bit index write — instead of
-///    physically moving ~90-byte tuples. A whole selected batch flows
-///    down a single-output edge untouched; only operators that must
-///    materialise (Partition's per-port routing, Sink storage, broadcast
-///    copies) compact;
-///  - **move discipline**: copying is deleted; accidental per-batch
-///    copies are exactly the cost this type removes, so the only copy is
-///    the explicit `CopyFrom` used by multi-output broadcasts;
-///  - **column views**: `CollectIds` / `CollectAttributes` /
-///    `CollectPoints` / `CollectSensorIds` gather the numeric hot fields
-///    of the *active* tuples into caller-owned scratch columns (also
-///    recycled) — e.g. Flatten's MLE fit reads the point column without
-///    touching the `AttributeValue` variants.
+///    tuples by *deselecting* them — one 32-bit index write. A whole
+///    selected batch flows down a single-output edge untouched; only
+///    operators that must materialise (Sink storage, broadcast copies)
+///    compact;
+///  - **move discipline**: copying is deleted; the only copy paths are the
+///    explicit `CopyFrom` / `AppendActiveFrom` used by multi-output
+///    broadcasts and the batched shard outbox.
 ///
 /// Active-tuple order inside a batch is arrival order and is semantically
 /// significant: operators draw their randomness per tuple in this order,
 /// which is what keeps batch-driven topologies delivering exactly the
 /// streams the per-tuple path delivers.
+///
+/// `ops::Tuple` remains the materialized exchange struct for row-at-a-time
+/// boundaries (the per-tuple reference path, sinks, trace I/O): `RowAt`
+/// gathers one row, `Append`/`StoreRowAt` scatter one back.
 
 namespace craqr {
 namespace ops {
 
-/// \brief A reusable batch of crowdsensed tuples (see file comment).
+/// \brief A reusable columnar batch of crowdsensed tuples (see file
+/// comment).
 class TupleBatch {
  public:
   TupleBatch() = default;
-  /// Wraps an existing tuple vector (takes ownership; no copy).
-  explicit TupleBatch(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
+
+  /// Scatters an existing tuple vector into fresh columns (one pass;
+  /// convenience for producers, tests and benches).
+  explicit TupleBatch(const std::vector<Tuple>& tuples) { Assign(tuples); }
 
   TupleBatch(TupleBatch&&) = default;
   TupleBatch& operator=(TupleBatch&&) = default;
@@ -61,90 +70,169 @@ class TupleBatch {
 
   /// Number of *active* tuples.
   std::size_t size() const {
-    return has_selection_ ? selection_.size() : tuples_.size();
+    return has_selection_ ? selection_.size() : ids_.size();
   }
 
   /// True when no tuple is active.
   bool empty() const { return size() == 0; }
 
-  /// Pre-allocates room for `n` tuples.
-  void Reserve(std::size_t n) { tuples_.reserve(n); }
+  /// Underlying storage rows (includes deselected husks).
+  std::size_t raw_size() const { return ids_.size(); }
 
-  /// Drops all tuples and the selection but keeps both capacities
+  /// Storage capacity in rows (recycling diagnostics).
+  std::size_t Capacity() const { return ids_.capacity(); }
+
+  /// Pre-allocates room for `n` tuples in every column.
+  void Reserve(std::size_t n) {
+    ids_.reserve(n);
+    attributes_.reserve(n);
+    points_.reserve(n);
+    values_.reserve(n);
+    sensor_ids_.reserve(n);
+  }
+
+  /// Drops all tuples and the selection but keeps every column's capacity
   /// (scratch recycling).
   void Clear() {
-    tuples_.clear();
+    ids_.clear();
+    attributes_.clear();
+    points_.clear();
+    values_.clear();
+    sensor_ids_.clear();
     selection_.clear();
     has_selection_ = false;
   }
 
   /// O(1) storage exchange.
   void Swap(TupleBatch& other) {
-    tuples_.swap(other.tuples_);
+    ids_.swap(other.ids_);
+    attributes_.swap(other.attributes_);
+    points_.swap(other.points_);
+    values_.swap(other.values_);
+    sensor_ids_.swap(other.sensor_ids_);
     selection_.swap(other.selection_);
     std::swap(has_selection_, other.has_selection_);
   }
 
-  /// Appends one tuple (pass by value; move at the call site). Only valid
-  /// while no selection is active — producers fill plain batches;
-  /// selections appear as the batch flows through dropping operators.
-  void Append(Tuple tuple) {
-    assert(!has_selection_ && "Append on a batch with an active selection");
-    tuples_.push_back(std::move(tuple));
+  /// Replaces the contents with a scatter of `tuples` (capacity recycled).
+  void Assign(const std::vector<Tuple>& tuples) {
+    Clear();
+    Reserve(tuples.size());
+    for (const Tuple& tuple : tuples) {
+      Append(tuple);
+    }
   }
+
+  /// Appends one tuple, scattered across the columns. Only valid while no
+  /// selection is active — producers fill plain batches; selections appear
+  /// as the batch flows through dropping operators.
+  void Append(const Tuple& tuple) {
+    assert(!has_selection_ && "Append on a batch with an active selection");
+    ids_.push_back(tuple.id);
+    attributes_.push_back(tuple.attribute);
+    points_.push_back(tuple.point);
+    values_.push_back(tuple.value);
+    sensor_ids_.push_back(tuple.sensor_id);
+  }
+
+  /// Column-native append (producers that never build a Tuple struct).
+  void Append(std::uint64_t id, AttributeId attribute,
+              const geom::SpaceTimePoint& point, PayloadRef value,
+              std::uint64_t sensor_id) {
+    assert(!has_selection_ && "Append on a batch with an active selection");
+    ids_.push_back(id);
+    attributes_.push_back(attribute);
+    points_.push_back(point);
+    values_.push_back(value);
+    sensor_ids_.push_back(sensor_id);
+  }
+
+  /// Appends raw row `raw` of `src` (column-wise, 56 flat bytes). The
+  /// routing primitive: fabricator inboxes and shard sub-batches are built
+  /// row by row from the incoming batch.
+  void AppendRow(const TupleBatch& src, std::uint32_t raw) {
+    assert(!has_selection_ && "AppendRow on a batch with an active selection");
+    ids_.push_back(src.ids_[raw]);
+    attributes_.push_back(src.attributes_[raw]);
+    points_.push_back(src.points_[raw]);
+    values_.push_back(src.values_[raw]);
+    sensor_ids_.push_back(src.sensor_ids_[raw]);
+  }
+
+  /// Appends every *active* tuple of `other` (column-wise bulk copy when
+  /// `other` is plain, gather otherwise). The batched-outbox primitive.
+  void AppendActiveFrom(const TupleBatch& other);
 
   /// Replaces this batch's contents with a copy of `other`'s *active*
-  /// tuples, reusing the existing capacity. The one sanctioned copy path
-  /// (multi-output broadcast in Operator::Emit).
+  /// tuples, reusing the existing capacity. The one sanctioned whole-batch
+  /// copy path (multi-output broadcast in Operator::Emit).
   void CopyFrom(const TupleBatch& other) {
     Clear();
-    tuples_.reserve(other.size());
-    other.ForEach([this](const Tuple& tuple) { tuples_.push_back(tuple); });
+    AppendActiveFrom(other);
   }
 
-  /// Invokes `fn(Tuple&)` on every active tuple in arrival order.
+  /// \name Raw row access
+  /// `raw` indexes the underlying columns (valid with or without a
+  /// selection; ForEachRaw / Retain hand out raw indices).
+  ///@{
+  std::uint64_t id_at(std::uint32_t raw) const { return ids_[raw]; }
+  AttributeId attribute_at(std::uint32_t raw) const {
+    return attributes_[raw];
+  }
+  const geom::SpaceTimePoint& point_at(std::uint32_t raw) const {
+    return points_[raw];
+  }
+  const PayloadRef& value_at(std::uint32_t raw) const { return values_[raw]; }
+  std::uint64_t sensor_id_at(std::uint32_t raw) const {
+    return sensor_ids_[raw];
+  }
+
+  /// Gathers raw row `raw` into a materialized exchange struct.
+  Tuple RowAt(std::uint32_t raw) const {
+    Tuple t;
+    t.id = ids_[raw];
+    t.attribute = attributes_[raw];
+    t.point = points_[raw];
+    t.value = values_[raw];
+    t.sensor_id = sensor_ids_[raw];
+    return t;
+  }
+
+  /// Scatters `tuple` back into raw row `raw` (Map's in-place transform).
+  void StoreRowAt(std::uint32_t raw, const Tuple& tuple) {
+    ids_[raw] = tuple.id;
+    attributes_[raw] = tuple.attribute;
+    points_[raw] = tuple.point;
+    values_[raw] = tuple.value;
+    sensor_ids_[raw] = tuple.sensor_id;
+  }
+  ///@}
+
+  /// Invokes `fn(raw_index)` on every active tuple in arrival order — the
+  /// preferred hot sweep: consumers read only the columns they need.
   template <typename Fn>
-  void ForEach(Fn&& fn) {
+  void ForEachRaw(Fn&& fn) const {
     if (!has_selection_) {
-      for (Tuple& tuple : tuples_) {
-        fn(tuple);
+      const auto n = static_cast<std::uint32_t>(ids_.size());
+      for (std::uint32_t i = 0; i < n; ++i) {
+        fn(i);
       }
     } else {
       for (const std::uint32_t idx : selection_) {
-        fn(tuples_[idx]);
+        fn(idx);
       }
     }
   }
 
-  /// Const overload of ForEach.
+  /// Invokes `fn(const Tuple&)` on every active tuple in arrival order,
+  /// materializing each row (56 flat bytes). Row-at-a-time boundaries
+  /// (base-class Push fallback, sink storage, user predicates) only.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    if (!has_selection_) {
-      for (const Tuple& tuple : tuples_) {
-        fn(tuple);
-      }
-    } else {
-      for (const std::uint32_t idx : selection_) {
-        fn(tuples_[idx]);
-      }
-    }
-  }
-
-  /// Invokes `fn(raw_index, Tuple&)` on every active tuple in arrival
-  /// order; `raw_index` indexes the underlying storage and is valid for
-  /// AdoptSelection index lists.
-  template <typename Fn>
-  void ForEachIndexed(Fn&& fn) {
-    if (!has_selection_) {
-      for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(tuples_.size());
-           ++i) {
-        fn(i, tuples_[i]);
-      }
-    } else {
-      for (const std::uint32_t idx : selection_) {
-        fn(idx, tuples_[idx]);
-      }
-    }
+    ForEachRaw([this, &fn](std::uint32_t raw) {
+      const Tuple tuple = RowAt(raw);
+      fn(tuple);
+    });
   }
 
   /// \brief Replaces the selection by swapping in `indices` (ascending
@@ -158,26 +246,26 @@ class TupleBatch {
   }
 
   /// \brief The vectorized drop primitive: keeps the active tuples for
-  /// which `fn(Tuple&)` returns true, in order, by rewriting the
+  /// which `fn(raw_index)` returns true, in order, by rewriting the
   /// selection — no tuple is moved. `fn` is invoked exactly once per
   /// active tuple in arrival order (operators draw randomness inside it).
-  /// When `dropped` is non-null, dropped tuples are move-appended to it
+  /// When `dropped` is non-null, dropped tuples are column-copied into it
   /// (the Flatten discard side output); their storage slots stay behind
   /// as inactive husks until Clear().
   template <typename Fn>
-  void Retain(Fn&& fn, TupleBatch* dropped = nullptr) {
+  void RetainRaw(Fn&& fn, TupleBatch* dropped = nullptr) {
     if (!has_selection_) {
       // Indexed writes into a pre-sized selection (recycled capacity)
       // instead of per-element push_back: this loop is the innermost cost
       // of every Thin/Filter sweep.
-      const auto n = static_cast<std::uint32_t>(tuples_.size());
+      const auto n = static_cast<std::uint32_t>(ids_.size());
       selection_.resize(n);
       std::size_t out = 0;
       for (std::uint32_t i = 0; i < n; ++i) {
-        if (fn(tuples_[i])) {
+        if (fn(i)) {
           selection_[out++] = i;
         } else if (dropped != nullptr) {
-          dropped->Append(std::move(tuples_[i]));
+          dropped->AppendRow(*this, i);
         }
       }
       selection_.resize(out);
@@ -185,54 +273,75 @@ class TupleBatch {
     } else {
       std::size_t out = 0;
       for (const std::uint32_t idx : selection_) {
-        if (fn(tuples_[idx])) {
+        if (fn(idx)) {
           selection_[out++] = idx;
         } else if (dropped != nullptr) {
-          dropped->Append(std::move(tuples_[idx]));
+          dropped->AppendRow(*this, idx);
         }
       }
       selection_.resize(out);
     }
   }
 
-  /// Physically compacts the storage down to the active tuples and drops
-  /// the selection. No-op on a plain batch. Call before touching
-  /// `tuples()` / `TakeTuples()` on a batch that may carry a selection.
-  void Materialize() {
-    if (!has_selection_) {
-      return;
-    }
-    std::size_t out = 0;
-    for (const std::uint32_t idx : selection_) {
-      if (idx != out) {
-        tuples_[out] = std::move(tuples_[idx]);
-      }
-      ++out;
-    }
-    tuples_.resize(out);
-    selection_.clear();
-    has_selection_ = false;
+  /// Row-materializing Retain for user predicates over whole tuples.
+  template <typename Fn>
+  void Retain(Fn&& fn, TupleBatch* dropped = nullptr) {
+    RetainRaw(
+        [this, &fn](std::uint32_t raw) {
+          const Tuple tuple = RowAt(raw);
+          return fn(tuple);
+        },
+        dropped);
   }
+
+  /// Physically compacts every column down to the active tuples and drops
+  /// the selection. No-op on a plain batch.
+  void Materialize();
+
+  /// \brief Physically sorts the active tuples by (point.t, id) — the
+  /// canonical delivery order of merge stages — compacting away husks and
+  /// dropping the selection. Stable, though (t, id) is already unique for
+  /// real streams.
+  void SortByTimeThenId();
 
   /// True when a selection is active (size() < raw storage size is then
   /// possible).
   bool has_selection() const { return has_selection_; }
 
-  /// Direct access to the underlying storage. With an active selection
-  /// this includes inactive slots — Materialize() first unless the batch
-  /// is known plain.
-  std::vector<Tuple>& tuples() { return tuples_; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Gathers the active tuples into materialized exchange structs
+  /// (tests, trace I/O; not a hot path).
+  std::vector<Tuple> ToTuples() const;
 
-  /// Materializes and moves the storage out, leaving the batch empty.
-  std::vector<Tuple> TakeTuples() {
-    Materialize();
-    return std::move(tuples_);
+  /// \name Zero-copy column views
+  /// Spans straight over the columns; valid only while the batch is plain
+  /// (no selection — asserted) and until the next mutation.
+  ///@{
+  Span<const std::uint64_t> Ids() const {
+    assert(!has_selection_ && "column span on a selected batch");
+    return {ids_.data(), ids_.size()};
   }
+  Span<const AttributeId> Attributes() const {
+    assert(!has_selection_ && "column span on a selected batch");
+    return {attributes_.data(), attributes_.size()};
+  }
+  Span<const geom::SpaceTimePoint> Points() const {
+    assert(!has_selection_ && "column span on a selected batch");
+    return {points_.data(), points_.size()};
+  }
+  Span<const PayloadRef> Values() const {
+    assert(!has_selection_ && "column span on a selected batch");
+    return {values_.data(), values_.size()};
+  }
+  Span<const std::uint64_t> SensorIds() const {
+    assert(!has_selection_ && "column span on a selected batch");
+    return {sensor_ids_.data(), sensor_ids_.size()};
+  }
+  ///@}
 
-  /// \name Column views
-  /// Gather one numeric hot field of the active tuples into a
-  /// caller-owned scratch column (cleared first, capacity recycled).
+  /// \name Gathering column views
+  /// Copy one column of the *active* tuples into a caller-owned scratch
+  /// column (cleared first, capacity recycled). Work with any selection;
+  /// prefer the zero-copy spans on plain batches.
   ///@{
   void CollectIds(std::vector<std::uint64_t>* ids) const;
   void CollectAttributes(std::vector<AttributeId>* attributes) const;
@@ -241,7 +350,23 @@ class TupleBatch {
   ///@}
 
  private:
-  std::vector<Tuple> tuples_;
+  template <typename T>
+  static void GatherColumn(const std::vector<T>& src,
+                           const std::vector<std::uint32_t>& order,
+                           std::vector<T>* dst) {
+    dst->clear();
+    dst->reserve(order.size());
+    for (const std::uint32_t idx : order) {
+      dst->push_back(src[idx]);
+    }
+  }
+
+  /// Struct-of-arrays columns; parallel by construction.
+  std::vector<std::uint64_t> ids_;
+  std::vector<AttributeId> attributes_;
+  std::vector<geom::SpaceTimePoint> points_;
+  std::vector<PayloadRef> values_;
+  std::vector<std::uint64_t> sensor_ids_;
   /// Indices of the active tuples, ascending; meaningful only while
   /// has_selection_ is true.
   std::vector<std::uint32_t> selection_;

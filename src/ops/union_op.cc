@@ -66,10 +66,12 @@ Status UnionOperator::Push(const Tuple& tuple) {
 
 Status UnionOperator::PushBatch(TupleBatch& batch) {
   CountIn(batch.size());
-  batch.ForEach([this](const Tuple& tuple) {
+  // Membership sweep over the point column only.
+  batch.ForEachRaw([this, &batch](std::uint32_t raw) {
+    const geom::SpaceTimePoint& p = batch.point_at(raw);
     bool inside = false;
     for (const auto& region : input_regions_) {
-      if (region.Contains(tuple.point.x, tuple.point.y)) {
+      if (region.Contains(p.x, p.y)) {
         inside = true;
         break;
       }

@@ -1,0 +1,58 @@
+#include "ops/value_pool.h"
+
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+namespace craqr {
+namespace ops {
+
+ValueId ValuePool::Intern(std::string_view value) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = index_.find(value);
+    if (it != index_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Double-check: another thread may have interned between the locks.
+  const auto it = index_.find(value);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  if (values_.size() >= std::numeric_limits<ValueId>::max()) {
+    throw std::length_error("ValuePool exhausted 2^32 distinct strings");
+  }
+  values_.emplace_back(value);
+  const auto id = static_cast<ValueId>(values_.size() - 1);
+  index_.emplace(std::string_view(values_.back()), id);
+  bytes_ += values_.back().capacity() + sizeof(std::string);
+  return id;
+}
+
+const std::string& ValuePool::Get(ValueId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Deque elements are stable and immutable after insertion, so the
+  // reference stays valid after the lock is released.
+  return values_.at(id);
+}
+
+std::size_t ValuePool::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return values_.size();
+}
+
+std::size_t ValuePool::ApproxBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return bytes_;
+}
+
+ValuePool& ValuePool::Global() {
+  static ValuePool* pool = new ValuePool();  // never destroyed: handles in
+                                             // static sinks may outlive main
+  return *pool;
+}
+
+}  // namespace ops
+}  // namespace craqr

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+/// \file value_pool.h
+/// \brief Thread-safe string interning for columnar tuple payloads.
+///
+/// The columnar tuple layout stores every string-valued observation as a
+/// 32-bit `ValueId` handle into a ValuePool instead of an inline
+/// `std::string`; the 12-byte tagged `PayloadRef` (see tuple.h) carries the
+/// handle. Pool semantics:
+///
+///  - **append-only**: interned strings are never mutated, moved or freed,
+///    so a `const std::string&` returned by Get() — and any ValueId — stays
+///    valid for the pool's lifetime. Handles therefore cross threads
+///    freely: a tuple produced on the world thread can be read on a shard
+///    worker and delivered on the collector with no lifetime protocol.
+///  - **deduplicating**: Intern() returns the existing id for an
+///    already-seen string, so categorical payloads ("rain", "heavy") cost
+///    one allocation ever and equal ids imply equal strings *within one
+///    pool*. Free-form text grows the pool monotonically; embedders
+///    streaming unbounded unique strings should monitor ApproxBytes().
+///  - **thread-safe**: Intern() takes a writer lock only on first sight of
+///    a string; lookups and Get() take reader locks.
+///
+/// Production code uses the process-wide `ValuePool::Global()` pool —
+/// owned by the batch/fabricator layer in the sense that tuple producers
+/// (the crowd world, trace replay) intern on entry and every layer below
+/// moves 12-byte handles. Instance pools exist for tests and for embedders
+/// that want isolated lifetimes.
+
+namespace craqr {
+namespace ops {
+
+/// Handle of an interned string value (index into its ValuePool).
+using ValueId = std::uint32_t;
+
+/// \brief Append-only deduplicating string pool (see file comment).
+class ValuePool {
+ public:
+  ValuePool() = default;
+
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+
+  /// Returns the id of `value`, interning it on first sight. Thread-safe.
+  ValueId Intern(std::string_view value);
+
+  /// The interned string for `id`. The reference is stable for the pool's
+  /// lifetime (append-only storage). Throws std::out_of_range on an id not
+  /// handed out by this pool — a handle/pool mix-up is a programming error.
+  const std::string& Get(ValueId id) const;
+
+  /// Number of distinct strings interned.
+  std::size_t size() const;
+
+  /// Approximate heap footprint of the interned strings (monitoring hook
+  /// for unbounded free-form payloads).
+  std::size_t ApproxBytes() const;
+
+  /// The process-wide pool used by default for every tuple payload.
+  static ValuePool& Global();
+
+ private:
+  mutable std::shared_mutex mu_;
+  /// Deque, not vector: growth never relocates elements, so Get() can
+  /// return references without copy and index_ keys (views into the
+  /// stored strings) never dangle.
+  std::deque<std::string> values_;
+  std::unordered_map<std::string_view, ValueId> index_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ops
+}  // namespace craqr

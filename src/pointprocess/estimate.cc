@@ -109,6 +109,14 @@ double LogLikelihood(const std::vector<Vec4>& features, double volume,
 Result<LinearFit> FitLinearMle(const std::vector<geom::SpaceTimePoint>& points,
                                const SpaceTimeWindow& window,
                                const LinearMleOptions& options) {
+  return FitLinearMle(
+      Span<const geom::SpaceTimePoint>(points.data(), points.size()), window,
+      options);
+}
+
+Result<LinearFit> FitLinearMle(Span<const geom::SpaceTimePoint> points,
+                               const SpaceTimeWindow& window,
+                               const LinearMleOptions& options) {
   if (!window.IsValid()) {
     return Status::InvalidArgument("window must have positive volume");
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "geometry/point.h"
 #include "pointprocess/intensity.h"
 #include "pointprocess/window.h"
@@ -65,7 +66,12 @@ struct LinearFit {
 /// with backtracking (the Hessian is negative definite wherever the
 /// intensity is positive at all points).
 ///
-/// Requires a valid window and at least one point inside it.
+/// Requires a valid window and at least one point inside it. The span form
+/// reads the caller's point column in place (zero-copy from a columnar
+/// TupleBatch); the vector overload forwards.
+Result<LinearFit> FitLinearMle(Span<const geom::SpaceTimePoint> points,
+                               const SpaceTimeWindow& window,
+                               const LinearMleOptions& options = {});
 Result<LinearFit> FitLinearMle(const std::vector<geom::SpaceTimePoint>& points,
                                const SpaceTimeWindow& window,
                                const LinearMleOptions& options = {});

@@ -76,9 +76,11 @@ Status Shard::RunControl(ControlFn fn) {
   return Status::OK();
 }
 
-void Shard::Deliver(query::QueryId query, const ops::Tuple& tuple) {
+void Shard::DeliverBatch(query::QueryId query, const ops::TupleBatch& batch) {
   std::lock_guard<std::mutex> lock(outbox_mu_);
-  outbox_.delivered.push_back({query, tuple});
+  // Column-wise splice of the active rows; the per-query outbox batch
+  // recycles its capacity across collections.
+  outbox_.delivered[query].AppendActiveFrom(batch);
 }
 
 ShardOutbox Shard::TakeOutbox() {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -39,16 +40,12 @@ struct ViolationEvent {
   ops::FlattenBatchReport report;
 };
 
-/// \brief One tuple delivered by a shard-local partial stream, tagged with
-/// the router-level query id.
-struct Delivery {
-  query::QueryId query = 0;
-  ops::Tuple tuple;
-};
-
-/// \brief Everything a shard produced since the last collection.
+/// \brief Everything a shard produced since the last collection: one
+/// columnar batch of delivered tuples per router-level query (appended
+/// batch-at-a-time by the partial-stream sinks — one mutex acquisition per
+/// delivered batch, not per tuple) plus buffered F-operator reports.
 struct ShardOutbox {
-  std::vector<Delivery> delivered;
+  std::unordered_map<query::QueryId, ops::TupleBatch> delivered;
   std::vector<ViolationEvent> violations;
 };
 
@@ -78,9 +75,11 @@ class Shard {
   /// StreamFabricator::ProcessBatch.
   Status EnqueueBatch(ops::TupleBatch batch);
 
-  /// Convenience overload wrapping a tuple vector (no copy).
-  Status EnqueueBatch(std::vector<ops::Tuple> batch) {
-    return EnqueueBatch(ops::TupleBatch(std::move(batch)));
+  /// Convenience overload scattering a tuple vector into fresh columns
+  /// (one pass, copies; tests and tools only — the hot path hands over
+  /// TupleBatches directly).
+  Status EnqueueBatch(const std::vector<ops::Tuple>& batch) {
+    return EnqueueBatch(ops::TupleBatch(batch));
   }
 
   /// Runs `fn` on the worker thread after all previously queued tasks and
@@ -93,9 +92,10 @@ class Shard {
     return RunControl([](fabric::StreamFabricator&) {});
   }
 
-  /// Appends a delivered tuple to the outbox; called from partial-stream
-  /// sink callbacks on the worker thread.
-  void Deliver(query::QueryId query, const ops::Tuple& tuple);
+  /// Splices a delivered batch (active tuples, arrival order) into the
+  /// outbox under one lock acquisition; called from partial-stream sink
+  /// batch callbacks on the worker thread.
+  void DeliverBatch(query::QueryId query, const ops::TupleBatch& batch);
 
   /// Moves the accumulated outbox out.
   ShardOutbox TakeOutbox();

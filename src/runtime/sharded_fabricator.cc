@@ -52,14 +52,19 @@ Status ShardedFabricator::BarrierLocked() const {
 }
 
 Status ShardedFabricator::CollectLocked() {
-  // Gather in ascending shard order; the replay sort below (and the
-  // per-query time sort) make the result independent of that order.
+  // Gather in ascending shard order; the replay sort below (and the merge
+  // stages' reorder buffers) make the result independent of that order.
   std::unordered_map<query::QueryId, ops::TupleBatch> per_query;
   std::vector<ViolationEvent> violations;
   for (const auto& shard : shards_) {
     ShardOutbox box = shard->TakeOutbox();
-    for (Delivery& d : box.delivered) {
-      per_query[d.query].Append(std::move(d.tuple));
+    for (auto& [id, batch] : box.delivered) {
+      ops::TupleBatch& dst = per_query[id];
+      if (dst.empty()) {
+        dst.Swap(batch);  // first shard: adopt the storage outright
+      } else {
+        dst.AppendActiveFrom(batch);
+      }
     }
     for (ViolationEvent& v : box.violations) {
       violations.push_back(std::move(v));
@@ -73,18 +78,12 @@ Status ShardedFabricator::CollectLocked() {
       // a dead query means the bookkeeping broke.
       return Status::Internal("delivery for dead query " + std::to_string(id));
     }
-    // Each shard's partial stream is time-ordered; restore one global time
-    // order before the merge stage so the rate monitor sees the same
-    // monotone tuple times the single-threaded fabricator produces. Tuple
-    // ids break ties, making the merged order independent of shard count.
-    std::vector<ops::Tuple>& tuples = batch.tuples();
-    std::sort(tuples.begin(), tuples.end(),
-              [](const ops::Tuple& a, const ops::Tuple& b) {
-                if (a.point.t != b.point.t) {
-                  return a.point.t < b.point.t;
-                }
-                return a.id < b.id;
-              });
+    // No pre-sort here: a multi-cell query's merge stage carries a reorder
+    // buffer (fabric::BuildMergeStage) that flushes each step in canonical
+    // (t, id) order — the same operator the in-process fabricator drives,
+    // so delivery order cannot diverge between the two paths. A
+    // single-cell query lives entirely on one shard and its partial
+    // stream arrives already time-ordered.
     QueryState& qs = it->second;
     CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
     CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
@@ -124,23 +123,26 @@ void ShardedFabricator::ReplayViolationsAndUnlock(
 
 Status ShardedFabricator::EnqueueBatchLocked(
     const std::vector<ops::Tuple>& batch) {
-  // Convenience path (tests, benches): one copy, then the hot overload.
-  ops::TupleBatch copy{std::vector<ops::Tuple>(batch)};
-  return EnqueueBatchLocked(copy);
+  // Convenience path (tests, benches): one scatter, then the hot overload.
+  ops::TupleBatch columns(batch);
+  return EnqueueBatchLocked(columns);
 }
 
 Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch) {
-  // One routing pass builds the per-shard sub-batches, moving each tuple
-  // out of the consumed input batch.
+  // One routing pass over the point column builds the per-shard
+  // sub-batches, column-copying each matched row out of the consumed
+  // input batch.
   batch.Materialize();
   std::vector<ops::TupleBatch> sub(shards_.size());
-  for (ops::Tuple& tuple : batch.tuples()) {
-    const auto cell = grid_.CellContaining(tuple.point.x, tuple.point.y);
+  const auto n = static_cast<std::uint32_t>(batch.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const geom::SpaceTimePoint& p = batch.point_at(i);
+    const auto cell = grid_.CellContaining(p.x, p.y);
     if (!cell.has_value()) {
       ++router_unrouted_;  // outside R; shards count in-grid drops
       continue;
     }
-    sub[ShardForCell(*cell)].Append(std::move(tuple));
+    sub[ShardForCell(*cell)].AppendRow(batch, i);
   }
   batch.Clear();
   return EnqueueSubBatchesLocked(sub);
@@ -261,8 +263,8 @@ Result<fabric::QueryStream> ShardedFabricator::InsertQueryLocked(
          &shard_overlaps = per_shard[s]](fabric::StreamFabricator& f) {
           local = f.InsertQueryPartial(
               attribute, *clipped, rate, shard_overlaps,
-              [shard, id](const ops::Tuple& tuple) {
-                shard->Deliver(id, tuple);
+              [shard, id](const ops::TupleBatch& batch) {
+                shard->DeliverBatch(id, batch);
               });
         });
     if (control.ok() && local.ok()) {

@@ -36,17 +36,19 @@
 /// seed (StreamFabricator::OperatorSeed), which makes the delivered
 /// stream content — every query's full set of delivered tuples —
 /// identical for ANY shard count, not merely deterministic for a fixed
-/// one. One ordering nuance: a multi-cell query's merge stage is fed
-/// time-sorted here (CollectLocked) but chain-grouped by the in-process
-/// fabricator, so within-query delivery order (and windowed monitor
-/// statistics) can differ between num_shards == 1 and >= 2; across
-/// sharded counts (>= 2) order is identical.
+/// one. Delivery *order* is canonical too: every multi-cell merge stage
+/// carries a reorder buffer (fabric::BuildMergeStage) that flushes each
+/// processing step sorted by (t, id) on both execution paths, so
+/// within-query order and windowed monitor statistics are identical for
+/// every shard count, num_shards == 1 included.
 ///
-/// The runtime is batch-native end to end: the router partitions each
-/// incoming batch into per-shard `ops::TupleBatch` sub-batches in one
-/// pass (moving tuples), shard workers drive their fabricators through
-/// the batch-at-a-time operator path, and collected partial deliveries
-/// re-enter each query's merge stage as one time-sorted batch.
+/// The runtime is batch-native and columnar end to end: the router
+/// partitions each incoming batch into per-shard `ops::TupleBatch`
+/// sub-batches in one pass over the point column (56-byte row copies),
+/// shard workers drive their fabricators through the batch-at-a-time
+/// operator path, partial-stream sinks splice whole delivered batches
+/// into the shard outbox under one mutex acquisition each, and collected
+/// deliveries re-enter each query's merge stage as one batch per query.
 ///
 /// Closed-loop feedback is replayed in a canonical order: every
 /// FlattenBatchReport is stamped with its completing tuple's simulation

@@ -12,74 +12,76 @@ namespace sensing {
 
 namespace {
 
-char TypeTag(const ops::AttributeValue& value) {
-  switch (value.index()) {
-    case 0:
+char TypeTag(const ops::PayloadRef& value) {
+  switch (value.kind()) {
+    case ops::PayloadKind::kNull:
       return 'n';
-    case 1:
+    case ops::PayloadKind::kBool:
       return 'b';
-    case 2:
+    case ops::PayloadKind::kInt64:
       return 'i';
-    case 3:
+    case ops::PayloadKind::kDouble:
       return 'd';
-    case 4:
+    case ops::PayloadKind::kString:
       return 's';
   }
   return 'n';
 }
 
-std::string ValueField(const ops::AttributeValue& value) {
+std::string ValueField(const ops::PayloadRef& value) {
   std::ostringstream os;
   os.precision(17);
-  switch (value.index()) {
-    case 0:
+  switch (value.kind()) {
+    case ops::PayloadKind::kNull:
       break;
-    case 1:
-      os << (std::get<bool>(value) ? 1 : 0);
+    case ops::PayloadKind::kBool:
+      os << (value.AsBool() ? 1 : 0);
       break;
-    case 2:
-      os << std::get<std::int64_t>(value);
+    case ops::PayloadKind::kInt64:
+      os << value.AsInt64();
       break;
-    case 3:
-      os << std::get<double>(value);
+    case ops::PayloadKind::kDouble:
+      os << value.AsDouble();
       break;
-    case 4:
-      os << std::get<std::string>(value);
+    case ops::PayloadKind::kString:
+      os << value.AsString();  // resolved through the global ValuePool
       break;
   }
   return os.str();
 }
 
-Result<ops::AttributeValue> ParseValue(char tag, const std::string& field) {
+Result<ops::PayloadRef> ParseValue(char tag, const std::string& field) {
   switch (tag) {
     case 'n':
-      return ops::AttributeValue{};
+      return ops::PayloadRef::Null();
     case 'b':
       if (field == "1") {
-        return ops::AttributeValue{true};
+        return ops::PayloadRef::Bool(true);
       }
       if (field == "0") {
-        return ops::AttributeValue{false};
+        return ops::PayloadRef::Bool(false);
       }
       return Status::InvalidArgument("bool trace value must be 0 or 1, got '" +
                                      field + "'");
     case 'i':
       try {
-        return ops::AttributeValue{
-            static_cast<std::int64_t>(std::stoll(field))};
+        return ops::PayloadRef::Int64(
+            static_cast<std::int64_t>(std::stoll(field)));
       } catch (...) {
         return Status::InvalidArgument("bad int64 trace value '" + field +
                                        "'");
       }
     case 'd':
       try {
-        return ops::AttributeValue{std::stod(field)};
+        return ops::PayloadRef::Double(std::stod(field));
       } catch (...) {
         return Status::InvalidArgument("bad double trace value '" + field +
                                        "'");
       }
     case 's':
-      return ops::AttributeValue{field};
+      // Interns into the global pool (deduplicating: replaying a trace of
+      // categorical strings allocates each distinct value once).
+      return ops::PayloadRef::String(field);
     default:
       return Status::InvalidArgument(std::string("unknown value type tag '") +
                                      tag + "'");

@@ -118,10 +118,13 @@ Result<std::vector<ops::Tuple>> CrowdWorld::SendRequests(
     tuple.id = next_tuple_id_++;
     tuple.attribute = spec.id;
     tuple.point = geom::SpaceTimePoint{arrival, reported.x, reported.y};
-    tuple.value = spec.field->Observe(
-        &rng_, geom::SpaceTimePoint{arrival, reported.x, reported.y});
+    // Convert the field's boundary variant into the compact payload at the
+    // production edge: string observations intern into the global
+    // ValuePool once, and everything downstream moves 12-byte handles.
+    tuple.value = ops::MakePayload(spec.field->Observe(
+        &rng_, geom::SpaceTimePoint{arrival, reported.x, reported.y}));
     tuple.sensor_id = sensor.id;
-    responses.push_back(std::move(tuple));
+    responses.push_back(tuple);
     ++total_responses_;
   }
   return responses;

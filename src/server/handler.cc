@@ -58,7 +58,8 @@ double RequestResponseHandler::GetIncentive(ops::AttributeId attribute) const {
   return it == incentives_.end() ? config_.default_incentive : it->second;
 }
 
-Result<std::vector<ops::Tuple>> RequestResponseHandler::Step(double now) {
+Status RequestResponseHandler::Step(double now, ops::TupleBatch* out) {
+  out->Clear();
   if (!dispatched_once_) {
     next_dispatch_ = now;
     dispatched_once_ = true;
@@ -83,19 +84,25 @@ Result<std::vector<ops::Tuple>> RequestResponseHandler::Step(double now) {
                              network_->SendRequests(request));
       requests_sent_ += count;
       for (auto& tuple : responses) {
-        pending_.push(std::move(tuple));
+        pending_.push(tuple);
       }
     }
     next_dispatch_ += config_.dispatch_interval;
   }
-  // Deliver everything that has arrived by `now`, in arrival order.
-  std::vector<ops::Tuple> batch;
+  // Deliver everything that has arrived by `now`, in arrival order,
+  // scattering straight into the batch columns.
   while (!pending_.empty() && pending_.top().point.t <= now) {
-    batch.push_back(pending_.top());
+    out->Append(pending_.top());
     pending_.pop();
   }
-  tuples_delivered_ += batch.size();
-  return batch;
+  tuples_delivered_ += out->size();
+  return Status::OK();
+}
+
+Result<std::vector<ops::Tuple>> RequestResponseHandler::Step(double now) {
+  ops::TupleBatch batch;
+  CRAQR_RETURN_NOT_OK(Step(now, &batch));
+  return batch.ToTuples();
 }
 
 }  // namespace server

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "geometry/grid.h"
 #include "ops/tuple.h"
+#include "ops/tuple_batch.h"
 #include "sensing/world.h"
 #include "server/budget.h"
 
@@ -54,10 +55,15 @@ class RequestResponseHandler {
   /// Number of live subscriptions.
   std::size_t NumSubscriptions() const { return subscriptions_.size(); }
 
-  /// \brief Runs dispatch rounds up to `now` and returns every response
-  /// whose arrival time is <= `now`, in arrival-time order — the batch the
-  /// fabricator consumes ("when the request/response handler sends a batch
-  /// of tuples for attribute A<j> ...").
+  /// \brief Runs dispatch rounds up to `now` and appends every response
+  /// whose arrival time is <= `now`, in arrival-time order, to `out` — the
+  /// batch the fabricator consumes ("when the request/response handler
+  /// sends a batch of tuples for attribute A<j> ..."). The batch columns
+  /// are built directly (no intermediate tuple vector); `out` is cleared
+  /// first and its capacity recycles across steps.
+  Status Step(double now, ops::TupleBatch* out);
+
+  /// Row-vector convenience overload (tests, trace tooling).
   Result<std::vector<ops::Tuple>> Step(double now);
 
   /// Sets the incentive offered on future requests for one attribute

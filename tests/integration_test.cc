@@ -249,7 +249,7 @@ TEST(IntegrationTest, HumanAttributeRespectsResponseDelays) {
   ASSERT_TRUE(craqr_engine->RunFor(30.0).ok());
   ASSERT_GT(stream.sink->tuples().size(), 20u);
   for (const auto& tuple : stream.sink->tuples()) {
-    EXPECT_TRUE(std::holds_alternative<bool>(tuple.value));
+    EXPECT_TRUE(tuple.value.kind() == ops::PayloadKind::kBool);
     EXPECT_LE(tuple.point.t, craqr_engine->now());
   }
 }

@@ -106,18 +106,18 @@ TEST(TupleBatchTest, ClearRecyclesCapacityAndSwapIsCheap) {
   for (const Tuple& t : MakeStream(200)) {
     batch.Append(t);
   }
-  const std::size_t capacity = batch.tuples().capacity();
+  const std::size_t capacity = batch.Capacity();
   EXPECT_GE(capacity, 256u);
   batch.Clear();
   EXPECT_TRUE(batch.empty());
-  EXPECT_EQ(batch.tuples().capacity(), capacity);
+  EXPECT_EQ(batch.Capacity(), capacity);
 
   TupleBatch other;
   other.Append(MakeStream(1)[0]);
   batch.Swap(other);
   EXPECT_EQ(batch.size(), 1u);
   EXPECT_TRUE(other.empty());
-  EXPECT_EQ(other.tuples().capacity(), capacity);
+  EXPECT_EQ(other.Capacity(), capacity);
 }
 
 TEST(TupleBatchTest, ColumnViewsGatherHotFields) {
@@ -136,6 +136,13 @@ TEST(TupleBatchTest, ColumnViewsGatherHotFields) {
     EXPECT_EQ(attributes[i], stream[i].attribute);
     EXPECT_TRUE(points[i] == stream[i].point);
     EXPECT_EQ(sensors[i], stream[i].sensor_id);
+  }
+  // On a plain batch the spans are zero-copy windows over the columns.
+  ASSERT_EQ(batch.Points().size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(batch.Points()[i] == stream[i].point);
+    EXPECT_EQ(batch.Ids()[i], stream[i].id);
+    EXPECT_TRUE(batch.Values()[i] == stream[i].value);
   }
 }
 

@@ -9,7 +9,7 @@ namespace {
 Tuple TupleAt(double t, double x, double y, double value = 0.0) {
   Tuple tuple;
   tuple.point = geom::SpaceTimePoint{t, x, y};
-  tuple.value = value;
+  tuple.value = PayloadRef::Double(value);
   return tuple;
 }
 
@@ -34,7 +34,7 @@ TEST(FilterTest, RequiresPredicate) {
 
 TEST(FilterTest, DropsNonMatchingTuples) {
   auto filter = FilterOperator::Make("f", [](const Tuple& t) {
-                  return std::get<double>(t.value) > 10.0;
+                  return t.value.AsDouble() > 10.0;
                 }).MoveValue();
   auto sink = SinkOperator::Make("sink").MoveValue();
   filter->AddOutput(sink.get());
@@ -53,14 +53,14 @@ TEST(MapTest, RequiresTransform) {
 TEST(MapTest, TransformsValues) {
   auto map = MapOperator::Make("m", [](const Tuple& t) {
                Tuple out = t;
-               out.value = std::get<double>(t.value) * 2.0;
+               out.value = PayloadRef::Double(t.value.AsDouble() * 2.0);
                return out;
              }).MoveValue();
   auto sink = SinkOperator::Make("sink").MoveValue();
   map->AddOutput(sink.get());
   ASSERT_TRUE(map->Push(TupleAt(0, 0, 0, 21.0)).ok());
   ASSERT_EQ(sink->tuples().size(), 1u);
-  EXPECT_DOUBLE_EQ(std::get<double>(sink->tuples()[0].value), 42.0);
+  EXPECT_DOUBLE_EQ(sink->tuples()[0].value.AsDouble(), 42.0);
 }
 
 TEST(RateMonitorTest, ValidatesParameters) {

@@ -17,7 +17,7 @@ SpaceTimeWindow FitWindow() {
 
 TEST(LinearMleTest, ValidatesInputs) {
   const SpaceTimeWindow w = FitWindow();
-  EXPECT_FALSE(FitLinearMle({}, w).ok());
+  EXPECT_FALSE(FitLinearMle(std::vector<geom::SpaceTimePoint>{}, w).ok());
   EXPECT_FALSE(FitLinearMle({{1.0, 1.0, 1.0}},
                             SpaceTimeWindow{0.0, 0.0, geom::Rect(0, 0, 1, 1)})
                    .ok());

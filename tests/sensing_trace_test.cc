@@ -57,7 +57,7 @@ TEST(TraceIoTest, PreservesDoublePrecision) {
   const auto parsed = ReadTrace(&in);
   ASSERT_TRUE(parsed.ok());
   EXPECT_DOUBLE_EQ((*parsed)[0].point.t, 0.1 + 0.2);
-  EXPECT_DOUBLE_EQ(std::get<double>((*parsed)[0].value), 1.0 / 9973.0);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value.AsDouble(), 1.0 / 9973.0);
 }
 
 TEST(TraceIoTest, RejectsMalformedLines) {
@@ -86,7 +86,7 @@ TEST(TraceIoTest, SkipsHeaderAndBlankLines) {
   const auto parsed = ReadTrace(&in);
   ASSERT_TRUE(parsed.ok());
   ASSERT_EQ(parsed->size(), 1u);
-  EXPECT_DOUBLE_EQ(std::get<double>((*parsed)[0].value), 3.5);
+  EXPECT_DOUBLE_EQ((*parsed)[0].value.AsDouble(), 3.5);
 }
 
 TEST(TraceIoTest, FileRoundTrip) {

@@ -105,7 +105,7 @@ TEST(CrowdWorldTest, SendRequestsRespectsCount) {
     EXPECT_EQ(tuple.attribute, *id);
     EXPECT_GT(tuple.point.t, request.now);  // delayed arrival
     EXPECT_TRUE(kRegion.Contains(tuple.point.x, tuple.point.y));
-    EXPECT_TRUE(std::holds_alternative<double>(tuple.value));
+    EXPECT_TRUE(tuple.value.kind() == ops::PayloadKind::kDouble);
   }
 }
 
