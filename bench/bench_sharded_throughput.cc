@@ -1,5 +1,7 @@
 /// \file bench_sharded_throughput.cc
-/// \brief Sharded-runtime scaling sweep: tuples/sec for shards ∈ {1,2,4,8}.
+/// \brief Sharded-runtime scaling sweep: tuples/sec for shards ∈ {1,2,4,8},
+/// plus the engine-loop overlap benchmark BM_EngineStepSync vs
+/// BM_EngineStepPipelined.
 ///
 /// Drives the multi-query operator-throughput workload (many overlapping
 /// acquisitional queries over an 8x8-cell grid, dense monotone-time tuple
@@ -8,12 +10,21 @@
 /// pipelined EnqueueBatch path so shard workers overlap with routing.
 /// Prints tuples/sec per configuration and the speedup over one shard.
 ///
+/// The engine-step section then measures the full CraqrEngine loop (world
+/// advance + handler dispatch + shard processing) at the same shard count
+/// with pipeline_depth 1 (BM_EngineStepSync: drain every step) vs
+/// pipeline_depth 2 (BM_EngineStepPipelined: world simulation and handler
+/// dispatch of tick t+1 overlap the shards chewing tick t) and logs the
+/// steps/sec ratio — the CI release-bench job greps this.
+///
 /// Scaling is bounded by std::thread::hardware_concurrency(): on a
 /// single-core container every configuration serializes onto one CPU and
 /// speedups hover near (or slightly below) 1x; the >= 2x target at four
-/// shards needs >= 4 physical cores.
+/// shards needs >= 4 physical cores. The same bound applies to the
+/// engine-step overlap.
 ///
 /// Usage: bench_sharded_throughput [batches] [batch_size] [queries]
+///        bench_sharded_throughput --engine-step [steps] [sensors]
 
 #include <algorithm>
 #include <chrono>
@@ -25,8 +36,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/engine.h"
 #include "fabric/fabricator.h"
 #include "runtime/sharded_fabricator.h"
+#include "sensing/world.h"
 
 namespace {
 
@@ -172,9 +185,149 @@ RunResult RunSharded(const std::vector<std::vector<ops::Tuple>>& batches,
   return result;
 }
 
+// ---------------------------------------------------------------- engine step
+
+/// Deterministic crowd world for the engine-loop benchmark (mirrors the
+/// engine tests' two-attribute setup at benchmark scale).
+sensing::CrowdWorld MakeEngineWorld(std::size_t sensors) {
+  sensing::PopulationConfig pc;
+  pc.region = geom::Rect(0, 0, 6, 6);
+  pc.num_sensors = sensors;
+  pc.responsiveness_sigma = 0.2;
+  Rng rng(5);
+  auto population = sensing::SensorPopulation::Make(pc, &rng).MoveValue();
+  auto world =
+      sensing::CrowdWorld::Make(std::move(population), rng.Fork()).MoveValue();
+  sensing::TemperatureField::Params tp;
+  const sensing::ResponseBehavior device =
+      sensing::ResponseModel::DeviceBehavior();
+  if (!world
+           .RegisterAttribute("temp", false,
+                              sensing::TemperatureField::Make(tp).MoveValue(),
+                              device)
+           .ok()) {
+    std::fprintf(stderr, "RegisterAttribute failed\n");
+    std::exit(1);
+  }
+  sensing::RainCell cell;
+  cell.x0 = 3.0;
+  cell.y0 = 3.0;
+  cell.radius = 2.0;
+  sensing::ResponseBehavior human = sensing::ResponseModel::HumanBehavior();
+  human.base_logit = 2.0;
+  human.delay_mu = -1.0;
+  if (!world
+           .RegisterAttribute("rain", true,
+                              sensing::RainField::Make({cell}).MoveValue(),
+                              human)
+           .ok()) {
+    std::fprintf(stderr, "RegisterAttribute failed\n");
+    std::exit(1);
+  }
+  return world;
+}
+
+struct EngineRunResult {
+  double steps_per_sec = 0.0;
+  std::uint64_t routed = 0;
+};
+
+/// Full engine loop at `num_shards` shards and the given pipeline depth:
+/// warms up, times `steps` Step() calls plus the final drain, and reports
+/// steps/sec and routed tuples (the latter must be depth-independent).
+EngineRunResult RunEngineSteps(std::size_t num_shards,
+                               std::size_t pipeline_depth, std::size_t steps,
+                               std::size_t sensors) {
+  craqr::engine::EngineConfig config;
+  config.grid_h = 9;
+  config.step_dt = 1.0;
+  config.fabric.flatten_batch_size = 64;
+  config.budget.initial = 24.0;
+  config.budget.delta = 8.0;
+  config.budget.max = 256.0;
+  config.num_shards = num_shards;
+  config.pipeline_depth = pipeline_depth;
+  auto engine =
+      craqr::engine::CraqrEngine::Make(MakeEngineWorld(sensors), config)
+          .MoveValue();
+  const char* queries[] = {
+      "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 1.5 PER KM2 PER MIN",
+      "ACQUIRE temp FROM REGION(0, 0, 4, 4) RATE 0.5 PER KM2 PER MIN",
+      "ACQUIRE rain FROM REGION(1, 1, 6, 6) RATE 2 PER KM2 PER MIN",
+      "ACQUIRE rain FROM REGION(0, 0, 3, 3) RATE 0.75 PER KM2 PER MIN",
+  };
+  for (const char* q : queries) {
+    if (!engine->SubmitText(q).ok()) {
+      std::fprintf(stderr, "SubmitText failed\n");
+      std::exit(1);
+    }
+  }
+  if (!engine->RunFor(10.0).ok()) {  // warm-up: budgets settle, F buffers fill
+    std::fprintf(stderr, "warm-up RunFor failed\n");
+    std::exit(1);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  if (!engine->RunFor(static_cast<double>(steps)).ok()) {
+    std::fprintf(stderr, "timed RunFor failed\n");
+    std::exit(1);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start)
+          .count();
+  EngineRunResult result;
+  result.steps_per_sec =
+      seconds > 0.0 ? static_cast<double>(steps) / seconds : 0.0;
+  result.routed = engine->TuplesRouted();
+  return result;
+}
+
+/// Prints BM_EngineStepSync / BM_EngineStepPipelined and their ratio.
+/// The two depths follow different feedback contracts (depth 2 applies
+/// budget feedback one step later), so routed counts are close but not
+/// identical; a gross mismatch still indicates a routing bug.
+bool RunEngineStepBench(std::size_t steps, std::size_t sensors) {
+  const std::size_t shards = 4;
+  std::printf("\nengine step loop (%zu shards, %zu sensors, %zu steps)\n",
+              shards, sensors, steps);
+  std::printf("%-28s %14s %12s %10s\n", "benchmark", "steps/sec", "routed",
+              "ratio");
+  const EngineRunResult sync = RunEngineSteps(shards, 1, steps, sensors);
+  std::printf("%-28s %14.1f %12llu %9s\n", "BM_EngineStepSync",
+              sync.steps_per_sec, static_cast<unsigned long long>(sync.routed),
+              "-");
+  const EngineRunResult pipelined = RunEngineSteps(shards, 2, steps, sensors);
+  const double ratio = sync.steps_per_sec > 0.0
+                           ? pipelined.steps_per_sec / sync.steps_per_sec
+                           : 0.0;
+  std::printf("%-28s %14.1f %12llu %9.2fx\n", "BM_EngineStepPipelined",
+              pipelined.steps_per_sec,
+              static_cast<unsigned long long>(pipelined.routed), ratio);
+  const double low = static_cast<double>(sync.routed) * 0.5;
+  const double high = static_cast<double>(sync.routed) * 2.0;
+  if (static_cast<double>(pipelined.routed) < low ||
+      static_cast<double>(pipelined.routed) > high) {
+    std::fprintf(stderr,
+                 "FAIL: pipelined engine routed %llu tuples, sync routed "
+                 "%llu (beyond contract-lag tolerance)\n",
+                 static_cast<unsigned long long>(pipelined.routed),
+                 static_cast<unsigned long long>(sync.routed));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --engine-step: run only the engine-loop overlap benchmark (the CI
+  // release-bench filter for BM_EngineStepSync/Pipelined).
+  bool engine_step_only = false;
+  if (argc > 1 && std::string(argv[1]) == "--engine-step") {
+    engine_step_only = true;
+    --argc;
+    ++argv;
+  }
   // std::stoul alone accepts "-5" (wrapping to a huge unsigned), so args
   // must be all-digits, and are capped to keep allocations sane.
   constexpr std::size_t kMaxArg = 1u << 24;
@@ -199,6 +352,15 @@ int main(int argc, char** argv) {
     }
     return std::min(value, kMaxArg);
   };
+  if (engine_step_only) {
+    const std::size_t steps = parse_arg(1, 120);
+    const std::size_t sensors = parse_arg(2, 1200);
+    std::printf("engine-step overlap benchmark\n");
+    std::printf("  hardware threads: %u\n",
+                std::thread::hardware_concurrency());
+    return RunEngineStepBench(steps, sensors) ? 0 : 1;
+  }
+
   const std::size_t batches = parse_arg(1, 150);
   const std::size_t batch_size = parse_arg(2, 512);
   const std::size_t queries = parse_arg(3, 24);
@@ -237,5 +399,6 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+
+  return RunEngineStepBench(60, 800) ? 0 : 1;
 }

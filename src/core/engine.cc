@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "ops/value_pool.h"
 
 namespace craqr {
 namespace engine {
@@ -20,7 +21,17 @@ CraqrEngine::CraqrEngine(sensing::CrowdWorld world, const geom::Grid& grid,
       fabricator_(std::move(fabricator)),
       sharded_(std::move(sharded)),
       budgets_(std::move(budgets)),
-      incentives_(std::move(incentives)) {}
+      incentives_(std::move(incentives)) {
+  pipelined_ = sharded_ != nullptr && config_.pipeline_depth >= 2;
+  defer_feedback_ = !pipelined_ && config_.pipeline_depth >= 2;
+  step_batches_.resize(pipelined_ ? config_.pipeline_depth : 1);
+  if (pipelined_) {
+    // Engage the runtime's epoch horizon before any batch flows: no
+    // feedback may leak out before its contracted step, even through an
+    // early Stats() / query-churn drain.
+    sharded_->SetReplayHorizon(0);
+  }
+}
 
 Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
     sensing::CrowdWorld world, const EngineConfig& config) {
@@ -29,6 +40,11 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
   }
   if (config.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.pipeline_depth < 1 || config.pipeline_depth > 1024) {
+    return Status::InvalidArgument(
+        "pipeline_depth must be in [1, 1024] (got " +
+        std::to_string(config.pipeline_depth) + ")");
   }
   CRAQR_ASSIGN_OR_RETURN(
       geom::Grid grid,
@@ -90,6 +106,22 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
 void CraqrEngine::OnViolationReport(ops::AttributeId attribute,
                                     const geom::CellIndex& cell,
                                     const ops::FlattenBatchReport& report) {
+  if (defer_feedback_) {
+    // Synchronous path with pipeline_depth D >= 2: the fabricator replays
+    // this report during step e's processing, but the epoch contract says
+    // it takes effect at step e + D - 1 — park it until then. (On the
+    // pipelined path the runtime's epoch horizon does the parking and
+    // reports arrive here exactly when due.)
+    deferred_feedback_.push_back(
+        {step_count_ + config_.pipeline_depth - 1, attribute, cell, report});
+    return;
+  }
+  ApplyFeedback(attribute, cell, report);
+}
+
+void CraqrEngine::ApplyFeedback(ops::AttributeId attribute,
+                                const geom::CellIndex& cell,
+                                const ops::FlattenBatchReport& report) {
   const server::BudgetKey key{attribute, cell};
   const double supply_ratio =
       report.target_count > 0.0
@@ -100,6 +132,15 @@ void CraqrEngine::OnViolationReport(ops::AttributeId attribute,
     const double incentive = incentives_.Update(
         attribute, report.violation_percent, budgets_.IsSaturated(key));
     handler_->SetIncentive(attribute, incentive);
+  }
+}
+
+void CraqrEngine::ApplyDueFeedback() {
+  while (!deferred_feedback_.empty() &&
+         deferred_feedback_.front().due_step <= step_count_) {
+    const DeferredFeedback& due = deferred_feedback_.front();
+    ApplyFeedback(due.attribute, due.cell, due.report);
+    deferred_feedback_.pop_front();
   }
 }
 
@@ -150,18 +191,56 @@ Status CraqrEngine::Cancel(query::QueryId id) {
 }
 
 Status CraqrEngine::Step() {
+  ++step_count_;
+  // On the pipelined path everything from here through the handler
+  // dispatch overlaps with the shard workers still chewing the previous
+  // step's batch — the overlap this loop exists for.
   now_ += config_.step_dt;
   world_.Advance(config_.step_dt);
   // The handler scatters its responses straight into the recycled batch's
-  // columns; the fabricators consume it row-by-row into per-chain /
+  // columns; the execution path consumes it row-by-row into per-chain /
   // per-shard batches. No intermediate tuple vector exists on this path.
-  CRAQR_RETURN_NOT_OK(handler_->Step(now_, &step_batch_));
-  return sharded_ != nullptr ? sharded_->ProcessBatch(step_batch_)
-                             : fabricator_->ProcessBatch(step_batch_);
+  // The ring keeps each submitted batch untouched for D-1 further steps —
+  // EnqueueBatch happens to consume its input synchronously today, but
+  // the engine does not depend on that runtime implementation detail.
+  ops::TupleBatch& batch = step_batches_[step_cursor_];
+  step_cursor_ = (step_cursor_ + 1) % step_batches_.size();
+  CRAQR_RETURN_NOT_OK(handler_->Step(now_, &batch));
+  if (pipelined_) {
+    // Feedback epoch contract: before submitting step s, wait for epoch
+    // s - (D - 1) and release exactly its reports — after this step's
+    // dispatch (which must not see them yet), before the next one (which
+    // must). The drain also flushes completed deliveries to sinks.
+    const std::uint64_t depth = config_.pipeline_depth;
+    if (step_count_ >= depth) {
+      CRAQR_RETURN_NOT_OK(sharded_->DrainThrough(step_count_ - (depth - 1)));
+    }
+    return sharded_->EnqueueBatch(batch, step_count_);
+  }
+  // Synchronous path: apply the reports whose contracted step arrived at
+  // the same relative point (post-dispatch, pre-processing).
+  ApplyDueFeedback();
+  return sharded_ != nullptr ? sharded_->ProcessBatch(batch)
+                             : fabricator_->ProcessBatch(batch);
 }
 
-runtime::ShardedStats CraqrEngine::Stats() const {
+Status CraqrEngine::DrainPipeline() {
+  if (!pipelined_) {
+    return Status::OK();
+  }
+  return sharded_->Drain();
+}
+
+runtime::ShardedStats CraqrEngine::Stats() {
   if (sharded_ != nullptr) {
+    // Observation point: flush in-flight pipelined work first so the
+    // merge-stage and sink counters cover every step taken. Feedback
+    // beyond its contracted step stays held by the runtime's horizon.
+    const Status drained = DrainPipeline();
+    if (!drained.ok()) {
+      CRAQR_LOG(ERROR) << "Stats() pipeline drain failed: "
+                       << drained.ToString();
+    }
     return sharded_->Snapshot();
   }
   runtime::ShardedStats stats;
@@ -171,18 +250,15 @@ runtime::ShardedStats CraqrEngine::Stats() const {
   stats.total_operators = fabricator_->TotalOperators();
   stats.materialized_cells = fabricator_->NumMaterializedCells();
   stats.live_queries = fabricator_->NumQueries();
+  stats.value_pool_bytes = ops::ValuePool::Global().ApproxBytes();
   return stats;
 }
 
-std::uint64_t CraqrEngine::TuplesRouted() const {
-  return Stats().tuples_routed;
-}
+std::uint64_t CraqrEngine::TuplesRouted() { return Stats().tuples_routed; }
 
-std::uint64_t CraqrEngine::TuplesUnrouted() const {
-  return Stats().tuples_unrouted;
-}
+std::uint64_t CraqrEngine::TuplesUnrouted() { return Stats().tuples_unrouted; }
 
-std::uint64_t CraqrEngine::TotalOperatorEvaluations() const {
+std::uint64_t CraqrEngine::TotalOperatorEvaluations() {
   return Stats().total_operator_evaluations;
 }
 
@@ -201,8 +277,29 @@ Status CraqrEngine::RunFor(double minutes) {
     return Status::InvalidArgument("minutes must be >= 0");
   }
   const double deadline = now_ + minutes;
+  std::uint64_t steps_this_run = 0;
   while (now_ + 1e-12 < deadline) {
-    CRAQR_RETURN_NOT_OK(Step());
+    ++steps_this_run;
+    const Status status = Step();
+    if (!status.ok()) {
+      // A bare error from a 10k-step run is undebuggable; say *when* the
+      // tick failed, in both run-local and engine-lifetime step numbers.
+      return Status(status.code(),
+                    "step " + std::to_string(steps_this_run) + " of this run" +
+                        " (engine step " + std::to_string(step_count_) +
+                        ", t=" + std::to_string(now_) +
+                        " min) failed: " + status.message());
+    }
+  }
+  // Observation boundary: control returns to the caller, who may read
+  // sinks directly — flush the pipeline so they reflect every step.
+  const Status drained = DrainPipeline();
+  if (!drained.ok()) {
+    return Status(drained.code(),
+                  "pipeline drain after " + std::to_string(steps_this_run) +
+                      " step(s) (engine step " + std::to_string(step_count_) +
+                      ", t=" + std::to_string(now_) +
+                      " min) failed: " + drained.message());
   }
   return Status::OK();
 }

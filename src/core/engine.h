@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,6 +29,15 @@
 /// go out per budget, delayed responses come back, batches flow through
 /// the per-cell PMAT topologies, and every live query's sink receives its
 /// fabricated MCDS at (approximately) the requested spatio-temporal rate.
+///
+/// On the sharded runtime the loop is **pipelined**: each step's batch is
+/// enqueued to the shard workers and the next step's world simulation and
+/// handler dispatch run while they chew, with an epoch-tagged partial
+/// drain as the only per-step synchronization. The closed budget/incentive
+/// feedback loop follows a fixed epoch contract (see
+/// EngineConfig::pipeline_depth) applied identically on the synchronous
+/// path, so delivered streams and violation-replay order are byte-exact
+/// across shard counts and execution modes.
 
 namespace craqr {
 namespace engine {
@@ -60,6 +70,29 @@ struct EngineConfig {
   /// Sub-batches each shard queue buffers before back-pressure (used when
   /// num_shards >= 2).
   std::size_t shard_queue_capacity = 64;
+  /// \brief Pipeline depth D (>= 1): the engine's step/feedback contract.
+  ///
+  /// D defines when the closed-loop feedback from step e's batch (F-operator
+  /// violation reports driving budgets and incentives) is applied: at step
+  /// e + D - 1, after that step's handler dispatch and before that step's
+  /// batch is submitted. D = 1 is the classic fully synchronous loop
+  /// (feedback applies within its own step, exactly the pre-pipelining
+  /// semantics). D >= 2 introduces a fixed (D-1)-step feedback latency —
+  /// and, when num_shards >= 2, buys the overlap: Step() enqueues tick t
+  /// without waiting and simulates tick t+1 (world advance + handler
+  /// dispatch into the next recycled batch of a D-deep ring) while the
+  /// shard workers chew, draining only through epoch t-D+2 before each
+  /// enqueue and fully at observation points (Stats(), query churn,
+  /// RunFor() return, DrainPipeline()).
+  ///
+  /// The contract is applied on every execution path — the single-threaded
+  /// engine emulates the same lag with an internal buffer — so for a fixed
+  /// D the delivered streams and the violation-replay order are byte-exact
+  /// across num_shards (1 included) and across synchronous vs pipelined
+  /// execution. Raising D hides more shard latency per step but delays
+  /// budget reactions by D-1 steps; 2 (the default) already overlaps a full
+  /// step of world simulation with shard processing.
+  std::size_t pipeline_depth = 2;
 };
 
 /// \brief The CrAQR engine.
@@ -87,13 +120,30 @@ class CraqrEngine {
   /// topology (paper Section V "Query Deletions").
   Status Cancel(query::QueryId id);
 
-  /// Advances the simulation by `config.step_dt` minutes: moves sensors,
-  /// dispatches acquisition requests, collects arrived responses and runs
-  /// them through the fabricator.
+  /// \brief Advances the simulation by `config.step_dt` minutes: moves
+  /// sensors, dispatches acquisition requests, collects arrived responses
+  /// and runs them through the fabricator.
+  ///
+  /// On the pipelined path (num_shards >= 2 and pipeline_depth >= 2) the
+  /// step's batch is *enqueued*, not processed: Step() returns while the
+  /// shard workers chew and the next Step() overlaps its world simulation
+  /// and handler dispatch with them, waiting only for the epoch the
+  /// feedback contract makes due (see EngineConfig::pipeline_depth).
+  /// Deliveries reach query sinks at drain points — every observation
+  /// accessor drains first, so readers never see a partial stream.
   Status Step();
 
-  /// Runs Step() until at least `minutes` of simulated time have passed.
+  /// Runs Step() until at least `minutes` of simulated time have passed,
+  /// then drains the pipeline so sinks reflect every step. A failing step
+  /// is reported with its step index and simulated time.
   Status RunFor(double minutes);
+
+  /// \brief Waits for all in-flight pipelined work and flushes deliveries
+  /// into query sinks (feedback beyond its contracted step stays held).
+  /// No-op on the synchronous path. Called implicitly by RunFor() and
+  /// Stats(); manual Step() drivers reading sinks directly should call it
+  /// first.
+  Status DrainPipeline();
 
   /// Current simulated time (minutes).
   double now() const { return now_; }
@@ -139,13 +189,17 @@ class CraqrEngine {
   /// \name Execution-path-independent aggregates
   /// Dispatch to the in-process fabricator or aggregate across shards.
   /// When sharded, every accessor (and Stats()) costs one cross-shard
-  /// barrier — callers needing several counters should take one Stats()
-  /// snapshot instead of chaining the scalar accessors.
+  /// barrier — and on the pipelined path a full drain first, so the
+  /// numbers are consistent with every step taken so far (an observation
+  /// point of the epoch contract). Callers needing several counters
+  /// should take one Stats() snapshot instead of chaining the scalar
+  /// accessors. Stats() also reports ops::ValuePool::Global() growth
+  /// (value_pool_bytes) and, when sharded, per-shard load counters.
   ///@{
-  runtime::ShardedStats Stats() const;
-  std::uint64_t TuplesRouted() const;
-  std::uint64_t TuplesUnrouted() const;
-  std::uint64_t TotalOperatorEvaluations() const;
+  runtime::ShardedStats Stats();
+  std::uint64_t TuplesRouted();
+  std::uint64_t TuplesUnrouted();
+  std::uint64_t TotalOperatorEvaluations();
   std::size_t NumLiveQueries() const;
   /// Structural self-check of the Section-V topology rules on whichever
   /// execution path is active.
@@ -163,6 +217,13 @@ class CraqrEngine {
   void OnViolationReport(ops::AttributeId attribute,
                          const geom::CellIndex& cell,
                          const ops::FlattenBatchReport& report);
+  /// Feeds one report into the budget manager (and incentives); the
+  /// feedback half the epoch contract schedules.
+  void ApplyFeedback(ops::AttributeId attribute, const geom::CellIndex& cell,
+                     const ops::FlattenBatchReport& report);
+  /// Applies every deferred report whose contracted step has arrived
+  /// (synchronous-path lag emulation; FIFO preserves replay order).
+  void ApplyDueFeedback();
 
   sensing::CrowdWorld world_;
   geom::Grid grid_;
@@ -174,9 +235,31 @@ class CraqrEngine {
   server::IncentiveController incentives_;
   std::optional<server::RequestResponseHandler> handler_;
   std::vector<server::BudgetKey> infeasible_log_;
-  /// Recycled columnar batch the handler fills and the fabricator drains
-  /// every Step() (capacity persists across steps).
-  ops::TupleBatch step_batch_;
+  /// Ring of recycled columnar step batches the handler fills and the
+  /// execution path consumes (capacity persists across steps). One entry
+  /// on the synchronous path; pipeline_depth entries when pipelined, so a
+  /// submitted batch is not rewritten for D-1 further steps. (Today
+  /// EnqueueBatch consumes its input before returning, so one buffer
+  /// would also work — the ring keeps the engine independent of that
+  /// runtime implementation detail, e.g. a future zero-copy handoff.)
+  std::vector<ops::TupleBatch> step_batches_;
+  std::size_t step_cursor_ = 0;
+  /// Steps taken so far — the epoch stamped onto pipelined batches.
+  std::uint64_t step_count_ = 0;
+  /// num_shards >= 2 && pipeline_depth >= 2: Step() enqueues instead of
+  /// processing and the runtime holds feedback to the epoch horizon.
+  bool pipelined_ = false;
+  /// Synchronous path with pipeline_depth >= 2: the engine itself defers
+  /// feedback to the contracted step (the runtime applies no lag there).
+  bool defer_feedback_ = false;
+  /// One report awaiting its contracted step (synchronous lag emulation).
+  struct DeferredFeedback {
+    std::uint64_t due_step = 0;
+    ops::AttributeId attribute = 0;
+    geom::CellIndex cell;
+    ops::FlattenBatchReport report;
+  };
+  std::deque<DeferredFeedback> deferred_feedback_;
   double now_ = 0.0;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/shard.h"
 
+#include <chrono>
 #include <future>
 #include <utility>
 
@@ -20,13 +21,16 @@ Result<std::unique_ptr<Shard>> Shard::Make(std::size_t index,
   auto shard = std::unique_ptr<Shard>(
       new Shard(index, std::move(fabricator), queue_capacity));
   // F-operator reports fire on the worker thread mid-batch; buffer them in
-  // the outbox so the router can replay them single-threaded.
+  // the outbox so the router can replay them single-threaded. The epoch of
+  // the in-flight batch task rides along so replay can be held back to an
+  // epoch horizon (pipelined engine feedback contract).
   Shard* raw = shard.get();
   shard->fabricator_->SetViolationCallback(
       [raw](ops::AttributeId attribute, const geom::CellIndex& cell,
             const ops::FlattenBatchReport& report) {
         std::lock_guard<std::mutex> lock(raw->outbox_mu_);
-        raw->outbox_.violations.push_back({attribute, cell, report});
+        raw->outbox_.violations.push_back(
+            {attribute, cell, report, raw->current_epoch_});
       });
   shard->worker_ = std::thread([raw] { raw->WorkerLoop(); });
   return shard;
@@ -52,9 +56,10 @@ void Shard::Stop() {
   }
 }
 
-Status Shard::EnqueueBatch(ops::TupleBatch batch) {
+Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
   Task task;
   task.batch = std::move(batch);
+  task.epoch = epoch;
   if (!queue_.Push(std::move(task))) {
     return Status::FailedPrecondition("shard is stopped");
   }
@@ -76,17 +81,31 @@ Status Shard::RunControl(ControlFn fn) {
   return Status::OK();
 }
 
-void Shard::DeliverBatch(query::QueryId query, const ops::TupleBatch& batch) {
-  std::lock_guard<std::mutex> lock(outbox_mu_);
-  // Column-wise splice of the active rows; the per-query outbox batch
-  // recycles its capacity across collections.
-  outbox_.delivered[query].AppendActiveFrom(batch);
+Status Shard::WaitForEpochCompleted(std::uint64_t epoch) {
+  if (epoch > 0) {
+    std::unique_lock<std::mutex> lock(epoch_mu_);
+    epoch_cv_.wait(lock, [this, epoch] { return completed_epoch_ >= epoch; });
+  }
+  return status();
 }
 
-ShardOutbox Shard::TakeOutbox() {
+void Shard::DeliverBatch(query::QueryId query, const ops::TupleBatch& batch) {
   std::lock_guard<std::mutex> lock(outbox_mu_);
-  ShardOutbox out = std::move(outbox_);
-  outbox_ = ShardOutbox();
+  // Column-wise splice of the active rows into the current epoch's
+  // per-query batch; capacities recycle across collections.
+  outbox_.delivered[current_epoch_][query].AppendActiveFrom(batch);
+}
+
+ShardOutbox Shard::TakeOutbox(std::uint64_t max_delivery_epoch) {
+  std::lock_guard<std::mutex> lock(outbox_mu_);
+  ShardOutbox out;
+  out.violations = std::move(outbox_.violations);
+  outbox_.violations.clear();
+  const auto end = outbox_.delivered.upper_bound(max_delivery_epoch);
+  for (auto it = outbox_.delivered.begin(); it != end; ++it) {
+    out.delivered[it->first] = std::move(it->second);
+  }
+  outbox_.delivered.erase(outbox_.delivered.begin(), end);
   return out;
 }
 
@@ -105,12 +124,36 @@ void Shard::WorkerLoop() {
       task->control(*fabricator_);
       continue;
     }
+    if (task->epoch > 0) {
+      // Sticky: control tasks between batches keep reporting under the
+      // latest epoch.
+      current_epoch_ = task->epoch;
+    }
+    const auto tuples = static_cast<std::uint64_t>(task->batch.size());
+    const auto start = std::chrono::steady_clock::now();
     Status status = fabricator_->ProcessBatch(task->batch);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()),
+        std::memory_order_relaxed);
+    batches_processed_.fetch_add(1, std::memory_order_relaxed);
+    tuples_processed_.fetch_add(tuples, std::memory_order_relaxed);
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(status_mu_);
       if (status_.ok()) {
         status_ = std::move(status);  // latch the first failure
       }
+    }
+    // Publish epoch completion even on failure — a waiter must wake up and
+    // read the latched status instead of hanging.
+    if (task->epoch > 0) {
+      std::lock_guard<std::mutex> lock(epoch_mu_);
+      if (task->epoch > completed_epoch_) {
+        completed_epoch_ = task->epoch;
+      }
+      epoch_cv_.notify_all();
     }
   }
 }

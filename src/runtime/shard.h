@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -27,25 +30,48 @@
 /// the shard's partial query streams accumulate in an outbox the router
 /// collects at batch boundaries and feeds into the per-query U merge
 /// stage.
+///
+/// Batch tasks carry an **epoch** stamp — the engine's step number on the
+/// pipelined path. Epochs are monotone in enqueue order, so once the
+/// worker completes the batch of epoch e, every batch of an earlier epoch
+/// is complete too; WaitForEpochCompleted() lets the router drain *through*
+/// an epoch without barriering work enqueued after it (the heart of the
+/// pipelined engine loop's partial drain).
+///
+/// The worker also keeps per-shard load telemetry — batches/tuples
+/// processed and the wall-clock time spent inside ProcessBatch — that the
+/// router surfaces through ShardedStats::per_shard as the measurement
+/// input for load-aware cell rebalancing.
 
 namespace craqr {
 namespace runtime {
 
 /// \brief An F-operator batch report captured on a worker thread, replayed
 /// to the router's violation callback on the collecting thread (so budget
-/// tuning stays single-threaded).
+/// tuning stays single-threaded). `epoch` is the stamp of the batch task
+/// the report fired under (0 for reports raised outside a stamped batch),
+/// letting the router hold replay back to an epoch horizon.
 struct ViolationEvent {
   ops::AttributeId attribute = 0;
   geom::CellIndex cell;
   ops::FlattenBatchReport report;
+  std::uint64_t epoch = 0;
 };
 
 /// \brief Everything a shard produced since the last collection: one
-/// columnar batch of delivered tuples per router-level query (appended
-/// batch-at-a-time by the partial-stream sinks — one mutex acquisition per
-/// delivered batch, not per tuple) plus buffered F-operator reports.
+/// columnar batch of delivered tuples per (epoch, router-level query)
+/// (appended batch-at-a-time by the partial-stream sinks — one mutex
+/// acquisition per delivered batch, not per tuple) plus buffered
+/// F-operator reports. Deliveries are keyed by epoch (ordered map,
+/// ascending) so the collector can feed each query's merge stage one
+/// epoch at a time: F operators buffer tuples across epochs, so a
+/// combined multi-epoch reorder flush would interleave differently than
+/// the synchronous per-step flushes — per-epoch grouping keeps delivery
+/// order byte-exact and independent of when the collect happens.
 struct ShardOutbox {
-  std::unordered_map<query::QueryId, ops::TupleBatch> delivered;
+  std::map<std::uint64_t,
+           std::unordered_map<query::QueryId, ops::TupleBatch>>
+      delivered;
   std::vector<ViolationEvent> violations;
 };
 
@@ -72,14 +98,18 @@ class Shard {
   /// Enqueues a tuple sub-batch for asynchronous processing; blocks when
   /// the queue is full (back-pressure). The batch storage moves into the
   /// task queue and is consumed by the worker's batch-native
-  /// StreamFabricator::ProcessBatch.
-  Status EnqueueBatch(ops::TupleBatch batch);
+  /// StreamFabricator::ProcessBatch. `epoch` stamps the task (pass 0 for
+  /// unstamped work); callers must enqueue stamped epochs in strictly
+  /// increasing order for WaitForEpochCompleted to be meaningful (the
+  /// router enforces this globally).
+  Status EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch = 0);
 
   /// Convenience overload scattering a tuple vector into fresh columns
   /// (one pass, copies; tests and tools only — the hot path hands over
   /// TupleBatches directly).
-  Status EnqueueBatch(const std::vector<ops::Tuple>& batch) {
-    return EnqueueBatch(ops::TupleBatch(batch));
+  Status EnqueueBatch(const std::vector<ops::Tuple>& batch,
+                      std::uint64_t epoch = 0) {
+    return EnqueueBatch(ops::TupleBatch(batch), epoch);
   }
 
   /// Runs `fn` on the worker thread after all previously queued tasks and
@@ -92,17 +122,55 @@ class Shard {
     return RunControl([](fabric::StreamFabricator&) {});
   }
 
+  /// \brief Blocks until the worker has completed a batch task stamped
+  /// with an epoch >= `epoch` (no-op for epoch 0). The caller must know a
+  /// batch with that exact epoch was enqueued to THIS shard — epochs are
+  /// sparse per shard (a step whose sub-batch for this shard was empty is
+  /// never enqueued), so waiting on an epoch the shard never received
+  /// would block until a later one completes (or forever). The router
+  /// tracks per-shard in-flight epochs and always passes one it enqueued.
+  /// Returns the shard's latched processing status.
+  Status WaitForEpochCompleted(std::uint64_t epoch);
+
   /// Splices a delivered batch (active tuples, arrival order) into the
   /// outbox under one lock acquisition; called from partial-stream sink
   /// batch callbacks on the worker thread.
   void DeliverBatch(query::QueryId query, const ops::TupleBatch& batch);
 
-  /// Moves the accumulated outbox out.
-  ShardOutbox TakeOutbox();
+  /// \brief Moves the accumulated outbox out — but only deliveries of
+  /// epochs <= `max_delivery_epoch` (violations always move; replay is
+  /// horizon-gated and epoch-major-sorted on the router, so partial
+  /// collection cannot reorder them). A partial drain passes the epoch it
+  /// waited through: deliveries of a *later* epoch might already sit in
+  /// the outbox half-complete (the worker is mid-batch), and collecting a
+  /// split epoch would split its merge-stage reorder flush — diverging
+  /// from the synchronous one-flush-per-step order. Full barriers pass the
+  /// default (everything is complete then).
+  ShardOutbox TakeOutbox(
+      std::uint64_t max_delivery_epoch = ~static_cast<std::uint64_t>(0));
 
   /// First batch-processing error, latched (control errors are reported
   /// through the control functions themselves).
   Status status() const;
+
+  /// \name Load telemetry
+  /// Monotone counters maintained by the worker (relaxed atomics — read
+  /// them after a Drain()/barrier for values consistent with the queue).
+  ///@{
+  /// Batch tasks the worker has finished processing.
+  std::uint64_t batches_processed() const {
+    return batches_processed_.load(std::memory_order_relaxed);
+  }
+  /// Tuples in those batches (active rows at enqueue time).
+  std::uint64_t tuples_processed() const {
+    return tuples_processed_.load(std::memory_order_relaxed);
+  }
+  /// Wall-clock nanoseconds the worker spent inside ProcessBatch — the
+  /// per-shard busy-time signal for load-aware rebalancing.
+  std::uint64_t busy_ns() const {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+  ///@}
 
   /// \brief The shard's fabricator. Worker-owned: other threads may touch
   /// it only between a Drain() and the next enqueue (the drain's
@@ -123,6 +191,7 @@ class Shard {
   struct Task {
     ops::TupleBatch batch;
     ControlFn control;  // non-null => control task
+    std::uint64_t epoch = 0;
   };
 
   Shard(std::size_t index, std::unique_ptr<fabric::StreamFabricator> fabricator,
@@ -141,6 +210,21 @@ class Shard {
 
   mutable std::mutex status_mu_;
   Status status_ = Status::OK();
+
+  /// Highest stamped epoch whose batch task has completed (epochs are
+  /// monotone in queue order, so >= e means everything through e is done).
+  std::mutex epoch_mu_;
+  std::condition_variable epoch_cv_;
+  std::uint64_t completed_epoch_ = 0;
+  /// Epoch of the most recent stamped batch task (sticky across control
+  /// tasks, so anything they deliver or report joins the latest epoch's
+  /// group); worker-thread only (read by the violation and delivery
+  /// callbacks, which fire on the worker).
+  std::uint64_t current_epoch_ = 0;
+
+  std::atomic<std::uint64_t> batches_processed_{0};
+  std::atomic<std::uint64_t> tuples_processed_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 }  // namespace runtime

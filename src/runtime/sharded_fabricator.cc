@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/macros.h"
 #include "ops/extras.h"
+#include "ops/value_pool.h"
 
 namespace craqr {
 namespace runtime {
@@ -28,6 +29,9 @@ Result<std::unique_ptr<ShardedFabricator>> ShardedFabricator::Make(
         auto shard, Shard::Make(i, grid, config.fabric, config.queue_capacity));
     runtime->shards_.push_back(std::move(shard));
   }
+  runtime->shard_inflight_epochs_.resize(config.num_shards);
+  runtime->shard_tuples_enqueued_.resize(config.num_shards, 0);
+  runtime->shard_batches_enqueued_.resize(config.num_shards, 0);
   return runtime;
 }
 
@@ -48,22 +52,54 @@ Status ShardedFabricator::BarrierLocked() const {
     CRAQR_RETURN_NOT_OK(shard->Drain());
     CRAQR_RETURN_NOT_OK(shard->status());
   }
+  // Everything enqueued so far has completed; drop the epoch bookkeeping
+  // so later partial drains skip straight past these epochs.
+  for (auto& inflight : shard_inflight_epochs_) {
+    inflight.clear();
+  }
   return Status::OK();
 }
 
-Status ShardedFabricator::CollectLocked() {
+Status ShardedFabricator::WaitThroughEpochLocked(std::uint64_t epoch) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::deque<std::uint64_t>& inflight = shard_inflight_epochs_[i];
+    std::uint64_t target = 0;
+    while (!inflight.empty() && inflight.front() <= epoch) {
+      target = inflight.front();
+      inflight.pop_front();
+    }
+    if (target > 0) {
+      // Epochs are monotone in queue order: once the worker finishes the
+      // largest in-flight epoch <= `epoch`, everything earlier is done.
+      CRAQR_RETURN_NOT_OK(shards_[i]->WaitForEpochCompleted(target));
+    }
+    CRAQR_RETURN_NOT_OK(shards_[i]->status());
+  }
+  return Status::OK();
+}
+
+Status ShardedFabricator::CollectLocked(std::uint64_t max_delivery_epoch) {
   // Gather in ascending shard order; the replay sort below (and the merge
   // stages' reorder buffers) make the result independent of that order.
-  std::unordered_map<query::QueryId, ops::TupleBatch> per_query;
+  // Deliveries stay keyed by epoch: F operators buffer tuples across
+  // epochs, so each query's merge stage must see one push+flush per epoch
+  // (in epoch order) — exactly the per-step grouping the synchronous path
+  // produces — or a collect spanning several epochs would reorder the
+  // delivered stream relative to it.
+  std::map<std::uint64_t, std::unordered_map<query::QueryId, ops::TupleBatch>>
+      per_epoch;
   std::vector<ViolationEvent> violations;
   for (const auto& shard : shards_) {
-    ShardOutbox box = shard->TakeOutbox();
-    for (auto& [id, batch] : box.delivered) {
-      ops::TupleBatch& dst = per_query[id];
-      if (dst.empty()) {
-        dst.Swap(batch);  // first shard: adopt the storage outright
-      } else {
-        dst.AppendActiveFrom(batch);
+    ShardOutbox box = shard->TakeOutbox(max_delivery_epoch);
+    for (auto& [epoch, per_query] : box.delivered) {
+      auto& dst_epoch = per_epoch[epoch];
+      for (auto& [id, batch] : per_query) {
+        ops::TupleBatch& dst = dst_epoch[id];
+        if (dst.empty()) {
+          dst.Swap(batch);  // first shard: adopt the storage outright
+        } else {
+          dst.AppendActiveFrom(batch);
+        }
       }
     }
     for (ViolationEvent& v : box.violations) {
@@ -71,22 +107,26 @@ Status ShardedFabricator::CollectLocked() {
     }
   }
 
-  for (auto& [id, batch] : per_query) {
-    const auto it = queries_.find(id);
-    if (it == queries_.end()) {
-      // RemoveQuery flushes deliveries before detaching, so a delivery for
-      // a dead query means the bookkeeping broke.
-      return Status::Internal("delivery for dead query " + std::to_string(id));
+  for (auto& [epoch, per_query] : per_epoch) {
+    (void)epoch;
+    for (auto& [id, batch] : per_query) {
+      const auto it = queries_.find(id);
+      if (it == queries_.end()) {
+        // RemoveQuery flushes deliveries before detaching, so a delivery
+        // for a dead query means the bookkeeping broke.
+        return Status::Internal("delivery for dead query " +
+                                std::to_string(id));
+      }
+      // No pre-sort here: a multi-cell query's merge stage carries a
+      // reorder buffer (fabric::BuildMergeStage) that flushes each step in
+      // canonical (t, id) order — the same operator the in-process
+      // fabricator drives, so delivery order cannot diverge between the
+      // two paths. A single-cell query lives entirely on one shard and its
+      // partial stream arrives already time-ordered.
+      QueryState& qs = it->second;
+      CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
+      CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
     }
-    // No pre-sort here: a multi-cell query's merge stage carries a reorder
-    // buffer (fabric::BuildMergeStage) that flushes each step in canonical
-    // (t, id) order — the same operator the in-process fabricator drives,
-    // so delivery order cannot diverge between the two paths. A
-    // single-cell query lives entirely on one shard and its partial
-    // stream arrives already time-ordered.
-    QueryState& qs = it->second;
-    CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
-    CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
   }
 
   // Buffered, not invoked: the callback is user code and may re-enter the
@@ -99,15 +139,38 @@ Status ShardedFabricator::CollectLocked() {
 
 void ShardedFabricator::ReplayViolationsAndUnlock(
     std::unique_lock<std::mutex>& lock) {
-  std::vector<ViolationEvent> events = std::move(pending_violations_);
-  pending_violations_.clear();
-  // Canonical replay order (fabric::ViolationReplayLess — the one
-  // comparator StreamFabricator also sorts with), stable so each F
-  // operator's reports keep their firing order. Sharing the comparator
-  // is what makes feedback consumers evolve identically for every shard
-  // count.
+  // Split off the events the horizon releases; later-epoch events stay
+  // buffered (in arrival order) until DrainThrough advances past them —
+  // the pipelined feedback contract's "not before its step" half.
+  std::vector<ViolationEvent> events;
+  if (replay_horizon_ == kNoReplayHorizon) {
+    events = std::move(pending_violations_);
+    pending_violations_.clear();
+  } else {
+    std::vector<ViolationEvent> held;
+    events.reserve(pending_violations_.size());
+    for (ViolationEvent& v : pending_violations_) {
+      if (v.epoch <= replay_horizon_) {
+        events.push_back(std::move(v));
+      } else {
+        held.push_back(std::move(v));
+      }
+    }
+    pending_violations_ = std::move(held);
+  }
+  // Canonical replay order: epoch (= batch boundary) first, then
+  // fabric::ViolationReplayLess — the one comparator StreamFabricator also
+  // sorts with — stable so each F operator's reports keep their firing
+  // order. Epoch-major grouping makes one replay that releases several
+  // epochs identical to draining them one at a time, which is exactly the
+  // per-batch replay the single-threaded fabricator performs; sharing the
+  // comparator within an epoch is what makes feedback consumers evolve
+  // identically for every shard count.
   std::stable_sort(events.begin(), events.end(),
                    [](const ViolationEvent& a, const ViolationEvent& b) {
+                     if (a.epoch != b.epoch) {
+                       return a.epoch < b.epoch;
+                     }
                      return fabric::ViolationReplayLess(
                          {a.report.completed_at, a.attribute, a.cell},
                          {b.report.completed_at, b.attribute, b.cell});
@@ -122,13 +185,24 @@ void ShardedFabricator::ReplayViolationsAndUnlock(
 }
 
 Status ShardedFabricator::EnqueueBatchLocked(
-    const std::vector<ops::Tuple>& batch) {
+    const std::vector<ops::Tuple>& batch, std::uint64_t epoch) {
   // Convenience path (tests, benches): one scatter, then the hot overload.
   ops::TupleBatch columns(batch);
-  return EnqueueBatchLocked(columns);
+  return EnqueueBatchLocked(columns, epoch);
 }
 
-Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch) {
+Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch,
+                                             std::uint64_t epoch) {
+  if (epoch < 1 || epoch <= last_enqueued_epoch_) {
+    // Strictly increasing: if two batches shared an epoch, the first
+    // completed task would satisfy WaitForEpochCompleted while the second
+    // was still queued, and a partial drain could split the epoch's
+    // delivery group across two merge-stage flushes.
+    return Status::InvalidArgument(
+        "batch epochs must be >= 1 and strictly increasing (got " +
+        std::to_string(epoch) + " after " +
+        std::to_string(last_enqueued_epoch_) + ")");
+  }
   // One routing pass over the point column builds the per-shard
   // sub-batches, column-copying each matched row out of the consumed
   // input batch.
@@ -145,14 +219,22 @@ Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch) {
     sub[ShardForCell(*cell)].AppendRow(batch, i);
   }
   batch.Clear();
-  return EnqueueSubBatchesLocked(sub);
+  return EnqueueSubBatchesLocked(sub, epoch);
 }
 
 Status ShardedFabricator::EnqueueSubBatchesLocked(
-    std::vector<ops::TupleBatch>& sub) {
+    std::vector<ops::TupleBatch>& sub, std::uint64_t epoch) {
+  last_enqueued_epoch_ = epoch;
   for (std::size_t i = 0; i < sub.size(); ++i) {
     if (!sub[i].empty()) {
-      CRAQR_RETURN_NOT_OK(shards_[i]->EnqueueBatch(std::move(sub[i])));
+      const std::size_t tuples = sub[i].size();
+      // Bookkeeping only after the push succeeds: a ghost in-flight epoch
+      // for a task that never queued would turn the next partial drain
+      // into an unbounded WaitForEpochCompleted.
+      CRAQR_RETURN_NOT_OK(shards_[i]->EnqueueBatch(std::move(sub[i]), epoch));
+      shard_tuples_enqueued_[i] += tuples;
+      ++shard_batches_enqueued_[i];
+      shard_inflight_epochs_[i].push_back(epoch);
     }
   }
   return Status::OK();
@@ -160,18 +242,24 @@ Status ShardedFabricator::EnqueueSubBatchesLocked(
 
 Status ShardedFabricator::EnqueueBatch(const std::vector<ops::Tuple>& batch) {
   std::lock_guard<std::mutex> lock(mu_);
-  return EnqueueBatchLocked(batch);
+  return EnqueueBatchLocked(batch, last_enqueued_epoch_ + 1);
 }
 
 Status ShardedFabricator::EnqueueBatch(ops::TupleBatch& batch) {
   std::lock_guard<std::mutex> lock(mu_);
-  return EnqueueBatchLocked(batch);
+  return EnqueueBatchLocked(batch, last_enqueued_epoch_ + 1);
+}
+
+Status ShardedFabricator::EnqueueBatch(ops::TupleBatch& batch,
+                                       std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EnqueueBatchLocked(batch, epoch);
 }
 
 Status ShardedFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
   std::unique_lock<std::mutex> lock(mu_);
   const Status status = [&]() -> Status {
-    CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch));
+    CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch, last_enqueued_epoch_ + 1));
     CRAQR_RETURN_NOT_OK(BarrierLocked());
     return CollectLocked();
   }();
@@ -182,7 +270,7 @@ Status ShardedFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
 Status ShardedFabricator::ProcessBatch(ops::TupleBatch& batch) {
   std::unique_lock<std::mutex> lock(mu_);
   const Status status = [&]() -> Status {
-    CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch));
+    CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch, last_enqueued_epoch_ + 1));
     CRAQR_RETURN_NOT_OK(BarrierLocked());
     return CollectLocked();
   }();
@@ -198,6 +286,28 @@ Status ShardedFabricator::Drain() {
   }();
   ReplayViolationsAndUnlock(lock);
   return status;
+}
+
+Status ShardedFabricator::DrainThrough(std::uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = [&]() -> Status {
+    CRAQR_RETURN_NOT_OK(WaitThroughEpochLocked(epoch));
+    return CollectLocked(epoch);
+  }();
+  // Advancing the horizon is what releases this epoch's feedback; a
+  // DrainThrough on a runtime that never engaged the horizon engages it.
+  if (replay_horizon_ == kNoReplayHorizon || epoch > replay_horizon_) {
+    replay_horizon_ = epoch;
+  }
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+void ShardedFabricator::SetReplayHorizon(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (replay_horizon_ == kNoReplayHorizon || epoch > replay_horizon_) {
+    replay_horizon_ = epoch;
+  }
 }
 
 Result<fabric::QueryStream> ShardedFabricator::InsertQuery(
@@ -369,13 +479,24 @@ Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
   // block on their empty queues, so reading the fabricators is safe.
   CRAQR_RETURN_NOT_OK(BarrierLocked());
   stats.tuples_unrouted = router_unrouted_;
-  for (const auto& shard : shards_) {
-    const fabric::StreamFabricator& f = shard->fabricator();
+  stats.value_pool_bytes = ops::ValuePool::Global().ApproxBytes();
+  stats.per_shard.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    const fabric::StreamFabricator& f = shard.fabricator();
     stats.tuples_routed += f.tuples_routed();
     stats.tuples_unrouted += f.tuples_unrouted();
     stats.total_operator_evaluations += f.TotalOperatorEvaluations();
     stats.total_operators += f.TotalOperators();
     stats.materialized_cells += f.NumMaterializedCells();
+    ShardLoadStats& load = stats.per_shard[i];
+    load.shard = i;
+    load.tuples_enqueued = shard_tuples_enqueued_[i];
+    load.batches_enqueued = shard_batches_enqueued_[i];
+    load.tuples_processed = shard.tuples_processed();
+    load.batches_processed = shard.batches_processed();
+    load.busy_ns = shard.busy_ns();
+    load.queue_depth = shard.queue_depth();
   }
   for (const auto& [id, qs] : queries_) {
     (void)id;

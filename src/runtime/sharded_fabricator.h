@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +65,20 @@
 /// the shard workers. The violation callback is invoked on the collecting
 /// thread with the mutex released, so it may safely call back into the
 /// runtime.
+///
+/// **Epochs.** The pipelined path stamps each enqueued batch with a
+/// monotone epoch (the engine's step number). `DrainThrough(e)` waits only
+/// for the batches of epochs <= e — batches of later epochs keep flowing
+/// through the workers — then collects outboxes and replays buffered
+/// violation reports *up to the epoch horizon* it advances to e. Reports
+/// from later epochs are held (still in canonical order) until the horizon
+/// passes their epoch, which is what keeps the budget/incentive feedback
+/// loop byte-exact with the synchronous engine under pipelining: feedback
+/// from step e is applied at exactly one step boundary, never "as soon as
+/// a fast shard happens to finish". Full `Drain()` barriers everything and
+/// flushes all deliveries but still respects the horizon; callers that
+/// never engage epochs (plain EnqueueBatch/ProcessBatch) keep today's
+/// replay-everything behaviour.
 
 namespace craqr {
 namespace runtime {
@@ -79,6 +94,26 @@ struct ShardedConfig {
   fabric::FabricConfig fabric;
 };
 
+/// \brief Per-shard load telemetry (one entry per shard in
+/// ShardedStats::per_shard) — the measurement input for load-aware cell
+/// rebalancing: a shard whose busy_ns/tuples_enqueued ratio towers over
+/// its siblings owns the hot cells.
+struct ShardLoadStats {
+  std::size_t shard = 0;
+  /// Tuples the router partitioned into this shard's sub-batches.
+  std::uint64_t tuples_enqueued = 0;
+  /// Sub-batches the router enqueued to this shard.
+  std::uint64_t batches_enqueued = 0;
+  /// Tuples the worker has finished processing.
+  std::uint64_t tuples_processed = 0;
+  /// Batch tasks the worker has finished processing.
+  std::uint64_t batches_processed = 0;
+  /// Wall-clock nanoseconds the worker spent inside ProcessBatch.
+  std::uint64_t busy_ns = 0;
+  /// Tasks queued at snapshot time (0 after the snapshot's barrier).
+  std::size_t queue_depth = 0;
+};
+
 /// \brief Aggregated runtime counters (see Snapshot()).
 struct ShardedStats {
   std::uint64_t tuples_routed = 0;
@@ -87,6 +122,11 @@ struct ShardedStats {
   std::size_t total_operators = 0;
   std::size_t materialized_cells = 0;
   std::size_t live_queries = 0;
+  /// Approximate heap footprint of ops::ValuePool::Global() — the
+  /// monitoring hook for unbounded free-form string payloads.
+  std::size_t value_pool_bytes = 0;
+  /// Per-shard load counters (empty on the unsharded engine path).
+  std::vector<ShardLoadStats> per_shard;
 };
 
 /// \brief Partitions the grid's cells across N shard fabricators and
@@ -129,15 +169,41 @@ class ShardedFabricator {
 
   /// \brief Pipelined variant: partitions and enqueues without waiting.
   /// Deliveries accumulate in shard outboxes until the next Drain() /
-  /// ProcessBatch(). Back-pressure applies when a shard queue fills.
-  /// The batch is consumed.
+  /// DrainThrough() / ProcessBatch(). Back-pressure applies when a shard
+  /// queue fills. The batch is consumed and stamped with the next
+  /// auto-assigned epoch (last enqueued epoch + 1).
   Status EnqueueBatch(ops::TupleBatch& batch);
+
+  /// \brief Epoch-stamped pipelined enqueue (the engine's step loop).
+  /// `epoch` must be >= 1 and strictly increasing across calls (one batch
+  /// per epoch — equal epochs could split an epoch's delivery group
+  /// across drains); it is the unit DrainThrough() waits on and the grain
+  /// violation replay is held to.
+  Status EnqueueBatch(ops::TupleBatch& batch, std::uint64_t epoch);
 
   /// Copying convenience overload of the batch-native EnqueueBatch.
   Status EnqueueBatch(const std::vector<ops::Tuple>& batch);
 
   /// Waits for all queued work and flushes deliveries into query sinks.
+  /// Violation replay honours the current epoch horizon (see
+  /// SetReplayHorizon); with the horizon never engaged, everything
+  /// collected is replayed — the pre-epoch behaviour.
   Status Drain();
+
+  /// \brief Partial drain: waits only until every batch stamped with an
+  /// epoch <= `epoch` has been processed (later epochs keep running),
+  /// collects whatever the outboxes hold, advances the replay horizon to
+  /// `epoch` and replays the violation reports that horizon releases.
+  /// This is the pipelined engine's per-step synchronization point: one
+  /// epoch's worth of waiting instead of a full barrier.
+  Status DrainThrough(std::uint64_t epoch);
+
+  /// \brief Engages the epoch horizon: violation reports from batches
+  /// stamped with an epoch > `epoch` are held (in canonical order) at
+  /// every replay point until the horizon passes their epoch. The horizon
+  /// only moves forward. The pipelined engine sets it to 0 up front so no
+  /// report can leak out before its contracted step.
+  void SetReplayHorizon(std::uint64_t epoch);
 
   /// Registers the N_v callback consumed by the budget tuner; replayed on
   /// the collecting thread, never on shard workers.
@@ -215,22 +281,37 @@ class ShardedFabricator {
   ShardedFabricator(const geom::Grid& grid, const ShardedConfig& config)
       : grid_(grid), config_(config) {}
 
-  Status EnqueueBatchLocked(const std::vector<ops::Tuple>& batch);
-  Status EnqueueBatchLocked(ops::TupleBatch& batch);
-  Status EnqueueSubBatchesLocked(std::vector<ops::TupleBatch>& sub);
+  Status EnqueueBatchLocked(const std::vector<ops::Tuple>& batch,
+                            std::uint64_t epoch);
+  Status EnqueueBatchLocked(ops::TupleBatch& batch, std::uint64_t epoch);
+  Status EnqueueSubBatchesLocked(std::vector<ops::TupleBatch>& sub,
+                                 std::uint64_t epoch);
   Status BarrierLocked() const;
-  Status CollectLocked();
+  /// Waits only for batches of epochs <= `epoch` (per-shard in-flight
+  /// bookkeeping picks the right wait target on each shard).
+  Status WaitThroughEpochLocked(std::uint64_t epoch);
+  /// Collects outboxes and merges deliveries of epochs <=
+  /// `max_delivery_epoch` (one merge-stage flush per epoch, in epoch
+  /// order); pass the default after a full barrier, the drained epoch
+  /// after a partial one (later epochs may be mid-processing).
+  Status CollectLocked(
+      std::uint64_t max_delivery_epoch = ~static_cast<std::uint64_t>(0));
   Result<ShardedStats> SnapshotLocked() const;
   Result<fabric::QueryStream> InsertQueryLocked(ops::AttributeId attribute,
                                                 const geom::Rect& region,
                                                 double rate);
   Status RemoveQueryLocked(query::QueryId id);
   /// Releases `lock` and then invokes the violation callback on the events
-  /// CollectLocked buffered, sorted by (completed_at, attribute, cell) —
-  /// the canonical order StreamFabricator replays in, making feedback
-  /// shard-count-independent. The callback is user code and may re-enter
-  /// any public method, so it must never run under mu_.
+  /// CollectLocked buffered whose epoch is within the replay horizon,
+  /// sorted by (completed_at, attribute, cell) — the canonical order
+  /// StreamFabricator replays in, making feedback shard-count-independent.
+  /// Events beyond the horizon stay buffered. The callback is user code
+  /// and may re-enter any public method, so it must never run under mu_.
   void ReplayViolationsAndUnlock(std::unique_lock<std::mutex>& lock);
+
+  /// Horizon value meaning "never engaged: replay everything".
+  static constexpr std::uint64_t kNoReplayHorizon =
+      ~static_cast<std::uint64_t>(0);
 
   geom::Grid grid_;
   ShardedConfig config_;
@@ -241,9 +322,23 @@ class ShardedFabricator {
   query::QueryId next_query_id_ = 1;
   fabric::ViolationCallback violation_callback_;
   /// Events collected from shard outboxes but not yet replayed to the
-  /// callback (replay happens after mu_ is released).
+  /// callback (replay happens after mu_ is released; events beyond the
+  /// replay horizon survive here across replay points).
   std::vector<ViolationEvent> pending_violations_;
   std::uint64_t router_unrouted_ = 0;  // tuples outside the grid region
+  /// Highest epoch stamped onto an enqueued batch so far.
+  std::uint64_t last_enqueued_epoch_ = 0;
+  /// Violation-replay horizon (see SetReplayHorizon).
+  std::uint64_t replay_horizon_ = kNoReplayHorizon;
+  /// Per-shard epochs with batches enqueued but not yet waited on, in
+  /// ascending order (epochs are sparse per shard: a step whose sub-batch
+  /// for a shard was empty never appears in that shard's deque). Mutable:
+  /// the const full barrier prunes entries it has proven complete.
+  mutable std::vector<std::deque<std::uint64_t>> shard_inflight_epochs_;
+  /// Router-side per-shard load counters (tuples/batches partitioned into
+  /// each shard; the shard-side counters live on the workers).
+  std::vector<std::uint64_t> shard_tuples_enqueued_;
+  std::vector<std::uint64_t> shard_batches_enqueued_;
 };
 
 }  // namespace runtime

@@ -59,6 +59,9 @@ double RequestResponseHandler::GetIncentive(ops::AttributeId attribute) const {
 }
 
 Status RequestResponseHandler::Step(double now, ops::TupleBatch* out) {
+  // Only `out` is touched; all carried state (pending_ and the dispatch
+  // clock) is internal, so this call may overlap shard processing of any
+  // previously produced batch (see the pipelining contract in handler.h).
   out->Clear();
   if (!dispatched_once_) {
     next_dispatch_ = now;

@@ -61,6 +61,14 @@ class RequestResponseHandler {
   /// sends a batch of tuples for attribute A<j> ..."). The batch columns
   /// are built directly (no intermediate tuple vector); `out` is cleared
   /// first and its capacity recycles across steps.
+  ///
+  /// Pipelining contract: the handler writes only into the caller-owned
+  /// `out` and holds no reference to it (or to any previous step's batch)
+  /// after returning, so the engine may hand a different recycled batch
+  /// each step while earlier ones are still referenced by in-flight shard
+  /// work. Dispatch reads the budget/incentive state as of the call — the
+  /// engine's epoch contract guarantees that state is identical across
+  /// execution modes at every dispatch point.
   Status Step(double now, ops::TupleBatch* out);
 
   /// Row-vector convenience overload (tests, trace tooling).

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/engine.h"
+#include "ops/value_pool.h"
 
 namespace craqr {
 namespace engine {
@@ -247,6 +253,211 @@ TEST(EngineTest, ShardedEngineMatchesSingleThreadedWithIncentives) {
   EXPECT_GT(std::get<3>(reference), 0u) << "incentives never engaged";
   EXPECT_EQ(reference, run(2));
   EXPECT_EQ(reference, run(4));
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined execution (EngineConfig::pipeline_depth)
+
+/// Order-sensitive FNV-1a fold over raw bytes.
+std::uint64_t FnvFold(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Byte-exact signature of a delivered stream: every field of every tuple,
+/// in delivery order (payload rendered through the pool so the digest is
+/// handle-independent).
+std::uint64_t StreamDigest(const std::vector<ops::Tuple>& tuples) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& tuple : tuples) {
+    h = FnvFold(h, &tuple.id, sizeof(tuple.id));
+    h = FnvFold(h, &tuple.sensor_id, sizeof(tuple.sensor_id));
+    h = FnvFold(h, &tuple.attribute, sizeof(tuple.attribute));
+    h = FnvFold(h, &tuple.point.t, sizeof(tuple.point.t));
+    h = FnvFold(h, &tuple.point.x, sizeof(tuple.point.x));
+    h = FnvFold(h, &tuple.point.y, sizeof(tuple.point.y));
+    const auto kind = static_cast<unsigned char>(tuple.value.kind());
+    h = FnvFold(h, &kind, sizeof(kind));
+    const std::string rendered = ops::PayloadToString(tuple.value);
+    h = FnvFold(h, rendered.data(), rendered.size());
+  }
+  return h;
+}
+
+/// Everything a pipelined-equivalence run observes. Byte-exact delivered
+/// streams (order included), the order-sensitive incentive/budget feedback
+/// trajectory, and the routing aggregates.
+struct PipelineRunResult {
+  std::uint64_t rain_digest = 0;
+  std::uint64_t temp_digest = 0;
+  std::uint64_t rain_delivered = 0;
+  std::uint64_t temp_delivered = 0;
+  std::uint64_t tuples_routed = 0;
+  std::uint64_t tuples_unrouted = 0;
+  double incentive = 0.0;
+  std::uint64_t incentive_raises = 0;
+  std::uint64_t budget_increases = 0;
+
+  bool operator==(const PipelineRunResult& o) const {
+    return rain_digest == o.rain_digest && temp_digest == o.temp_digest &&
+           rain_delivered == o.rain_delivered &&
+           temp_delivered == o.temp_delivered &&
+           tuples_routed == o.tuples_routed &&
+           tuples_unrouted == o.tuples_unrouted && incentive == o.incentive &&
+           incentive_raises == o.incentive_raises &&
+           budget_increases == o.budget_increases;
+  }
+};
+
+/// The valued churn workload: an aggressive rain query that saturates
+/// budgets and engages incentives (the order-sensitive feedback loop), a
+/// temp query cancelled mid-run and a replacement submitted — all under a
+/// sparse crowd, so violations fire continuously.
+void RunPipelineWorkload(std::size_t num_shards, std::size_t pipeline_depth,
+                         PipelineRunResult* out) {
+  EngineConfig config = TestConfig();
+  config.num_shards = num_shards;
+  config.pipeline_depth = pipeline_depth;
+  config.budget.max = 32.0;  // saturate fast so incentives engage
+  config.enable_incentives = true;
+  config.incentive.max = 8.0;
+  auto engine = CraqrEngine::Make(MakeWorld(80), config).MoveValue();
+  const auto rain = engine->SubmitText(
+      "ACQUIRE rain FROM REGION(0, 0, 6, 6) RATE 20 PER KM2 PER MIN");
+  const auto temp1 = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(0, 0, 4, 4) RATE 0.5 PER KM2 PER MIN");
+  ASSERT_TRUE(rain.ok());
+  ASSERT_TRUE(temp1.ok());
+  ASSERT_TRUE(engine->RunFor(15.0).ok());
+  ASSERT_TRUE(engine->Cancel(temp1->id).ok());
+  ASSERT_TRUE(engine->RunFor(10.0).ok());
+  const auto temp2 = engine->SubmitText(
+      "ACQUIRE temp FROM REGION(1, 1, 5, 5) RATE 0.4 PER KM2 PER MIN");
+  ASSERT_TRUE(temp2.ok());
+  ASSERT_TRUE(engine->RunFor(15.0).ok());
+
+  const runtime::ShardedStats stats = engine->Stats();
+  const auto rain_id = engine->world().AttributeIdByName("rain");
+  ASSERT_TRUE(rain_id.ok());
+  out->rain_digest = StreamDigest(rain->sink->tuples());
+  out->temp_digest = StreamDigest(temp2->sink->tuples());
+  out->rain_delivered = rain->sink->total_received();
+  out->temp_delivered = temp2->sink->total_received();
+  out->tuples_routed = stats.tuples_routed;
+  out->tuples_unrouted = stats.tuples_unrouted;
+  out->incentive = engine->handler().GetIncentive(*rain_id);
+  out->incentive_raises = engine->incentives().raises();
+  out->budget_increases = engine->budgets().increases();
+}
+
+TEST(EnginePipelineTest, PipelinedMatchesSynchronousByteExact) {
+  // The core pipelining guarantee: for the default pipeline_depth, the
+  // delivered streams (bytes AND order), the routing aggregates and the
+  // order-sensitive incentive/budget trajectory are identical whether the
+  // engine runs single-threaded (with the engine-side feedback lag) or
+  // pipelined over 2 or 4 shards (with the runtime's epoch horizon).
+  PipelineRunResult reference;
+  RunPipelineWorkload(1, 2, &reference);
+  ASSERT_GT(reference.rain_delivered, 0u);
+  ASSERT_GT(reference.temp_delivered, 0u);
+  ASSERT_GT(reference.incentive_raises, 0u) << "incentives never engaged";
+  for (const std::size_t shards : {2u, 4u}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    PipelineRunResult pipelined;
+    RunPipelineWorkload(shards, 2, &pipelined);
+    EXPECT_TRUE(reference == pipelined);
+  }
+}
+
+TEST(EnginePipelineTest, DeeperPipelineStaysConsistentAcrossShardCounts) {
+  // pipeline_depth 3 changes the feedback contract (2-step lag) — the
+  // trajectory may differ from depth 2, but it must still be byte-exact
+  // across shard counts, since the synchronous engine emulates the same
+  // deeper lag.
+  PipelineRunResult reference;
+  RunPipelineWorkload(1, 3, &reference);
+  ASSERT_GT(reference.rain_delivered, 0u);
+  PipelineRunResult pipelined;
+  RunPipelineWorkload(4, 3, &pipelined);
+  EXPECT_TRUE(reference == pipelined);
+}
+
+TEST(EnginePipelineTest, DepthOneKeepsClassicSynchronousSemantics) {
+  // pipeline_depth 1 = the pre-pipelining contract (feedback within its
+  // own step) on every path; sharded execution stays synchronous.
+  PipelineRunResult reference;
+  RunPipelineWorkload(1, 1, &reference);
+  ASSERT_GT(reference.rain_delivered, 0u);
+  PipelineRunResult sharded;
+  RunPipelineWorkload(4, 1, &sharded);
+  EXPECT_TRUE(reference == sharded);
+}
+
+TEST(EnginePipelineTest, MidRunStatsIsADrainBarrierAndDoesNotPerturb) {
+  // Stats() mid-run must flush in-flight pipelined work (so counters are
+  // consistent with every step taken) without disturbing the stream or
+  // the feedback trajectory relative to a run that never observed.
+  auto make = [](std::size_t num_shards) {
+    EngineConfig config = TestConfig();
+    config.num_shards = num_shards;
+    config.pipeline_depth = 2;
+    return CraqrEngine::Make(MakeWorld(200, 11), config).MoveValue();
+  };
+  auto pipelined = make(4);
+  auto sync = make(1);
+  auto observed = make(4);  // pipelined twin that gets observed mid-run
+  const char* q = "ACQUIRE temp FROM REGION(0, 0, 6, 6) RATE 0.5 PER KM2 PER MIN";
+  const auto sp = pipelined->SubmitText(q);
+  const auto ss = sync->SubmitText(q);
+  const auto so = observed->SubmitText(q);
+  ASSERT_TRUE(sp.ok() && ss.ok() && so.ok());
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(pipelined->Step().ok());
+    ASSERT_TRUE(sync->Step().ok());
+    ASSERT_TRUE(observed->Step().ok());
+  }
+  // Mid-run observation: the drain barrier makes the pipelined counters
+  // equal the synchronous engine's at the same step.
+  const runtime::ShardedStats mid_obs = observed->Stats();
+  const runtime::ShardedStats mid_sync = sync->Stats();
+  EXPECT_EQ(mid_obs.tuples_routed, mid_sync.tuples_routed);
+  EXPECT_EQ(mid_obs.tuples_unrouted, mid_sync.tuples_unrouted);
+  EXPECT_EQ(mid_obs.live_queries, mid_sync.live_queries);
+  // After the drain the sink already holds every delivered tuple.
+  EXPECT_EQ(so->sink->total_received(), ss->sink->total_received());
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pipelined->Step().ok());
+    ASSERT_TRUE(sync->Step().ok());
+    ASSERT_TRUE(observed->Step().ok());
+  }
+  ASSERT_TRUE(pipelined->DrainPipeline().ok());
+  ASSERT_TRUE(observed->DrainPipeline().ok());
+  // The mid-run observation changed nothing: all three streams agree.
+  const std::uint64_t d_sync = StreamDigest(ss->sink->tuples());
+  EXPECT_EQ(StreamDigest(sp->sink->tuples()), d_sync);
+  EXPECT_EQ(StreamDigest(so->sink->tuples()), d_sync);
+}
+
+TEST(EnginePipelineTest, StatsExposesGlobalValuePoolBytes) {
+  // The ROADMAP monitoring hook: pool growth is observable through the
+  // engine's stats on both execution paths.
+  ops::ValuePool::Global().Intern("engine-pipeline-test-sentinel-payload");
+  for (const std::size_t shards : {1u, 2u}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    EngineConfig config = TestConfig();
+    config.num_shards = shards;
+    auto engine = CraqrEngine::Make(MakeWorld(50), config).MoveValue();
+    const runtime::ShardedStats stats = engine->Stats();
+    EXPECT_EQ(stats.value_pool_bytes, ops::ValuePool::Global().ApproxBytes());
+    EXPECT_GT(stats.value_pool_bytes, 0u);
+    EXPECT_EQ(stats.per_shard.size(), shards == 1 ? 0u : shards);
+  }
 }
 
 }  // namespace
