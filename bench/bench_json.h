@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+/// \file bench_json.h
+/// \brief The shared `--json <path>` emitter of the throughput benches.
+///
+/// One row per benchmark result, in the repo-level BENCH_*.json
+/// perf-trajectory format: `{name, iters, ns_per_op, tuples_per_sec}`
+/// (rate-style benches put their primary rate — steps/sec for the
+/// engine-step rows — in the rate column). Both emitting benches and the
+/// release-bench CI merge step consume this one schema, so a format
+/// change lands everywhere at once.
+
+namespace craqr {
+namespace benchjson {
+
+struct Entry {
+  std::string name;
+  std::uint64_t iters = 0;
+  double ns_per_op = 0.0;
+  double tuples_per_sec = 0.0;
+};
+
+/// \brief Extracts `--json <path>` or `--json=<path>` from anywhere in
+/// the argument list, removing the consumed arguments in place (argv[0]
+/// untouched) — the one flag parser both benches share, so their CLI
+/// cannot drift. Returns the path, or "" when the flag is absent.
+inline std::string ExtractJsonPath(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes `entries` as a JSON array to `path` (exits on I/O failure —
+/// a bench with an unwritable output path has nothing useful to do).
+/// Benchmark names in this repo need no escaping.
+inline void WriteEntries(const std::string& path,
+                         const std::vector<Entry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"iters\": %llu, \"ns_per_op\": %.3f, "
+                 "\"tuples_per_sec\": %.1f}%s\n",
+                 e.name.c_str(), static_cast<unsigned long long>(e.iters),
+                 e.ns_per_op, e.tuples_per_sec,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+}  // namespace benchjson
+}  // namespace craqr

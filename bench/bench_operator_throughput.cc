@@ -14,6 +14,17 @@
 /// speedup: compare the items_per_second columns of
 /// BM_Fig2TopologyPerTuple vs BM_Fig2TopologyBatch, and
 /// BM_ThinChainDepthBatch vs BM_ThinChainDepth.
+///
+/// The `...SweepScalar` / `...SweepMask` pairs isolate the PR-5 selection
+/// kernels: the per-row branchy RNG / containment sweeps (the pre-PR
+/// implementations, inlined here as references) against the branch-free
+/// mask + compact kernels the operators now run. BM_RouteHistogram logs
+/// the fabricator's histogram routing pass end to end.
+///
+/// `--json <path>` additionally writes every result as
+/// `{name, iters, ns_per_op, tuples_per_sec}` — the format of the
+/// repo-level BENCH_*.json perf trajectory the release-bench CI job
+/// uploads.
 
 #include <benchmark/benchmark.h>
 
@@ -22,7 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
+#include "common/simd.h"
+#include "fabric/fabricator.h"
 #include "ops/extras.h"
 #include "ops/flatten.h"
 #include "ops/partition.h"
@@ -392,4 +406,217 @@ void BM_ThinChainDepth(benchmark::State& state) {
 }
 BENCHMARK(BM_ThinChainDepth)->Arg(1)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------------
+// PR-5 selection kernels: branchy scalar sweep vs branch-free mask sweep
+//
+// Each pair runs the identical decision over the identical batch; only
+// the kernel differs. Scalar = the pre-vectorization per-row
+// implementation (branch per tuple, per-row RNG call / region loop),
+// Mask = the batch mask fill + compact the operators now run.
+
+constexpr std::size_t kSweepBatchSize = 4096;
+
+void BM_ThinSweepScalar(benchmark::State& state) {
+  const auto tuples = MakeTuples(kSweepBatchSize);
+  const double p = 0.7;
+  Rng rng(91);
+  ops::TupleBatch batch;
+  for (auto _ : state) {
+    batch.Assign(tuples);
+    // The pre-PR sweep: per-row RNG call, double conversion + compare,
+    // branch per tuple.
+    batch.RetainRaw([&rng, p](std::uint32_t) { return rng.Uniform() < p; });
+    benchmark::DoNotOptimize(batch.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSweepBatchSize));
+}
+BENCHMARK(BM_ThinSweepScalar);
+
+void BM_ThinSweepMask(benchmark::State& state) {
+  const auto tuples = MakeTuples(kSweepBatchSize);
+  const double p = 0.7;
+  Rng rng(91);
+  ops::TupleBatch batch;
+  std::vector<std::uint8_t> mask(kSweepBatchSize);
+  for (auto _ : state) {
+    batch.Assign(tuples);
+    rng.FillBernoulliMask(p, {mask.data(), kSweepBatchSize});
+    batch.RetainFromMask({mask.data(), kSweepBatchSize});
+    benchmark::DoNotOptimize(batch.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSweepBatchSize));
+}
+BENCHMARK(BM_ThinSweepMask);
+
+std::vector<geom::Rect> SweepStrips() {
+  std::vector<geom::Rect> strips;
+  for (int k = 0; k < 4; ++k) {
+    strips.emplace_back(k * 1.0, 0.0, (k + 1) * 1.0, 4.0);
+  }
+  return strips;
+}
+
+/// The benchmark argument is the number of connected output ports. 1 is
+/// the shape query insertion actually builds (a P carving one overlap
+/// region out of a cell, complement ports unconnected); 4 is the full
+/// fan-out worst case for the mask kernels (every region needs a mask +
+/// compact, where the scalar loop early-exits).
+void BM_PartitionSweepScalar(benchmark::State& state) {
+  const auto connected = static_cast<std::size_t>(state.range(0));
+  const auto tuples = MakeTuples(kSweepBatchSize);
+  const auto strips = SweepStrips();
+  const ops::TupleBatch batch(tuples);
+  std::vector<std::vector<std::uint32_t>> ports(strips.size());
+  std::uint64_t unrouted = 0;
+  for (auto _ : state) {
+    // The pre-PR routing pass: per-row region loop with early exit and a
+    // branch per region test.
+    batch.ForEachRaw([&](std::uint32_t idx) {
+      const geom::SpaceTimePoint& p = batch.point_at(idx);
+      for (std::size_t k = 0; k < strips.size(); ++k) {
+        if (strips[k].Contains(p.x, p.y)) {
+          if (k >= connected) {
+            ++unrouted;
+          } else {
+            ports[k].push_back(idx);
+          }
+          return;
+        }
+      }
+      ++unrouted;
+    });
+    for (auto& port : ports) {
+      benchmark::DoNotOptimize(port.size());
+      port.clear();
+    }
+  }
+  benchmark::DoNotOptimize(unrouted);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSweepBatchSize));
+}
+BENCHMARK(BM_PartitionSweepScalar)->Arg(1)->Arg(4);
+
+void BM_PartitionSweepMask(benchmark::State& state) {
+  const auto connected = static_cast<std::size_t>(state.range(0));
+  const auto tuples = MakeTuples(kSweepBatchSize);
+  const auto strips = SweepStrips();
+  const ops::TupleBatch batch(tuples);
+  std::vector<std::vector<std::uint32_t>> ports(strips.size());
+  std::vector<std::uint8_t> mask(kSweepBatchSize);
+  std::uint64_t unrouted = 0;
+  for (auto _ : state) {
+    // The PR-5 routing pass: one branch-free containment mask + compact
+    // per *connected* region; everything unclaimed is unrouted by
+    // subtraction (regions are disjoint).
+    std::size_t routed = 0;
+    for (std::size_t k = 0; k < connected; ++k) {
+      strips[k].ContainsMask(batch.RawPoints(), mask.data());
+      batch.GatherActiveWhere({mask.data(), kSweepBatchSize}, &ports[k]);
+      routed += ports[k].size();
+    }
+    unrouted += kSweepBatchSize - routed;
+    for (auto& port : ports) {
+      benchmark::DoNotOptimize(port.size());
+      port.clear();
+    }
+  }
+  benchmark::DoNotOptimize(unrouted);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSweepBatchSize));
+}
+BENCHMARK(BM_PartitionSweepMask)->Arg(1)->Arg(4);
+
+// ---------------------------------------------------------------------------
+// Histogram routing: the fabricator's single-pass
+// count -> prefix-sum -> scatter map phase, end to end (routing + grouped
+// inbox copies + chain processing), on a multi-cell multi-attribute
+// topology. Logged by release-bench as the routing-throughput trajectory.
+
+void BM_RouteHistogram(benchmark::State& state) {
+  const auto grid =
+      geom::Grid::Make(geom::Rect(0, 0, 8, 8), 16).MoveValue();
+  fabric::FabricConfig config;
+  config.flatten_batch_size = 64;
+  config.seed = 0xBE7CB;
+  auto fab = fabric::StreamFabricator::Make(grid, config).MoveValue();
+  for (int a = 0; a < 2; ++a) {
+    if (!fab->InsertQuery(a, geom::Rect(0, 0, 8, 8), 2.0 + a).ok() ||
+        !fab->InsertQuery(a, geom::Rect(0, 0, 4, 8), 1.0 + a).ok()) {
+      state.SkipWithError("query insertion failed");
+      return;
+    }
+  }
+  Rng rng(7);
+  std::vector<ops::Tuple> tuples;
+  tuples.reserve(kSweepBatchSize);
+  double t = 0.0;
+  for (std::size_t i = 0; i < kSweepBatchSize; ++i) {
+    ops::Tuple tuple;
+    tuple.id = i + 1;
+    tuple.attribute = i % 2;
+    t += 0.001;
+    tuple.point = geom::SpaceTimePoint{t, rng.Uniform(0.0, 8.5),
+                                       rng.Uniform(0.0, 8.5)};
+    tuples.push_back(tuple);
+  }
+  ops::TupleBatch batch;
+  for (auto _ : state) {
+    batch.Assign(tuples);
+    if (!fab->ProcessBatch(batch).ok()) {
+      state.SkipWithError("ProcessBatch failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSweepBatchSize));
+}
+BENCHMARK(BM_RouteHistogram);
+
+// ---------------------------------------------------------------------------
+// Custom main: console output as usual, plus `--json <path>` emitting the
+// BENCH_*.json perf-trajectory format (bench_json.h).
+
+/// Console reporter that additionally captures per-run entries for the
+/// JSON emitter (aggregate rows are skipped).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      benchjson::Entry e;
+      e.name = run.benchmark_name();
+      e.iters = static_cast<std::uint64_t>(run.iterations);
+      e.ns_per_op = run.iterations > 0
+                        ? run.real_accumulated_time /
+                              static_cast<double>(run.iterations) * 1e9
+                        : 0.0;
+      const auto it = run.counters.find("items_per_second");
+      e.tuples_per_sec =
+          it != run.counters.end() ? static_cast<double>(it->second) : 0.0;
+      entries.push_back(std::move(e));
+    }
+  }
+  std::vector<benchjson::Entry> entries;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = craqr::benchjson::ExtractJsonPath(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    craqr::benchjson::WriteEntries(json_path, reporter.entries);
+  }
+  return 0;
+}

@@ -23,8 +23,13 @@
 /// shards needs >= 4 physical cores. The same bound applies to the
 /// engine-step overlap.
 ///
-/// Usage: bench_sharded_throughput [batches] [batch_size] [queries]
-///        bench_sharded_throughput --engine-step [steps] [sensors]
+/// Usage: bench_sharded_throughput [--json <path>] [batches] [batch_size] [queries]
+///        bench_sharded_throughput [--json <path>] --engine-step [steps] [sensors]
+///
+/// `--json <path>` writes every configuration's result as
+/// `{name, iters, ns_per_op, tuples_per_sec}` (engine-step rows report
+/// steps/sec in the rate column) — the format of the repo-level
+/// BENCH_*.json perf trajectory the release-bench CI job uploads.
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "fabric/fabricator.h"
@@ -44,6 +50,19 @@
 namespace {
 
 using namespace craqr;  // NOLINT
+
+std::vector<benchjson::Entry> g_json_entries;
+
+/// Records one --json row; `rate` is the bench's primary rate
+/// (tuples/sec for the sweep, steps/sec for the engine-step rows).
+void AddJsonEntry(const std::string& name, std::uint64_t iters, double rate) {
+  benchjson::Entry e;
+  e.name = name;
+  e.iters = iters;
+  e.ns_per_op = rate > 0.0 ? 1e9 / rate : 0.0;
+  e.tuples_per_sec = rate;
+  g_json_entries.push_back(std::move(e));
+}
 
 constexpr double kWorldSize = 8.0;
 
@@ -296,7 +315,9 @@ bool RunEngineStepBench(std::size_t steps, std::size_t sensors) {
   std::printf("%-28s %14.1f %12llu %9s\n", "BM_EngineStepSync",
               sync.steps_per_sec, static_cast<unsigned long long>(sync.routed),
               "-");
+  AddJsonEntry("BM_EngineStepSync", steps, sync.steps_per_sec);
   const EngineRunResult pipelined = RunEngineSteps(shards, 2, steps, sensors);
+  AddJsonEntry("BM_EngineStepPipelined", steps, pipelined.steps_per_sec);
   const double ratio = sync.steps_per_sec > 0.0
                            ? pipelined.steps_per_sec / sync.steps_per_sec
                            : 0.0;
@@ -320,6 +341,9 @@ bool RunEngineStepBench(std::size_t steps, std::size_t sensors) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --json <path>: additionally emit the results in the BENCH_*.json
+  // perf-trajectory format (shared parser: flag accepted anywhere).
+  const std::string json_path = benchjson::ExtractJsonPath(&argc, argv);
   // --engine-step: run only the engine-loop overlap benchmark (the CI
   // release-bench filter for BM_EngineStepSync/Pipelined).
   bool engine_step_only = false;
@@ -358,7 +382,11 @@ int main(int argc, char** argv) {
     std::printf("engine-step overlap benchmark\n");
     std::printf("  hardware threads: %u\n",
                 std::thread::hardware_concurrency());
-    return RunEngineStepBench(steps, sensors) ? 0 : 1;
+    const bool ok = RunEngineStepBench(steps, sensors);
+    if (ok && !json_path.empty()) {
+      benchjson::WriteEntries(json_path, g_json_entries);
+    }
+    return ok ? 0 : 1;
   }
 
   const std::size_t batches = parse_arg(1, 150);
@@ -379,6 +407,7 @@ int main(int argc, char** argv) {
   std::printf("%-28s %14.0f %12llu %9s\n", "fabricator (in-process)",
               base.tuples_per_sec,
               static_cast<unsigned long long>(base.routed), "-");
+  AddJsonEntry("BM_FabricatorInProcess", batches, base.tuples_per_sec);
 
   double one_shard = 0.0;
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
@@ -391,6 +420,8 @@ int main(int argc, char** argv) {
     std::printf("%-28s %14.0f %12llu %9.2fx\n", label.c_str(),
                 r.tuples_per_sec, static_cast<unsigned long long>(r.routed),
                 one_shard > 0.0 ? r.tuples_per_sec / one_shard : 0.0);
+    AddJsonEntry("BM_ShardedSweep/shards:" + std::to_string(shards), batches,
+                 r.tuples_per_sec);
     if (r.routed != base.routed) {
       std::fprintf(stderr,
                    "FAIL: sharded routed %llu tuples, baseline routed %llu\n",
@@ -400,5 +431,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  return RunEngineStepBench(60, 800) ? 0 : 1;
+  const bool ok = RunEngineStepBench(60, 800);
+  if (ok && !json_path.empty()) {
+    benchjson::WriteEntries(json_path, g_json_entries);
+  }
+  return ok ? 0 : 1;
 }

@@ -24,6 +24,50 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
+void Rng::FillUniform(Span<double> out) {
+  for (double& v : out) {
+    v = Uniform();
+  }
+}
+
+void Rng::FillBernoulliMask(double p, Span<std::uint8_t> mask) {
+  if (p <= 0.0) {
+    for (std::uint8_t& m : mask) {
+      m = 0;
+    }
+    return;
+  }
+  if (p >= 1.0) {
+    for (std::uint8_t& m : mask) {
+      m = 1;
+    }
+    return;
+  }
+  const std::uint64_t threshold = BernoulliThreshold(p);
+  for (std::uint8_t& m : mask) {
+    m = static_cast<std::uint8_t>(NextU64() < threshold);
+  }
+}
+
+void Rng::FillBernoulliMask(Span<const double> probs,
+                            Span<std::uint8_t> mask) {
+  assert(probs.size() == mask.size());
+  const std::size_t n = mask.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // The branches mirror the scalar Bernoulli's no-draw fast paths: a
+    // degenerate row must not advance the stream or the remaining rows
+    // would all decide with shifted draws.
+    const double p = probs[i];
+    if (p <= 0.0) {
+      mask[i] = 0;
+    } else if (p >= 1.0) {
+      mask[i] = 1;
+    } else {
+      mask[i] = static_cast<std::uint8_t>(NextU64() < BernoulliThreshold(p));
+    }
+  }
+}
+
 std::uint64_t Rng::UniformInt(std::uint64_t n) {
   assert(n > 0);
   // Rejection to remove modulo bias.

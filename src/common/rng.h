@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "common/span.h"
 
 /// \file rng.h
 /// \brief Deterministic, seedable random number generation.
@@ -54,6 +57,34 @@ class Rng {
   /// Returns an integer uniformly distributed in [0, n). Requires n > 0.
   std::uint64_t UniformInt(std::uint64_t n);
 
+  /// \brief The raw-word acceptance threshold of a Bernoulli(p) draw with
+  /// 0 < p < 1: `NextU64() < BernoulliThreshold(p)` decides exactly like
+  /// the historical `Uniform() < p`.
+  ///
+  /// Why they are identical: `Uniform()` is `k * 2^-53` with
+  /// `k = NextU64() >> 11`, and `k * 2^-53` is exact (k < 2^53 fits a
+  /// double mantissa), so `Uniform() < p  <=>  k < p * 2^53  <=>
+  /// k < ceil(p * 2^53)` (k integral; `p * 2^53` is itself exact — a pure
+  /// exponent shift). Shifting that integer bound back by the 11 discarded
+  /// low bits gives a threshold comparable against the raw word:
+  /// `k < K  <=>  NextU64() < (K << 11)`. Both the scalar Bernoulli and
+  /// the batch FillBernoulliMask sweeps compare through this one
+  /// function, so the scalar and vector paths consume the stream — and
+  /// decide — identically *by construction* (pinned in
+  /// tests/ops_vectorized_test.cc).
+  static std::uint64_t BernoulliThreshold(double p) {
+    // 2^53 = 9007199254740992; p in (0, 1) keeps K <= 2^53 - 1, so the
+    // shift cannot overflow.
+    const double bound = std::ceil(p * 9007199254740992.0);
+    if (std::isnan(bound)) {
+      // NaN p slips past both degenerate guards; casting NaN would be UB.
+      // A zero threshold never accepts while the caller still consumes
+      // its draw — exactly the historical `Uniform() < NaN` behaviour.
+      return 0;
+    }
+    return static_cast<std::uint64_t>(bound) << 11;
+  }
+
   /// Returns true with probability p (clamped to [0, 1]). Degenerate
   /// probabilities decide without consuming a draw.
   bool Bernoulli(double p) {
@@ -63,8 +94,30 @@ class Rng {
     if (p >= 1.0) {
       return true;
     }
-    return Uniform() < p;
+    return NextU64() < BernoulliThreshold(p);
   }
+
+  /// \brief Fills `out` with successive `Uniform()` draws — one batch
+  /// call in place of a per-row generator call in the hot sweeps. Draw
+  /// order is exactly the scalar loop's.
+  void FillUniform(Span<double> out);
+
+  /// \brief Fills `mask` with successive Bernoulli(p) decisions
+  /// (1 = success), consuming draws exactly as the equivalent scalar loop
+  /// would: one `NextU64()` per row for 0 < p < 1, and *zero* draws when
+  /// p is degenerate (<= 0 fills zeros, >= 1 fills ones) — matching
+  /// `Bernoulli`'s no-draw fast paths row for row. The non-degenerate
+  /// sweep is branch-free: one raw word against one precomputed
+  /// threshold per row.
+  void FillBernoulliMask(double p, Span<std::uint8_t> mask);
+
+  /// \brief Per-row-probability variant: `mask[i]` decides with
+  /// `probs[i]`, again consuming draws exactly like a scalar
+  /// `Bernoulli(probs[i])` loop (degenerate rows draw nothing). This is
+  /// the F operator's batch sweep, where clamped violation rows
+  /// (p == 1) must not advance the stream. Requires
+  /// `probs.size() == mask.size()`.
+  void FillBernoulliMask(Span<const double> probs, Span<std::uint8_t> mask);
 
   /// Returns a Poisson-distributed count with the given mean >= 0.
   /// Uses Knuth multiplication for small means and the PTRS transformed

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/span.h"
+
+/// \file simd.h
+/// \brief Branch-free selection-kernel primitives for the vectorized
+/// column sweeps.
+///
+/// The batch data plane expresses every hot decision as a byte mask over a
+/// contiguous column (one `std::uint8_t` per row, 0 = drop / 1 = keep)
+/// followed by one of the compaction kernels below. The point of the split
+/// is twofold:
+///
+///  - **branch-free inner loops**: the mask-producing sweeps
+///    (`Rng::FillBernoulliMask`, `Rect::ContainsMask`) and the compaction
+///    kernels here contain no data-dependent branches, so random
+///    keep/drop decisions cost no mispredicts and `-O3` can
+///    auto-vectorize the compares (the compaction's `out += mask` pattern
+///    if-converts to a conditional move);
+///  - **one contract**: every kernel consumes masks the same way —
+///    nonzero byte = selected — so operators compose them freely
+///    (Partition intersects a containment mask with the batch's active
+///    selection; Thin feeds a Bernoulli mask straight to
+///    `TupleBatch::RetainFromMask`).
+///
+/// All kernels are deliberately plain scalar C++ (no intrinsics): the
+/// loops are written in the shape GCC/Clang vectorize on their own, which
+/// keeps them portable across x86/ARM containers. Measured speedups live
+/// in `bench_operator_throughput` (`BM_ThinSweep*`, `BM_PartitionSweep*`).
+
+namespace craqr {
+namespace simd {
+
+/// \brief Writes the indices `i` in `[0, mask.size())` with `mask[i] != 0`
+/// to `out`, ascending, and returns how many were written. `out` must
+/// have room for `mask.size()` entries. Branch-free: one store + masked
+/// increment per row.
+inline std::size_t MaskCompact(Span<const std::uint8_t> mask,
+                               std::uint32_t* out) {
+  std::size_t count = 0;
+  const std::size_t n = mask.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[count] = static_cast<std::uint32_t>(i);
+    count += (mask[i] != 0);
+  }
+  return count;
+}
+
+/// \brief Gathering variant: writes `values[i]` (instead of `i`) for every
+/// set mask byte. Used to intersect a row mask with an existing selection
+/// vector: `values` holds the active raw indices and `mask[i]` is the
+/// decision for the i-th *active* row. `out` may alias `values` (the
+/// in-place rewrite `RetainFromMask` performs): writes land at or before
+/// the read cursor.
+inline std::size_t MaskCompactGather(Span<const std::uint8_t> mask,
+                                     const std::uint32_t* values,
+                                     std::uint32_t* out) {
+  std::size_t count = 0;
+  const std::size_t n = mask.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[count] = values[i];
+    count += (mask[i] != 0);
+  }
+  return count;
+}
+
+/// \brief Number of set bytes in `mask` (reduction; auto-vectorizes).
+inline std::size_t MaskCount(Span<const std::uint8_t> mask) {
+  std::size_t count = 0;
+  for (const std::uint8_t m : mask) {
+    count += (m != 0);
+  }
+  return count;
+}
+
+/// \brief Gathers `lookup[keys[i]]` for every row — the per-row
+/// bucket-resolution pass of the histogram routers (flat cell id ->
+/// shard / chain bucket). Sentinel keys must already be mapped inside
+/// `lookup`, so the loop body stays a single unconditional load.
+inline void GatherU32(Span<const std::uint32_t> keys,
+                      Span<const std::uint32_t> lookup, std::uint32_t* out) {
+  const std::size_t n = keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lookup[keys[i]];
+  }
+}
+
+/// \brief Counts key occurrences into `counts` (caller zeroes), then
+/// exclusive-prefix-sums `counts` in place so `counts[k]` becomes the
+/// first output slot of bucket `k`, and finally scatters each row index
+/// into `grouped` — rows of equal key end up contiguous, original order
+/// preserved within a bucket (the scatter walks rows in order and each
+/// bucket's cursor only grows). This is the single-pass
+/// count -> prefix-sum -> scatter histogram partition the routers use in
+/// place of per-row branchy dispatch.
+///
+/// On return `counts[k]` has been advanced to one past bucket `k`'s last
+/// slot (i.e. the *end* offset); callers that need the start offsets
+/// should note bucket k occupies `[end[k-1], end[k])` with `end[-1] = 0`.
+/// `grouped` must have room for `keys.size()` entries; every key must be
+/// `< counts.size()`.
+inline void HistogramGroup(Span<const std::uint32_t> keys,
+                           Span<std::uint32_t> counts, std::uint32_t* grouped) {
+  const std::size_t n = keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ++counts[keys[i]];
+  }
+  std::uint32_t running = 0;
+  const std::size_t buckets = counts.size();
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const std::uint32_t c = counts[k];
+    counts[k] = running;
+    running += c;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    grouped[counts[keys[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace simd
+}  // namespace craqr

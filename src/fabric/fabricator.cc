@@ -4,8 +4,10 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "common/macros.h"
+#include "common/simd.h"
 #include "ops/reorder.h"
 
 namespace craqr {
@@ -19,6 +21,18 @@ constexpr double kRateEpsilon = 1e-9;
 bool RatesEqual(double a, double b) {
   return std::fabs(a - b) <= kRateEpsilon * std::max({1.0, a, b});
 }
+
+/// Upper bound on the dense routing table (entries, 4 bytes each). A
+/// topology whose grid-cells x attributes product exceeds this keeps the
+/// per-row fallback instead of a 16+ MB table.
+constexpr std::uint64_t kMaxRouteLutEntries = 1ull << 22;
+
+/// Upper bound on live attributes for the LUT path: the per-row
+/// attribute -> slot resolution is a branch-free linear scan over the
+/// live attributes, which only beats a hashmap while that list is a
+/// handful of values. Beyond this, the per-row fallback's single map
+/// lookup wins.
+constexpr std::size_t kMaxRouteSlotScan = 16;
 
 }  // namespace
 
@@ -196,6 +210,7 @@ double StreamFabricator::ThinInputRate(const Chain& chain, std::size_t index) {
 Status StreamFabricator::InsertTap(QueryState* qs,
                                    const geom::CellOverlap& overlap,
                                    double rate) {
+  route_dirty_ = true;  // may materialize a cell or chain
   const geom::CellIndex index = overlap.cell;
   Cell* cell = GetOrCreateCell(index);
   CRAQR_ASSIGN_OR_RETURN(
@@ -382,6 +397,7 @@ Result<QueryStream> StreamFabricator::InsertQueryPartial(
 }
 
 Status StreamFabricator::RemoveTap(QueryState* qs, const Tap& tap) {
+  route_dirty_ = true;  // may evict a chain or cell
   auto cell_it = cells_.find(tap.cell);
   if (cell_it == cells_.end()) {
     return Status::Internal("tap references unmaterialized cell " +
@@ -505,10 +521,57 @@ Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
   return chain->flatten->Push(tuple);
 }
 
-Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
-  // Route over the point/attribute columns only; matched rows column-copy
-  // (56 flat bytes) into the owning chain's recycled inbox.
-  batch.Materialize();
+void StreamFabricator::RebuildRouteTable() {
+  route_dirty_ = false;
+  route_attrs_.clear();
+  route_chains_.clear();
+  route_lut_.clear();
+  // Deterministic bucket enumeration: (flat cell, attribute) ascending,
+  // independent of hashmap iteration order, so the dispatch order of the
+  // grouped copies is reproducible run to run.
+  std::vector<std::tuple<std::uint32_t, ops::AttributeId, Chain*>> entries;
+  for (auto& [index, cell] : cells_) {
+    for (auto& [attribute, chain] : cell->chains) {
+      entries.emplace_back(grid_.FlatIndex(index), attribute, &chain);
+      route_attrs_.push_back(attribute);
+    }
+  }
+  std::sort(route_attrs_.begin(), route_attrs_.end());
+  route_attrs_.erase(std::unique(route_attrs_.begin(), route_attrs_.end()),
+                     route_attrs_.end());
+  const std::uint64_t rows = static_cast<std::uint64_t>(grid_.NumCells()) + 1;
+  const std::uint64_t cols = route_attrs_.size() + 1;
+  route_lut_enabled_ = !entries.empty() &&
+                       rows * cols <= kMaxRouteLutEntries &&
+                       route_attrs_.size() <= kMaxRouteSlotScan;
+  if (!route_lut_enabled_) {
+    return;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return std::make_pair(std::get<0>(a), std::get<1>(a)) <
+                     std::make_pair(std::get<0>(b), std::get<1>(b));
+            });
+  // Every slot starts as the unrouted bucket (id == number of chains);
+  // the sentinel row (invalid cell) and column (unknown attribute) stay
+  // that way, so the router resolves every row with one unconditional
+  // load.
+  route_lut_.assign(rows * cols, static_cast<std::uint32_t>(entries.size()));
+  route_chains_.reserve(entries.size());
+  for (const auto& [flat, attribute, chain] : entries) {
+    const auto slot = static_cast<std::uint32_t>(
+        std::lower_bound(route_attrs_.begin(), route_attrs_.end(),
+                         attribute) -
+        route_attrs_.begin());
+    route_lut_[flat * cols + slot] =
+        static_cast<std::uint32_t>(route_chains_.size());
+    route_chains_.push_back(chain);
+  }
+}
+
+void StreamFabricator::RouteBatchFallback(ops::TupleBatch& batch) {
+  // Per-row map routing; matched rows column-copy (56 flat bytes) into
+  // the owning chain's recycled inbox in first-touch order.
   const auto n = static_cast<std::uint32_t>(batch.size());
   for (std::uint32_t i = 0; i < n; ++i) {
     const geom::SpaceTimePoint& p = batch.point_at(i);
@@ -520,6 +583,64 @@ Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
       batch_touched_.push_back(chain);
     }
     chain->inbox.AppendRow(batch, i);
+  }
+}
+
+Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
+  // Single-pass histogram routing over the point/attribute columns:
+  // (1) resolve every row's flat cell (branch-free column sweep), (2)
+  // resolve every row's bucket with one load from the dense
+  // (cell, attribute) table, (3) count -> prefix-sum -> scatter groups
+  // the row indices by bucket, and (4) each touched chain receives its
+  // whole group as one column-wise AppendRows splice. No per-row hashmap
+  // lookup, no per-row dispatch branch. Falls back to per-row map
+  // routing only when the dense table would be oversized.
+  batch.Materialize();
+  if (route_dirty_) {
+    RebuildRouteTable();
+  }
+  const auto n = static_cast<std::uint32_t>(batch.size());
+  if (!route_lut_enabled_) {
+    RouteBatchFallback(batch);
+  } else if (n > 0) {
+    const Span<const geom::SpaceTimePoint> points = batch.Points();
+    const Span<const ops::AttributeId> attrs = batch.Attributes();
+    row_cells_.resize(n);
+    grid_.FillFlatCells(points, row_cells_.data(),
+                        /*invalid_value=*/grid_.NumCells());
+    const auto nslots = static_cast<std::uint32_t>(route_attrs_.size());
+    const std::uint32_t cols = nslots + 1;
+    const auto nchains = static_cast<std::uint32_t>(route_chains_.size());
+    const ops::AttributeId* slot_attrs = route_attrs_.data();
+    row_buckets_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const ops::AttributeId attribute = attrs[i];
+      // Branch-free slot scan over the handful of live attributes;
+      // misses keep the sentinel column.
+      std::uint32_t slot = nslots;
+      for (std::uint32_t s = 0; s < nslots; ++s) {
+        slot = slot_attrs[s] == attribute ? s : slot;
+      }
+      row_buckets_[i] = route_lut_[row_cells_[i] * cols + slot];
+    }
+    bucket_counts_.assign(nchains + 1, 0);
+    grouped_rows_.resize(n);
+    simd::HistogramGroup({row_buckets_.data(), n},
+                         {bucket_counts_.data(), nchains + 1},
+                         grouped_rows_.data());
+    std::uint32_t begin = 0;
+    for (std::uint32_t b = 0; b < nchains; ++b) {
+      const std::uint32_t end = bucket_counts_[b];
+      if (end != begin) {
+        Chain* chain = route_chains_[b];
+        chain->inbox.AppendRows(
+            batch, {grouped_rows_.data() + begin, end - begin});
+        batch_touched_.push_back(chain);
+      }
+      begin = end;
+    }
+    tuples_routed_ += begin;          // all grouped rows below the sentinel
+    tuples_unrouted_ += n - begin;    // the sentinel bucket's group
   }
   batch.Clear();
   return DispatchInboxesAndFlush();

@@ -186,11 +186,15 @@ class StreamFabricator {
   /// batch boundaries (as ProcessBatch does) or no report is replayed.
   Status ProcessTuple(const ops::Tuple& tuple);
 
-  /// \brief Batch-native map phase: routes the batch into one recycled
-  /// TupleBatch per touched (cell, attribute) chain, drives each chain
-  /// through PushBatch, then flushes every topology (batch boundary) and
-  /// replays buffered violation reports in completion-time order. The
-  /// batch is consumed (tuples move into the topologies).
+  /// \brief Batch-native map phase: a single-pass histogram partition
+  /// (per-row flat cell + dense-table bucket resolution, then
+  /// count -> prefix-sum -> scatter) groups the batch by (cell,
+  /// attribute) chain, column-copies each group into that chain's
+  /// recycled TupleBatch inbox in one splice, drives each chain through
+  /// PushBatch, then flushes every topology (batch boundary) and replays
+  /// buffered violation reports in completion-time order. No per-row
+  /// hashmap lookup, no per-row dispatch branch. The batch is consumed
+  /// (tuples move into the topologies).
   Status ProcessBatch(ops::TupleBatch& batch);
 
   /// Copying convenience overload of the batch-native ProcessBatch.
@@ -333,6 +337,17 @@ class StreamFabricator {
   /// Column-shaped so the batch path reads only the point and attribute
   /// columns.
   Chain* RouteTarget(double x, double y, ops::AttributeId attribute);
+  /// \brief Rebuilds the dense routing table the histogram router reads:
+  /// one bucket id per (flat cell, attribute slot), with one extra
+  /// sentinel row/column so invalid cells and unknown attributes resolve
+  /// to the unrouted bucket through the same unconditional load. Called
+  /// lazily from ProcessBatch after topology surgery (route_dirty_);
+  /// disables the table (falling back to per-row map routing) when the
+  /// grid x attribute product would make it unreasonably large.
+  void RebuildRouteTable();
+  /// Per-row map-lookup routing pass — the pre-histogram reference
+  /// implementation, kept as the fallback for oversized tables.
+  void RouteBatchFallback(ops::TupleBatch& batch);
   /// Drives every inbox ProcessBatch filled (in first-touch order) and
   /// ends the batch: FlushAll + violation replay.
   Status DispatchInboxesAndFlush();
@@ -366,6 +381,31 @@ class StreamFabricator {
   std::vector<PendingViolation> pending_violations_;
   std::uint64_t tuples_routed_ = 0;
   std::uint64_t tuples_unrouted_ = 0;
+
+  /// \name Histogram-router state (see RebuildRouteTable / ProcessBatch)
+  ///@{
+  /// Set by topology surgery; the next ProcessBatch rebuilds the table.
+  bool route_dirty_ = true;
+  /// False when the dense table would be oversized; ProcessBatch then
+  /// routes through the per-row fallback.
+  bool route_lut_enabled_ = false;
+  /// Distinct attributes with at least one live chain, sorted (the
+  /// table's column space; per-row attribute -> slot is a branch-free
+  /// scan of this handful of values).
+  std::vector<ops::AttributeId> route_attrs_;
+  /// Dense (NumCells()+1) x (route_attrs_.size()+1) bucket table; the
+  /// extra row/column map invalid cells / unknown attributes to the
+  /// unrouted bucket.
+  std::vector<std::uint32_t> route_lut_;
+  /// Bucket id -> chain, in deterministic (flat cell, attribute) order.
+  std::vector<Chain*> route_chains_;
+  /// Recycled per-batch scratch columns: per-row flat cell, per-row
+  /// bucket, per-bucket end offsets, bucket-grouped row indices.
+  std::vector<std::uint32_t> row_cells_;
+  std::vector<std::uint32_t> row_buckets_;
+  std::vector<std::uint32_t> bucket_counts_;
+  std::vector<std::uint32_t> grouped_rows_;
+  ///@}
 };
 
 }  // namespace fabric

@@ -58,6 +58,32 @@ std::optional<CellIndex> Grid::CellContaining(double x, double y) const {
   return CellIndex{q, r};
 }
 
+void Grid::FillFlatCells(Span<const SpaceTimePoint> points, std::uint32_t* out,
+                         std::uint32_t invalid_value) const {
+  const double x0 = region_.x_min(), x1 = region_.x_max();
+  const double y0 = region_.y_min(), y1 = region_.y_max();
+  const double cw = cell_width_, ch = cell_height_;
+  const std::uint32_t side = side_;
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = points[i].x;
+    const double y = points[i].y;
+    // Same half-open test as Rect::Contains, combined without
+    // short-circuiting so the row has no data-dependent branch.
+    const bool valid = (x >= x0) & (x < x1) & (y >= y0) & (y < y1);
+    // The conversions below are defined only for in-region coordinates;
+    // out-of-region (or NaN) rows select 0.0 first, and their result is
+    // discarded by the final select.
+    const double fx = valid ? (x - x0) / cw : 0.0;
+    const double fy = valid ? (y - y0) / ch : 0.0;
+    std::uint32_t q = static_cast<std::uint32_t>(fx);
+    std::uint32_t r = static_cast<std::uint32_t>(fy);
+    q = q < side - 1 ? q : side - 1;  // far-edge clamp, as CellContaining
+    r = r < side - 1 ? r : side - 1;
+    out[i] = valid ? q * side + r : invalid_value;
+  }
+}
+
 Result<std::vector<CellOverlap>> Grid::Overlaps(
     const Rect& query_region) const {
   const auto clipped = region_.Intersection(query_region);

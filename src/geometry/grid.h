@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/span.h"
 #include "geometry/rect.h"
 
 /// \file grid.h
@@ -79,6 +80,23 @@ class Grid {
 
   /// The cell containing (x, y); std::nullopt when outside the region.
   std::optional<CellIndex> CellContaining(double x, double y) const;
+
+  /// Flat row-major index of a cell: `q * CellsPerSide() + r`, in
+  /// `[0, NumCells())`. The key the histogram routers' dense lookup
+  /// tables are built over.
+  std::uint32_t FlatIndex(const CellIndex& index) const {
+    return index.q * side_ + index.r;
+  }
+
+  /// \brief Column sweep of CellContaining: writes the flat cell index of
+  /// every point to `out`, or `invalid_value` for points outside the
+  /// region. Classification is bit-identical to CellContaining (same
+  /// half-open region test, same division, same far-edge clamp), and the
+  /// loop is branch-free — the select of `invalid_value` if-converts —
+  /// so the routers' per-row cell resolution auto-vectorizes. `out` must
+  /// hold `points.size()` entries.
+  void FillFlatCells(Span<const SpaceTimePoint> points, std::uint32_t* out,
+                     std::uint32_t invalid_value) const;
 
   /// \brief All cells with non-zero overlap with `query_region`, with the
   /// clipped rectangles and overlap fractions (paper Section V "Query

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/simd.h"
 #include "pointprocess/window.h"
 
 namespace craqr {
@@ -194,26 +195,25 @@ Status FlattenOperator::ProcessBufferedBatch() {
   report.target_count = target_count;
 
   // Eq. (3): p_i = lambda-bar / (lambda~_i * lambda_c), rounded down to 1
-  // on rate violations. One RNG sweep in arrival order (matching the
-  // per-tuple draws) deselects the dropped tuples in place; the buffer
+  // on rate violations. Vectorized as three column passes over the
+  // buffer: (1) clamp the probabilities and count violations
+  // (branch-free), (2) one batch Bernoulli mask fill in arrival order —
+  // clamped rows (p == 1) consume no draw, exactly like the scalar
+  // Bernoulli — and (3) one mask-compact selection rewrite. The buffer
   // itself then leaves as the retained batch — no tuple moves on the
   // retain path. Discards move to the side batch only when a discard
   // output is connected.
-  std::size_t i = 0;
-  buffer_.RetainRaw(
-      [this, &report, target_count, lambda_c, &i](std::uint32_t) {
-        double p = target_count / (rates_scratch_[i++] * lambda_c);
-        if (p > 1.0) {
-          ++report.violations;
-          p = 1.0;
-        }
-        const bool keep = rng_.Bernoulli(p);
-        if (keep) {
-          ++report.retained;
-        }
-        return keep;
-      },
-      discarded_ != nullptr ? &discard_scratch_ : nullptr);
+  probs_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = target_count / (rates_scratch_[i] * lambda_c);
+    report.violations += (p > 1.0);
+    probs_scratch_[i] = std::min(p, 1.0);
+  }
+  mask_scratch_.resize(n);
+  rng_.FillBernoulliMask({probs_scratch_.data(), n}, {mask_scratch_.data(), n});
+  report.retained = simd::MaskCount({mask_scratch_.data(), n});
+  buffer_.RetainFromMask({mask_scratch_.data(), n},
+                         discarded_ != nullptr ? &discard_scratch_ : nullptr);
   report.violation_percent =
       100.0 * static_cast<double>(report.violations) / static_cast<double>(n);
 

@@ -201,6 +201,10 @@ class FlattenOperator final : public Operator {
   /// connected) and the per-tuple rate column of the estimation batch.
   TupleBatch discard_scratch_;
   std::vector<double> rates_scratch_;
+  /// Recycled clamped per-row retention probabilities and Bernoulli mask
+  /// of the vectorized batch sweep.
+  std::vector<double> probs_scratch_;
+  std::vector<std::uint8_t> mask_scratch_;
   /// Start of the next batch's time coverage: batches are priced over the
   /// full elapsed interval since the previous batch (quiet gaps included),
   /// not just the tuple span — otherwise a starved stream reports a

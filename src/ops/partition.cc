@@ -47,28 +47,38 @@ Status PartitionOperator::Push(const Tuple& tuple) {
 }
 
 Status PartitionOperator::PushBatch(TupleBatch& batch) {
-  CountIn(batch.size());
+  const std::size_t active = batch.size();
+  CountIn(active);
   if (port_selection_.size() < regions_.size()) {
     port_selection_.resize(regions_.size());
   }
+  if (region_masks_.size() < regions_.size()) {
+    region_masks_.resize(regions_.size());
+  }
   const std::size_t connected = outputs().size();
-  // One routing pass over the point column builds per-port index lists;
-  // the ports then share the batch's storage through adopted selections —
-  // no tuple is moved (or even materialized).
-  batch.ForEachRaw([this, connected, &batch](std::uint32_t idx) {
-    const geom::SpaceTimePoint& p = batch.point_at(idx);
-    for (std::size_t k = 0; k < regions_.size(); ++k) {
-      if (regions_[k].Contains(p.x, p.y)) {
-        if (k >= connected) {
-          ++unrouted_;  // branch not connected
-        } else {
-          port_selection_[k].push_back(idx);
-        }
-        return;
-      }
+  // Branch-free containment sweeps over the raw point column — one 0/1
+  // byte mask per region (husk rows are masked too; they are never
+  // gathered) — then one mask-compact pass per connected port builds the
+  // per-port index lists. The ports share the batch's storage through
+  // adopted selections: no tuple is moved (or even materialized), and the
+  // per-row region-dispatch branch of the scalar path is gone. Regions
+  // are pairwise disjoint, so a tuple lands in at most one port list and
+  // everything not claimed by a connected port — outside every region, or
+  // inside a region whose branch has no consumer — is unrouted.
+  const Span<const geom::SpaceTimePoint> points = batch.RawPoints();
+  const std::size_t raw_n = batch.raw_size();
+  std::size_t routed = 0;
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    if (k >= connected) {
+      break;  // trailing regions have no consumer; their tuples stay put
     }
-    ++unrouted_;
-  });
+    region_masks_[k].resize(raw_n);
+    regions_[k].ContainsMask(points, region_masks_[k].data());
+    batch.GatherActiveWhere({region_masks_[k].data(), raw_n},
+                            &port_selection_[k]);
+    routed += port_selection_[k].size();
+  }
+  unrouted_ += active - routed;
   // Every routed port is emitted even after a downstream error (first
   // error latched): EmitTo's tuples_out accounting must cover every
   // routed tuple or the kPartition conservation invariant

@@ -35,11 +35,14 @@ class PartitionOperator final : public Operator {
 
   Status Push(const Tuple& tuple) override;
 
-  /// Batch-native: one routing pass builds per-port index lists, then
-  /// every non-empty port receives the same batch storage with its list
-  /// adopted as the selection — tuples are never moved. The lists are
-  /// recycled members and are always drained before returning, so
-  /// Partition never buffers across batch boundaries.
+  /// Batch-native: one branch-free containment mask per connected region
+  /// (Rect::ContainsMask over the raw point column) and one mask-compact
+  /// pass per port build the per-port index lists, then every non-empty
+  /// port receives the same batch storage with its list adopted as the
+  /// selection — tuples are never moved and the per-row region-dispatch
+  /// branch is gone. The lists and masks are recycled members and the
+  /// lists are always drained before returning, so Partition never
+  /// buffers across batch boundaries.
   Status PushBatch(TupleBatch& batch) override;
 
   OperatorKind kind() const override { return OperatorKind::kPartition; }
@@ -58,6 +61,8 @@ class PartitionOperator final : public Operator {
   std::uint64_t unrouted_ = 0;
   /// Per-output-port routed index lists, recycled across batches.
   std::vector<std::vector<std::uint32_t>> port_selection_;
+  /// Per-region containment masks over the raw rows, recycled likewise.
+  std::vector<std::vector<std::uint8_t>> region_masks_;
 };
 
 }  // namespace ops

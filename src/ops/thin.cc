@@ -49,12 +49,16 @@ Status ThinOperator::Push(const Tuple& tuple) {
 }
 
 Status ThinOperator::PushBatch(TupleBatch& batch) {
-  CountIn(batch.size());
-  const double p = retain_probability();
-  // One RNG sweep in arrival order; survivors stay put, the selection
-  // vector does the thinning. Raw-index form: the draw needs no tuple
-  // fields, so no row is ever materialized.
-  batch.RetainRaw([this, p](std::uint32_t) { return rng_.Bernoulli(p); });
+  const std::size_t n = batch.size();
+  CountIn(n);
+  // Branch-free Bernoulli sweep: one batch mask fill (raw word vs the
+  // shared precomputed threshold, no per-row branch) and one mask-compact
+  // selection rewrite. Draw order equals the per-tuple path's — both
+  // compare through Rng::BernoulliThreshold — so survivors are identical
+  // tuple for tuple. The mask buffer is recycled across batches.
+  mask_.resize(n);
+  rng_.FillBernoulliMask(retain_probability(), {mask_.data(), n});
+  batch.RetainFromMask({mask_.data(), n});
   return Emit(batch);
 }
 

@@ -31,9 +31,12 @@ class ThinOperator final : public Operator {
 
   Status Push(const Tuple& tuple) override;
 
-  /// Batch-native: one RNG sweep over the batch deselecting non-survivors
-  /// (no tuple is moved), then a single downstream emit. Draw order
-  /// equals the per-tuple path's.
+  /// Batch-native: one branch-free Bernoulli mask fill
+  /// (Rng::FillBernoulliMask) plus one mask-compact selection rewrite
+  /// (TupleBatch::RetainFromMask) — no tuple is moved, no per-row branch
+  /// is taken — then a single downstream emit. Draw order equals the
+  /// per-tuple path's by construction (both compare raw words against
+  /// Rng::BernoulliThreshold).
   Status PushBatch(TupleBatch& batch) override;
 
   OperatorKind kind() const override { return OperatorKind::kThin; }
@@ -63,6 +66,8 @@ class ThinOperator final : public Operator {
   double input_rate_;
   double output_rate_;
   Rng rng_;
+  /// Recycled Bernoulli-mask buffer for the batch sweep.
+  std::vector<std::uint8_t> mask_;
 };
 
 }  // namespace ops

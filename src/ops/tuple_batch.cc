@@ -26,6 +26,27 @@ void TupleBatch::AppendActiveFrom(const TupleBatch& other) {
   }
 }
 
+void TupleBatch::AppendRows(const TupleBatch& src,
+                            Span<const std::uint32_t> raws) {
+  assert(!has_selection_ && "AppendRows on a batch with an active selection");
+  Reserve(raw_size() + raws.size());
+  for (const std::uint32_t raw : raws) {
+    ids_.push_back(src.ids_[raw]);
+  }
+  for (const std::uint32_t raw : raws) {
+    attributes_.push_back(src.attributes_[raw]);
+  }
+  for (const std::uint32_t raw : raws) {
+    points_.push_back(src.points_[raw]);
+  }
+  for (const std::uint32_t raw : raws) {
+    values_.push_back(src.values_[raw]);
+  }
+  for (const std::uint32_t raw : raws) {
+    sensor_ids_.push_back(src.sensor_ids_[raw]);
+  }
+}
+
 void TupleBatch::Materialize() {
   if (!has_selection_) {
     return;
@@ -104,7 +125,7 @@ void TupleBatch::SortByTimeThenId() {
 
 std::vector<Tuple> TupleBatch::ToTuples() const {
   std::vector<Tuple> tuples;
-  tuples.reserve(size());
+  tuples.reserve(ActiveCount());
   ForEachRaw([this, &tuples](std::uint32_t raw) {
     tuples.push_back(RowAt(raw));
   });
@@ -113,13 +134,13 @@ std::vector<Tuple> TupleBatch::ToTuples() const {
 
 void TupleBatch::CollectIds(std::vector<std::uint64_t>* ids) const {
   ids->clear();
-  ids->reserve(size());
+  ids->reserve(ActiveCount());
   ForEachRaw([this, ids](std::uint32_t raw) { ids->push_back(ids_[raw]); });
 }
 
 void TupleBatch::CollectAttributes(std::vector<AttributeId>* attributes) const {
   attributes->clear();
-  attributes->reserve(size());
+  attributes->reserve(ActiveCount());
   ForEachRaw([this, attributes](std::uint32_t raw) {
     attributes->push_back(attributes_[raw]);
   });
@@ -128,7 +149,7 @@ void TupleBatch::CollectAttributes(std::vector<AttributeId>* attributes) const {
 void TupleBatch::CollectPoints(
     std::vector<geom::SpaceTimePoint>* points) const {
   points->clear();
-  points->reserve(size());
+  points->reserve(ActiveCount());
   ForEachRaw([this, points](std::uint32_t raw) {
     points->push_back(points_[raw]);
   });
@@ -136,7 +157,7 @@ void TupleBatch::CollectPoints(
 
 void TupleBatch::CollectSensorIds(std::vector<std::uint64_t>* sensor_ids) const {
   sensor_ids->clear();
-  sensor_ids->reserve(size());
+  sensor_ids->reserve(ActiveCount());
   ForEachRaw([this, sensor_ids](std::uint32_t raw) {
     sensor_ids->push_back(sensor_ids_[raw]);
   });

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/span.h"
 #include "geometry/point.h"
 #include "ops/tuple.h"
@@ -72,6 +73,10 @@ class TupleBatch {
   std::size_t size() const {
     return has_selection_ ? selection_.size() : ids_.size();
   }
+
+  /// Named alias of size(): the count the gathering sweeps (Collect*,
+  /// ToTuples) reserve for before their per-row appends.
+  std::size_t ActiveCount() const { return size(); }
 
   /// True when no tuple is active.
   bool empty() const { return size() == 0; }
@@ -162,6 +167,14 @@ class TupleBatch {
   /// Appends every *active* tuple of `other` (column-wise bulk copy when
   /// `other` is plain, gather otherwise). The batched-outbox primitive.
   void AppendActiveFrom(const TupleBatch& other);
+
+  /// \brief Appends the raw rows `raws` of `src`, column by column — the
+  /// grouped-copy half of the histogram routers: after the
+  /// count -> prefix-sum -> scatter pass groups a batch's rows by
+  /// destination, each destination inbox receives its whole group with
+  /// five tight gather loops instead of `raws.size()` interleaved
+  /// `AppendRow` calls.
+  void AppendRows(const TupleBatch& src, Span<const std::uint32_t> raws);
 
   /// Replaces this batch's contents with a copy of `other`'s *active*
   /// tuples, reusing the existing capacity. The one sanctioned whole-batch
@@ -283,6 +296,102 @@ class TupleBatch {
     }
   }
 
+  /// \brief Mask-aware Retain: keeps the j-th active tuple iff
+  /// `mask[j] != 0`, rewriting the selection with a branch-free compact
+  /// pass. `mask` is indexed by *active position* in arrival order —
+  /// exactly the order batch RNG sweeps (`Rng::FillBernoulliMask`) fill
+  /// it in — and must hold `size()` bytes. Equivalent to
+  /// `RetainRaw([&](raw) { return mask[j++]; }, dropped)` but with no
+  /// per-row branch on the keep decision. When `dropped` is non-null the
+  /// dropped rows are column-copied into it (in order), which requires
+  /// the branchy fallback sweep.
+  void RetainFromMask(Span<const std::uint8_t> mask,
+                      TupleBatch* dropped = nullptr) {
+    assert(mask.size() == size());
+    if (dropped != nullptr) {
+      std::size_t j = 0;
+      RetainRaw([&mask, &j](std::uint32_t) { return mask[j++] != 0; },
+                dropped);
+      return;
+    }
+    if (!has_selection_) {
+      selection_.resize(ids_.size());
+      selection_.resize(simd::MaskCompact(mask, selection_.data()));
+      has_selection_ = true;
+    } else {
+      // In-place gather: writes land at or before the read cursor.
+      selection_.resize(
+          simd::MaskCompactGather(mask, selection_.data(), selection_.data()));
+    }
+  }
+
+  /// \brief Mask-aware selection from the *raw* rows: keeps the active
+  /// tuples whose raw storage index `raw` has `raw_mask[raw] != 0`
+  /// (branch-free compact). `raw_mask` is indexed by raw storage row —
+  /// the layout containment sweeps (`Rect::ContainsMask` over
+  /// `RawPoints()`) produce, husk rows included — and must hold
+  /// `raw_size()` bytes. Already-deselected rows stay deselected.
+  void SelectFromMask(Span<const std::uint8_t> raw_mask) {
+    assert(raw_mask.size() == raw_size());
+    if (!has_selection_) {
+      selection_.resize(ids_.size());
+      selection_.resize(simd::MaskCompact(raw_mask, selection_.data()));
+      has_selection_ = true;
+    } else {
+      std::size_t out = 0;
+      for (const std::uint32_t idx : selection_) {
+        selection_[out] = idx;
+        out += (raw_mask[idx] != 0);
+      }
+      selection_.resize(out);
+    }
+  }
+
+  /// \brief Appends the active raw indices whose `raw_mask` byte is set
+  /// to `out` (cleared first; capacity recycled), preserving arrival
+  /// order — Partition's per-port list builder: one branch-free compact
+  /// per output port, all ports sharing this batch's storage through
+  /// AdoptSelection afterwards. `raw_mask` is raw-indexed as in
+  /// SelectFromMask.
+  void GatherActiveWhere(Span<const std::uint8_t> raw_mask,
+                         std::vector<std::uint32_t>* out) const {
+    assert(raw_mask.size() == raw_size());
+    // Compact into a never-shrinking thread-local scratch, then copy the
+    // survivors out: `out->resize(size())` would value-initialize (i.e.
+    // memset) the whole vector on every batch, which costs more than the
+    // compact itself. Batches are single-thread-owned, so thread_local is
+    // exactly the right scratch scope (as in SortByTimeThenId).
+    thread_local std::vector<std::uint32_t> scratch;
+    if (scratch.size() < size()) {
+      scratch.resize(size());
+    }
+    std::size_t count = 0;
+    if (!has_selection_) {
+      count = simd::MaskCompact(raw_mask, scratch.data());
+    } else {
+      std::uint32_t* dst = scratch.data();
+      for (const std::uint32_t idx : selection_) {
+        dst[count] = idx;
+        count += (raw_mask[idx] != 0);
+      }
+    }
+    out->assign(scratch.data(), scratch.data() + count);
+  }
+
+  /// \brief Number of active tuples whose raw-indexed mask byte is set
+  /// (branch-free reduction) — Union's out-of-region accounting.
+  std::size_t CountActiveWhere(Span<const std::uint8_t> raw_mask) const {
+    assert(raw_mask.size() == raw_size());
+    if (!has_selection_) {
+      return simd::MaskCount(raw_mask);
+    }
+    std::size_t count = 0;
+    for (const std::uint32_t idx : selection_) {
+      count += (raw_mask[idx] != 0);
+    }
+    return count;
+  }
+
   /// Row-materializing Retain for user predicates over whole tuples.
   template <typename Fn>
   void Retain(Fn&& fn, TupleBatch* dropped = nullptr) {
@@ -337,6 +446,15 @@ class TupleBatch {
     return {sensor_ids_.data(), sensor_ids_.size()};
   }
   ///@}
+
+  /// \brief The point column over *all* raw storage rows, deselected
+  /// husks included — the input of the branch-free containment sweeps,
+  /// which compute masks for every raw row (husk results are simply
+  /// never read) rather than gather the active subset first. Valid until
+  /// the next mutation.
+  Span<const geom::SpaceTimePoint> RawPoints() const {
+    return {points_.data(), points_.size()};
+  }
 
   /// \name Gathering column views
   /// Copy one column of the *active* tuples into a caller-owned scratch

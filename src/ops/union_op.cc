@@ -65,21 +65,20 @@ Status UnionOperator::Push(const Tuple& tuple) {
 }
 
 Status UnionOperator::PushBatch(TupleBatch& batch) {
-  CountIn(batch.size());
-  // Membership sweep over the point column only.
-  batch.ForEachRaw([this, &batch](std::uint32_t raw) {
-    const geom::SpaceTimePoint& p = batch.point_at(raw);
-    bool inside = false;
-    for (const auto& region : input_regions_) {
-      if (region.Contains(p.x, p.y)) {
-        inside = true;
-        break;
-      }
-    }
-    if (!inside) {
-      ++out_of_region_;
-    }
-  });
+  const std::size_t active = batch.size();
+  CountIn(active);
+  // Branch-free membership sweep: OR the per-region containment masks
+  // over the raw point column into one "inside any input region" mask,
+  // then count the active rows left outside — no per-row region loop, no
+  // early-exit branch. Husk rows are masked too but never counted.
+  const Span<const geom::SpaceTimePoint> points = batch.RawPoints();
+  const std::size_t raw_n = batch.raw_size();
+  inside_mask_.assign(raw_n, 0);
+  for (const auto& region : input_regions_) {
+    region.ContainsMaskOr(points, inside_mask_.data());
+  }
+  out_of_region_ +=
+      active - batch.CountActiveWhere({inside_mask_.data(), raw_n});
   return Emit(batch);
 }
 

@@ -36,8 +36,10 @@ class UnionOperator final : public Operator {
 
   Status Push(const Tuple& tuple) override;
 
-  /// Batch-native: one membership sweep for the out-of-region diagnostic,
-  /// then the whole batch is forwarded in a single emit.
+  /// Batch-native: branch-free membership sweep (ORed
+  /// Rect::ContainsMask passes over the raw point column) for the
+  /// out-of-region diagnostic, then the whole batch is forwarded in a
+  /// single emit.
   Status PushBatch(TupleBatch& batch) override;
 
   OperatorKind kind() const override { return OperatorKind::kUnion; }
@@ -64,6 +66,8 @@ class UnionOperator final : public Operator {
   std::vector<geom::Rect> input_regions_;
   geom::Rect output_region_;
   std::uint64_t out_of_region_ = 0;
+  /// Recycled "inside any input region" mask of the batch sweep.
+  std::vector<std::uint8_t> inside_mask_;
 };
 
 }  // namespace ops

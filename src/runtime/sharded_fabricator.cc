@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/simd.h"
 #include "ops/extras.h"
 #include "ops/value_pool.h"
 
@@ -32,6 +33,22 @@ Result<std::unique_ptr<ShardedFabricator>> ShardedFabricator::Make(
   runtime->shard_inflight_epochs_.resize(config.num_shards);
   runtime->shard_tuples_enqueued_.resize(config.num_shards, 0);
   runtime->shard_batches_enqueued_.resize(config.num_shards, 0);
+  // Dense flat-cell -> shard table for the histogram router. The
+  // cell-hash partition is static, so this is built exactly once; the
+  // trailing sentinel entry is the "outside R" bucket. Skipped (falling
+  // back to per-row routing) only for absurdly fine grids.
+  if (grid.NumCells() <= (1u << 22)) {
+    runtime->shard_for_flat_.resize(grid.NumCells() + 1);
+    for (std::uint32_t q = 0; q < grid.CellsPerSide(); ++q) {
+      for (std::uint32_t r = 0; r < grid.CellsPerSide(); ++r) {
+        const geom::CellIndex index{q, r};
+        runtime->shard_for_flat_[grid.FlatIndex(index)] =
+            static_cast<std::uint32_t>(runtime->ShardForCell(index));
+      }
+    }
+    runtime->shard_for_flat_.back() =
+        static_cast<std::uint32_t>(config.num_shards);
+  }
   return runtime;
 }
 
@@ -203,20 +220,49 @@ Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch,
         std::to_string(epoch) + " after " +
         std::to_string(last_enqueued_epoch_) + ")");
   }
-  // One routing pass over the point column builds the per-shard
-  // sub-batches, column-copying each matched row out of the consumed
-  // input batch.
+  // Histogram shard partition over the point column: one branch-free
+  // flat-cell sweep, one gather through the static cell -> shard table,
+  // one count -> prefix-sum -> scatter pass, then each shard's sub-batch
+  // receives its whole row group as a column-wise AppendRows splice —
+  // no per-row hash, no per-row dispatch branch.
   batch.Materialize();
   std::vector<ops::TupleBatch> sub(shards_.size());
   const auto n = static_cast<std::uint32_t>(batch.size());
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const geom::SpaceTimePoint& p = batch.point_at(i);
-    const auto cell = grid_.CellContaining(p.x, p.y);
-    if (!cell.has_value()) {
-      ++router_unrouted_;  // outside R; shards count in-grid drops
-      continue;
+  if (n > 0 && !shard_for_flat_.empty()) {
+    const auto num_shards = static_cast<std::uint32_t>(shards_.size());
+    row_cells_.resize(n);
+    grid_.FillFlatCells(batch.Points(), row_cells_.data(),
+                        /*invalid_value=*/grid_.NumCells());
+    row_shards_.resize(n);
+    simd::GatherU32({row_cells_.data(), n},
+                    {shard_for_flat_.data(), shard_for_flat_.size()},
+                    row_shards_.data());
+    shard_counts_.assign(num_shards + 1, 0);
+    grouped_rows_.resize(n);
+    simd::HistogramGroup({row_shards_.data(), n},
+                         {shard_counts_.data(), num_shards + 1},
+                         grouped_rows_.data());
+    std::uint32_t begin = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const std::uint32_t end = shard_counts_[s];
+      if (end != begin) {
+        sub[s].AppendRows(batch,
+                          {grouped_rows_.data() + begin, end - begin});
+      }
+      begin = end;
     }
-    sub[ShardForCell(*cell)].AppendRow(batch, i);
+    router_unrouted_ += n - begin;  // the sentinel bucket: outside R
+  } else {
+    // Per-row fallback (oversized grid table only).
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const geom::SpaceTimePoint& p = batch.point_at(i);
+      const auto cell = grid_.CellContaining(p.x, p.y);
+      if (!cell.has_value()) {
+        ++router_unrouted_;  // outside R; shards count in-grid drops
+        continue;
+      }
+      sub[ShardForCell(*cell)].AppendRow(batch, i);
+    }
   }
   batch.Clear();
   return EnqueueSubBatchesLocked(sub, epoch);

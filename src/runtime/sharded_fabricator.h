@@ -339,6 +339,20 @@ class ShardedFabricator {
   /// each shard; the shard-side counters live on the workers).
   std::vector<std::uint64_t> shard_tuples_enqueued_;
   std::vector<std::uint64_t> shard_batches_enqueued_;
+  /// \name Histogram-router state
+  /// Dense flat-cell -> owning-shard table (built once in Make — the
+  /// cell-hash partition is static) with one sentinel entry for
+  /// out-of-region rows, plus recycled per-batch scratch columns, so
+  /// EnqueueBatch partitions a batch with one branch-free cell sweep, one
+  /// gather, and one count -> prefix-sum -> scatter pass instead of
+  /// per-row hash-and-branch dispatch.
+  ///@{
+  std::vector<std::uint32_t> shard_for_flat_;
+  std::vector<std::uint32_t> row_cells_;
+  std::vector<std::uint32_t> row_shards_;
+  std::vector<std::uint32_t> shard_counts_;
+  std::vector<std::uint32_t> grouped_rows_;
+  ///@}
 };
 
 }  // namespace runtime
