@@ -26,27 +26,35 @@ struct Entry {
   double tuples_per_sec = 0.0;
 };
 
-/// \brief Extracts `--json <path>` or `--json=<path>` from anywhere in
-/// the argument list, removing the consumed arguments in place (argv[0]
-/// untouched) — the one flag parser both benches share, so their CLI
-/// cannot drift. Returns the path, or "" when the flag is absent.
-inline std::string ExtractJsonPath(int* argc, char** argv) {
-  std::string path;
+/// \brief Extracts `--<flag> <value>` or `--<flag>=<value>` from anywhere
+/// in the argument list, removing the consumed arguments in place
+/// (argv[0] untouched) — the one flag parser the benches share, so their
+/// CLIs cannot drift. `flag` includes the dashes ("--json"). Returns the
+/// value, or "" when the flag is absent.
+inline std::string ExtractFlagValue(int* argc, char** argv,
+                                    const std::string& flag) {
+  const std::string prefix = flag + "=";
+  std::string value;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < *argc) {
-      path = argv[++i];
+    if (arg == flag && i + 1 < *argc) {
+      value = argv[++i];
       continue;
     }
-    if (arg.rfind("--json=", 0) == 0) {
-      path = arg.substr(7);
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
       continue;
     }
     argv[out++] = argv[i];
   }
   *argc = out;
-  return path;
+  return value;
+}
+
+/// The original `--json <path>` spelling, kept as a named wrapper.
+inline std::string ExtractJsonPath(int* argc, char** argv) {
+  return ExtractFlagValue(argc, argv, "--json");
 }
 
 /// Writes `entries` as a JSON array to `path` (exits on I/O failure —

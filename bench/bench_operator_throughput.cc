@@ -37,6 +37,7 @@
 #include "common/rng.h"
 #include "common/simd.h"
 #include "fabric/fabricator.h"
+#include "obs/metrics.h"
 #include "ops/extras.h"
 #include "ops/flatten.h"
 #include "ops/partition.h"
@@ -449,6 +450,39 @@ void BM_ThinSweepMask(benchmark::State& state) {
                           static_cast<std::int64_t>(kSweepBatchSize));
 }
 BENCHMARK(BM_ThinSweepMask);
+
+// Metrics-overhead probe: the identical 4-deep Thin chain per-batch push
+// with the obs registry runtime-enabled (Arg 1) vs runtime-disabled
+// (Arg 0). Every PushBatch crosses CountIn -> RecordDispatch (counter
+// adds + one histogram Record per operator), so the delta between the
+// two rows is the whole per-dispatch observability cost. Target: < 3%.
+void BM_MetricsOverhead(benchmark::State& state) {
+  const bool was_enabled = obs::IsEnabled();
+  obs::SetEnabled(state.range(0) != 0);
+  ops::Pipeline pipeline;
+  std::vector<ops::ThinOperator*> chain;
+  double rate = 1024.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto thin = ops::ThinOperator::Make("t" + std::to_string(i), rate,
+                                        rate / 2.0, Rng(10 + i))
+                    .MoveValue();
+    rate /= 2.0;
+    chain.push_back(pipeline.Add(std::move(thin)));
+    if (i > 0) {
+      chain[i - 1]->AddOutput(chain[i]);
+    }
+  }
+  const auto tuples = MakeTuples(kSweepBatchSize);
+  ops::TupleBatch batch;
+  for (auto _ : state) {
+    batch.Assign(tuples);
+    benchmark::DoNotOptimize(chain.front()->PushBatch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSweepBatchSize));
+  obs::SetEnabled(was_enabled);
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(0)->Arg(1);
 
 std::vector<geom::Rect> SweepStrips() {
   std::vector<geom::Rect> strips;

@@ -23,13 +23,18 @@
 /// shards needs >= 4 physical cores. The same bound applies to the
 /// engine-step overlap.
 ///
-/// Usage: bench_sharded_throughput [--json <path>] [batches] [batch_size] [queries]
-///        bench_sharded_throughput [--json <path>] --engine-step [steps] [sensors]
+/// Usage: bench_sharded_throughput [--json <path>] [--metrics-json <path>]
+///                                 [batches] [batch_size] [queries]
+///        bench_sharded_throughput [--json <path>] [--metrics-json <path>]
+///                                 --engine-step [steps] [sensors]
 ///
 /// `--json <path>` writes every configuration's result as
 /// `{name, iters, ns_per_op, tuples_per_sec}` (engine-step rows report
 /// steps/sec in the rate column) — the format of the repo-level
 /// BENCH_*.json perf trajectory the release-bench CI job uploads.
+/// `--metrics-json <path>` additionally dumps the final obs registry
+/// snapshot (per-operator-kind counters, per-shard latency histograms,
+/// per-cell routing bank) as obs::SnapshotJson output.
 
 #include <algorithm>
 #include <chrono>
@@ -43,6 +48,7 @@
 #include "bench_json.h"
 #include "common/rng.h"
 #include "core/engine.h"
+#include "obs/exporter.h"
 #include "fabric/fabricator.h"
 #include "runtime/sharded_fabricator.h"
 #include "sensing/world.h"
@@ -344,6 +350,22 @@ int main(int argc, char** argv) {
   // --json <path>: additionally emit the results in the BENCH_*.json
   // perf-trajectory format (shared parser: flag accepted anywhere).
   const std::string json_path = benchjson::ExtractJsonPath(&argc, argv);
+  // --metrics-json <path>: dump the obs registry as JSON on success.
+  const std::string metrics_path =
+      benchjson::ExtractFlagValue(&argc, argv, "--metrics-json");
+  const auto dump_metrics = [&metrics_path]() {
+    if (metrics_path.empty()) {
+      return true;
+    }
+    const craqr::Status status =
+        craqr::obs::MetricsExporter::WriteJsonSnapshot(metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot write metrics snapshot: %s\n",
+                   status.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
   // --engine-step: run only the engine-loop overlap benchmark (the CI
   // release-bench filter for BM_EngineStepSync/Pipelined).
   bool engine_step_only = false;
@@ -385,6 +407,9 @@ int main(int argc, char** argv) {
     const bool ok = RunEngineStepBench(steps, sensors);
     if (ok && !json_path.empty()) {
       benchjson::WriteEntries(json_path, g_json_entries);
+    }
+    if (ok && !dump_metrics()) {
+      return 1;
     }
     return ok ? 0 : 1;
   }
@@ -434,6 +459,9 @@ int main(int argc, char** argv) {
   const bool ok = RunEngineStepBench(60, 800);
   if (ok && !json_path.empty()) {
     benchjson::WriteEntries(json_path, g_json_entries);
+  }
+  if (ok && !dump_metrics()) {
+    return 1;
   }
   return ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -8,6 +10,13 @@
 ///
 /// Usage: `CRAQR_LOG(INFO) << "inserted query " << id;`
 /// Messages below the threshold are compiled into a no-op stream.
+///
+/// Thread-safety: the severity threshold is a relaxed atomic, so
+/// SetLogLevel/GetLogLevel are safe from any thread (shard workers read it
+/// on every CRAQR_LOG). For warnings inside hot loops use
+/// `CRAQR_LOG_EVERY_N(WARNING, 1000) << ...`, which emits the 1st,
+/// 1001st, ... occurrence of that statement (per call site, counted
+/// across threads) and swallows the rest.
 
 namespace craqr {
 
@@ -54,6 +63,17 @@ class NullStream {
   }
 };
 
+/// \brief True on the 1st, (n+1)th, (2n+1)th ... call with this counter
+/// (occurrences are counted whether or not the severity is enabled, like
+/// glog's LOG_EVERY_N). n <= 1 always fires.
+inline bool ShouldLogEveryN(std::atomic<std::uint64_t>& counter,
+                            std::uint64_t n) {
+  if (n <= 1) {
+    return true;
+  }
+  return counter.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
 }  // namespace internal
 }  // namespace craqr
 
@@ -69,3 +89,15 @@ class NullStream {
     ::craqr::internal::LogMessage(CRAQR_LOG_LEVEL_##severity,       \
                                   __FILE__, __LINE__)               \
         .stream()
+
+/// Rate-limited CRAQR_LOG: emits the 1st, (n+1)th, (2n+1)th ...
+/// occurrence of this statement (per call site, thread-safe). For
+/// hot-path warnings that would otherwise flood stderr.
+#define CRAQR_LOG_EVERY_N(severity, n)                                      \
+  if (![]() -> bool {                                                       \
+        static ::std::atomic<::std::uint64_t> craqr_log_every_counter{0};   \
+        return ::craqr::internal::ShouldLogEveryN(craqr_log_every_counter,  \
+                                                  (n));                     \
+      }()) {                                                                \
+  } else                                                                    \
+    CRAQR_LOG(severity)

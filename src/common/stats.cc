@@ -35,6 +35,23 @@ double RunningStats::CoefficientOfVariation() const {
   return Stddev() / mean;
 }
 
+void RunningStats::AddWeighted(double x, std::uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  // Merge with a synthetic accumulator {count = n, mean = x, m2 = 0}.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(n);
+  const double delta = x - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += delta * delta * n1 * n2 / total;
+  count_ += n;
+  sum_ += x * n2;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
 void RunningStats::Reset() { *this = RunningStats(); }
 
 void RunningStats::Merge(const RunningStats& other) {

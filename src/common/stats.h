@@ -42,6 +42,12 @@ class RunningStats {
   /// Sum of all observations.
   double Sum() const { return sum_; }
 
+  /// Adds `n` identical observations of `x` in O(1) (Chan's merge with a
+  /// synthetic zero-variance accumulator). Used by the observability
+  /// layer to fold histogram buckets into mean/variance without replaying
+  /// per-event inserts; AddWeighted(x, 1) is exactly Add(x).
+  void AddWeighted(double x, std::uint64_t n);
+
   /// Resets to the empty state.
   void Reset();
 

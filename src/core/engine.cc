@@ -25,6 +25,15 @@ CraqrEngine::CraqrEngine(sensing::CrowdWorld world, const geom::Grid& grid,
   pipelined_ = sharded_ != nullptr && config_.pipeline_depth >= 2;
   defer_feedback_ = !pipelined_ && config_.pipeline_depth >= 2;
   step_batches_.resize(pipelined_ ? config_.pipeline_depth : 1);
+  // One registry lookup each at construction; Step() then records through
+  // the cached pointers.
+  phase_world_ns_ = obs::GetHistogram("craqr.engine.phase.world_ns");
+  phase_handler_ns_ = obs::GetHistogram("craqr.engine.phase.handler_ns");
+  phase_drain_ns_ = obs::GetHistogram("craqr.engine.phase.drain_ns");
+  phase_dispatch_ns_ = obs::GetHistogram("craqr.engine.phase.dispatch_ns");
+  steps_ = obs::GetCounter("craqr.engine.steps");
+  trace_ = obs::Tracer::Global().CreateRing("craqr.engine",
+                                            config_.trace_capacity);
   if (pipelined_) {
     // Engage the runtime's epoch horizon before any batch flows: no
     // feedback may leak out before its contracted step, even through an
@@ -59,6 +68,7 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
     sc.num_shards = config.num_shards;
     sc.queue_capacity = config.shard_queue_capacity;
     sc.fabric = config.fabric;
+    sc.trace_capacity = config.trace_capacity;
     CRAQR_ASSIGN_OR_RETURN(sharded, runtime::ShardedFabricator::Make(grid, sc));
   }
   CRAQR_ASSIGN_OR_RETURN(server::BudgetManager budgets,
@@ -192,11 +202,17 @@ Status CraqrEngine::Cancel(query::QueryId id) {
 
 Status CraqrEngine::Step() {
   ++step_count_;
+  steps_->Increment();
+  // Phase edges cost one clock read each when observability is on, none
+  // when it is off; everything recorded here is observation-only.
+  const bool timed = obs::IsEnabled();
+  const std::uint64_t t_begin = timed ? obs::NowNs() : 0;
   // On the pipelined path everything from here through the handler
   // dispatch overlaps with the shard workers still chewing the previous
   // step's batch — the overlap this loop exists for.
   now_ += config_.step_dt;
   world_.Advance(config_.step_dt);
+  const std::uint64_t t_world = timed ? obs::NowNs() : 0;
   // The handler scatters its responses straight into the recycled batch's
   // columns; the execution path consumes it row-by-row into per-chain /
   // per-shard batches. No intermediate tuple vector exists on this path.
@@ -206,6 +222,17 @@ Status CraqrEngine::Step() {
   ops::TupleBatch& batch = step_batches_[step_cursor_];
   step_cursor_ = (step_cursor_ + 1) % step_batches_.size();
   CRAQR_RETURN_NOT_OK(handler_->Step(now_, &batch));
+  const std::uint64_t t_handler = timed ? obs::NowNs() : 0;
+  // Captured before dispatch consumes the batch.
+  const auto batch_tuples = static_cast<std::uint64_t>(batch.size());
+  if (timed) {
+    phase_world_ns_->Record(t_world - t_begin);
+    phase_handler_ns_->Record(t_handler - t_world);
+    if (trace_ != nullptr) {
+      trace_->Record("world", step_count_, t_begin, t_world, 0);
+      trace_->Record("handler", step_count_, t_world, t_handler, batch_tuples);
+    }
+  }
   if (pipelined_) {
     // Feedback epoch contract: before submitting step s, wait for epoch
     // s - (D - 1) and release exactly its reports — after this step's
@@ -215,13 +242,35 @@ Status CraqrEngine::Step() {
     if (step_count_ >= depth) {
       CRAQR_RETURN_NOT_OK(sharded_->DrainThrough(step_count_ - (depth - 1)));
     }
-    return sharded_->EnqueueBatch(batch, step_count_);
+    const std::uint64_t t_drain = timed ? obs::NowNs() : 0;
+    const Status dispatched = sharded_->EnqueueBatch(batch, step_count_);
+    if (timed) {
+      const std::uint64_t t_end = obs::NowNs();
+      phase_drain_ns_->Record(t_drain - t_handler);
+      phase_dispatch_ns_->Record(t_end - t_drain);
+      if (trace_ != nullptr) {
+        trace_->Record("drain", step_count_, t_handler, t_drain, 0);
+        trace_->Record("dispatch", step_count_, t_drain, t_end, batch_tuples);
+      }
+    }
+    return dispatched;
   }
   // Synchronous path: apply the reports whose contracted step arrived at
   // the same relative point (post-dispatch, pre-processing).
   ApplyDueFeedback();
-  return sharded_ != nullptr ? sharded_->ProcessBatch(batch)
-                             : fabricator_->ProcessBatch(batch);
+  const std::uint64_t t_feedback = timed ? obs::NowNs() : 0;
+  const Status processed = sharded_ != nullptr
+                               ? sharded_->ProcessBatch(batch)
+                               : fabricator_->ProcessBatch(batch);
+  if (timed) {
+    const std::uint64_t t_end = obs::NowNs();
+    // No separate drain phase here; ProcessBatch is the whole dispatch.
+    phase_dispatch_ns_->Record(t_end - t_feedback);
+    if (trace_ != nullptr) {
+      trace_->Record("dispatch", step_count_, t_feedback, t_end, batch_tuples);
+    }
+  }
+  return processed;
 }
 
 Status CraqrEngine::DrainPipeline() {

@@ -12,6 +12,8 @@
 #include "common/result.h"
 #include "fabric/fabricator.h"
 #include "geometry/grid.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query.h"
 #include "runtime/sharded_fabricator.h"
 #include "sensing/world.h"
@@ -93,6 +95,14 @@ struct EngineConfig {
   /// budget reactions by D-1 steps; 2 (the default) already overlaps a full
   /// step of world simulation with shard processing.
   std::size_t pipeline_depth = 2;
+  /// \brief Span-trace ring capacity (events per ring); 0 (the default)
+  /// disables tracing. When > 0 the engine keeps a bounded ring of
+  /// per-step phase spans (world / handler / drain / dispatch) and each
+  /// shard worker and the router keep rings of their own; dump them all
+  /// with obs::Tracer::Global().DumpChromeTrace(path) and load the file
+  /// in chrome://tracing or Perfetto. Observation-only: tracing does not
+  /// change delivered streams.
+  std::size_t trace_capacity = 0;
 };
 
 /// \brief The CrAQR engine.
@@ -261,6 +271,21 @@ class CraqrEngine {
   };
   std::deque<DeferredFeedback> deferred_feedback_;
   double now_ = 0.0;
+
+  /// \name Step-phase telemetry (registry-backed, observation-only).
+  /// Histograms of per-step time inside each phase of the loop: world
+  /// simulation, handler dispatch, pipeline drain wait, and batch
+  /// dispatch (enqueue when pipelined, full ProcessBatch when
+  /// synchronous). Shared across engines in one process (histograms
+  /// merge); the optional trace ring records the same phases as spans.
+  ///@{
+  obs::LogHistogram* phase_world_ns_ = nullptr;
+  obs::LogHistogram* phase_handler_ns_ = nullptr;
+  obs::LogHistogram* phase_drain_ns_ = nullptr;
+  obs::LogHistogram* phase_dispatch_ns_ = nullptr;
+  obs::Counter* steps_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  ///@}
 };
 
 }  // namespace engine

@@ -6,8 +6,10 @@
 #include <sstream>
 #include <tuple>
 
+#include "common/logging.h"
 #include "common/macros.h"
 #include "common/simd.h"
+#include "obs/metrics.h"
 #include "ops/reorder.h"
 
 namespace craqr {
@@ -145,8 +147,19 @@ Result<std::unique_ptr<StreamFabricator>> StreamFabricator::Make(
   if (config.sink_capacity < 1) {
     return Status::InvalidArgument("sink capacity must be >= 1");
   }
-  return std::unique_ptr<StreamFabricator>(
+  auto fabricator = std::unique_ptr<StreamFabricator>(
       new StreamFabricator(grid, config));
+  // Per-cell routed-tuple counter bank, shared process-wide by every
+  // fabricator over an equal-sized grid (the name encodes the cell count
+  // so differently sized grids never alias). Skipped for grids too fine
+  // for a dense bank — the same bound the route LUT uses.
+  if (static_cast<std::uint64_t>(grid.NumCells()) + 1 <=
+      kMaxRouteLutEntries) {
+    fabricator->cell_routed_ = obs::GetCounterBank(
+        "craqr.fabric.cell_routed.h" + std::to_string(grid.NumCells()),
+        grid.NumCells());
+  }
+  return fabricator;
 }
 
 void StreamFabricator::SetViolationCallback(ViolationCallback callback) {
@@ -199,6 +212,7 @@ Result<StreamFabricator::Chain*> StreamFabricator::GetOrCreateChain(
       });
   chain.flatten = cell->pipeline.Add(std::move(flatten));
   chain.f_target = fc.target_rate;
+  chain.flat_cell = grid_.FlatIndex(index);
   auto emplaced = cell->chains.emplace(attribute, std::move(chain));
   return &emplaced.first->second;
 }
@@ -510,7 +524,11 @@ StreamFabricator::Chain* StreamFabricator::RouteTarget(
     return nullptr;
   }
   ++tuples_routed_;
-  return &chain_it->second;
+  Chain* chain = &chain_it->second;
+  if (cell_routed_ != nullptr && obs::IsEnabled()) {
+    cell_routed_->Add(chain->flat_cell, 1);
+  }
+  return chain;
 }
 
 Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
@@ -601,6 +619,12 @@ Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
   }
   const auto n = static_cast<std::uint32_t>(batch.size());
   if (!route_lut_enabled_) {
+    if (!cells_.empty() && n > 0) {
+      // Expected only for oversized grid x attribute tables; worth a
+      // (rate-limited) heads-up because per-row routing is much slower.
+      CRAQR_LOG_EVERY_N(WARNING, 4096)
+          << "histogram route LUT disabled; using per-row fallback routing";
+    }
     RouteBatchFallback(batch);
   } else if (n > 0) {
     const Span<const geom::SpaceTimePoint> points = batch.Points();
@@ -636,6 +660,11 @@ Status StreamFabricator::ProcessBatch(ops::TupleBatch& batch) {
         chain->inbox.AppendRows(
             batch, {grouped_rows_.data() + begin, end - begin});
         batch_touched_.push_back(chain);
+        // Hot-cell telemetry: one bank add per touched chain per batch,
+        // not per row.
+        if (cell_routed_ != nullptr && obs::IsEnabled()) {
+          cell_routed_->Add(chain->flat_cell, end - begin);
+        }
       }
       begin = end;
     }

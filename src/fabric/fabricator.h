@@ -18,6 +18,12 @@
 #include "ops/union_op.h"
 #include "query/query.h"
 
+namespace craqr {
+namespace obs {
+class CounterBank;  // obs/metrics.h — per-cell routed-tuple telemetry
+}  // namespace obs
+}  // namespace craqr
+
 /// \file fabricator.h
 /// \brief The Crowdsensed Stream Fabricator (paper Sections IV-B and V).
 ///
@@ -279,6 +285,9 @@ class StreamFabricator {
     /// Monotone per-chain operator-creation counter; seeds the next F/T
     /// RNG (see OperatorSeed).
     std::uint64_t op_seq = 0;
+    /// The owning cell's flat grid index — the slot routed-tuple counts
+    /// land in (per-cell hot-spot telemetry).
+    std::uint32_t flat_cell = 0;
     /// Recycled routing inbox ProcessBatch fills for this chain; always
     /// drained before ProcessBatch returns.
     ops::TupleBatch inbox;
@@ -381,6 +390,13 @@ class StreamFabricator {
   std::vector<PendingViolation> pending_violations_;
   std::uint64_t tuples_routed_ = 0;
   std::uint64_t tuples_unrouted_ = 0;
+  /// Process-wide per-flat-cell routed-tuple counters
+  /// ("craqr.fabric.cell_routed.h<num_cells>") — the hot-cell signal for
+  /// load-aware rebalancing. Shared by every fabricator over an
+  /// equal-sized grid (shards of one runtime included); nullptr when the
+  /// grid is too fine for a dense bank. Observation-only and gated on
+  /// obs::IsEnabled().
+  obs::CounterBank* cell_routed_ = nullptr;
 
   /// \name Histogram-router state (see RebuildRouteTable / ProcessBatch)
   ///@{

@@ -1,0 +1,120 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace craqr {
+namespace obs {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open metrics output file " + path);
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    return Status::Internal("short write to metrics output file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsExporter>> MetricsExporter::Start(
+    ExporterOptions options) {
+  if (options.json_path.empty() && options.prometheus_path.empty()) {
+    return Status::InvalidArgument(
+        "exporter needs a json_path or a prometheus_path");
+  }
+  if (!(options.interval_seconds > 0.0)) {
+    return Status::InvalidArgument("exporter interval must be > 0");
+  }
+  auto exporter = std::unique_ptr<MetricsExporter>(
+      new MetricsExporter(std::move(options)));
+  // Fail fast on an unwritable path before spawning the thread.
+  CRAQR_RETURN_NOT_OK(exporter->WriteCycle());
+  {
+    std::lock_guard<std::mutex> lock(exporter->mu_);
+    exporter->written_ = 1;
+  }
+  MetricsExporter* raw = exporter.get();
+  exporter->sampler_ = std::thread([raw] { raw->Loop(); });
+  return exporter;
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (sampler_.joinable()) {
+    sampler_.join();
+  }
+  // Final snapshot so the files reflect the run's end state even when the
+  // last interval tick never fired.
+  if (WriteCycle().ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++written_;
+  }
+}
+
+std::uint64_t MetricsExporter::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+Status MetricsExporter::WriteJsonSnapshot(const std::string& path,
+                                          std::size_t bank_top_k) {
+  return WriteFile(path, SnapshotJson(bank_top_k));
+}
+
+Status MetricsExporter::WritePrometheusSnapshot(const std::string& path,
+                                                std::size_t bank_top_k) {
+  return WriteFile(path, SnapshotPrometheus(bank_top_k));
+}
+
+Status MetricsExporter::WriteCycle() {
+  if (!options_.json_path.empty()) {
+    CRAQR_RETURN_NOT_OK(
+        WriteFile(options_.json_path, SnapshotJson(options_.bank_top_k)));
+  }
+  if (!options_.prometheus_path.empty()) {
+    CRAQR_RETURN_NOT_OK(WriteFile(options_.prometheus_path,
+                                  SnapshotPrometheus(options_.bank_top_k)));
+  }
+  return Status::OK();
+}
+
+void MetricsExporter::Loop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.interval_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) {
+      return;  // Stop() writes the final snapshot after the join
+    }
+    lock.unlock();
+    const bool ok = WriteCycle().ok();
+    lock.lock();
+    if (ok) {
+      ++written_;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace craqr

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+/// \file exporter.h
+/// \brief Periodic file export of the metrics registry.
+///
+/// A MetricsExporter runs one low-priority sampler thread that wakes on an
+/// interval, snapshots obs::Registry::Global() and rewrites the configured
+/// output files (JSON and/or Prometheus text exposition). The sampler only
+/// reads relaxed atomics — it never blocks or perturbs the instrumented
+/// threads. Stop() (and the destructor) writes one final snapshot so the
+/// files always reflect the end state of the run.
+///
+/// One-shot exports without a thread: WriteJsonSnapshot /
+/// WritePrometheusSnapshot.
+
+namespace craqr {
+namespace obs {
+
+/// \brief Exporter parameters; at least one path must be set.
+struct ExporterOptions {
+  /// Destination for obs::SnapshotJson(); empty = skip.
+  std::string json_path;
+  /// Destination for obs::SnapshotPrometheus(); empty = skip.
+  std::string prometheus_path;
+  /// Seconds between snapshots (> 0).
+  double interval_seconds = 1.0;
+  /// Per-CounterBank top-K bound in both formats.
+  std::size_t bank_top_k = 16;
+};
+
+/// \brief Background sampler writing periodic registry snapshots to files.
+class MetricsExporter {
+ public:
+  /// Starts the sampler thread (one immediate snapshot, then one per
+  /// interval).
+  static Result<std::unique_ptr<MetricsExporter>> Start(
+      ExporterOptions options);
+
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Joins the sampler after one final snapshot; idempotent.
+  void Stop();
+
+  /// Snapshots written so far (across both formats a cycle counts once).
+  std::uint64_t snapshots_written() const;
+
+  /// One-shot: write the current registry JSON snapshot to `path`.
+  static Status WriteJsonSnapshot(const std::string& path,
+                                  std::size_t bank_top_k = 16);
+
+  /// One-shot: write the current Prometheus exposition to `path`.
+  static Status WritePrometheusSnapshot(const std::string& path,
+                                        std::size_t bank_top_k = 16);
+
+ private:
+  explicit MetricsExporter(ExporterOptions options)
+      : options_(std::move(options)) {}
+
+  Status WriteCycle();
+  void Loop();
+
+  ExporterOptions options_;
+  std::thread sampler_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace obs
+}  // namespace craqr

@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace craqr {
+namespace obs {
+
+void TraceRing::Record(const char* phase, std::uint64_t epoch,
+                       std::uint64_t start_ns, std::uint64_t end_ns,
+                       std::uint64_t tuples) {
+  if (events_.empty() || !IsEnabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& slot = events_[recorded_ % events_.size()];
+  slot.phase = phase;
+  slot.epoch = epoch;
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.tuples = tuples;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRing::SnapshotOrdered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  if (events_.empty()) {
+    return out;
+  }
+  const std::uint64_t held =
+      recorded_ < events_.size() ? recorded_ : events_.size();
+  out.reserve(held);
+  // Oldest retained event sits at recorded_ % capacity once wrapped.
+  const std::uint64_t begin = recorded_ - held;
+  for (std::uint64_t i = 0; i < held; ++i) {
+    out.push_back(events_[(begin + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+TraceRing* Tracer::CreateRing(const std::string& name,
+                              std::size_t capacity) {
+  if (capacity == 0) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.emplace_back(name, capacity);
+  return &rings_.back();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  std::size_t tid = 0;
+  for (const TraceRing& ring : rings_) {
+    // Thread-name metadata event so each ring shows up as its own named
+    // track in chrome://tracing / Perfetto.
+    os << (first ? "" : ",\n")
+       << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+          "\"tid\": "
+       << tid << ", \"args\": {\"name\": \"" << ring.name() << "\"}}";
+    first = false;
+    for (const TraceEvent& e : ring.SnapshotOrdered()) {
+      // Complete ("X") events; timestamps and durations in microseconds.
+      os << ",\n  {\"name\": \"" << e.phase
+         << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": " << tid
+         << ", \"ts\": " << static_cast<double>(e.start_ns) / 1000.0
+         << ", \"dur\": "
+         << static_cast<double>(e.end_ns - e.start_ns) / 1000.0
+         << ", \"args\": {\"epoch\": " << e.epoch
+         << ", \"tuples\": " << e.tuples << "}}";
+    }
+    ++tid;
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+Status Tracer::DumpChromeTrace(const std::string& path) const {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace output file " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace output file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace craqr

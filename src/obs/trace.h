@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file trace.h
+/// \brief Bounded span-event trace rings with Chrome-tracing export.
+///
+/// A TraceRing holds the most recent `capacity` span events (epoch, phase,
+/// start, end, tuples) for one timeline — one ring per shard worker, one
+/// for the router, one for the engine step loop. Recording is a mutex push
+/// into a preallocated ring slot (per-batch / per-phase frequency, never
+/// per-tuple), and old events are overwritten when the ring wraps, so a
+/// long run keeps a bounded tail of its recent history.
+///
+/// Rings are created through Tracer::Global() and, like registry metrics,
+/// live for the process lifetime (stable pointers). Creation is gated by
+/// EngineConfig::trace_capacity / ShardedConfig::trace_capacity (0 = no
+/// ring, zero cost); recording additionally honours obs::IsEnabled().
+///
+/// Tracer::DumpChromeTrace emits the JSON-array flavour of the Chrome
+/// tracing format (one "X" complete event per span, microsecond units,
+/// one tid per ring named via "M" metadata events) — loadable in
+/// chrome://tracing and Perfetto.
+
+namespace craqr {
+namespace obs {
+
+/// \brief One span: a phase executed during an epoch.
+struct TraceEvent {
+  const char* phase = "";  ///< static-storage label ("process", "drain"...)
+  std::uint64_t epoch = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t tuples = 0;
+};
+
+/// \brief Fixed-capacity ring of TraceEvents for one timeline.
+class TraceRing {
+ public:
+  TraceRing(std::string name, std::size_t capacity)
+      : name_(std::move(name)), events_(capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Appends a span, overwriting the oldest when full. No-op when the
+  /// runtime switch is off (obs::SetEnabled(false)).
+  void Record(const char* phase, std::uint64_t epoch, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint64_t tuples);
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> SnapshotOrdered() const;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return events_.size(); }
+  /// Events ever recorded (>= capacity() means the ring has wrapped).
+  std::uint64_t recorded() const;
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t recorded_ = 0;
+};
+
+/// \brief Process-wide owner of every trace ring.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Creates a ring (names may repeat across runtime instances; each ring
+  /// gets its own trace tid). Returns nullptr when capacity == 0 — the
+  /// "tracing off" value callers store and test before recording.
+  TraceRing* CreateRing(const std::string& name, std::size_t capacity);
+
+  /// All events from all rings as one Chrome-tracing JSON array.
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`.
+  Status DumpChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  mutable std::mutex mu_;
+  std::deque<TraceRing> rings_;
+};
+
+}  // namespace obs
+}  // namespace craqr

@@ -1,12 +1,53 @@
 #include "ops/operator.h"
 
+#include <array>
 #include <string>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "ops/partition.h"
 
 namespace craqr {
 namespace ops {
+
+namespace {
+
+/// Per-kind dispatch metrics, resolved once (thread-safe magic static)
+/// and cached as stable registry pointers.
+struct KindMetrics {
+  obs::Counter* evaluations = nullptr;
+  obs::Counter* tuples_in = nullptr;
+  obs::LogHistogram* batch_size = nullptr;
+};
+
+const std::array<KindMetrics, kNumOperatorKinds>& DispatchMetrics() {
+  static const std::array<KindMetrics, kNumOperatorKinds> metrics = [] {
+    std::array<KindMetrics, kNumOperatorKinds> m{};
+    for (std::size_t k = 0; k < kNumOperatorKinds; ++k) {
+      const std::string base =
+          std::string("craqr.ops.") +
+          OperatorKindLabel(static_cast<OperatorKind>(k));
+      m[k].evaluations = obs::GetCounter(base + ".evaluations");
+      m[k].tuples_in = obs::GetCounter(base + ".tuples_in");
+      m[k].batch_size = obs::GetHistogram(base + ".batch_size");
+    }
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+void Operator::RecordDispatch(std::size_t n) {
+  if (!obs::IsEnabled()) {
+    return;
+  }
+  const KindMetrics& m =
+      DispatchMetrics()[static_cast<std::size_t>(kind())];
+  m.evaluations->Increment();
+  m.tuples_in->Add(n);
+  m.batch_size->Record(n);
+}
 
 const char* OperatorKindLabel(OperatorKind kind) {
   switch (kind) {

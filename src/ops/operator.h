@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -44,6 +45,11 @@ enum class OperatorKind {
   kPassThrough,///< no-op connector / explicit branching point
   kReorder     ///< merge-stage buffer restoring canonical (t, id) order
 };
+
+/// Number of OperatorKind values (dense, 0-based) — sizes the per-kind
+/// observability metric tables.
+inline constexpr std::size_t kNumOperatorKinds =
+    static_cast<std::size_t>(OperatorKind::kReorder) + 1;
 
 /// Short block label for an operator kind ("F", "T", ...).
 const char* OperatorKindLabel(OperatorKind kind);
@@ -135,12 +141,25 @@ class Operator {
   void ResetStats() { stats_ = OperatorStats(); }
 
  protected:
-  /// Records an arrival; subclasses call this at the top of Push.
-  void CountIn() { ++stats_.tuples_in; }
+  /// Records an arrival; subclasses call this at the top of Push. Also
+  /// feeds the process-wide per-operator-kind dispatch metrics
+  /// (craqr.ops.<Kind>.*) unless observability is compiled out
+  /// (-DCRAQR_OBS_DISABLED) or disabled at runtime (obs::SetEnabled).
+  void CountIn() {
+    ++stats_.tuples_in;
+#ifndef CRAQR_OBS_DISABLED
+    RecordDispatch(1);
+#endif
+  }
 
   /// Records `n` arrivals; batch-native subclasses call this at the top
   /// of PushBatch.
-  void CountIn(std::size_t n) { stats_.tuples_in += n; }
+  void CountIn(std::size_t n) {
+    stats_.tuples_in += n;
+#ifndef CRAQR_OBS_DISABLED
+    RecordDispatch(n);
+#endif
+  }
 
   /// Broadcasts a tuple to all outputs (counting it once as emitted).
   Status Emit(const Tuple& tuple);
@@ -160,6 +179,11 @@ class Operator {
   Status EmitTo(std::size_t port, TupleBatch& batch);
 
  private:
+  /// Per-kind dispatch telemetry (evaluation count, tuple count, batch
+  /// size histogram); out-of-line so the header needs no obs dependency.
+  /// Cheap: three relaxed atomic adds behind one enabled check.
+  void RecordDispatch(std::size_t n);
+
   std::string name_;
   std::vector<Operator*> outputs_;
   OperatorStats stats_;

@@ -12,14 +12,23 @@ namespace runtime {
 Result<std::unique_ptr<Shard>> Shard::Make(std::size_t index,
                                            const geom::Grid& grid,
                                            const fabric::FabricConfig& config,
-                                           std::size_t queue_capacity) {
+                                           std::size_t queue_capacity,
+                                           const std::string& metrics_scope,
+                                           std::size_t trace_capacity) {
   if (queue_capacity < 1) {
     return Status::InvalidArgument("shard queue capacity must be >= 1");
   }
   CRAQR_ASSIGN_OR_RETURN(auto fabricator,
                          fabric::StreamFabricator::Make(grid, config));
-  auto shard = std::unique_ptr<Shard>(
-      new Shard(index, std::move(fabricator), queue_capacity));
+  // Standalone shards (no router) get their own runtime instance scope so
+  // two of them never alias each other's registry counters.
+  const std::string scope =
+      metrics_scope.empty()
+          ? "craqr.rt" +
+                std::to_string(obs::Registry::Global().NextInstanceId())
+          : metrics_scope;
+  auto shard = std::unique_ptr<Shard>(new Shard(
+      index, std::move(fabricator), queue_capacity, scope, trace_capacity));
   // F-operator reports fire on the worker thread mid-batch; buffer them in
   // the outbox so the router can replay them single-threaded. The epoch of
   // the in-flight batch task rides along so replay can be held back to an
@@ -38,10 +47,22 @@ Result<std::unique_ptr<Shard>> Shard::Make(std::size_t index,
 
 Shard::Shard(std::size_t index,
              std::unique_ptr<fabric::StreamFabricator> fabricator,
-             std::size_t queue_capacity)
+             std::size_t queue_capacity, const std::string& metrics_scope,
+             std::size_t trace_capacity)
     : index_(index),
       fabricator_(std::move(fabricator)),
-      queue_(queue_capacity) {}
+      queue_(queue_capacity) {
+  // Registry lookups happen once here; the worker loop then writes
+  // through the cached pointers lock-free.
+  const std::string base = metrics_scope + ".shard" + std::to_string(index);
+  batches_processed_ = obs::GetCounter(base + ".batches_processed");
+  tuples_processed_ = obs::GetCounter(base + ".tuples_processed");
+  busy_ns_ = obs::GetCounter(base + ".busy_ns");
+  queue_wait_ns_ = obs::GetHistogram(base + ".queue_wait_ns");
+  process_ns_ = obs::GetHistogram(base + ".process_ns");
+  batch_latency_ns_ = obs::GetHistogram(base + ".batch_latency_ns");
+  trace_ = obs::Tracer::Global().CreateRing(base, trace_capacity);
+}
 
 Shard::~Shard() { Stop(); }
 
@@ -60,6 +81,9 @@ Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
   Task task;
   task.batch = std::move(batch);
   task.epoch = epoch;
+  // Timestamp for the queue-wait / enqueue->drain histograms; one clock
+  // read per sub-batch, skipped entirely when observability is off.
+  task.enqueue_ns = obs::IsEnabled() ? obs::NowNs() : 0;
   if (!queue_.Push(std::move(task))) {
     return Status::FailedPrecondition("shard is stopped");
   }
@@ -130,16 +154,22 @@ void Shard::WorkerLoop() {
       current_epoch_ = task->epoch;
     }
     const auto tuples = static_cast<std::uint64_t>(task->batch.size());
-    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t start_ns = obs::NowNs();
     Status status = fabricator_->ProcessBatch(task->batch);
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    busy_ns_.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()),
-        std::memory_order_relaxed);
-    batches_processed_.fetch_add(1, std::memory_order_relaxed);
-    tuples_processed_.fetch_add(tuples, std::memory_order_relaxed);
+    const std::uint64_t end_ns = obs::NowNs();
+    busy_ns_->Add(end_ns - start_ns);
+    batches_processed_->Increment();
+    tuples_processed_->Add(tuples);
+    // Latency distributions + trace span, observation-only (the task
+    // carries an enqueue stamp only when observability was on at enqueue).
+    if (task->enqueue_ns != 0 && obs::IsEnabled()) {
+      queue_wait_ns_->Record(start_ns - task->enqueue_ns);
+      process_ns_->Record(end_ns - start_ns);
+      batch_latency_ns_->Record(end_ns - task->enqueue_ns);
+      if (trace_ != nullptr) {
+        trace_->Record("process", task->epoch, start_ns, end_ns, tuples);
+      }
+    }
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(status_mu_);
       if (status_.ok()) {

@@ -14,6 +14,8 @@
 #include "common/result.h"
 #include "fabric/fabricator.h"
 #include "geometry/grid.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/tuple.h"
 #include "ops/tuple_batch.h"
 #include "query/query.h"
@@ -41,7 +43,11 @@
 /// The worker also keeps per-shard load telemetry — batches/tuples
 /// processed and the wall-clock time spent inside ProcessBatch — that the
 /// router surfaces through ShardedStats::per_shard as the measurement
-/// input for load-aware cell rebalancing.
+/// input for load-aware cell rebalancing. The counters live in the
+/// process-wide obs registry (one source of truth for Stats() and the
+/// metrics exporter) under `<scope>.shard<i>.*`; latency histograms
+/// (queue wait, processing time, enqueue->drain batch latency) and an
+/// optional per-shard trace ring ride along, gated on obs::IsEnabled().
 
 namespace craqr {
 namespace runtime {
@@ -85,10 +91,15 @@ class Shard {
   /// Creates a shard and starts its worker. All shards share the master
   /// fabric config (operator RNG seeds are cell-local, so disjoint cell
   /// subsets yield streams identical to a single fabricator's).
-  static Result<std::unique_ptr<Shard>> Make(std::size_t index,
-                                             const geom::Grid& grid,
-                                             const fabric::FabricConfig& config,
-                                             std::size_t queue_capacity);
+  /// `metrics_scope` prefixes the shard's registry metric names
+  /// ("<scope>.shard<index>.*"); empty auto-allocates a fresh
+  /// "craqr.rt<id>" instance scope. `trace_capacity` > 0 additionally
+  /// creates a span trace ring of that many events for the worker.
+  static Result<std::unique_ptr<Shard>> Make(
+      std::size_t index, const geom::Grid& grid,
+      const fabric::FabricConfig& config, std::size_t queue_capacity,
+      const std::string& metrics_scope = std::string(),
+      std::size_t trace_capacity = 0);
 
   ~Shard();
 
@@ -153,23 +164,45 @@ class Shard {
   /// through the control functions themselves).
   Status status() const;
 
+  /// \brief One coherent pass over the worker-side load counters (all
+  /// fields read back to back — after a Drain()/barrier the values are
+  /// mutually consistent: processed == enqueued and queue_depth == 0).
+  struct Load {
+    std::uint64_t batches_processed = 0;
+    std::uint64_t tuples_processed = 0;
+    std::uint64_t busy_ns = 0;
+    std::size_t queue_depth = 0;
+  };
+
   /// \name Load telemetry
-  /// Monotone counters maintained by the worker (relaxed atomics — read
-  /// them after a Drain()/barrier for values consistent with the queue).
+  /// Monotone counters maintained by the worker, stored in the process
+  /// obs registry ("<scope>.shard<i>.*" — never runtime-gated, Stats()
+  /// depends on them). Read after a Drain()/barrier for values consistent
+  /// with the queue; use LoadSnapshot() when several fields must cohere.
   ///@{
+  /// All load counters in one pass.
+  Load LoadSnapshot() const {
+    Load load;
+    load.batches_processed = batches_processed_->value();
+    load.tuples_processed = tuples_processed_->value();
+    load.busy_ns = busy_ns_->value();
+    load.queue_depth = queue_.size();
+    return load;
+  }
   /// Batch tasks the worker has finished processing.
   std::uint64_t batches_processed() const {
-    return batches_processed_.load(std::memory_order_relaxed);
+    return batches_processed_->value();
   }
   /// Tuples in those batches (active rows at enqueue time).
   std::uint64_t tuples_processed() const {
-    return tuples_processed_.load(std::memory_order_relaxed);
+    return tuples_processed_->value();
   }
   /// Wall-clock nanoseconds the worker spent inside ProcessBatch — the
   /// per-shard busy-time signal for load-aware rebalancing.
-  std::uint64_t busy_ns() const {
-    return busy_ns_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t busy_ns() const { return busy_ns_->value(); }
+  /// The worker's span trace ring; nullptr unless Make got a
+  /// trace_capacity > 0.
+  const obs::TraceRing* trace_ring() const { return trace_; }
   ///@}
 
   /// \brief The shard's fabricator. Worker-owned: other threads may touch
@@ -192,10 +225,14 @@ class Shard {
     ops::TupleBatch batch;
     ControlFn control;  // non-null => control task
     std::uint64_t epoch = 0;
+    /// Enqueue timestamp (obs::NowNs) for queue-wait / enqueue->drain
+    /// latency histograms; 0 when observability is disabled.
+    std::uint64_t enqueue_ns = 0;
   };
 
   Shard(std::size_t index, std::unique_ptr<fabric::StreamFabricator> fabricator,
-        std::size_t queue_capacity);
+        std::size_t queue_capacity, const std::string& metrics_scope,
+        std::size_t trace_capacity);
 
   void WorkerLoop();
 
@@ -222,9 +259,19 @@ class Shard {
   /// callbacks, which fire on the worker).
   std::uint64_t current_epoch_ = 0;
 
-  std::atomic<std::uint64_t> batches_processed_{0};
-  std::atomic<std::uint64_t> tuples_processed_{0};
-  std::atomic<std::uint64_t> busy_ns_{0};
+  /// \name Registry-backed telemetry (stable pointers, process lifetime).
+  /// The three load counters are functional (ShardedStats reads them); the
+  /// histograms and trace ring are observation extras gated on
+  /// obs::IsEnabled().
+  ///@{
+  obs::Counter* batches_processed_ = nullptr;
+  obs::Counter* tuples_processed_ = nullptr;
+  obs::Counter* busy_ns_ = nullptr;
+  obs::LogHistogram* queue_wait_ns_ = nullptr;
+  obs::LogHistogram* process_ns_ = nullptr;
+  obs::LogHistogram* batch_latency_ns_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  ///@}
 };
 
 }  // namespace runtime

@@ -24,15 +24,36 @@ Result<std::unique_ptr<ShardedFabricator>> ShardedFabricator::Make(
   }
   auto runtime =
       std::unique_ptr<ShardedFabricator>(new ShardedFabricator(grid, config));
+  // Fresh per-runtime metric scope: several runtimes in one process (tests,
+  // benches, future multi-tenant serving) must never alias each other's
+  // registry counters.
+  runtime->metrics_scope_ =
+      "craqr.rt" + std::to_string(obs::Registry::Global().NextInstanceId());
   runtime->shards_.reserve(config.num_shards);
   for (std::size_t i = 0; i < config.num_shards; ++i) {
     CRAQR_ASSIGN_OR_RETURN(
-        auto shard, Shard::Make(i, grid, config.fabric, config.queue_capacity));
+        auto shard,
+        Shard::Make(i, grid, config.fabric, config.queue_capacity,
+                    runtime->metrics_scope_, config.trace_capacity));
     runtime->shards_.push_back(std::move(shard));
   }
   runtime->shard_inflight_epochs_.resize(config.num_shards);
-  runtime->shard_tuples_enqueued_.resize(config.num_shards, 0);
-  runtime->shard_batches_enqueued_.resize(config.num_shards, 0);
+  runtime->shard_tuples_enqueued_.reserve(config.num_shards);
+  runtime->shard_batches_enqueued_.reserve(config.num_shards);
+  for (std::size_t i = 0; i < config.num_shards; ++i) {
+    const std::string base =
+        runtime->metrics_scope_ + ".shard" + std::to_string(i);
+    runtime->shard_tuples_enqueued_.push_back(
+        obs::GetCounter(base + ".tuples_enqueued"));
+    runtime->shard_batches_enqueued_.push_back(
+        obs::GetCounter(base + ".batches_enqueued"));
+  }
+  runtime->router_enqueue_ns_ =
+      obs::GetHistogram(runtime->metrics_scope_ + ".router.enqueue_ns");
+  runtime->router_drain_wait_ns_ =
+      obs::GetHistogram(runtime->metrics_scope_ + ".router.drain_wait_ns");
+  runtime->router_trace_ = obs::Tracer::Global().CreateRing(
+      runtime->metrics_scope_ + ".router", config.trace_capacity);
   // Dense flat-cell -> shard table for the histogram router. The
   // cell-hash partition is static, so this is built exactly once; the
   // trailing sentinel entry is the "outside R" bucket. Skipped (falling
@@ -220,6 +241,11 @@ Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch,
         std::to_string(epoch) + " after " +
         std::to_string(last_enqueued_epoch_) + ")");
   }
+  // Router-side enqueue cost (partition + shard pushes, including any
+  // back-pressure blocking) — observation only.
+  const bool timed = obs::IsEnabled();
+  const std::uint64_t t0 = timed ? obs::NowNs() : 0;
+  const std::uint64_t total_tuples = batch.size();
   // Histogram shard partition over the point column: one branch-free
   // flat-cell sweep, one gather through the static cell -> shard table,
   // one count -> prefix-sum -> scatter pass, then each shard's sub-batch
@@ -265,7 +291,15 @@ Status ShardedFabricator::EnqueueBatchLocked(ops::TupleBatch& batch,
     }
   }
   batch.Clear();
-  return EnqueueSubBatchesLocked(sub, epoch);
+  const Status status = EnqueueSubBatchesLocked(sub, epoch);
+  if (timed) {
+    const std::uint64_t t1 = obs::NowNs();
+    router_enqueue_ns_->Record(t1 - t0);
+    if (router_trace_ != nullptr) {
+      router_trace_->Record("enqueue", epoch, t0, t1, total_tuples);
+    }
+  }
+  return status;
 }
 
 Status ShardedFabricator::EnqueueSubBatchesLocked(
@@ -278,8 +312,8 @@ Status ShardedFabricator::EnqueueSubBatchesLocked(
       // for a task that never queued would turn the next partial drain
       // into an unbounded WaitForEpochCompleted.
       CRAQR_RETURN_NOT_OK(shards_[i]->EnqueueBatch(std::move(sub[i]), epoch));
-      shard_tuples_enqueued_[i] += tuples;
-      ++shard_batches_enqueued_[i];
+      shard_tuples_enqueued_[i]->Add(tuples);
+      shard_batches_enqueued_[i]->Increment();
       shard_inflight_epochs_[i].push_back(epoch);
     }
   }
@@ -337,7 +371,19 @@ Status ShardedFabricator::Drain() {
 Status ShardedFabricator::DrainThrough(std::uint64_t epoch) {
   std::unique_lock<std::mutex> lock(mu_);
   const Status status = [&]() -> Status {
-    CRAQR_RETURN_NOT_OK(WaitThroughEpochLocked(epoch));
+    // Time only the epoch wait — the pipeline-stall signal (how long the
+    // router blocked on workers still short of the drain horizon).
+    const bool timed = obs::IsEnabled();
+    const std::uint64_t t0 = timed ? obs::NowNs() : 0;
+    const Status waited = WaitThroughEpochLocked(epoch);
+    if (timed) {
+      const std::uint64_t t1 = obs::NowNs();
+      router_drain_wait_ns_->Record(t1 - t0);
+      if (router_trace_ != nullptr) {
+        router_trace_->Record("drain", epoch, t0, t1, 0);
+      }
+    }
+    CRAQR_RETURN_NOT_OK(waited);
     return CollectLocked(epoch);
   }();
   // Advancing the horizon is what releases this epoch's feedback; a
@@ -537,12 +583,16 @@ Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
     stats.materialized_cells += f.NumMaterializedCells();
     ShardLoadStats& load = stats.per_shard[i];
     load.shard = i;
-    load.tuples_enqueued = shard_tuples_enqueued_[i];
-    load.batches_enqueued = shard_batches_enqueued_[i];
-    load.tuples_processed = shard.tuples_processed();
-    load.batches_processed = shard.batches_processed();
-    load.busy_ns = shard.busy_ns();
-    load.queue_depth = shard.queue_depth();
+    // Router-side counters under mu_, worker-side counters in one coherent
+    // pass — with the barrier above this yields processed == enqueued and
+    // queue_depth == 0 (the ShardLoadStats consistency contract).
+    load.tuples_enqueued = shard_tuples_enqueued_[i]->value();
+    load.batches_enqueued = shard_batches_enqueued_[i]->value();
+    const Shard::Load worker = shard.LoadSnapshot();
+    load.tuples_processed = worker.tuples_processed;
+    load.batches_processed = worker.batches_processed;
+    load.busy_ns = worker.busy_ns;
+    load.queue_depth = worker.queue_depth;
   }
   for (const auto& [id, qs] : queries_) {
     (void)id;

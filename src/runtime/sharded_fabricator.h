@@ -92,12 +92,27 @@ struct ShardedConfig {
   /// Fabric parameters shared by every shard (the master seed included;
   /// per-operator seeds are derived cell-locally from it).
   fabric::FabricConfig fabric;
+  /// Span-event capacity of each observability trace ring (one per shard
+  /// worker plus one for the router; see obs/trace.h). 0 (the default)
+  /// creates no rings — tracing off, zero cost.
+  std::size_t trace_capacity = 0;
 };
 
 /// \brief Per-shard load telemetry (one entry per shard in
 /// ShardedStats::per_shard) — the measurement input for load-aware cell
 /// rebalancing: a shard whose busy_ns/tuples_enqueued ratio towers over
 /// its siblings owns the hot cells.
+///
+/// **Consistency contract.** Snapshot()/TrySnapshot() fill every entry
+/// *after* a full cross-shard barrier, and each shard's fields are read
+/// in one pass (router-side enqueue counters under the runtime mutex,
+/// worker-side counters via Shard::LoadSnapshot). Per entry this means:
+/// tuples_processed == tuples_enqueued, batches_processed ==
+/// batches_enqueued, and queue_depth == 0 — the counters are mutually
+/// consistent with each other and with every batch enqueued before the
+/// snapshot, never a mix of per-field reads taken at different times.
+/// The underlying registry counters (craqr.rt<id>.shard<i>.*) keep
+/// advancing between snapshots; only this struct is a coherent cut.
 struct ShardLoadStats {
   std::size_t shard = 0;
   /// Tuples the router partitioned into this shard's sub-batches.
@@ -335,10 +350,26 @@ class ShardedFabricator {
   /// for a shard was empty never appears in that shard's deque). Mutable:
   /// the const full barrier prunes entries it has proven complete.
   mutable std::vector<std::deque<std::uint64_t>> shard_inflight_epochs_;
+  /// \name Observability
+  /// Registry-backed telemetry under this runtime's instance scope
+  /// ("craqr.rt<id>"; see obs/metrics.h). The enqueue counters are
+  /// functional — ShardedStats reads them — and never runtime-gated; the
+  /// histograms and the optional router trace ring are observation extras
+  /// gated on obs::IsEnabled().
+  ///@{
+  /// This runtime's metric-name scope, e.g. "craqr.rt0".
+  std::string metrics_scope_;
   /// Router-side per-shard load counters (tuples/batches partitioned into
   /// each shard; the shard-side counters live on the workers).
-  std::vector<std::uint64_t> shard_tuples_enqueued_;
-  std::vector<std::uint64_t> shard_batches_enqueued_;
+  std::vector<obs::Counter*> shard_tuples_enqueued_;
+  std::vector<obs::Counter*> shard_batches_enqueued_;
+  /// Wall time of the router's partition+enqueue pass per batch.
+  obs::LogHistogram* router_enqueue_ns_ = nullptr;
+  /// Wall time DrainThrough/Drain spent waiting on shard epochs.
+  obs::LogHistogram* router_drain_wait_ns_ = nullptr;
+  /// Router span trace ring; nullptr unless config.trace_capacity > 0.
+  obs::TraceRing* router_trace_ = nullptr;
+  ///@}
   /// \name Histogram-router state
   /// Dense flat-cell -> owning-shard table (built once in Make — the
   /// cell-hash partition is static) with one sentinel entry for
