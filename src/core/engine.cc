@@ -69,6 +69,9 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
     sc.queue_capacity = config.shard_queue_capacity;
     sc.fabric = config.fabric;
     sc.trace_capacity = config.trace_capacity;
+    sc.enable_stealing = config.enable_work_stealing;
+    sc.enable_rebalancing = config.rebalance_every_steps > 0;
+    sc.rebalance = config.rebalance;
     CRAQR_ASSIGN_OR_RETURN(sharded, runtime::ShardedFabricator::Make(grid, sc));
   }
   CRAQR_ASSIGN_OR_RETURN(server::BudgetManager budgets,
@@ -242,6 +245,14 @@ Status CraqrEngine::Step() {
     if (step_count_ >= depth) {
       CRAQR_RETURN_NOT_OK(sharded_->DrainThrough(step_count_ - (depth - 1)));
     }
+    // Rebalance at the epoch boundary the drain just established — before
+    // this step's batch is routed, so the batch already flows through the
+    // updated table. Barriers internally; feedback held past the horizon
+    // stays held (byte-exactness does not depend on when this fires).
+    if (config_.rebalance_every_steps > 0 &&
+        step_count_ % config_.rebalance_every_steps == 0) {
+      CRAQR_RETURN_NOT_OK(sharded_->Rebalance().status());
+    }
     const std::uint64_t t_drain = timed ? obs::NowNs() : 0;
     const Status dispatched = sharded_->EnqueueBatch(batch, step_count_);
     if (timed) {
@@ -262,6 +273,13 @@ Status CraqrEngine::Step() {
   const Status processed = sharded_ != nullptr
                                ? sharded_->ProcessBatch(batch)
                                : fabricator_->ProcessBatch(batch);
+  // Rebalance between batches, same cadence as the pipelined path (the
+  // exact boundary it fires at does not affect delivered streams).
+  if (processed.ok() && sharded_ != nullptr &&
+      config_.rebalance_every_steps > 0 &&
+      step_count_ % config_.rebalance_every_steps == 0) {
+    CRAQR_RETURN_NOT_OK(sharded_->Rebalance().status());
+  }
   if (timed) {
     const std::uint64_t t_end = obs::NowNs();
     // No separate drain phase here; ProcessBatch is the whole dispatch.

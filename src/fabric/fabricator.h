@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -145,6 +146,44 @@ Result<ops::Operator*> BuildMergeStage(
     const std::vector<geom::CellOverlap>& overlaps, double monitor_window,
     std::size_t sink_capacity);
 
+/// \brief One grid cell's live topology packaged for migration between
+/// fabricators (load-aware rebalancing, runtime::ShardedFabricator).
+///
+/// Produced by StreamFabricator::ExtractCell and consumed exactly once by
+/// StreamFabricator::AdoptCell on the destination. The payload carries the
+/// cell's operator pipeline *alive* — F/T RNG states, thinning phases and
+/// partial F batches move with it — which is what keeps delivered streams
+/// byte-exact across migrations: operator seeds are cell-local
+/// (OperatorSeed), so the destination continues the exact random sequence
+/// the source would have produced. Dropping an unconsumed CellMigration
+/// destroys the cell's topology (its queries lose that cell's stream), so
+/// callers must adopt or treat the migration as failed.
+class CellMigration {
+ public:
+  CellMigration() noexcept;
+  CellMigration(CellMigration&&) noexcept;
+  CellMigration& operator=(CellMigration&&) noexcept;
+  CellMigration(const CellMigration&) = delete;
+  CellMigration& operator=(const CellMigration&) = delete;
+  ~CellMigration();
+
+  /// The migrating cell's grid index.
+  geom::CellIndex cell() const;
+
+  /// Source-local ids of the queries tapping the cell, deduplicated, in
+  /// deterministic (attribute, chain position) order. The adopter maps
+  /// each through its id translation table.
+  std::vector<query::QueryId> tap_query_ids() const;
+
+  /// True when no payload is held (default-constructed or moved-from).
+  bool empty() const { return rep_ == nullptr; }
+
+ private:
+  friend class StreamFabricator;
+  struct Rep;  // defined in fabricator.cc; holds the private Cell
+  std::unique_ptr<Rep> rep_;
+};
+
 /// \brief Multi-query stream fabricator over a logical grid.
 class StreamFabricator {
  public:
@@ -178,10 +217,41 @@ class StreamFabricator {
       const std::vector<geom::CellOverlap>& overlaps,
       ops::SinkOperator::BatchCallback on_deliver);
 
+  /// \brief Inserts a delivery endpoint with no taps: a partial query
+  /// whose per-cell streams all arrive later via AdoptCell. This is how a
+  /// rebalancing runtime materializes a query's presence on a destination
+  /// shard that previously owned none of its cells — the shell supplies
+  /// the merge head migrated taps reconnect to. Identical delivery
+  /// semantics to InsertQueryPartial (batch callback, no monitor).
+  Result<QueryStream> InsertQueryShell(
+      ops::AttributeId attribute, const geom::Rect& region, double rate,
+      ops::SinkOperator::BatchCallback on_deliver);
+
   /// \brief Deletes a query (paper Section V "Query Deletions"): its
   /// stream is unwired right-to-left until a branching point; emptied
   /// T chains are re-merged, emptied cells are evicted from the hashmap.
   Status RemoveQuery(query::QueryId id);
+
+  /// \brief Detaches one materialized cell's topology for migration to a
+  /// peer fabricator: every tap edge into this fabricator's merge stages
+  /// is unwired (the taps travel inside the returned payload), the cell
+  /// leaves the hashmap, and the routing table is marked dirty. Must be
+  /// called at a batch boundary (no batch in flight). NotFound when the
+  /// cell is not materialized — for a rebalancer that just means the hot
+  /// cell has no live queries and only the ownership record moves.
+  Result<CellMigration> ExtractCell(const geom::CellIndex& index);
+
+  /// \brief Adopts a cell extracted from a peer fabricator. `id_map`
+  /// translates the source fabricator's local query ids (see
+  /// CellMigration::tap_query_ids) to this fabricator's — every tapping
+  /// query must already be live here (InsertQueryPartial/InsertQueryShell)
+  /// or Internal is returned and the payload is lost. Re-points the
+  /// chains' F report callbacks at this fabricator, rewires every tap into
+  /// the local merge heads, and registers the cell. Must be called at a
+  /// batch boundary.
+  Status AdoptCell(CellMigration migration,
+                   const std::unordered_map<query::QueryId, query::QueryId>&
+                       id_map);
 
   /// \brief Routes one crowdsensed tuple to its grid cell's topology (the
   /// map phase). Tuples landing outside every materialized cell or with
@@ -205,6 +275,32 @@ class StreamFabricator {
 
   /// Copying convenience overload of the batch-native ProcessBatch.
   Status ProcessBatch(const std::vector<ops::Tuple>& batch);
+
+  /// \name Cooperative dispatch (work stealing)
+  ///
+  /// ProcessBatch split into a routing half and independently runnable
+  /// chain-group jobs, so idle peers can help drain one batch without
+  /// breaking per-cell ordering. BeginDispatch routes the batch into the
+  /// per-chain inboxes (exactly like ProcessBatch) and partitions the
+  /// touched chains into jobs such that chains sharing a tapping query —
+  /// whose partial streams feed the same (not thread-safe) sink — always
+  /// land in the same job. Distinct jobs may then run concurrently via
+  /// RunDispatchJob (each drives its chains' inboxes through PushBatch in
+  /// the deterministic routing order); FinishDispatch, called by the
+  /// owning thread after every job completed, ends the batch with the
+  /// usual FlushAll + canonical violation replay. The per-job tuple
+  /// streams, and therefore the delivered streams, are byte-identical to
+  /// the sequential ProcessBatch path.
+  ///@{
+  /// Routes `batch` (consumed) and publishes the job partition; returns
+  /// the job count. FailedPrecondition when a dispatch is already open.
+  Result<std::size_t> BeginDispatch(ops::TupleBatch& batch);
+  /// Runs one job. Safe to call concurrently for distinct jobs; each job
+  /// must run exactly once per BeginDispatch.
+  Status RunDispatchJob(std::size_t job);
+  /// Closes the dispatch (owner thread only, after all jobs completed).
+  Status FinishDispatch();
+  ///@}
 
   /// Flushes all cell topologies and query merge stages, then replays
   /// buffered violation reports sorted by completion time.
@@ -269,6 +365,8 @@ class StreamFabricator {
   const geom::Grid& grid() const { return grid_; }
 
  private:
+  friend struct CellMigration::Rep;  // carries a Cell across fabricators
+
   /// One T node in a cell's per-attribute chain.
   struct ThinNode {
     ops::ThinOperator* op = nullptr;
@@ -341,6 +439,11 @@ class StreamFabricator {
   Cell* GetOrCreateCell(const geom::CellIndex& index);
   Result<Chain*> GetOrCreateChain(Cell* cell, const geom::CellIndex& index,
                                   ops::AttributeId attribute, double rate);
+  /// Points `chain`'s F report callback at this fabricator's violation
+  /// buffer — set at chain creation and re-bound when a migrated chain
+  /// changes owners (AdoptCell).
+  void BindChainReportCallback(Chain* chain, ops::AttributeId attribute,
+                               const geom::CellIndex& index);
   /// Map-phase lookup: the chain owning a tuple at (x, y) with the given
   /// attribute, or nullptr with the routed/unrouted counters updated.
   /// Column-shaped so the batch path reads only the point and attribute
@@ -357,6 +460,13 @@ class StreamFabricator {
   /// Per-row map-lookup routing pass — the pre-histogram reference
   /// implementation, kept as the fallback for oversized tables.
   void RouteBatchFallback(ops::TupleBatch& batch);
+  /// The shared routing half of ProcessBatch / BeginDispatch: materialize,
+  /// rebuild the LUT if dirty, group the batch into per-chain inboxes
+  /// (batch consumed), update routed/unrouted counters.
+  void RouteBatch(ops::TupleBatch& batch);
+  /// Partitions batch_touched_ into dispatch_jobs_: union-find over the
+  /// touched chains, uniting chains that share a tapping query.
+  void BuildDispatchJobs();
   /// Drives every inbox ProcessBatch filled (in first-touch order) and
   /// ends the batch: FlushAll + violation replay.
   Status DispatchInboxesAndFlush();
@@ -387,6 +497,13 @@ class StreamFabricator {
   /// Chains whose inbox the in-flight ProcessBatch touched, in first-touch
   /// order; empty between calls.
   std::vector<Chain*> batch_touched_;
+  /// Open cooperative dispatch: disjoint chain groups over batch_touched_
+  /// (see BeginDispatch). Empty while no dispatch is in flight.
+  std::vector<std::vector<Chain*>> dispatch_jobs_;
+  /// Guards pending_violations_: with cooperative dispatch, concurrent
+  /// jobs' F callbacks append from several threads. Uncontended on the
+  /// sequential path.
+  std::mutex violations_mu_;
   std::vector<PendingViolation> pending_violations_;
   std::uint64_t tuples_routed_ = 0;
   std::uint64_t tuples_unrouted_ = 0;

@@ -1,0 +1,142 @@
+#include "runtime/rebalancer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace craqr {
+namespace runtime {
+
+Rebalancer::Rebalancer(const RebalanceConfig& config, std::size_t num_shards)
+    : config_(config), num_shards_(num_shards) {
+  if (config_.imbalance_trigger < 1.0) {
+    config_.imbalance_trigger = 1.0;
+  }
+}
+
+RebalancePlan Rebalancer::Plan(const std::vector<std::uint64_t>& cell_load,
+                               const std::vector<std::uint32_t>& cell_owner,
+                               const std::vector<std::uint64_t>& shard_busy_ns) {
+  RebalancePlan plan;
+  plan.shard_load.assign(num_shards_, 0);
+  // Age the cooldowns first: cells pinned by an earlier round become
+  // movable again after cooldown_events rounds.
+  for (auto it = cooldown_.begin(); it != cooldown_.end();) {
+    if (--(it->second) == 0) {
+      it = cooldown_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (num_shards_ < 2) {
+    return plan;
+  }
+  const std::size_t num_cells = std::min(cell_load.size(), cell_owner.size());
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    const std::uint32_t owner = cell_owner[c];
+    if (owner >= num_shards_) {
+      continue;  // sentinel / out-of-range entries carry no load
+    }
+    plan.shard_load[owner] += cell_load[c];
+    total += cell_load[c];
+  }
+  if (total == 0) {
+    return plan;
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(num_shards_);
+  const std::uint64_t max_load =
+      *std::max_element(plan.shard_load.begin(), plan.shard_load.end());
+  const bool tuples_imbalanced =
+      static_cast<double>(max_load) >= config_.imbalance_trigger * mean;
+  bool busy_imbalanced = false;
+  if (shard_busy_ns.size() == num_shards_) {
+    std::uint64_t busy_total = 0;
+    std::uint64_t busy_max = 0;
+    for (const std::uint64_t busy : shard_busy_ns) {
+      busy_total += busy;
+      busy_max = std::max(busy_max, busy);
+    }
+    if (busy_total > 0) {
+      const double busy_mean = static_cast<double>(busy_total) /
+                               static_cast<double>(num_shards_);
+      busy_imbalanced = static_cast<double>(busy_max) >=
+                        config_.imbalance_trigger * busy_mean;
+    }
+  }
+  // Either signal arms the planner: routed tuples catch hot cells
+  // directly; busy time catches cells whose operator chains are expensive
+  // per tuple. The greedy loop below then works on tuple weights — the
+  // signal that attributes load to individual cells.
+  if (!tuples_imbalanced && !busy_imbalanced) {
+    return plan;
+  }
+  // Per-shard movable cells, heaviest first (ties broken by lower flat
+  // index for determinism).
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> movable(
+      num_shards_);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    const std::uint32_t owner = cell_owner[c];
+    if (owner >= num_shards_ || cell_load[c] < config_.min_cell_tuples ||
+        cell_load[c] == 0) {
+      continue;
+    }
+    if (cooldown_.find(static_cast<std::uint32_t>(c)) != cooldown_.end()) {
+      continue;
+    }
+    movable[owner].emplace_back(cell_load[c], static_cast<std::uint32_t>(c));
+  }
+  for (auto& cells : movable) {
+    std::sort(cells.begin(), cells.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+  }
+  std::vector<std::uint64_t> working = plan.shard_load;
+  while (plan.moves.size() < config_.max_moves_per_event) {
+    std::size_t hottest = 0;
+    std::size_t coldest = 0;
+    for (std::size_t i = 1; i < num_shards_; ++i) {
+      if (working[i] > working[hottest]) {
+        hottest = i;
+      }
+      if (working[i] < working[coldest]) {
+        coldest = i;
+      }
+    }
+    // Once armed, balance down toward the mean (not merely under the
+    // trigger — a busy-time arming would otherwise never move anything).
+    // Churn protection comes from the arming trigger plus the per-cell
+    // cooldown, not from stopping early.
+    if (static_cast<double>(working[hottest]) <= mean) {
+      break;
+    }
+    const std::uint64_t gap = working[hottest] - working[coldest];
+    // Heaviest cell of the hottest shard that strictly narrows the gap
+    // (weight < gap keeps the move from simply swapping roles).
+    auto& candidates = movable[hottest];
+    std::size_t pick = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].first < gap) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == candidates.size()) {
+      break;  // nothing movable without making matters worse
+    }
+    const auto [weight, cell] = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(pick));
+    plan.moves.push_back({cell, hottest, coldest, weight});
+    working[hottest] -= weight;
+    working[coldest] += weight;
+    // Pin the cell: one extra round because the count is aged at the top
+    // of each Plan call, including the next one.
+    cooldown_[cell] = config_.cooldown_events + 1;
+  }
+  return plan;
+}
+
+}  // namespace runtime
+}  // namespace craqr

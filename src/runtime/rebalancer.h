@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+/// \file rebalancer.h
+/// \brief Load-aware cell placement: the planning half of the sharded
+/// runtime's epoch-barrier rebalancing.
+///
+/// Static cell-hash partitioning collapses under skew — a city-scale
+/// workload concentrates most tuples in a few hot cells and one shard tows
+/// the fleet. The Rebalancer turns the telemetry the runtime already
+/// collects (per-cell routed-tuple deltas from the
+/// `craqr.fabric.cell_routed.h<cells>` counter bank, per-shard busy_ns
+/// deltas) into a greedy hottest-cell-to-coldest-shard migration plan.
+/// It is a pure planning component: no locks, no engine types, fully
+/// deterministic given its inputs and its own cooldown state — which is
+/// what makes it unit-testable in isolation and the execution half
+/// (ShardedFabricator::Rebalance) a straight-line interpreter of the plan.
+///
+/// Two hysteresis mechanisms keep the plan from thrashing:
+///  - an **imbalance trigger**: no plan at all until the hottest shard
+///    carries `imbalance_trigger` times the mean load;
+///  - a **per-cell cooldown**: a migrated cell is pinned to its new shard
+///    for `cooldown_events` subsequent planning rounds, so one cell cannot
+///    ping-pong between two shards on consecutive barriers.
+
+namespace craqr {
+namespace runtime {
+
+/// \brief Rebalancer tuning knobs (EngineConfig::rebalance).
+struct RebalanceConfig {
+  /// The hottest shard must carry at least this multiple of the mean
+  /// shard load (routed-tuple or busy-ns delta since the last round)
+  /// before any migration is planned. Values near 1.0 chase noise; the
+  /// default tolerates 25% imbalance.
+  double imbalance_trigger = 1.25;
+  /// Upper bound on cells migrated per rebalance event; bounds the
+  /// barrier's pause time.
+  std::size_t max_moves_per_event = 8;
+  /// Cells with fewer routed tuples than this since the last round are
+  /// never worth their migration cost.
+  std::uint64_t min_cell_tuples = 64;
+  /// Planning rounds a just-migrated cell stays pinned to its new shard.
+  std::uint64_t cooldown_events = 2;
+};
+
+/// \brief One planned migration: move `flat_cell` from shard `from` to
+/// shard `to`; `weight` is the routed-tuple delta that motivated it.
+struct CellMove {
+  std::uint32_t flat_cell = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::uint64_t weight = 0;
+};
+
+/// \brief A planning round's output.
+struct RebalancePlan {
+  /// Migrations in execution order (heaviest first).
+  std::vector<CellMove> moves;
+  /// Diagnostics: the per-shard routed-tuple deltas the plan saw.
+  std::vector<std::uint64_t> shard_load;
+};
+
+/// \brief Greedy hottest-cell-to-coldest-shard planner with hysteresis.
+class Rebalancer {
+ public:
+  Rebalancer(const RebalanceConfig& config, std::size_t num_shards);
+
+  /// \brief Plans one rebalancing round.
+  ///
+  /// `cell_load[c]` is flat cell c's routed-tuple delta since the last
+  /// round, `cell_owner[c]` its current owning shard (entries >= the
+  /// shard count — e.g. a routing table's sentinel row — are ignored),
+  /// `shard_busy_ns[i]` shard i's busy-time delta. The trigger fires when
+  /// either signal is imbalanced: routed tuples catch hot cells directly,
+  /// busy time catches cells whose chains are expensive per tuple. Moves
+  /// are then chosen greedily — the heaviest movable cell of the hottest
+  /// shard goes to the coldest shard, loads are adjusted, repeat — where
+  /// "movable" means not cooling down, at least `min_cell_tuples` heavy,
+  /// and lighter than the hot/cold gap (so every move strictly narrows
+  /// it). Records cooldowns for the cells it moves.
+  RebalancePlan Plan(const std::vector<std::uint64_t>& cell_load,
+                     const std::vector<std::uint32_t>& cell_owner,
+                     const std::vector<std::uint64_t>& shard_busy_ns);
+
+  const RebalanceConfig& config() const { return config_; }
+
+  /// Cells currently pinned by a cooldown (diagnostics, tests).
+  std::size_t cooling_cells() const { return cooldown_.size(); }
+
+ private:
+  RebalanceConfig config_;
+  std::size_t num_shards_;
+  /// flat cell -> remaining planning rounds it stays pinned.
+  std::unordered_map<std::uint32_t, std::uint64_t> cooldown_;
+};
+
+}  // namespace runtime
+}  // namespace craqr

@@ -9,12 +9,11 @@
 namespace craqr {
 namespace runtime {
 
-Result<std::unique_ptr<Shard>> Shard::Make(std::size_t index,
-                                           const geom::Grid& grid,
-                                           const fabric::FabricConfig& config,
-                                           std::size_t queue_capacity,
-                                           const std::string& metrics_scope,
-                                           std::size_t trace_capacity) {
+Result<std::unique_ptr<Shard>> Shard::Make(
+    std::size_t index, const geom::Grid& grid,
+    const fabric::FabricConfig& config, std::size_t queue_capacity,
+    const std::string& metrics_scope, std::size_t trace_capacity,
+    std::shared_ptr<StealDomain> steal_domain) {
   if (queue_capacity < 1) {
     return Status::InvalidArgument("shard queue capacity must be >= 1");
   }
@@ -29,6 +28,12 @@ Result<std::unique_ptr<Shard>> Shard::Make(std::size_t index,
           : metrics_scope;
   auto shard = std::unique_ptr<Shard>(new Shard(
       index, std::move(fabricator), queue_capacity, scope, trace_capacity));
+  // Enroll in the work-stealing group before the worker starts: peers
+  // must only ever observe fully constructed members.
+  shard->steal_domain_ = std::move(steal_domain);
+  if (shard->steal_domain_ != nullptr) {
+    shard->steal_domain_->Register(shard.get());
+  }
   // F-operator reports fire on the worker thread mid-batch; buffer them in
   // the outbox so the router can replay them single-threaded. The epoch of
   // the in-flight batch task rides along so replay can be held back to an
@@ -58,6 +63,7 @@ Shard::Shard(std::size_t index,
   batches_processed_ = obs::GetCounter(base + ".batches_processed");
   tuples_processed_ = obs::GetCounter(base + ".tuples_processed");
   busy_ns_ = obs::GetCounter(base + ".busy_ns");
+  steals_ = obs::GetCounter(base + ".steals");
   queue_wait_ns_ = obs::GetHistogram(base + ".queue_wait_ns");
   process_ns_ = obs::GetHistogram(base + ".process_ns");
   batch_latency_ns_ = obs::GetHistogram(base + ".batch_latency_ns");
@@ -72,6 +78,10 @@ void Shard::Stop() {
   }
   stopped_ = true;
   queue_.Close();
+  if (steal_domain_ != nullptr) {
+    // Wake idle workers so they observe the closed queue and exit.
+    steal_domain_->Signal();
+  }
   if (worker_.joinable()) {
     worker_.join();
   }
@@ -87,6 +97,9 @@ Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
   if (!queue_.Push(std::move(task))) {
     return Status::FailedPrecondition("shard is stopped");
   }
+  if (steal_domain_ != nullptr) {
+    steal_domain_->Signal();
+  }
   return Status::OK();
 }
 
@@ -100,6 +113,9 @@ Status Shard::RunControl(ControlFn fn) {
   };
   if (!queue_.Push(std::move(task))) {
     return Status::FailedPrecondition("shard is stopped");
+  }
+  if (steal_domain_ != nullptr) {
+    steal_domain_->Signal();
   }
   future.wait();
   return Status::OK();
@@ -140,52 +156,167 @@ Status Shard::status() const {
 
 void Shard::WorkerLoop() {
   while (true) {
-    std::optional<Task> task = queue_.Pop();
-    if (!task.has_value()) {
-      return;  // closed and drained
-    }
-    if (task->control) {
-      task->control(*fabricator_);
-      continue;
-    }
-    if (task->epoch > 0) {
-      // Sticky: control tasks between batches keep reporting under the
-      // latest epoch.
-      current_epoch_ = task->epoch;
-    }
-    const auto tuples = static_cast<std::uint64_t>(task->batch.size());
-    const std::uint64_t start_ns = obs::NowNs();
-    Status status = fabricator_->ProcessBatch(task->batch);
-    const std::uint64_t end_ns = obs::NowNs();
-    busy_ns_->Add(end_ns - start_ns);
-    batches_processed_->Increment();
-    tuples_processed_->Add(tuples);
-    // Latency distributions + trace span, observation-only (the task
-    // carries an enqueue stamp only when observability was on at enqueue).
-    if (task->enqueue_ns != 0 && obs::IsEnabled()) {
-      queue_wait_ns_->Record(start_ns - task->enqueue_ns);
-      process_ns_->Record(end_ns - start_ns);
-      batch_latency_ns_->Record(end_ns - task->enqueue_ns);
-      if (trace_ != nullptr) {
-        trace_->Record("process", task->epoch, start_ns, end_ns, tuples);
+    std::optional<Task> task;
+    if (steal_domain_ == nullptr) {
+      task = queue_.Pop();
+      if (!task.has_value()) {
+        return;  // closed and drained
+      }
+    } else {
+      // Steal-aware idle loop: own queue first, then the deepest peer's
+      // job board, then sleep until the domain signals new work. The
+      // version read before the scan makes a signal between the scan and
+      // the sleep impossible to miss.
+      for (;;) {
+        const std::uint64_t seen = steal_domain_->Version();
+        bool closed = false;
+        task = queue_.TryPop(&closed);
+        if (task.has_value()) {
+          break;
+        }
+        if (closed) {
+          return;
+        }
+        if (TryStealOnce()) {
+          continue;  // helped a peer; the own queue may have filled
+        }
+        steal_domain_->WaitForChange(seen);
       }
     }
-    if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(status_mu_);
-      if (status_.ok()) {
-        status_ = std::move(status);  // latch the first failure
-      }
-    }
-    // Publish epoch completion even on failure — a waiter must wake up and
-    // read the latched status instead of hanging.
-    if (task->epoch > 0) {
-      std::lock_guard<std::mutex> lock(epoch_mu_);
-      if (task->epoch > completed_epoch_) {
-        completed_epoch_ = task->epoch;
-      }
-      epoch_cv_.notify_all();
+    ProcessTask(std::move(*task));
+  }
+}
+
+void Shard::ProcessTask(Task task) {
+  if (task.control) {
+    task.control(*fabricator_);
+    return;
+  }
+  if (task.epoch > 0) {
+    // Sticky: control tasks between batches keep reporting under the
+    // latest epoch.
+    current_epoch_ = task.epoch;
+  }
+  const auto tuples = static_cast<std::uint64_t>(task.batch.size());
+  const std::uint64_t start_ns = obs::NowNs();
+  Status status = steal_domain_ != nullptr
+                      ? ProcessBatchCooperative(task.batch)
+                      : fabricator_->ProcessBatch(task.batch);
+  const std::uint64_t end_ns = obs::NowNs();
+  busy_ns_->Add(end_ns - start_ns);
+  batches_processed_->Increment();
+  tuples_processed_->Add(tuples);
+  // Latency distributions + trace span, observation-only (the task
+  // carries an enqueue stamp only when observability was on at enqueue).
+  if (task.enqueue_ns != 0 && obs::IsEnabled()) {
+    queue_wait_ns_->Record(start_ns - task.enqueue_ns);
+    process_ns_->Record(end_ns - start_ns);
+    batch_latency_ns_->Record(end_ns - task.enqueue_ns);
+    if (trace_ != nullptr) {
+      trace_->Record("process", task.epoch, start_ns, end_ns, tuples);
     }
   }
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (status_.ok()) {
+      status_ = std::move(status);  // latch the first failure
+    }
+  }
+  // Publish epoch completion even on failure — a waiter must wake up and
+  // read the latched status instead of hanging.
+  if (task.epoch > 0) {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (task.epoch > completed_epoch_) {
+      completed_epoch_ = task.epoch;
+    }
+    epoch_cv_.notify_all();
+  }
+}
+
+Status Shard::ProcessBatchCooperative(ops::TupleBatch& batch) {
+  const Result<std::size_t> jobs = fabricator_->BeginDispatch(batch);
+  if (!jobs.ok()) {
+    return jobs.status();
+  }
+  const auto total = static_cast<std::uint32_t>(*jobs);
+  if (total <= 1) {
+    // Nothing shareable; skip the board (and its Signal broadcast).
+    const Status status =
+        total == 1 ? fabricator_->RunDispatchJob(0) : Status::OK();
+    const Status finished = fabricator_->FinishDispatch();
+    return status.ok() ? finished : status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    job_next_ = 0;
+    job_total_ = total;
+    job_done_ = 0;
+    job_status_ = Status::OK();
+    job_active_ = true;
+  }
+  steal_domain_->Signal();
+  // The owner claims too — it is never idle while peers help.
+  while (ClaimAndRunOneJob()) {
+  }
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(job_mu_);
+    job_cv_.wait(lock, [this] { return job_done_ == job_total_; });
+    job_active_ = false;
+    status = job_status_;
+  }
+  // Every job has completed and the board is closed: the owner again has
+  // exclusive fabricator access for the flush + violation replay.
+  const Status finished = fabricator_->FinishDispatch();
+  return status.ok() ? finished : status;
+}
+
+bool Shard::ClaimAndRunOneJob() {
+  std::uint32_t job = 0;
+  {
+    std::lock_guard<std::mutex> lock(job_mu_);
+    if (!job_active_ || job_next_ == job_total_) {
+      return false;
+    }
+    job = job_next_++;
+  }
+  // The board stays active until job_done_ reaches job_total_, which
+  // cannot happen before this job is accounted below — so the dispatch
+  // (and the fabricator topology under it) is stable while we run.
+  const Status status = fabricator_->RunDispatchJob(job);
+  std::lock_guard<std::mutex> lock(job_mu_);
+  if (!status.ok() && job_status_.ok()) {
+    job_status_ = status;
+  }
+  if (++job_done_ == job_total_) {
+    job_cv_.notify_all();
+  }
+  return true;
+}
+
+bool Shard::TryStealOnce() {
+  // Help the peer with the deepest backlog of unclaimed chain-group jobs.
+  Shard* best = nullptr;
+  std::uint32_t best_pending = 0;
+  for (Shard* peer : steal_domain_->MembersSnapshot()) {
+    if (peer == this) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(peer->job_mu_);
+    if (!peer->job_active_) {
+      continue;
+    }
+    const std::uint32_t pending = peer->job_total_ - peer->job_next_;
+    if (pending > best_pending) {
+      best = peer;
+      best_pending = pending;
+    }
+  }
+  if (best == nullptr || !best->ClaimAndRunOneJob()) {
+    return false;
+  }
+  steals_->Increment();
+  return true;
 }
 
 }  // namespace runtime

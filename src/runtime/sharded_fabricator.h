@@ -14,6 +14,7 @@
 #include "ops/tuple.h"
 #include "ops/tuple_batch.h"
 #include "query/query.h"
+#include "runtime/rebalancer.h"
 #include "runtime/shard.h"
 
 /// \file sharded_fabricator.h
@@ -96,6 +97,20 @@ struct ShardedConfig {
   /// worker plus one for the router; see obs/trace.h). 0 (the default)
   /// creates no rings — tracing off, zero cost.
   std::size_t trace_capacity = 0;
+  /// Work stealing (num_shards >= 2): an idle shard worker claims
+  /// chain-group jobs from the busiest peer's in-flight batch instead of
+  /// sleeping, so transient bursts don't serialize on one worker.
+  /// Delivered streams stay byte-exact (jobs partition chains by shared
+  /// tapping query; see fabric::StreamFabricator::BeginDispatch). Off by
+  /// default — the fixed-ownership worker loop.
+  bool enable_stealing = false;
+  /// Load-aware cell rebalancing: Rebalance() becomes a live operation
+  /// that migrates hot cells between shard fabricators at an epoch
+  /// barrier, turning the static cell-hash partition into an
+  /// epoch-versioned routing table. Off by default.
+  bool enable_rebalancing = false;
+  /// Planner hysteresis knobs; used when enable_rebalancing.
+  RebalanceConfig rebalance;
 };
 
 /// \brief Per-shard load telemetry (one entry per shard in
@@ -127,6 +142,11 @@ struct ShardLoadStats {
   std::uint64_t busy_ns = 0;
   /// Tasks queued at snapshot time (0 after the snapshot's barrier).
   std::size_t queue_depth = 0;
+  /// Chain-group jobs this worker claimed from peers' in-flight batches
+  /// (0 unless work stealing is enabled).
+  std::uint64_t steals = 0;
+  /// Grid cells the routing table currently assigns to this shard.
+  std::size_t cells_owned = 0;
 };
 
 /// \brief Aggregated runtime counters (see Snapshot()).
@@ -140,6 +160,13 @@ struct ShardedStats {
   /// Approximate heap footprint of ops::ValuePool::Global() — the
   /// monitoring hook for unbounded free-form string payloads.
   std::size_t value_pool_bytes = 0;
+  /// Epoch-versioned routing-table generation: bumped once per Rebalance()
+  /// call that migrated at least one cell.
+  std::uint64_t routing_version = 0;
+  /// Rebalance() calls that migrated at least one cell.
+  std::uint64_t rebalance_events = 0;
+  /// Total cells migrated across all rebalance events.
+  std::uint64_t cells_migrated = 0;
   /// Per-shard load counters (empty on the unsharded engine path).
   std::vector<ShardLoadStats> per_shard;
 };
@@ -230,10 +257,24 @@ class ShardedFabricator {
   /// Grid cells a query's region overlaps (for handler subscriptions).
   Result<std::vector<geom::CellIndex>> QueryCells(query::QueryId id) const;
 
-  /// The shard owning a grid cell.
-  std::size_t ShardForCell(const geom::CellIndex& index) const {
-    return geom::CellIndexHash{}(index) % shards_.size();
-  }
+  /// The shard currently owning a grid cell. Before any rebalance this is
+  /// the static cell-hash partition; after one it reflects the live
+  /// epoch-versioned routing table. Takes the runtime mutex — do not call
+  /// from inside a violation callback that already holds it (there are
+  /// none: callbacks run with the mutex released).
+  std::size_t ShardForCell(const geom::CellIndex& index) const;
+
+  /// \brief Load-aware cell rebalancing step (requires
+  /// ShardedConfig::enable_rebalancing). Runs a full epoch barrier,
+  /// collects per-cell routed-tuple deltas since the previous call plus
+  /// per-shard busy-time deltas, asks the Rebalancer for a migration plan,
+  /// and executes it: each moved cell's live operator chains are extracted
+  /// from the source shard's fabricator and adopted by the destination's
+  /// (seeds are cell-local, so delivered streams stay byte-exact), then
+  /// the flat-cell routing table entry is flipped. Returns the number of
+  /// cells migrated (0 when balanced or below trigger). Call between
+  /// epochs — the engine invokes it right after DrainThrough.
+  Result<std::size_t> Rebalance();
 
   /// \brief Aggregated counters across every shard fabricator plus the
   /// merge stages. Waits for queued work first, so the numbers are
@@ -316,6 +357,13 @@ class ShardedFabricator {
                                                 const geom::Rect& region,
                                                 double rate);
   Status RemoveQueryLocked(query::QueryId id);
+  /// Owner lookup under mu_ (internal callers already hold the mutex).
+  std::size_t ShardForCellLocked(const geom::CellIndex& index) const;
+  /// Barrier + collect + plan + migrate; returns cells moved.
+  Result<std::size_t> RebalanceLocked();
+  /// Moves one cell's chains from `move.from` to `move.to` and flips its
+  /// routing-table entry. The caller holds mu_ and has barriered.
+  Status MigrateCellLocked(const CellMove& move);
   /// Releases `lock` and then invokes the violation callback on the events
   /// CollectLocked buffered whose epoch is within the replay horizon,
   /// sorted by (completed_at, attribute, cell) — the canonical order
@@ -383,6 +431,29 @@ class ShardedFabricator {
   std::vector<std::uint32_t> row_shards_;
   std::vector<std::uint32_t> shard_counts_;
   std::vector<std::uint32_t> grouped_rows_;
+  ///@}
+  /// \name Load-aware rebalancing state (enable_rebalancing only)
+  ///@{
+  /// Greedy planner with hysteresis; nullptr when rebalancing is off.
+  std::unique_ptr<Rebalancer> rebalancer_;
+  /// Per-flat-cell routed-tuple bank ("craqr.fabric.cell_routed.h<N>").
+  /// Process-wide per grid size, so deltas are taken against the snapshot
+  /// below rather than absolute values.
+  obs::CounterBank* cell_routed_bank_ = nullptr;
+  /// Bank values at the previous Rebalance() (or at creation), so each
+  /// plan sees only the traffic of the last window.
+  std::vector<std::uint64_t> cell_routed_prev_;
+  /// Per-shard busy_ns at the previous Rebalance(), same windowing.
+  std::vector<std::uint64_t> shard_busy_prev_;
+  /// Routing-table generation + migration counters (ShardedStats fields).
+  std::uint64_t routing_version_ = 0;
+  std::uint64_t rebalance_events_ = 0;
+  std::uint64_t cells_migrated_ = 0;
+  /// Process-wide rebalance telemetry (functional counters for tests and
+  /// the bench harness; plan_ns is observation-gated).
+  obs::Counter* rebalance_migrations_ = nullptr;
+  obs::Counter* rebalance_moved_cells_ = nullptr;
+  obs::LogHistogram* rebalance_plan_ns_ = nullptr;
   ///@}
 };
 
