@@ -1,0 +1,172 @@
+#include "workload_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace craqr {
+namespace bench {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config) {
+  Rng rng(config_.seed);
+
+  // ------------------------------------------------ hot-spot template pool
+  std::size_t pool = config_.num_templates;
+  if (pool == 0) {
+    pool = std::max<std::size_t>(4, config_.num_queries / 64);
+  }
+  templates_.reserve(pool);
+  for (std::size_t k = 0; k < pool; ++k) {
+    templates_.push_back(FreshSpec(&rng));
+  }
+  // Popularity CDF: weight (k+1)^-alpha, so a handful of templates absorb
+  // most of the reuse (and most of the skewed traffic below).
+  template_cdf_.resize(pool);
+  double total = 0.0;
+  for (std::size_t k = 0; k < pool; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -config_.template_alpha);
+    template_cdf_[k] = total;
+  }
+  for (double& c : template_cdf_) {
+    c /= total;
+  }
+
+  // --------------------------------------------------- bursty churn schedule
+  // Arrivals come in bursts at random batch indices; each burst lands a
+  // Poisson-ish clump of queries. churn_fraction of arrivals schedule a
+  // cancellation of a random still-live slot at a later burst.
+  std::vector<std::size_t> live;  // slots alive as of the schedule cursor
+  std::size_t next_slot = 0;
+  std::size_t batch = 0;
+  const std::size_t span = std::max<std::size_t>(config_.num_batches, 2);
+  while (next_slot < config_.num_queries) {
+    // Burst position: advance by a random gap, wrapping is not allowed —
+    // late arrivals pile into the final batches instead.
+    batch = std::min<std::size_t>(batch + 1 + rng.UniformInt(4), span - 1);
+    std::size_t burst =
+        1 + static_cast<std::size_t>(rng.Poisson(config_.burst_mean));
+    burst = std::min(burst, config_.num_queries - next_slot);
+    for (std::size_t b = 0; b < burst; ++b) {
+      QueryEvent ev;
+      ev.kind = QueryEvent::Kind::kInsert;
+      ev.slot = next_slot++;
+      ev.at_batch = batch;
+      if (rng.Bernoulli(config_.overlap_fraction)) {
+        ev.spec = templates_[PickTemplate(&rng)];
+      } else {
+        ev.spec = FreshSpec(&rng);
+      }
+      schedule_.push_back(ev);
+      live.push_back(ev.slot);
+      if (rng.Bernoulli(config_.churn_fraction) && live.size() > 1) {
+        // Cancel a random live victim a few batches later. Biased toward
+        // older slots so long-lived shared stages see churn too.
+        const std::size_t victim_at =
+            std::min<std::size_t>(batch + 1 + rng.UniformInt(8), span - 1);
+        const std::size_t pick = rng.UniformInt(live.size());
+        QueryEvent cancel;
+        cancel.kind = QueryEvent::Kind::kCancel;
+        cancel.slot = live[pick];
+        cancel.at_batch = victim_at;
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        schedule_.push_back(cancel);
+      }
+    }
+  }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const QueryEvent& a, const QueryEvent& b) {
+                     return a.at_batch < b.at_batch;
+                   });
+}
+
+QuerySpec WorkloadGenerator::FreshSpec(Rng* rng) const {
+  QuerySpec spec;
+  spec.attribute = static_cast<ops::AttributeId>(
+      rng->UniformInt(std::max<std::size_t>(config_.num_attributes, 1)));
+  double w = 0.0;
+  double h = 0.0;
+  if (rng->Bernoulli(config_.corridor_fraction)) {
+    // Corridor: long axis over several cells, short axis sized so total
+    // area lands a little above the grid's one-cell minimum.
+    const double length = rng->Uniform(config_.corridor_length_min,
+                                       config_.corridor_length_max);
+    const double area = config_.min_extent * config_.min_extent *
+                        rng->Uniform(1.0, 1.08);
+    const double width = area / length;
+    const bool horizontal = rng->Bernoulli(0.5);
+    w = horizontal ? length : width;
+    h = horizontal ? width : length;
+  } else {
+    w = rng->Uniform(config_.min_extent, config_.max_extent);
+    h = rng->Uniform(config_.min_extent, config_.max_extent);
+  }
+  const double x0 = rng->Uniform(config_.region.x_min(),
+                                 config_.region.x_max() - w);
+  const double y0 = rng->Uniform(config_.region.y_min(),
+                                 config_.region.y_max() - h);
+  spec.region = geom::Rect(x0, y0, x0 + w, y0 + h);
+  spec.rate = rng->Uniform(config_.min_rate, config_.max_rate);
+  return spec;
+}
+
+std::size_t WorkloadGenerator::PickTemplate(Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it =
+      std::lower_bound(template_cdf_.begin(), template_cdf_.end(), u);
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(it - template_cdf_.begin()),
+      templates_.size() - 1);
+}
+
+std::vector<std::size_t> WorkloadGenerator::SurvivorSlots() const {
+  std::vector<bool> alive(config_.num_queries, false);
+  for (const QueryEvent& ev : schedule_) {
+    alive[ev.slot] = ev.kind == QueryEvent::Kind::kInsert;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < alive.size(); ++s) {
+    if (alive[s]) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<ops::Tuple>> WorkloadGenerator::MakeBatches() const {
+  // An independent stream from the same master seed: the tuple stream
+  // must not shift when schedule knobs (overlap, churn) change.
+  Rng rng(SplitMix64(config_.seed ^ 0x7D5F1E5ull));
+  double t = 0.0;
+  std::uint64_t id = 1;
+  std::vector<std::vector<ops::Tuple>> out;
+  out.reserve(config_.num_batches);
+  for (std::size_t b = 0; b < config_.num_batches; ++b) {
+    std::vector<ops::Tuple> batch;
+    batch.reserve(config_.batch_size);
+    for (std::size_t i = 0; i < config_.batch_size; ++i) {
+      ops::Tuple tuple;
+      tuple.id = id++;
+      tuple.attribute = static_cast<ops::AttributeId>(
+          rng.UniformInt(std::max<std::size_t>(config_.num_attributes, 1)));
+      t += config_.dt;
+      geom::Rect target = config_.region;
+      if (rng.Bernoulli(config_.traffic_skew)) {
+        const geom::Rect& hot = templates_[PickTemplate(&rng)].region;
+        target = geom::Rect(
+            std::max(config_.region.x_min(), hot.x_min() - config_.hot_halo),
+            std::max(config_.region.y_min(), hot.y_min() - config_.hot_halo),
+            std::min(config_.region.x_max(), hot.x_max() + config_.hot_halo),
+            std::min(config_.region.y_max(), hot.y_max() + config_.hot_halo));
+      }
+      tuple.point = geom::SpaceTimePoint{
+          t, rng.Uniform(target.x_min(), target.x_max()),
+          rng.Uniform(target.y_min(), target.y_max())};
+      batch.push_back(tuple);
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace craqr

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/rect.h"
+#include "ops/tuple.h"
+
+/// \file workload_gen.h
+/// \brief City-scale multi-query workload generator.
+///
+/// Produces the two halves of a realistic crowdsensing workload over one
+/// tuple stream:
+///
+///  - a **query schedule**: bursty arrivals of overlapping regional
+///    queries drawn from a skewed pool of hot-spot templates, interleaved
+///    with heavy churn (cancellations of still-live queries), each event
+///    stamped with the batch index it fires before;
+///  - the **tuple batches** themselves, with a configurable fraction of
+///    the traffic aimed at the same hot spots the queries watch.
+///
+/// The `overlap_fraction` knob is the probability that an arriving query
+/// reuses a live template verbatim (identical region, rate and attribute
+/// — the maximal sharing opportunity the fabric's subplan dedup exists
+/// for); the remainder get fresh uniformly-placed regions and jittered
+/// rates. Everything is deterministic from `seed`, so two runs of the
+/// same config (e.g. sharing on vs off) replay byte-identical schedules
+/// and streams.
+
+namespace craqr {
+namespace bench {
+
+struct WorkloadConfig {
+  /// System region; queries and traffic stay inside it.
+  geom::Rect region = geom::Rect(0, 0, 8, 8);
+  /// Query arrivals over the whole run (live count is lower under churn).
+  std::size_t num_queries = 64;
+  /// Probability an arrival reuses a hot-spot template verbatim.
+  double overlap_fraction = 0.5;
+  /// Hot-spot template pool size (0 = derived from num_queries). Kept
+  /// small so popular templates accumulate many concurrent subscribers.
+  std::size_t num_templates = 0;
+  /// Zipf-ish skew of template popularity: template k is picked with
+  /// weight (k+1)^-alpha. 0 = uniform.
+  double template_alpha = 1.4;
+  /// Attributes the queries and tuples spread over.
+  std::size_t num_attributes = 2;
+  /// Fraction of arrivals that also schedule a cancellation of a live
+  /// query later in the run (heavy churn when high).
+  double churn_fraction = 0.25;
+  /// Batches the schedule spreads its bursts over.
+  std::size_t num_batches = 128;
+  /// Mean arrivals per burst (arrivals cluster instead of trickling).
+  double burst_mean = 8.0;
+  /// Edge length range of the compact hot-spot / fresh query regions.
+  /// Sized just above one grid cell (the grid's minimum query area) so
+  /// most taps are partial-cell carve-outs (P stages).
+  double min_extent = 0.28;
+  double max_extent = 0.48;
+  /// Fraction of regions shaped as thin "corridors": road-segment queries
+  /// whose long axis spans several cells while total area stays just above
+  /// one cell. Their per-cell selectivity is low, so every tap rescans a
+  /// whole cell's thinned stream to deliver a sliver — the regime where a
+  /// shared carve-out saves the most work.
+  double corridor_fraction = 0.9;
+  /// Long-axis length range of corridor regions (random orientation).
+  double corridor_length_min = 6.0;
+  double corridor_length_max = 7.5;
+  /// Query rate range (templates pick one rate and keep it). High rates
+  /// relative to the arrival stream keep the F/T prefix nearly
+  /// transparent, so the multi-query cost sits in the per-query carve-out
+  /// and merge stages — the regime the paper's sharing targets.
+  double min_rate = 60.0;
+  double max_rate = 240.0;
+  /// Fraction of tuple traffic aimed at the hot-spot templates.
+  double traffic_skew = 0.85;
+  /// Hot traffic samples uniformly from the template region expanded by
+  /// this margin on every side (clamped to the system region): sensors
+  /// report from the *neighborhood* of a watched corridor, so each tap
+  /// rescans a dense cell stream to deliver only the in-region sliver.
+  double hot_halo = 0.25;
+  /// Tuples per batch.
+  std::size_t batch_size = 512;
+  /// Simulation-time advance per tuple.
+  double dt = 0.0005;
+  /// Master seed; equal seeds replay identical workloads.
+  std::uint64_t seed = 0xC17BEA7;
+};
+
+/// One query template: the unit of deliberate overlap.
+struct QuerySpec {
+  ops::AttributeId attribute = 0;
+  geom::Rect region;
+  double rate = 1.0;
+};
+
+/// One schedule event, applied before feeding batch `at_batch`.
+struct QueryEvent {
+  enum class Kind { kInsert, kCancel };
+  Kind kind = Kind::kInsert;
+  /// Workload-local slot of the query this event inserts or cancels
+  /// (dense 0..num_queries-1 in arrival order; the driver maps slots to
+  /// engine query ids).
+  std::size_t slot = 0;
+  /// kInsert only: what to insert.
+  QuerySpec spec;
+  std::size_t at_batch = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadConfig& config);
+
+  const WorkloadConfig& config() const { return config_; }
+  /// The hot-spot template pool the schedule draws from.
+  const std::vector<QuerySpec>& templates() const { return templates_; }
+  /// Arrival/cancel schedule, sorted by at_batch (stable within a batch).
+  const std::vector<QueryEvent>& schedule() const { return schedule_; }
+  /// Slots still live after the last event (the digest-comparison set).
+  std::vector<std::size_t> SurvivorSlots() const;
+
+  /// Generates `num_batches` tuple batches: monotone time, ids dense from
+  /// 1, `traffic_skew` of the rows uniform inside a (popularity-weighted)
+  /// hot-spot template, the rest uniform over the whole region.
+  std::vector<std::vector<ops::Tuple>> MakeBatches() const;
+
+ private:
+  QuerySpec FreshSpec(Rng* rng) const;
+  std::size_t PickTemplate(Rng* rng) const;
+
+  WorkloadConfig config_;
+  std::vector<QuerySpec> templates_;
+  std::vector<double> template_cdf_;
+  std::vector<QueryEvent> schedule_;
+};
+
+}  // namespace bench
+}  // namespace craqr

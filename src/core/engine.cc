@@ -318,6 +318,10 @@ runtime::ShardedStats CraqrEngine::Stats() {
   stats.materialized_cells = fabricator_->NumMaterializedCells();
   stats.live_queries = fabricator_->NumQueries();
   stats.value_pool_bytes = ops::ValuePool::Global().ApproxBytes();
+  stats.shared_prefix_hits = fabricator_->shared_prefix_hits();
+  stats.taps_detached = fabricator_->taps_detached();
+  stats.stages_shared = fabricator_->SharedStagesLive();
+  stats.shared_stage_census = fabricator_->SharedStageCensus();
   return stats;
 }
 

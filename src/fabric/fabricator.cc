@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -35,6 +36,50 @@ constexpr std::uint64_t kMaxRouteLutEntries = 1ull << 22;
 /// handful of values. Beyond this, the per-row fallback's single map
 /// lookup wins.
 constexpr std::size_t kMaxRouteSlotScan = 16;
+
+/// FNV-1a fold of one 64-bit word (prefix-signature building block).
+std::uint64_t Fnv1a64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Fnv1a64(h, bits);
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+
+/// Extends a chain-prefix signature with the carve-out region — the full
+/// shared-subplan key of one P stage.
+std::uint64_t RegionSignature(std::uint64_t prefix, const geom::Rect& r) {
+  std::uint64_t h = Fnv1a64(prefix,
+                            static_cast<std::uint64_t>(
+                                ops::OperatorKind::kPartition));
+  h = Fnv1a64(h, r.x_min());
+  h = Fnv1a64(h, r.y_min());
+  h = Fnv1a64(h, r.x_max());
+  h = Fnv1a64(h, r.y_max());
+  return h;
+}
+
+/// The SharedPartition entry owning `op` under `node`, or nullptr. Const
+/// and mutable callers share one template (migration, removal,
+/// validation).
+template <typename Node>
+auto* FindShare(Node& node, const ops::PartitionOperator* op) {
+  for (auto& entry : node.partitions) {
+    if (entry.op == op) {
+      return &entry;
+    }
+  }
+  using Entry = decltype(&node.partitions[0]);
+  return static_cast<Entry>(nullptr);
+}
 
 }  // namespace
 
@@ -194,6 +239,16 @@ Result<std::unique_ptr<StreamFabricator>> StreamFabricator::Make(
         "craqr.fabric.cell_routed.h" + std::to_string(grid.NumCells()),
         grid.NumCells());
   }
+  // Process-wide sharing telemetry (functional: tests and ShardedStats
+  // read the per-instance members; the registry counters feed the
+  // exporter). stages_shared counts share events — a stage gaining its
+  // second tapper — the monotone form of the live census.
+  fabricator->obs_prefix_hits_ =
+      obs::GetCounter("craqr.fabric.shared_prefix_hits");
+  fabricator->obs_stages_shared_ =
+      obs::GetCounter("craqr.fabric.stages_shared");
+  fabricator->obs_taps_detached_ =
+      obs::GetCounter("craqr.fabric.taps_detached");
   return fabricator;
 }
 
@@ -242,6 +297,7 @@ Result<StreamFabricator::Chain*> StreamFabricator::GetOrCreateChain(
   auto emplaced = cell->chains.emplace(attribute, std::move(chain));
   Chain* inserted = &emplaced.first->second;
   BindChainReportCallback(inserted, attribute, index);
+  RouteNoteChainAdded(inserted->flat_cell, attribute, inserted);
   return inserted;
 }
 
@@ -269,10 +325,22 @@ double StreamFabricator::ThinInputRate(const Chain& chain, std::size_t index) {
   return index == 0 ? chain.f_target : chain.thins[index - 1].out_rate;
 }
 
+std::uint64_t StreamFabricator::PrefixSignature(const Chain& chain,
+                                                std::size_t pos) {
+  std::uint64_t h =
+      Fnv1a64(kFnvOffset,
+              static_cast<std::uint64_t>(ops::OperatorKind::kFlatten));
+  h = Fnv1a64(h, chain.f_target);
+  for (std::size_t i = 0; i <= pos && i < chain.thins.size(); ++i) {
+    h = Fnv1a64(h, static_cast<std::uint64_t>(ops::OperatorKind::kThin));
+    h = Fnv1a64(h, chain.thins[i].out_rate);
+  }
+  return h;
+}
+
 Status StreamFabricator::InsertTap(QueryState* qs,
                                    const geom::CellOverlap& overlap,
                                    double rate) {
-  route_dirty_ = true;  // may materialize a cell or chain
   const geom::CellIndex index = overlap.cell;
   Cell* cell = GetOrCreateCell(index);
   CRAQR_ASSIGN_OR_RETURN(
@@ -298,6 +366,15 @@ Status StreamFabricator::InsertTap(QueryState* qs,
     // An equal-rate T already exists; the new query taps the same T —
     // equivalent to the paper's rule 2 (never two consecutive T's without
     // a branching point; equal-rate demand never creates a second T).
+    // This is a shared-prefix hit: the whole F -> ... -> T prefix is
+    // reused instead of duplicated.
+    ++shared_prefix_hits_;
+    if (obs_prefix_hits_ != nullptr) {
+      obs_prefix_hits_->Increment();
+    }
+    if (obs_stages_shared_ != nullptr && shared->tap_queries.size() == 1) {
+      obs_stages_shared_->Increment();  // stage transitions to shared
+    }
     shared->tap_queries.push_back(qs->stream.id);
     tap_source = shared->op;
   } else {
@@ -355,6 +432,72 @@ Status StreamFabricator::InsertTap(QueryState* qs,
   tap.covers_cell = overlap.covers_cell;
   if (overlap.covers_cell) {
     tap_source->AddOutput(qs->merge_head);
+  } else if (config_.enable_sharing) {
+    // Shared-subplan index lookup: an identical carve-out below the same
+    // canonical prefix (this T node) is tapped instead of duplicated. The
+    // sharer list is the ref count; the splitter broadcasts P port 0 to
+    // every sharer's merge head. P and the splitter draw no randomness,
+    // so sharing cannot change delivered bytes.
+    const std::size_t node_pos =
+        static_cast<std::size_t>(std::find_if(chain->thins.begin(),
+                                              chain->thins.end(),
+                                              [&](const ThinNode& n) {
+                                                return n.op == tap_source;
+                                              }) -
+                                 chain->thins.begin());
+    ThinNode& node = chain->thins[node_pos];
+    SharedPartition* entry = nullptr;
+    for (auto& candidate : node.partitions) {
+      if (candidate.region == overlap.region) {
+        entry = &candidate;
+        break;
+      }
+    }
+    if (entry != nullptr) {
+      ++shared_prefix_hits_;
+      if (obs_prefix_hits_ != nullptr) {
+        obs_prefix_hits_->Increment();
+      }
+      if (obs_stages_shared_ != nullptr && entry->sharers.size() == 1) {
+        obs_stages_shared_->Increment();  // carve-out transitions to shared
+      }
+    } else {
+      const std::uint64_t signature =
+          RegionSignature(PrefixSignature(*chain, node_pos), overlap.region);
+      const geom::Rect cell_rect = grid_.CellRect(index);
+      std::vector<geom::Rect> regions;
+      regions.push_back(overlap.region);
+      for (const auto& piece :
+           geom::Rect::Subtract(cell_rect, overlap.region)) {
+        regions.push_back(piece);
+      }
+      // Named by the subplan key, not by a query: the stage outlives any
+      // individual sharer.
+      std::ostringstream name;
+      name << "P[x" << std::hex << signature << std::dec << "]"
+           << index.ToString();
+      CRAQR_ASSIGN_OR_RETURN(
+          auto partition_owned,
+          ops::PartitionOperator::Make(name.str(), std::move(regions)));
+      ops::PartitionOperator* partition =
+          cell->pipeline.Add(std::move(partition_owned));
+      CRAQR_ASSIGN_OR_RETURN(
+          auto splitter_owned,
+          ops::PassThroughOperator::Make(name.str() + "-split"));
+      ops::PassThroughOperator* splitter =
+          cell->pipeline.Add(std::move(splitter_owned));
+      tap_source->AddOutput(partition);
+      // Port 0 is the overlap region; the complement ports stay
+      // unconnected (their tuples are not part of any sharer's stream).
+      partition->AddOutput(splitter);
+      node.partitions.push_back(
+          {signature, overlap.region, partition, splitter, {}});
+      entry = &node.partitions.back();
+    }
+    entry->sharers.push_back(qs->stream.id);
+    entry->splitter->AddOutput(qs->merge_head);
+    tap.partition = entry->op;
+    tap.shared = true;
   } else {
     const geom::Rect cell_rect = grid_.CellRect(index);
     std::vector<geom::Rect> regions;
@@ -529,10 +672,21 @@ Result<CellMigration> StreamFabricator::ExtractCell(
                                   index.ToString());
         }
         // Unwire the edge into this fabricator's merge stage; the P
-        // operator (if any) lives in the cell pipeline and travels with
-        // the payload.
+        // operator (if any — shared carve-outs included, splitter and
+        // sharer list with them) lives in the cell pipeline and travels
+        // with the payload.
         if (tap_it->partition != nullptr) {
-          tap_it->partition->RemoveOutput(qs.merge_head);
+          SharedPartition* entry =
+              tap_it->shared ? FindShare(node, tap_it->partition) : nullptr;
+          if (tap_it->shared && entry == nullptr) {
+            return Status::Internal("migrating shared tap lost its "
+                                    "carve-out record");
+          }
+          if (entry != nullptr) {
+            entry->splitter->RemoveOutput(qs.merge_head);
+          } else {
+            tap_it->partition->RemoveOutput(qs.merge_head);
+          }
         } else {
           node.op->RemoveOutput(qs.merge_head);
         }
@@ -543,10 +697,10 @@ Result<CellMigration> StreamFabricator::ExtractCell(
     // The F callback captures this fabricator; never let it dangle while
     // the payload is in transit.
     chain.flatten->SetReportCallback(nullptr);
+    RouteNoteChainRemoved(&chain, attribute);
   }
   rep->cell = std::move(cell_it->second);
   cells_.erase(cell_it);
-  route_dirty_ = true;
   CellMigration migration;
   migration.rep_ = std::move(rep);
   return migration;
@@ -567,8 +721,8 @@ Status StreamFabricator::AdoptCell(
   Cell* cell = rep->cell.get();
   for (auto& [attribute, chain] : cell->chains) {
     BindChainReportCallback(&chain, attribute, index);
-    // The chain records which local queries tap each T; translate the
-    // source fabricator's ids to ours.
+    // The chain records which local queries tap each T (and which share
+    // each carve-out); translate the source fabricator's ids to ours.
     for (ThinNode& node : chain.thins) {
       for (query::QueryId& qid : node.tap_queries) {
         const auto mapped = id_map.find(qid);
@@ -577,6 +731,17 @@ Status StreamFabricator::AdoptCell(
                                   std::to_string(qid) + " has no id mapping");
         }
         qid = mapped->second;
+      }
+      for (SharedPartition& entry : node.partitions) {
+        for (query::QueryId& qid : entry.sharers) {
+          const auto mapped = id_map.find(qid);
+          if (mapped == id_map.end()) {
+            return Status::Internal("cell migration sharer query " +
+                                    std::to_string(qid) +
+                                    " has no id mapping");
+          }
+          qid = mapped->second;
+        }
       }
     }
   }
@@ -595,7 +760,26 @@ Status StreamFabricator::AdoptCell(
                               std::to_string(mapped->second));
     }
     QueryState& qs = query_it->second;
-    if (transfer.tap.partition != nullptr) {
+    if (transfer.tap.partition != nullptr && transfer.tap.shared) {
+      // Shared carve-out: the sharer's edge hangs off the splitter that
+      // travelled inside the payload. Locate its entry by the P pointer.
+      auto chain_it = cell->chains.find(qs.stream.attribute);
+      SharedPartition* entry = nullptr;
+      if (chain_it != cell->chains.end()) {
+        for (ThinNode& node : chain_it->second.thins) {
+          entry = FindShare(node, transfer.tap.partition);
+          if (entry != nullptr) {
+            break;
+          }
+        }
+      }
+      if (entry == nullptr) {
+        return Status::Internal("adopted shared tap for query " +
+                                std::to_string(mapped->second) +
+                                " has no carve-out record");
+      }
+      entry->splitter->AddOutput(qs.merge_head);
+    } else if (transfer.tap.partition != nullptr) {
       // Port 0 of the P operator is the overlap region (InsertTap); with
       // the merge edge removed it is the only output being re-added, so
       // the port assignment is restored exactly.
@@ -623,13 +807,18 @@ Status StreamFabricator::AdoptCell(
     }
     qs.taps.push_back(transfer.tap);
   }
-  cells_.emplace(index, std::move(rep->cell));
-  route_dirty_ = true;
+  Cell* adopted =
+      cells_.emplace(index, std::move(rep->cell)).first->second.get();
+  // Adopted chains enter this fabricator's route LUT incrementally (their
+  // route_bucket fields are source-local garbage — reset first).
+  for (auto& [attribute, chain] : adopted->chains) {
+    chain.route_bucket = 0;
+    RouteNoteChainAdded(chain.flat_cell, attribute, &chain);
+  }
   return Status::OK();
 }
 
 Status StreamFabricator::RemoveTap(QueryState* qs, const Tap& tap) {
-  route_dirty_ = true;  // may evict a chain or cell
   auto cell_it = cells_.find(tap.cell);
   if (cell_it == cells_.end()) {
     return Status::Internal("tap references unmaterialized cell " +
@@ -660,9 +849,40 @@ Status StreamFabricator::RemoveTap(QueryState* qs, const Tap& tap) {
   ThinNode& node = chain->thins[pos];
 
   // Unwire the tap edge (right-to-left: stream endpoint first).
+  ++taps_detached_;
+  if (obs_taps_detached_ != nullptr) {
+    obs_taps_detached_->Increment();
+  }
   if (tap.partition != nullptr) {
-    node.op->RemoveOutput(tap.partition);
-    cell->pipeline.Remove(tap.partition);
+    SharedPartition* entry =
+        tap.shared ? FindShare(node, tap.partition) : nullptr;
+    if (tap.shared && entry == nullptr) {
+      return Status::Internal("shared tap lost its carve-out record");
+    }
+    if (entry != nullptr) {
+      // Ref-counted shared carve-out: detach only this sharer's splitter
+      // edge — the unshared suffix. The P + splitter survive (and keep
+      // every other sharer's stream untouched) until the last sharer
+      // leaves.
+      entry->splitter->RemoveOutput(qs->merge_head);
+      const auto sharer = std::find(entry->sharers.begin(),
+                                    entry->sharers.end(), qs->stream.id);
+      if (sharer == entry->sharers.end()) {
+        return Status::Internal("shared carve-out missing its sharer record");
+      }
+      entry->sharers.erase(sharer);
+      if (entry->sharers.empty()) {
+        node.op->RemoveOutput(entry->op);
+        entry->op->RemoveOutput(entry->splitter);
+        cell->pipeline.Remove(entry->splitter);
+        cell->pipeline.Remove(entry->op);
+        node.partitions.erase(
+            node.partitions.begin() + (entry - node.partitions.data()));
+      }
+    } else {
+      node.op->RemoveOutput(tap.partition);
+      cell->pipeline.Remove(tap.partition);
+    }
   } else {
     node.op->RemoveOutput(qs->merge_head);
   }
@@ -691,6 +911,7 @@ Status StreamFabricator::RemoveTap(QueryState* qs, const Tap& tap) {
 
   if (chain->thins.empty()) {
     // Continue right-to-left: the F operator and finally the hashmap key.
+    RouteNoteChainRemoved(chain, qs->stream.attribute);
     cell->pipeline.Remove(chain->flatten);
     cell->chains.erase(chain_it);
     if (cell->chains.empty()) {
@@ -759,9 +980,11 @@ Status StreamFabricator::ProcessTuple(const ops::Tuple& tuple) {
 
 void StreamFabricator::RebuildRouteTable() {
   route_dirty_ = false;
+  ++route_rebuilds_;
   route_attrs_.clear();
   route_chains_.clear();
   route_lut_.clear();
+  route_holes_ = 0;
   // Deterministic bucket enumeration: (flat cell, attribute) ascending,
   // independent of hashmap iteration order, so the dispatch order of the
   // grouped copies is reproducible run to run.
@@ -788,20 +1011,82 @@ void StreamFabricator::RebuildRouteTable() {
               return std::make_pair(std::get<0>(a), std::get<1>(a)) <
                      std::make_pair(std::get<0>(b), std::get<1>(b));
             });
-  // Every slot starts as the unrouted bucket (id == number of chains);
-  // the sentinel row (invalid cell) and column (unknown attribute) stay
-  // that way, so the router resolves every row with one unconditional
-  // load.
-  route_lut_.assign(rows * cols, static_cast<std::uint32_t>(entries.size()));
-  route_chains_.reserve(entries.size());
+  // Every slot starts as bucket 0, the unrouted sentinel; the sentinel
+  // row (invalid cell) and column (unknown attribute) stay that way, so
+  // the router resolves every row with one unconditional load. Live
+  // chains occupy buckets 1..n — appending a chain later is one slot
+  // write (RouteNoteChainAdded), not a table sweep.
+  route_lut_.assign(rows * cols, 0u);
+  route_chains_.assign(1, nullptr);
+  route_chains_.reserve(entries.size() + 1);
   for (const auto& [flat, attribute, chain] : entries) {
     const auto slot = static_cast<std::uint32_t>(
         std::lower_bound(route_attrs_.begin(), route_attrs_.end(),
                          attribute) -
         route_attrs_.begin());
-    route_lut_[flat * cols + slot] =
-        static_cast<std::uint32_t>(route_chains_.size());
+    chain->route_bucket = static_cast<std::uint32_t>(route_chains_.size());
+    route_lut_[flat * cols + slot] = chain->route_bucket;
     route_chains_.push_back(chain);
+  }
+}
+
+void StreamFabricator::RouteNoteChainAdded(std::uint32_t flat,
+                                           ops::AttributeId attribute,
+                                           Chain* chain) {
+  if (route_dirty_) {
+    return;  // a full rebuild is already pending
+  }
+  if (!route_lut_enabled_) {
+    // Either no table yet (first chain ever) or the fallback router is
+    // active; let the next batch decide with a full rebuild.
+    route_dirty_ = true;
+    return;
+  }
+  const auto slot_it = std::lower_bound(route_attrs_.begin(),
+                                        route_attrs_.end(), attribute);
+  if (slot_it == route_attrs_.end() || *slot_it != attribute) {
+    // Attribute-slot-set change: the table needs a new column — the one
+    // case the incremental path cannot patch.
+    route_dirty_ = true;
+    return;
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_it - route_attrs_.begin());
+  const std::uint32_t cols =
+      static_cast<std::uint32_t>(route_attrs_.size()) + 1;
+  chain->route_bucket = static_cast<std::uint32_t>(route_chains_.size());
+  route_chains_.push_back(chain);
+  route_lut_[flat * cols + slot] = chain->route_bucket;
+  ++route_patches_;
+}
+
+void StreamFabricator::RouteNoteChainRemoved(Chain* chain,
+                                             ops::AttributeId attribute) {
+  if (route_dirty_ || !route_lut_enabled_) {
+    return;  // nothing live to patch
+  }
+  const auto slot_it = std::lower_bound(route_attrs_.begin(),
+                                        route_attrs_.end(), attribute);
+  const std::uint32_t bucket = chain->route_bucket;
+  if (slot_it == route_attrs_.end() || *slot_it != attribute ||
+      bucket == 0 || bucket >= route_chains_.size() ||
+      route_chains_[bucket] != chain) {
+    // Inconsistent incremental state (e.g. a chain created while the
+    // fallback router was active); resynchronize with a full rebuild.
+    route_dirty_ = true;
+    return;
+  }
+  const auto slot = static_cast<std::uint32_t>(slot_it - route_attrs_.begin());
+  const std::uint32_t cols =
+      static_cast<std::uint32_t>(route_attrs_.size()) + 1;
+  route_lut_[chain->flat_cell * cols + slot] = 0;
+  route_chains_[bucket] = nullptr;
+  chain->route_bucket = 0;
+  ++route_holes_;
+  ++route_patches_;
+  // Compact once holes dominate: the histogram pass costs O(buckets) per
+  // batch, so a mostly-hole table wastes count/prefix-sum work.
+  if (route_holes_ * 2 > route_chains_.size() && route_chains_.size() > 64) {
+    route_dirty_ = true;
   }
 }
 
@@ -852,7 +1137,7 @@ void StreamFabricator::RouteBatch(ops::TupleBatch& batch) {
                         /*invalid_value=*/grid_.NumCells());
     const auto nslots = static_cast<std::uint32_t>(route_attrs_.size());
     const std::uint32_t cols = nslots + 1;
-    const auto nchains = static_cast<std::uint32_t>(route_chains_.size());
+    const auto nbuckets = static_cast<std::uint32_t>(route_chains_.size());
     const ops::AttributeId* slot_attrs = route_attrs_.data();
     row_buckets_.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -865,16 +1150,19 @@ void StreamFabricator::RouteBatch(ops::TupleBatch& batch) {
       }
       row_buckets_[i] = route_lut_[row_cells_[i] * cols + slot];
     }
-    bucket_counts_.assign(nchains + 1, 0);
+    bucket_counts_.assign(nbuckets, 0);
     grouped_rows_.resize(n);
     simd::HistogramGroup({row_buckets_.data(), n},
-                         {bucket_counts_.data(), nchains + 1},
+                         {bucket_counts_.data(), nbuckets},
                          grouped_rows_.data());
-    std::uint32_t begin = 0;
-    for (std::uint32_t b = 0; b < nchains; ++b) {
+    // Bucket 0 groups the unrouted rows (sentinel slots and the cleared
+    // slots of evicted chains); live chains follow in buckets 1..n.
+    const std::uint32_t unrouted = bucket_counts_[0];
+    std::uint32_t begin = unrouted;
+    for (std::uint32_t b = 1; b < nbuckets; ++b) {
       const std::uint32_t end = bucket_counts_[b];
-      if (end != begin) {
-        Chain* chain = route_chains_[b];
+      Chain* chain = route_chains_[b];
+      if (end != begin && chain != nullptr) {
         chain->inbox.AppendRows(
             batch, {grouped_rows_.data() + begin, end - begin});
         batch_touched_.push_back(chain);
@@ -886,8 +1174,8 @@ void StreamFabricator::RouteBatch(ops::TupleBatch& batch) {
       }
       begin = end;
     }
-    tuples_routed_ += begin;          // all grouped rows below the sentinel
-    tuples_unrouted_ += n - begin;    // the sentinel bucket's group
+    tuples_routed_ += n - unrouted;
+    tuples_unrouted_ += unrouted;
   }
   batch.Clear();
 }
@@ -1063,6 +1351,56 @@ Result<std::vector<geom::CellIndex>> StreamFabricator::QueryCells(
   return cells;
 }
 
+std::size_t StreamFabricator::SharedStagesLive() const {
+  std::size_t shared = 0;
+  for (const auto& [index, cell] : cells_) {
+    (void)index;
+    for (const auto& [attribute, chain] : cell->chains) {
+      (void)attribute;
+      for (const ThinNode& node : chain.thins) {
+        if (node.tap_queries.size() >= 2) {
+          ++shared;
+        }
+        for (const SharedPartition& entry : node.partitions) {
+          if (entry.sharers.size() >= 2) {
+            ++shared;
+          }
+        }
+      }
+    }
+  }
+  return shared;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+StreamFabricator::SharedStageCensus() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> census;
+  for (const auto& [index, cell] : cells_) {
+    (void)index;
+    std::uint32_t shared = 0;
+    std::uint32_t flat = 0;
+    for (const auto& [attribute, chain] : cell->chains) {
+      (void)attribute;
+      flat = chain.flat_cell;
+      for (const ThinNode& node : chain.thins) {
+        if (node.tap_queries.size() >= 2) {
+          ++shared;
+        }
+        for (const SharedPartition& entry : node.partitions) {
+          if (entry.sharers.size() >= 2) {
+            ++shared;
+          }
+        }
+      }
+    }
+    if (shared > 0) {
+      census.emplace_back(flat, shared);
+    }
+  }
+  std::sort(census.begin(), census.end());
+  return census;
+}
+
 std::size_t StreamFabricator::TotalOperators() const {
   std::size_t total = 0;
   for (const auto& [index, cell] : cells_) {
@@ -1171,8 +1509,41 @@ Status StreamFabricator::ValidateInvariants() const {
         if (has_next && !HasEdge(node.op, chain.thins[i + 1].op)) {
           return fail(where + " missing T -> T edge");
         }
-        const std::size_t expected_outputs =
-            node.tap_queries.size() + (has_next ? 1u : 0u);
+        // Shared carve-outs: every entry is one T output edge no matter
+        // how many queries share it, and its ref count (the sharer list)
+        // must stay consistent with the node's tap registry.
+        std::size_t shared_sharers = 0;
+        for (const SharedPartition& entry : node.partitions) {
+          if (entry.op == nullptr || entry.splitter == nullptr) {
+            return fail(where + " shared carve-out missing its P/splitter");
+          }
+          if (entry.sharers.empty()) {
+            return fail(where + " shared carve-out with zero ref count");
+          }
+          if (!HasEdge(node.op, entry.op)) {
+            return fail(where + " missing T -> shared P edge");
+          }
+          if (!HasEdge(entry.op, entry.splitter)) {
+            return fail(where + " missing shared P -> splitter edge");
+          }
+          if (entry.splitter->outputs().size() != entry.sharers.size()) {
+            return fail(where + " splitter fan-out mismatches the ref count");
+          }
+          for (const query::QueryId id : entry.sharers) {
+            if (std::find(node.tap_queries.begin(), node.tap_queries.end(),
+                          id) == node.tap_queries.end()) {
+              return fail(where + " shared carve-out sharer is not a tapper");
+            }
+          }
+          shared_sharers += entry.sharers.size();
+        }
+        // Each sharer reaches the merge stage through its entry's single
+        // T -> P edge; every other tapper (covering or unshared-partial)
+        // holds one direct edge.
+        const std::size_t expected_outputs = node.tap_queries.size() -
+                                             shared_sharers +
+                                             node.partitions.size() +
+                                             (has_next ? 1u : 0u);
         if (node.op->outputs().size() != expected_outputs) {
           return fail(where + " T has " +
                       std::to_string(node.op->outputs().size()) +
@@ -1221,8 +1592,34 @@ Status StreamFabricator::ValidateInvariants() const {
         return fail("query " + std::to_string(id) + " missing tap edge in " +
                     tap.cell.ToString());
       }
-      if (tap.partition != nullptr &&
-          !HasEdge(tap.partition, qs.merge_head)) {
+      if (tap.shared) {
+        // Shared carve-out: the query reaches its merge head through the
+        // entry's splitter, and must be on the entry's sharer list.
+        const SharedPartition* entry = nullptr;
+        for (const SharedPartition& candidate : source->partitions) {
+          if (candidate.op == tap.partition) {
+            entry = &candidate;
+            break;
+          }
+        }
+        if (entry == nullptr) {
+          return fail("query " + std::to_string(id) +
+                      " shared tap has no carve-out entry in " +
+                      tap.cell.ToString());
+        }
+        if (std::find(entry->sharers.begin(), entry->sharers.end(), id) ==
+            entry->sharers.end()) {
+          return fail("query " + std::to_string(id) +
+                      " missing from its carve-out ref count in " +
+                      tap.cell.ToString());
+        }
+        if (!HasEdge(entry->splitter, qs.merge_head)) {
+          return fail("query " + std::to_string(id) +
+                      " missing splitter -> merge edge in " +
+                      tap.cell.ToString());
+        }
+      } else if (tap.partition != nullptr &&
+                 !HasEdge(tap.partition, qs.merge_head)) {
         return fail("query " + std::to_string(id) +
                     " missing P -> merge edge in " + tap.cell.ToString());
       }
@@ -1267,6 +1664,13 @@ std::string StreamFabricator::DescribeTopology() const {
           os << (i > 0 ? "," : "") << "Q" << node.tap_queries[i];
         }
         os << "]";
+        for (const SharedPartition& entry : node.partitions) {
+          os << "{P " << entry.region.ToString() << " <-";
+          for (std::size_t i = 0; i < entry.sharers.size(); ++i) {
+            os << (i > 0 ? "," : "") << "Q" << entry.sharers[i];
+          }
+          os << "}";
+        }
       }
       os << "\n";
     }

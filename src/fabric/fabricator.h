@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +22,7 @@
 
 namespace craqr {
 namespace obs {
+class Counter;      // obs/metrics.h — sharing telemetry counters
 class CounterBank;  // obs/metrics.h — per-cell routed-tuple telemetry
 }  // namespace obs
 }  // namespace craqr
@@ -87,6 +89,17 @@ struct FabricConfig {
   double monitor_window = 5.0;
   /// Master seed for operator randomness.
   std::uint64_t seed = 0x5EED5EED;
+  /// \brief Cross-query subplan sharing (the paper's operator-fabric
+  /// economy). Equal-rate T stages are always shared (Section V rule 2 —
+  /// the chain structure requires it); this flag additionally dedups the
+  /// P carve-out stage: queries whose (cell, attribute, operator-prefix
+  /// signature, overlap region) match an already-live carve-out tap the
+  /// existing P through a ref-counted splitter instead of materializing a
+  /// duplicate P that re-scans the full T output. P and the splitter draw
+  /// no randomness and T structure/seeds are untouched, so delivered
+  /// streams are byte-exact with sharing on or off (pinned in
+  /// tests/fabric_sharing_test.cc).
+  bool enable_sharing = true;
 };
 
 /// \brief The user-facing handle of a fabricated crowdsensed data stream.
@@ -339,6 +352,32 @@ class StreamFabricator {
   /// Tuples dropped in the map phase.
   std::uint64_t tuples_unrouted() const { return tuples_unrouted_; }
 
+  /// \name Sharing telemetry (see FabricConfig::enable_sharing)
+  ///@{
+  /// Tap insertions that attached to an already-live stage (an equal-rate
+  /// T or a shared P carve-out) instead of materializing a duplicate.
+  std::uint64_t shared_prefix_hits() const { return shared_prefix_hits_; }
+  /// Tap edges detached so far (RemoveTap; migration unwires don't count —
+  /// those taps stay live and reattach on adoption).
+  std::uint64_t taps_detached() const { return taps_detached_; }
+  /// Live stages (T nodes or P carve-outs) currently tapped by >= 2
+  /// queries — the instantaneous sharing census.
+  std::size_t SharedStagesLive() const;
+  /// Per-cell shared-stage census: (flat cell, shared-stage count) pairs
+  /// for every cell holding at least one stage with >= 2 tappers, sorted
+  /// by flat cell (ShardedStats aggregates these across shards).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> SharedStageCensus()
+      const;
+  ///@}
+
+  /// \name Route-LUT maintenance telemetry
+  ///@{
+  /// Full rows x cols LUT rebuilds (RebuildRouteTable) so far.
+  std::uint64_t route_rebuilds() const { return route_rebuilds_; }
+  /// Incremental single-slot LUT patches (chain add/evict) so far.
+  std::uint64_t route_patches() const { return route_patches_; }
+  ///@}
+
   /// Human-readable rendering of every cell topology and merge stage —
   /// the executable version of the paper's Figure 2.
   std::string DescribeTopology() const;
@@ -367,12 +406,36 @@ class StreamFabricator {
  private:
   friend struct CellMigration::Rep;  // carries a Cell across fabricators
 
+  /// \brief A ref-counted shared P carve-out below one T node
+  /// (FabricConfig::enable_sharing). All queries whose overlap region and
+  /// operator-prefix signature match tap the same P; port 0 (the overlap)
+  /// feeds a pass-through splitter that broadcasts the carved sub-stream
+  /// to every sharer's merge head. The sharer list is the ref count:
+  /// RemoveTap detaches one splitter edge and only tears the P + splitter
+  /// down when the last sharer leaves, so query churn never perturbs
+  /// surviving queries' delivered bytes.
+  struct SharedPartition {
+    /// PrefixSignature of the owning T position, extended with the
+    /// overlap-region bits — the shared-subplan index key.
+    std::uint64_t signature = 0;
+    /// The carved overlap region (exact-match guard against collisions).
+    geom::Rect region;
+    ops::PartitionOperator* op = nullptr;
+    /// Broadcast stage on P port 0; one output per sharer.
+    ops::PassThroughOperator* splitter = nullptr;
+    /// Queries tapping this carve-out (ref count = size()). Source-local
+    /// ids; AdoptCell translates them like ThinNode::tap_queries.
+    std::vector<query::QueryId> sharers;
+  };
+
   /// One T node in a cell's per-attribute chain.
   struct ThinNode {
     ops::ThinOperator* op = nullptr;
     double out_rate = 0.0;
     /// Queries tapping this T's output.
     std::vector<query::QueryId> tap_queries;
+    /// Live shared P carve-outs below this T (enable_sharing only).
+    std::vector<SharedPartition> partitions;
   };
 
   /// Per-(cell, attribute) operator chain: F followed by sorted T's.
@@ -386,6 +449,10 @@ class StreamFabricator {
     /// The owning cell's flat grid index — the slot routed-tuple counts
     /// land in (per-cell hot-spot telemetry).
     std::uint32_t flat_cell = 0;
+    /// This chain's bucket in the dense route LUT (0 = not in the table;
+    /// live buckets start at 1 — bucket 0 is the unrouted sentinel).
+    /// Maintained incrementally by RouteNoteChainAdded/Removed.
+    std::uint32_t route_bucket = 0;
     /// Recycled routing inbox ProcessBatch fills for this chain; always
     /// drained before ProcessBatch returns.
     ops::TupleBatch inbox;
@@ -405,6 +472,9 @@ class StreamFabricator {
     /// The P operator carving out the overlap; nullptr when the query
     /// covers the whole cell.
     ops::PartitionOperator* partition = nullptr;
+    /// True when `partition` is a ref-counted SharedPartition: the merge
+    /// edge then hangs off its splitter, not off the P itself.
+    bool shared = false;
   };
 
   /// Everything owned per query.
@@ -457,6 +527,18 @@ class StreamFabricator {
   /// disables the table (falling back to per-row map routing) when the
   /// grid x attribute product would make it unreasonably large.
   void RebuildRouteTable();
+  /// \brief Incremental LUT maintenance: a freshly created chain gets the
+  /// next bucket id and one LUT slot write instead of marking the whole
+  /// table dirty. Falls back to a full rebuild (route_dirty_) when the
+  /// chain's attribute has no LUT column yet — the attribute-slot set
+  /// changed — or when the table is disabled/dirty anyway.
+  void RouteNoteChainAdded(std::uint32_t flat, ops::AttributeId attribute,
+                           Chain* chain);
+  /// \brief Incremental LUT maintenance for chain eviction/extraction:
+  /// clears the chain's LUT slot back to the unrouted sentinel and leaves
+  /// a bucket hole. Schedules a compacting full rebuild once holes
+  /// outnumber live buckets.
+  void RouteNoteChainRemoved(Chain* chain, ops::AttributeId attribute);
   /// Per-row map-lookup routing pass — the pre-histogram reference
   /// implementation, kept as the fallback for oversized tables.
   void RouteBatchFallback(ops::TupleBatch& batch);
@@ -476,6 +558,14 @@ class StreamFabricator {
   Status InsertTap(QueryState* qs, const geom::CellOverlap& overlap,
                    double rate);
   Status RemoveTap(QueryState* qs, const Tap& tap);
+  /// \brief Canonical operator-prefix signature of chain positions
+  /// [0, pos]: an FNV-1a fold over op kinds and rate parameters (F target,
+  /// then the descending T output rates down to `pos`). Operator seeds are
+  /// position-derived (OperatorSeed), so within one (cell, attribute)
+  /// chain an equal signature means a byte-identical subplan — the
+  /// shared-subplan index key, extended with the overlap-region bits for
+  /// P carve-out dedup (see SharedPartition::signature).
+  static std::uint64_t PrefixSignature(const Chain& chain, std::size_t pos);
   /// Input rate of the thin at `index` (F target for the first thin).
   static double ThinInputRate(const Chain& chain, std::size_t index);
 
@@ -507,6 +597,18 @@ class StreamFabricator {
   std::vector<PendingViolation> pending_violations_;
   std::uint64_t tuples_routed_ = 0;
   std::uint64_t tuples_unrouted_ = 0;
+  /// \name Sharing telemetry (accessors above). The obs counters mirror
+  /// the members process-wide ("craqr.fabric.shared_prefix_hits",
+  /// ".stages_shared", ".taps_detached"); per-instance values come from
+  /// the members. stages_shared counts share *events* (a stage gaining a
+  /// second tapper), the monotone form of the live census.
+  ///@{
+  std::uint64_t shared_prefix_hits_ = 0;
+  std::uint64_t taps_detached_ = 0;
+  obs::Counter* obs_prefix_hits_ = nullptr;
+  obs::Counter* obs_stages_shared_ = nullptr;
+  obs::Counter* obs_taps_detached_ = nullptr;
+  ///@}
   /// Process-wide per-flat-cell routed-tuple counters
   /// ("craqr.fabric.cell_routed.h<num_cells>") — the hot-cell signal for
   /// load-aware rebalancing. Shared by every fabricator over an
@@ -527,11 +629,22 @@ class StreamFabricator {
   /// scan of this handful of values).
   std::vector<ops::AttributeId> route_attrs_;
   /// Dense (NumCells()+1) x (route_attrs_.size()+1) bucket table; the
-  /// extra row/column map invalid cells / unknown attributes to the
-  /// unrouted bucket.
+  /// extra row/column map invalid cells / unknown attributes to bucket 0,
+  /// the unrouted sentinel. Live chains occupy buckets 1..n so chain
+  /// append/evict patches one slot instead of sweeping the table
+  /// (RouteNoteChainAdded/Removed).
   std::vector<std::uint32_t> route_lut_;
-  /// Bucket id -> chain, in deterministic (flat cell, attribute) order.
+  /// Bucket id -> chain; index 0 is the unrouted sentinel (nullptr), and
+  /// evicted chains leave nullptr holes until the next compacting rebuild.
+  /// Rebuilds enumerate in deterministic (flat cell, attribute) order;
+  /// incremental appends extend in creation order.
   std::vector<Chain*> route_chains_;
+  /// nullptr holes in route_chains_; a rebuild is scheduled when holes
+  /// outnumber live buckets.
+  std::size_t route_holes_ = 0;
+  /// Maintenance telemetry (accessors above).
+  std::uint64_t route_rebuilds_ = 0;
+  std::uint64_t route_patches_ = 0;
   /// Recycled per-batch scratch columns: per-row flat cell, per-row
   /// bucket, per-bucket end offsets, bucket-grouped row indices.
   std::vector<std::uint32_t> row_cells_;

@@ -800,6 +800,14 @@ Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
     stats.total_operator_evaluations += f.TotalOperatorEvaluations();
     stats.total_operators += f.TotalOperators();
     stats.materialized_cells += f.NumMaterializedCells();
+    stats.shared_prefix_hits += f.shared_prefix_hits();
+    stats.taps_detached += f.taps_detached();
+    stats.stages_shared += f.SharedStagesLive();
+    // Each cell lives on exactly one shard, so concatenating the per-shard
+    // censuses never aliases a flat cell; one sort restores global order.
+    for (const auto& entry : f.SharedStageCensus()) {
+      stats.shared_stage_census.push_back(entry);
+    }
     ShardLoadStats& load = stats.per_shard[i];
     load.shard = i;
     // Router-side counters under mu_, worker-side counters in one coherent
@@ -822,6 +830,8 @@ Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
     stats.total_operators += qs.merge_pipeline.size();
   }
   stats.live_queries = queries_.size();
+  std::sort(stats.shared_stage_census.begin(),
+            stats.shared_stage_census.end());
   return stats;
 }
 

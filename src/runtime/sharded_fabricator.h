@@ -167,6 +167,22 @@ struct ShardedStats {
   std::uint64_t rebalance_events = 0;
   /// Total cells migrated across all rebalance events.
   std::uint64_t cells_migrated = 0;
+  /// \name Multi-query sharing census (fabric::FabricConfig::enable_sharing)
+  ///@{
+  /// Tap insertions that attached to an already-live stage (equal-rate T
+  /// or shared P carve-out) instead of materializing a duplicate, summed
+  /// across shards.
+  std::uint64_t shared_prefix_hits = 0;
+  /// Tap edges detached by query cancellation, summed across shards.
+  std::uint64_t taps_detached = 0;
+  /// Stages (T nodes or P carve-outs) tapped by >= 2 queries right now.
+  std::size_t stages_shared = 0;
+  /// Per-cell shared-stage census: (flat cell, shared-stage count) for
+  /// every cell holding at least one stage with >= 2 tappers, sorted by
+  /// flat cell (merged across shards; cells never alias because each cell
+  /// lives on exactly one shard).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> shared_stage_census;
+  ///@}
   /// Per-shard load counters (empty on the unsharded engine path).
   std::vector<ShardLoadStats> per_shard;
 };
