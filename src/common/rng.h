@@ -153,6 +153,38 @@ class Rng {
   /// component its own stream from a master seed.
   Rng Fork();
 
+  /// \brief The generator's complete mutable state — the four xoshiro
+  /// words plus the Box-Muller normal cache. Saving and restoring this
+  /// struct resumes the stream exactly where it left off (checkpoint /
+  /// restore of live operators).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  /// Captures the current state.
+  State Save() const {
+    State st;
+    st.s[0] = state_[0];
+    st.s[1] = state_[1];
+    st.s[2] = state_[2];
+    st.s[3] = state_[3];
+    st.cached_normal = cached_normal_;
+    st.has_cached_normal = has_cached_normal_;
+    return st;
+  }
+
+  /// Overwrites the generator with a previously saved state.
+  void Restore(const State& st) {
+    state_[0] = st.s[0];
+    state_[1] = st.s[1];
+    state_[2] = st.s[2];
+    state_[3] = st.s[3];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

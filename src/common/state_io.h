@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+/// \file state_io.h
+/// \brief Minimal bounds-checked byte serialization for operator-state
+/// checkpoints (runtime::ShardedFabricator::Checkpoint).
+///
+/// The format is deliberately dumb: little-endian fixed-width integers,
+/// IEEE doubles by bit pattern, and length-prefixed strings appended to a
+/// growing std::string. Every reader call is bounds-checked and returns a
+/// Status instead of reading past the end, so a truncated or corrupted
+/// snapshot surfaces as OutOfRange rather than undefined behaviour.
+
+namespace craqr {
+
+/// \brief Appends fixed-width scalars and length-prefixed blobs to an
+/// in-memory byte string.
+class StateWriter {
+ public:
+  void WriteU8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void WriteU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteDouble(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    bytes_.append(s);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  std::string TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// \brief Bounds-checked reader over a byte string written by StateWriter.
+class StateReader {
+ public:
+  explicit StateReader(const std::string& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  StateReader(const char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  Status ReadU8(std::uint8_t* out) {
+    CRAQR_RETURN_NOT_OK(Need(1));
+    *out = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadU32(std::uint32_t* out) {
+    CRAQR_RETURN_NOT_OK(Need(4));
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadU64(std::uint64_t* out) {
+    CRAQR_RETURN_NOT_OK(Need(8));
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadBool(bool* out) {
+    std::uint8_t v = 0;
+    CRAQR_RETURN_NOT_OK(ReadU8(&v));
+    *out = v != 0;
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* out) {
+    std::uint64_t bits = 0;
+    CRAQR_RETURN_NOT_OK(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    std::uint64_t n = 0;
+    CRAQR_RETURN_NOT_OK(ReadU64(&n));
+    CRAQR_RETURN_NOT_OK(Need(n));
+    out->assign(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return Status::OK();
+  }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Need(std::uint64_t n) {
+    if (n > size_ - pos_) {
+      return Status::OutOfRange("checkpoint truncated: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(size_ - pos_));
+    }
+    return Status::OK();
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace craqr

@@ -54,6 +54,28 @@ class RunningStats {
   /// Merges another accumulator into this one (Chan's parallel formula).
   void Merge(const RunningStats& other);
 
+  /// \brief Raw accumulator state for checkpoint/restore; round-tripping
+  /// through Save/Restore is byte-exact (no re-accumulation).
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  State Save() const { return {count_, mean_, m2_, sum_, min_, max_}; }
+
+  void Restore(const State& st) {
+    count_ = st.count;
+    mean_ = st.mean;
+    m2_ = st.m2;
+    sum_ = st.sum;
+    min_ = st.min;
+    max_ = st.max;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -93,6 +115,23 @@ class SlidingWindow {
 
   /// Removes all values.
   void Clear();
+
+  /// Held values, oldest first (checkpoint/restore).
+  const std::deque<double>& values() const { return values_; }
+
+  /// Replaces the held values (oldest first), recomputing the cached sum.
+  /// Values beyond the capacity are evicted oldest-first, exactly as if
+  /// pushed one at a time.
+  void RestoreValues(const std::deque<double>& values) {
+    values_ = values;
+    while (values_.size() > capacity_) {
+      values_.pop_front();
+    }
+    sum_ = 0.0;
+    for (const double v : values_) {
+      sum_ += v;
+    }
+  }
 
  private:
   std::size_t capacity_;

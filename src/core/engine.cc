@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/macros.h"
+#include "obs/exporter.h"
 #include "ops/value_pool.h"
 
 namespace craqr {
@@ -72,6 +73,11 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
     sc.enable_stealing = config.enable_work_stealing;
     sc.enable_rebalancing = config.rebalance_every_steps > 0;
     sc.rebalance = config.rebalance;
+    sc.admission = config.admission;
+    sc.checkpoint = config.checkpoint;
+    if (config.checkpoint_every_steps > 0) {
+      sc.checkpoint.enabled = true;  // a cadence without snapshots is moot
+    }
     CRAQR_ASSIGN_OR_RETURN(sharded, runtime::ShardedFabricator::Make(grid, sc));
   }
   CRAQR_ASSIGN_OR_RETURN(server::BudgetManager budgets,
@@ -253,6 +259,13 @@ Status CraqrEngine::Step() {
         step_count_ % config_.rebalance_every_steps == 0) {
       CRAQR_RETURN_NOT_OK(sharded_->Rebalance().status());
     }
+    // Checkpoint cadence at the same boundary: bounds the replay log a
+    // crash must re-run (byte-exactness is likewise independent of when
+    // this fires — the snapshot is taken at a full barrier).
+    if (config_.checkpoint_every_steps > 0 &&
+        step_count_ % config_.checkpoint_every_steps == 0) {
+      CRAQR_RETURN_NOT_OK(sharded_->Checkpoint());
+    }
     const std::uint64_t t_drain = timed ? obs::NowNs() : 0;
     const Status dispatched = sharded_->EnqueueBatch(batch, step_count_);
     if (timed) {
@@ -279,6 +292,11 @@ Status CraqrEngine::Step() {
       config_.rebalance_every_steps > 0 &&
       step_count_ % config_.rebalance_every_steps == 0) {
     CRAQR_RETURN_NOT_OK(sharded_->Rebalance().status());
+  }
+  if (processed.ok() && sharded_ != nullptr &&
+      config_.checkpoint_every_steps > 0 &&
+      step_count_ % config_.checkpoint_every_steps == 0) {
+    CRAQR_RETURN_NOT_OK(sharded_->Checkpoint());
   }
   if (timed) {
     const std::uint64_t t_end = obs::NowNs();
@@ -353,6 +371,11 @@ Status CraqrEngine::RunFor(double minutes) {
     ++steps_this_run;
     const Status status = Step();
     if (!status.ok()) {
+      // Abnormal teardown: the caller likely bails without ever unwinding
+      // a MetricsExporter, so flush final snapshots here — the files then
+      // show the registry at the moment of death, which is what a
+      // post-mortem needs.
+      obs::MetricsExporter::FlushAll();
       // A bare error from a 10k-step run is undebuggable; say *when* the
       // tick failed, in both run-local and engine-lifetime step numbers.
       return Status(status.code(),
@@ -366,6 +389,7 @@ Status CraqrEngine::RunFor(double minutes) {
   // sinks directly — flush the pipeline so they reflect every step.
   const Status drained = DrainPipeline();
   if (!drained.ok()) {
+    obs::MetricsExporter::FlushAll();  // same abnormal-teardown flush
     return Status(drained.code(),
                   "pipeline drain after " + std::to_string(steps_this_run) +
                       " step(s) (engine step " + std::to_string(step_count_) +

@@ -117,6 +117,20 @@ struct EngineConfig {
   /// batch. Complements rebalancing — stealing absorbs transient bursts
   /// within a batch, rebalancing fixes sustained skew across epochs.
   bool enable_work_stealing = false;
+  /// Credit-based admission / overload-shedding knobs (sharded path only):
+  /// shard-queue push policy and the shed policy for credit-exhausted
+  /// query subscribers. See runtime::AdmissionConfig.
+  runtime::AdmissionConfig admission;
+  /// Epoch-barrier checkpoint/restore knobs (sharded path only). Enabling
+  /// records per-shard replay logs and lets a crashed shard be rebuilt
+  /// byte-exactly. See runtime::CheckpointConfig.
+  runtime::CheckpointConfig checkpoint;
+  /// \brief Checkpoint cadence (sharded path, implies checkpoint.enabled):
+  /// every N steps the engine refreshes the runtime checkpoint at the
+  /// step's epoch boundary, bounding both replay-log growth and crash
+  /// recovery time. 0 (the default) keeps only the automatic checkpoints
+  /// (construction + topology changes).
+  std::uint64_t checkpoint_every_steps = 0;
 };
 
 /// \brief The CrAQR engine.

@@ -266,6 +266,44 @@ class StreamFabricator {
                    const std::unordered_map<query::QueryId, query::QueryId>&
                        id_map);
 
+  /// \name Checkpoint / restore (fault-tolerant runtime)
+  ///
+  /// SaveState serializes the fabricator's complete live state — every
+  /// query record (with its delivery-sink counters) and every cell
+  /// topology chain-by-chain (operator names, rates, RNG phases, partial
+  /// F batches, shared-carve-out ref counts, throughput counters) — into
+  /// a flat byte string. RestoreState rebuilds it on a *fresh* fabricator
+  /// constructed over the same grid and config: queries are re-inserted
+  /// as delivery shells (the factory supplies each one's batch callback,
+  /// keyed by the snapshot's local id), topologies are reconstructed
+  /// operator by operator and every saved state is re-applied, so the
+  /// restored fabricator continues the exact per-cell random sequences
+  /// and buffered batches the snapshot captured — delivered streams are
+  /// byte-identical to an uninterrupted run (pinned in
+  /// tests/runtime_checkpoint_test.cc).
+  ///
+  /// Restrictions: supported only for partial-delivery fabricators (every
+  /// query inserted via InsertQueryPartial / InsertQueryShell — the shape
+  /// ShardedFabricator's shards have); must be called at a batch boundary
+  /// with no dispatch open and no unreplayed violation reports. String
+  /// tuple payloads are saved as interned ValuePool handles, so a
+  /// snapshot is only valid within the process that wrote it.
+  ///@{
+  /// Builds the delivery callback for a restored query, keyed by the
+  /// query's local id *in the snapshot* (the restoring side translates to
+  /// its own routing ids).
+  using DeliveryFactory = std::function<ops::SinkOperator::BatchCallback(
+      query::QueryId snapshot_local_id)>;
+  /// Serializes the fabricator into `out`.
+  Status SaveState(std::string* out) const;
+  /// Rebuilds from a SaveState blob; `id_map_out` (optional) receives the
+  /// snapshot-local -> restored-local query id translation (the exact
+  /// shape AdoptCell consumes).
+  Status RestoreState(
+      const std::string& bytes, const DeliveryFactory& make_delivery,
+      std::unordered_map<query::QueryId, query::QueryId>* id_map_out);
+  ///@}
+
   /// \brief Routes one crowdsensed tuple to its grid cell's topology (the
   /// map phase). Tuples landing outside every materialized cell or with
   /// an attribute no query asked for are counted and dropped. Violation

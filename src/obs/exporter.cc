@@ -1,7 +1,9 @@
 #include "obs/exporter.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common/macros.h"
 #include "obs/metrics.h"
@@ -25,6 +27,31 @@ Status WriteFile(const std::string& path, const std::string& contents) {
   return Status::OK();
 }
 
+/// Live-exporter registry backing MetricsExporter::FlushAll. Leaky
+/// function-local statics: FlushAll may run during process teardown
+/// (terminate handlers), after file-scope destructors.
+std::mutex& LiveExportersMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::vector<MetricsExporter*>& LiveExporters() {
+  static std::vector<MetricsExporter*>* live =
+      new std::vector<MetricsExporter*>;
+  return *live;
+}
+
+void RegisterLiveExporter(MetricsExporter* exporter) {
+  std::lock_guard<std::mutex> lock(LiveExportersMutex());
+  LiveExporters().push_back(exporter);
+}
+
+void UnregisterLiveExporter(MetricsExporter* exporter) {
+  std::lock_guard<std::mutex> lock(LiveExportersMutex());
+  auto& live = LiveExporters();
+  live.erase(std::remove(live.begin(), live.end(), exporter), live.end());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<MetricsExporter>> MetricsExporter::Start(
@@ -45,6 +72,7 @@ Result<std::unique_ptr<MetricsExporter>> MetricsExporter::Start(
     exporter->written_ = 1;
   }
   MetricsExporter* raw = exporter.get();
+  RegisterLiveExporter(raw);
   exporter->sampler_ = std::thread([raw] { raw->Loop(); });
   return exporter;
 }
@@ -59,6 +87,9 @@ void MetricsExporter::Stop() {
     }
     stop_ = true;
   }
+  // Out of FlushAll's reach before the join: a flusher must never touch an
+  // exporter whose destructor is already unwinding.
+  UnregisterLiveExporter(this);
   cv_.notify_all();
   if (sampler_.joinable()) {
     sampler_.join();
@@ -76,6 +107,16 @@ std::uint64_t MetricsExporter::snapshots_written() const {
   return written_;
 }
 
+void MetricsExporter::FlushAll() {
+  std::lock_guard<std::mutex> registry_lock(LiveExportersMutex());
+  for (MetricsExporter* exporter : LiveExporters()) {
+    if (exporter->WriteCycle().ok()) {
+      std::lock_guard<std::mutex> lock(exporter->mu_);
+      ++exporter->written_;
+    }
+  }
+}
+
 Status MetricsExporter::WriteJsonSnapshot(const std::string& path,
                                           std::size_t bank_top_k) {
   return WriteFile(path, SnapshotJson(bank_top_k));
@@ -87,6 +128,7 @@ Status MetricsExporter::WritePrometheusSnapshot(const std::string& path,
 }
 
 Status MetricsExporter::WriteCycle() {
+  std::lock_guard<std::mutex> lock(write_mu_);
   if (!options_.json_path.empty()) {
     CRAQR_RETURN_NOT_OK(
         WriteFile(options_.json_path, SnapshotJson(options_.bank_top_k)));

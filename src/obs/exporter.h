@@ -56,6 +56,15 @@ class MetricsExporter {
   /// Snapshots written so far (across both formats a cycle counts once).
   std::uint64_t snapshots_written() const;
 
+  /// \brief Writes one final snapshot for every live exporter in the
+  /// process without stopping any of them — the abnormal-teardown escape
+  /// hatch. A run that dies on an engine error (or a fault-injection
+  /// crash) may never unwind to the exporter's destructor; the engine's
+  /// failure paths call this so the output files still reflect the
+  /// registry at the moment of death instead of the last interval tick.
+  /// Safe from any thread; exporters mid-Stop() are skipped.
+  static void FlushAll();
+
   /// One-shot: write the current registry JSON snapshot to `path`.
   static Status WriteJsonSnapshot(const std::string& path,
                                   std::size_t bank_top_k = 16);
@@ -77,6 +86,9 @@ class MetricsExporter {
   std::condition_variable cv_;
   bool stop_ = false;
   std::uint64_t written_ = 0;
+  /// Serializes file writes: the sampler thread and FlushAll() may race,
+  /// and two interleaved rewrites of the same file would corrupt it.
+  std::mutex write_mu_;
 };
 
 }  // namespace obs

@@ -279,6 +279,99 @@ Status FlattenOperator::PushOnline(const Tuple& tuple) {
   return Discard(tuple);
 }
 
+void FlattenOperator::SaveState(StateWriter& w) const {
+  WriteOperatorCounters(w, *this);
+  w.WriteDouble(config_.target_rate);
+  WriteRngState(w, rng_);
+  WriteBatchRows(w, buffer_);
+  w.WriteDouble(coverage_start_);
+  w.WriteBool(sgd_.has_value());
+  if (sgd_.has_value()) {
+    // Domain times only: the spatial region is config_.region by
+    // construction (OnlineStep's lazy bind), which the restoring side
+    // re-supplies.
+    w.WriteDouble(sgd_->domain().t_begin);
+    w.WriteDouble(sgd_->domain().t_end);
+    const pp::SgdEstimator::State st = sgd_->Save();
+    for (const double a : st.a) {
+      w.WriteDouble(a);
+    }
+    w.WriteDouble(st.last_t);
+    w.WriteU64(st.updates);
+  }
+  WriteSlidingWindow(w, online_probs_);
+  w.WriteU64(online_seen_);
+  w.WriteDouble(last_report_.completed_at);
+  w.WriteU64(last_report_.n);
+  w.WriteU64(last_report_.violations);
+  w.WriteDouble(last_report_.violation_percent);
+  for (const double t : last_report_.theta) {
+    w.WriteDouble(t);
+  }
+  w.WriteDouble(last_report_.lambda_c);
+  w.WriteDouble(last_report_.target_count);
+  w.WriteU64(last_report_.retained);
+  WriteRunningStats(w, violation_history_);
+}
+
+Status FlattenOperator::RestoreState(StateReader& r) {
+  CRAQR_RETURN_NOT_OK(ReadOperatorCounters(r, this));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&config_.target_rate));
+  CRAQR_RETURN_NOT_OK(ReadRngState(r, &rng_));
+  buffer_.Clear();
+  CRAQR_RETURN_NOT_OK(ReadBatchRows(r, &buffer_));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&coverage_start_));
+  bool has_sgd = false;
+  CRAQR_RETURN_NOT_OK(r.ReadBool(&has_sgd));
+  sgd_.reset();
+  if (has_sgd) {
+    double t_begin = 0.0;
+    double t_end = 0.0;
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&t_begin));
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&t_end));
+    pp::SgdEstimator::State st;
+    for (double& a : st.a) {
+      CRAQR_RETURN_NOT_OK(r.ReadDouble(&a));
+    }
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.last_t));
+    CRAQR_RETURN_NOT_OK(r.ReadU64(&st.updates));
+    // Rebuild over the same domain (regenerating the derived
+    // normalisation scales), then apply the saved parameters.
+    const pp::SpaceTimeWindow domain{t_begin, t_end, config_.region};
+    pp::SgdOptions sgd_options = config_.sgd;
+    sgd_options.use_time_feature = false;
+    auto estimator = pp::SgdEstimator::Make(domain, sgd_options);
+    if (!estimator.ok()) {
+      return estimator.status();
+    }
+    sgd_.emplace(estimator.MoveValue());
+    sgd_->Restore(st);
+  }
+  CRAQR_RETURN_NOT_OK(ReadSlidingWindow(r, &online_probs_));
+  std::uint64_t online_seen = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&online_seen));
+  online_seen_ = static_cast<std::size_t>(online_seen);
+  FlattenBatchReport report;
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&report.completed_at));
+  std::uint64_t n = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&n));
+  report.n = static_cast<std::size_t>(n);
+  std::uint64_t violations = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&violations));
+  report.violations = static_cast<std::size_t>(violations);
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&report.violation_percent));
+  for (double& t : report.theta) {
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&t));
+  }
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&report.lambda_c));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&report.target_count));
+  std::uint64_t retained = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&retained));
+  report.retained = static_cast<std::size_t>(retained);
+  last_report_ = report;
+  return ReadRunningStats(r, &violation_history_);
+}
+
 Status FlattenOperator::PushOnlineBatch(TupleBatch& batch) {
   // One estimator/RNG sweep in arrival order; dropped tuples are
   // deselected (or moved to the discard side batch), survivors stay put.

@@ -13,6 +13,7 @@
 #include "common/stats.h"
 #include "geometry/rect.h"
 #include "ops/operator.h"
+#include "ops/state_serde.h"
 #include "pointprocess/estimate.h"
 
 /// \file flatten.h
@@ -174,6 +175,19 @@ class FlattenOperator final : public Operator {
   /// \brief Optional side output for discarded tuples ("if necessary, the
   /// discarded tuples can be stored separately").
   void SetDiscardedOutput(Operator* discarded) { discarded_ = discarded; }
+
+  /// \name Checkpoint support
+  /// Serializes every mutable field — the current target rate, the RNG
+  /// phase, the estimation buffer, the time-coverage cursor, the online
+  /// estimator (domain + parameters), the violation window and counters —
+  /// so a restored operator resumes mid-batch/mid-window byte-exactly.
+  /// RestoreState must be applied to an operator built by Make with the
+  /// same configuration (the region, mode and sizes are construction
+  /// inputs re-supplied by the checkpoint's topology record).
+  ///@{
+  void SaveState(StateWriter& w) const;
+  Status RestoreState(StateReader& r);
+  ///@}
 
  private:
   FlattenOperator(std::string name, const FlattenConfig& config, Rng rng);

@@ -140,6 +140,11 @@ class Operator {
   /// Resets throughput counters.
   void ResetStats() { stats_ = OperatorStats(); }
 
+  /// Overwrites throughput counters from a checkpoint. The per-operator
+  /// conservation validators compare these across edges, so a restored
+  /// topology must resume with its exact pre-crash counters.
+  void RestoreStats(const OperatorStats& stats) { stats_ = stats; }
+
  protected:
   /// Records an arrival; subclasses call this at the top of Push. Also
   /// feeds the process-wide per-operator-kind dispatch metrics

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "geometry/rect.h"
 #include "ops/operator.h"
+#include "ops/state_serde.h"
 
 /// \file partition.h
 /// \brief The P (Partition) PMAT operator (paper Section IV-B-1).
@@ -52,6 +53,21 @@ class PartitionOperator final : public Operator {
 
   /// Tuples that fell in none of the branch regions (dropped).
   std::uint64_t unrouted() const { return unrouted_; }
+
+  /// \name Checkpoint support
+  /// Mutable state is the base counters plus the unrouted diagnostic; the
+  /// regions are construction inputs and the per-port scratch never
+  /// survives a batch.
+  ///@{
+  void SaveState(StateWriter& w) const {
+    WriteOperatorCounters(w, *this);
+    w.WriteU64(unrouted_);
+  }
+  Status RestoreState(StateReader& r) {
+    CRAQR_RETURN_NOT_OK(ReadOperatorCounters(r, this));
+    return r.ReadU64(&unrouted_);
+  }
+  ///@}
 
  private:
   PartitionOperator(std::string name, std::vector<geom::Rect> regions)

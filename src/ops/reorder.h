@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "ops/operator.h"
+#include "ops/state_serde.h"
 
 /// \file reorder.h
 /// \brief Ord: canonical delivery-order restoration for merge stages.
@@ -47,6 +48,22 @@ class ReorderOperator final : public Operator {
 
   /// Tuples currently buffered (between a push and the next Flush).
   std::size_t buffered() const { return buffer_.size(); }
+
+  /// \name Checkpoint support
+  /// Serializes the base counters and any buffered step (checkpoints are
+  /// taken at step boundaries, where the buffer has been flushed, but the
+  /// format covers a mid-step capture too).
+  ///@{
+  void SaveState(StateWriter& w) const {
+    WriteOperatorCounters(w, *this);
+    WriteBatchRows(w, buffer_);
+  }
+  Status RestoreState(StateReader& r) {
+    CRAQR_RETURN_NOT_OK(ReadOperatorCounters(r, this));
+    buffer_.Clear();
+    return ReadBatchRows(r, &buffer_);
+  }
+  ///@}
 
  private:
   explicit ReorderOperator(std::string name) : Operator(std::move(name)) {}

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.h"
+#include "common/state_io.h"
+#include "common/stats.h"
+#include "geometry/rect.h"
+#include "ops/operator.h"
+#include "ops/tuple_batch.h"
+
+/// \file state_serde.h
+/// \brief Shared serialization helpers for operator checkpoint state
+/// (common/state_io.h primitives applied to the recurring shapes: RNG
+/// state, statistics accumulators, rectangles, tuple rows, throughput
+/// counters). Used by the per-operator SaveState/RestoreState methods and
+/// by the fabric checkpoint serializer (fabric/checkpoint.cc).
+///
+/// String payloads are serialized as their interned ValuePool handles, so
+/// a snapshot is valid only within the process (or process lineage) whose
+/// global pool interned them — exactly the crash/restore-in-place use the
+/// runtime checkpoint serves.
+
+namespace craqr {
+namespace ops {
+
+inline void WriteRngState(StateWriter& w, const Rng& rng) {
+  const Rng::State st = rng.Save();
+  for (int i = 0; i < 4; ++i) {
+    w.WriteU64(st.s[i]);
+  }
+  w.WriteDouble(st.cached_normal);
+  w.WriteBool(st.has_cached_normal);
+}
+
+inline Status ReadRngState(StateReader& r, Rng* rng) {
+  Rng::State st;
+  for (int i = 0; i < 4; ++i) {
+    CRAQR_RETURN_NOT_OK(r.ReadU64(&st.s[i]));
+  }
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.cached_normal));
+  CRAQR_RETURN_NOT_OK(r.ReadBool(&st.has_cached_normal));
+  rng->Restore(st);
+  return Status::OK();
+}
+
+inline void WriteRunningStats(StateWriter& w, const RunningStats& s) {
+  const RunningStats::State st = s.Save();
+  w.WriteU64(st.count);
+  w.WriteDouble(st.mean);
+  w.WriteDouble(st.m2);
+  w.WriteDouble(st.sum);
+  w.WriteDouble(st.min);
+  w.WriteDouble(st.max);
+}
+
+inline Status ReadRunningStats(StateReader& r, RunningStats* s) {
+  RunningStats::State st;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&st.count));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.mean));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.m2));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.sum));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.min));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&st.max));
+  s->Restore(st);
+  return Status::OK();
+}
+
+inline void WriteSlidingWindow(StateWriter& w, const SlidingWindow& s) {
+  w.WriteU64(s.values().size());
+  for (const double v : s.values()) {
+    w.WriteDouble(v);
+  }
+}
+
+inline Status ReadSlidingWindow(StateReader& r, SlidingWindow* s) {
+  std::uint64_t n = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&n));
+  std::deque<double> values;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&v));
+    values.push_back(v);
+  }
+  s->RestoreValues(values);
+  return Status::OK();
+}
+
+inline void WriteRect(StateWriter& w, const geom::Rect& rect) {
+  w.WriteDouble(rect.x_min());
+  w.WriteDouble(rect.y_min());
+  w.WriteDouble(rect.x_max());
+  w.WriteDouble(rect.y_max());
+}
+
+inline Status ReadRect(StateReader& r, geom::Rect* out) {
+  double x_min = 0.0, y_min = 0.0, x_max = 0.0, y_max = 0.0;
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&x_min));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&y_min));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&x_max));
+  CRAQR_RETURN_NOT_OK(r.ReadDouble(&y_max));
+  *out = geom::Rect(x_min, y_min, x_max, y_max);
+  return Status::OK();
+}
+
+/// Serializes the base-class throughput counters. Restored topologies must
+/// resume with their exact pre-crash counters or the per-edge conservation
+/// validators (ValidateStatsConservation) reject the restored fabricator.
+inline void WriteOperatorCounters(StateWriter& w, const Operator& op) {
+  w.WriteU64(op.stats().tuples_in);
+  w.WriteU64(op.stats().tuples_out);
+}
+
+inline Status ReadOperatorCounters(StateReader& r, Operator* op) {
+  OperatorStats stats;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&stats.tuples_in));
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&stats.tuples_out));
+  op->RestoreStats(stats);
+  return Status::OK();
+}
+
+/// Serializes the *active* rows of a batch (arrival order). Payload values
+/// are written by kind: inline scalars by bit pattern, strings as their
+/// interned ValueId handles (same-process validity; see file comment).
+inline void WriteBatchRows(StateWriter& w, const TupleBatch& batch) {
+  w.WriteU64(batch.size());
+  batch.ForEach([&w](const Tuple& t) {
+    w.WriteU64(t.id);
+    w.WriteU32(t.attribute);
+    w.WriteDouble(t.point.t);
+    w.WriteDouble(t.point.x);
+    w.WriteDouble(t.point.y);
+    w.WriteU64(t.sensor_id);
+    w.WriteU8(static_cast<std::uint8_t>(t.value.kind()));
+    switch (t.value.kind()) {
+      case PayloadKind::kNull:
+        break;
+      case PayloadKind::kBool:
+        w.WriteU8(t.value.AsBool() ? 1 : 0);
+        break;
+      case PayloadKind::kInt64:
+        w.WriteU64(static_cast<std::uint64_t>(t.value.AsInt64()));
+        break;
+      case PayloadKind::kDouble:
+        w.WriteDouble(t.value.AsDouble());
+        break;
+      case PayloadKind::kString:
+        w.WriteU32(t.value.string_id());
+        break;
+    }
+  });
+}
+
+/// Appends the serialized rows to `batch` (which must be plain — no
+/// selection). The inverse of WriteBatchRows.
+inline Status ReadBatchRows(StateReader& r, TupleBatch* batch) {
+  std::uint64_t n = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Tuple t;
+    CRAQR_RETURN_NOT_OK(r.ReadU64(&t.id));
+    CRAQR_RETURN_NOT_OK(r.ReadU32(&t.attribute));
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&t.point.t));
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&t.point.x));
+    CRAQR_RETURN_NOT_OK(r.ReadDouble(&t.point.y));
+    CRAQR_RETURN_NOT_OK(r.ReadU64(&t.sensor_id));
+    std::uint8_t kind = 0;
+    CRAQR_RETURN_NOT_OK(r.ReadU8(&kind));
+    switch (static_cast<PayloadKind>(kind)) {
+      case PayloadKind::kNull:
+        t.value = PayloadRef::Null();
+        break;
+      case PayloadKind::kBool: {
+        std::uint8_t v = 0;
+        CRAQR_RETURN_NOT_OK(r.ReadU8(&v));
+        t.value = PayloadRef::Bool(v != 0);
+        break;
+      }
+      case PayloadKind::kInt64: {
+        std::uint64_t v = 0;
+        CRAQR_RETURN_NOT_OK(r.ReadU64(&v));
+        t.value = PayloadRef::Int64(static_cast<std::int64_t>(v));
+        break;
+      }
+      case PayloadKind::kDouble: {
+        double v = 0.0;
+        CRAQR_RETURN_NOT_OK(r.ReadDouble(&v));
+        t.value = PayloadRef::Double(v);
+        break;
+      }
+      case PayloadKind::kString: {
+        std::uint32_t id = 0;
+        CRAQR_RETURN_NOT_OK(r.ReadU32(&id));
+        t.value = PayloadRef::InternedString(id);
+        break;
+      }
+      default:
+        return Status::OutOfRange("checkpoint: unknown payload kind " +
+                                  std::to_string(kind));
+    }
+    batch->Append(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace ops
+}  // namespace craqr

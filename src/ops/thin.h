@@ -5,6 +5,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "ops/operator.h"
+#include "ops/state_serde.h"
 
 /// \file thin.h
 /// \brief The T (Thin) PMAT operator (paper Section IV-B-1).
@@ -54,6 +55,21 @@ class ThinOperator final : public Operator {
   /// when T-chains are re-sorted or merged (paper Section V, rules 1-2).
   /// Same preconditions as Make.
   Status UpdateRates(double input_rate, double output_rate);
+
+  /// \name Checkpoint support
+  /// The operator's mutable state is the RNG phase plus the base
+  /// throughput counters; the rates and name are construction inputs
+  /// re-supplied by the checkpoint's topology record.
+  ///@{
+  void SaveState(StateWriter& w) const {
+    WriteOperatorCounters(w, *this);
+    WriteRngState(w, rng_);
+  }
+  Status RestoreState(StateReader& r) {
+    CRAQR_RETURN_NOT_OK(ReadOperatorCounters(r, this));
+    return ReadRngState(r, &rng_);
+  }
+  ///@}
 
  private:
   ThinOperator(std::string name, double input_rate, double output_rate,

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "geometry/rect.h"
 #include "ops/operator.h"
+#include "ops/state_serde.h"
 
 /// \file union_op.h
 /// \brief The U (Union) PMAT operator (paper Section IV-B-1).
@@ -55,6 +56,20 @@ class UnionOperator final : public Operator {
   /// Tuples that arrived outside every input region (still forwarded, but
   /// counted as a topology diagnostic).
   std::uint64_t out_of_region() const { return out_of_region_; }
+
+  /// \name Checkpoint support
+  /// Mutable state is the base counters plus the out-of-region
+  /// diagnostic; the regions are construction inputs.
+  ///@{
+  void SaveState(StateWriter& w) const {
+    WriteOperatorCounters(w, *this);
+    w.WriteU64(out_of_region_);
+  }
+  Status RestoreState(StateReader& r) {
+    CRAQR_RETURN_NOT_OK(ReadOperatorCounters(r, this));
+    return r.ReadU64(&out_of_region_);
+  }
+  ///@}
 
  private:
   UnionOperator(std::string name, std::vector<geom::Rect> input_regions,

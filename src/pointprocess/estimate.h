@@ -129,6 +129,29 @@ class SgdEstimator {
     return LinearIntensity::Make(theta(), min_rate);
   }
 
+  /// The domain the estimator was constructed over (checkpoint/restore:
+  /// a restored estimator is rebuilt via Make over the same domain, which
+  /// regenerates the derived normalisation scales, then State is applied).
+  const SpaceTimeWindow& domain() const { return domain_; }
+
+  /// \brief The estimator's mutable state: normalized-coordinate
+  /// parameters, the last arrival time, and the update count. The domain,
+  /// options, and derived scales are construction inputs and are restored
+  /// by re-running Make.
+  struct State {
+    std::array<double, 4> a{};
+    double last_t = 0.0;
+    std::uint64_t updates = 0;
+  };
+
+  State Save() const { return {a_, last_t_, updates_}; }
+
+  void Restore(const State& st) {
+    a_ = st.a;
+    last_t_ = st.last_t;
+    updates_ = st.updates;
+  }
+
  private:
   SgdEstimator(const SpaceTimeWindow& domain, const Options& options);
 

@@ -1,0 +1,116 @@
+#include "runtime/faultpoint.h"
+
+#include <algorithm>
+
+namespace craqr {
+namespace runtime {
+
+namespace {
+
+/// SplitMix64 — the same mixing finalizer the fabricator's operator
+/// seeding uses; a (seed, site-hash, hit-number) chain gives every hit an
+/// independent, reproducible uniform draw.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the site name (stable across runs and platforms).
+std::uint64_t HashSite(const char* site) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* instance = new FaultRegistry();
+  return *instance;
+}
+
+void FaultRegistry::Seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+void FaultRegistry::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::sort(spec.at_hits.begin(), spec.at_hits.end());
+  SiteState& state = sites_[site];
+  if (!state.armed) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.spec = std::move(spec);
+  state.hit_count = 0;
+  state.fire_count = 0;
+  state.armed = true;
+}
+
+void FaultRegistry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::Fire(const char* site, std::uint64_t* param_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) {
+    return false;
+  }
+  SiteState& state = it->second;
+  const std::uint64_t hit = ++state.hit_count;  // 1-based
+  if (state.spec.max_fires != 0 &&
+      state.fire_count >= state.spec.max_fires) {
+    return false;
+  }
+  bool fires = false;
+  if (!state.spec.at_hits.empty()) {
+    fires = std::binary_search(state.spec.at_hits.begin(),
+                               state.spec.at_hits.end(), hit);
+  } else if (state.spec.probability > 0.0) {
+    // Counter-based draw: uniform in [0, 1) from (seed, site, hit).
+    const std::uint64_t bits =
+        SplitMix64(SplitMix64(seed_ ^ HashSite(site)) ^ hit);
+    const double u =
+        static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    fires = u < state.spec.probability;
+  }
+  if (fires) {
+    ++state.fire_count;
+    if (param_out != nullptr) {
+      *param_out = state.spec.param;
+    }
+  }
+  return fires;
+}
+
+std::uint64_t FaultRegistry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+std::uint64_t FaultRegistry::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fire_count;
+}
+
+}  // namespace runtime
+}  // namespace craqr

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file faultpoint.h
+/// \brief Deterministic fault injection for the sharded runtime.
+///
+/// A *fault point* is a named site in production code where a test (or a
+/// soak harness) can make the runtime misbehave on purpose:
+///
+///     if (CRAQR_FAULT_FIRE("runtime.shard_crash", &param)) { ... }
+///
+/// Sites are compiled into the hot path as a single relaxed atomic load
+/// (`AnyArmed`) when nothing is armed, and compile out entirely — the
+/// macro folds to `(false)` — when `CRAQR_FAULT_DISABLED` is defined
+/// (mirroring the `CRAQR_OBS_DISABLED` observability switch).
+///
+/// Determinism: every firing decision comes from a seeded per-site
+/// counter-based hash, never from global time or an unseeded RNG. Given
+/// the same seed and the same sequence of `Fire` calls, the same hits
+/// fire — which is what lets CI log one `CRAQR_FAULT_SEED` line and
+/// replay a failing schedule exactly. Sites can alternatively be armed on
+/// an explicit hit schedule (`at_hits`), the mode the recovery tests use
+/// ("crash shard 1 at its 3rd epoch boundary").
+///
+/// Registered sites (see the call sites for exact semantics):
+///   - "runtime.queue_full"   — admission sees the task queue as full
+///   - "runtime.worker_stall" — worker sleeps `param` ms before a task
+///   - "runtime.worker_throw" — worker throws mid-task (exception path)
+///   - "runtime.shard_crash"  — fabricator state is destroyed at an
+///                              epoch boundary (checkpoint recovery path)
+///   - "runtime.alloc_fail"   — a checkpoint/restore allocation fails
+
+namespace craqr {
+namespace runtime {
+
+/// \brief How an armed site decides whether a given hit fires.
+struct FaultSpec {
+  /// Bernoulli firing probability per hit (seeded counter hash). Ignored
+  /// when `at_hits` is non-empty.
+  double probability = 0.0;
+  /// Explicit 1-based hit numbers that fire (deterministic schedule mode).
+  std::vector<std::uint64_t> at_hits;
+  /// Stop firing after this many fires (0 = unlimited).
+  std::uint64_t max_fires = 0;
+  /// Opaque site parameter (e.g. stall duration in ms), delivered to the
+  /// call site through CRAQR_FAULT_FIRE's out-pointer.
+  std::uint64_t param = 0;
+};
+
+/// \brief Process-wide seeded fault-point registry.
+///
+/// Thread-safe: Fire takes the registry mutex only while at least one
+/// site is armed; the disarmed fast path is one relaxed atomic load.
+class FaultRegistry {
+ public:
+  /// The process-wide instance every CRAQR_FAULT_FIRE site consults.
+  static FaultRegistry& Global();
+
+  /// Reseeds the probabilistic firing hash. Does not clear armed sites.
+  void Seed(std::uint64_t seed);
+
+  /// Arms (or re-arms, resetting its counters) a site.
+  void Arm(const std::string& site, FaultSpec spec);
+
+  /// Disarms one site; its hit/fire counters survive for inspection.
+  void Disarm(const std::string& site);
+
+  /// Disarms everything and clears all counters (test teardown).
+  void Reset();
+
+  /// \brief Called by the production code at a fault point: records the
+  /// hit and decides whether the fault fires. `param_out` (optional)
+  /// receives the armed spec's parameter when it fires.
+  bool Fire(const char* site, std::uint64_t* param_out = nullptr);
+
+  /// Times the site was reached since Arm/Reset (armed sites only).
+  std::uint64_t hits(const std::string& site) const;
+
+  /// Times the site actually fired since Arm/Reset.
+  std::uint64_t fires(const std::string& site) const;
+
+  /// True when at least one site is armed (the hot-path gate; public for
+  /// the macro below).
+  bool AnyArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  FaultRegistry() = default;
+
+  struct SiteState {
+    FaultSpec spec;
+    std::uint64_t hit_count = 0;
+    std::uint64_t fire_count = 0;
+    bool armed = false;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0x9e3779b97f4a7c15ull;
+  std::unordered_map<std::string, SiteState> sites_;
+  std::atomic<std::uint64_t> armed_count_{0};
+};
+
+}  // namespace runtime
+}  // namespace craqr
+
+#ifdef CRAQR_FAULT_DISABLED
+/// Fault injection compiled out: sites fold to a constant false.
+#define CRAQR_FAULT_FIRE(site, param_out) (false)
+#else
+/// Hit the named fault site; true when the armed fault fires. The
+/// disarmed fast path is one relaxed atomic load — cheap enough for the
+/// worker loop.
+#define CRAQR_FAULT_FIRE(site, param_out)                 \
+  (::craqr::runtime::FaultRegistry::Global().AnyArmed() && \
+   ::craqr::runtime::FaultRegistry::Global().Fire((site), (param_out)))
+#endif

@@ -1,10 +1,13 @@
 #include "runtime/shard.h"
 
 #include <chrono>
+#include <exception>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "runtime/faultpoint.h"
 
 namespace craqr {
 namespace runtime {
@@ -26,8 +29,9 @@ Result<std::unique_ptr<Shard>> Shard::Make(
           ? "craqr.rt" +
                 std::to_string(obs::Registry::Global().NextInstanceId())
           : metrics_scope;
-  auto shard = std::unique_ptr<Shard>(new Shard(
-      index, std::move(fabricator), queue_capacity, scope, trace_capacity));
+  auto shard = std::unique_ptr<Shard>(
+      new Shard(index, grid, config, std::move(fabricator), queue_capacity,
+                scope, trace_capacity));
   // Enroll in the work-stealing group before the worker starts: peers
   // must only ever observe fully constructed members.
   shard->steal_domain_ = std::move(steal_domain);
@@ -50,12 +54,15 @@ Result<std::unique_ptr<Shard>> Shard::Make(
   return shard;
 }
 
-Shard::Shard(std::size_t index,
+Shard::Shard(std::size_t index, const geom::Grid& grid,
+             const fabric::FabricConfig& config,
              std::unique_ptr<fabric::StreamFabricator> fabricator,
              std::size_t queue_capacity, const std::string& metrics_scope,
              std::size_t trace_capacity)
     : index_(index),
       fabricator_(std::move(fabricator)),
+      grid_(grid),
+      fabric_config_(config),
       queue_(queue_capacity) {
   // Registry lookups happen once here; the worker loop then writes
   // through the cached pointers lock-free.
@@ -87,37 +94,122 @@ void Shard::Stop() {
   }
 }
 
-Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
+Shard::Task Shard::MakeBatchTask(ops::TupleBatch batch, std::uint64_t epoch) {
   Task task;
   task.batch = std::move(batch);
   task.epoch = epoch;
   // Timestamp for the queue-wait / enqueue->drain histograms; one clock
   // read per sub-batch, skipped entirely when observability is off.
   task.enqueue_ns = obs::IsEnabled() ? obs::NowNs() : 0;
-  if (!queue_.Push(std::move(task))) {
-    return Status::FailedPrecondition("shard is stopped");
-  }
+  return task;
+}
+
+void Shard::NoteEnqueued() {
   if (steal_domain_ != nullptr) {
     steal_domain_->Signal();
   }
+}
+
+Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
+  if (!queue_.Push(MakeBatchTask(std::move(batch), epoch))) {
+    return Status::FailedPrecondition("shard is stopped");
+  }
+  NoteEnqueued();
   return Status::OK();
+}
+
+Status Shard::TryEnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
+  using PushResult = BoundedTaskQueue<Task>::PushResult;
+  switch (queue_.TryPush(MakeBatchTask(std::move(batch), epoch))) {
+    case PushResult::kAccepted:
+      NoteEnqueued();
+      return Status::OK();
+    case PushResult::kFull:
+      return Status::ResourceExhausted(
+          "shard " + std::to_string(index_) + " queue is full");
+    case PushResult::kClosed:
+    default:
+      return Status::FailedPrecondition("shard is stopped");
+  }
+}
+
+Status Shard::EnqueueBatchFor(ops::TupleBatch batch, std::uint64_t epoch,
+                              std::chrono::milliseconds timeout) {
+  using PushResult = BoundedTaskQueue<Task>::PushResult;
+  switch (queue_.PushFor(MakeBatchTask(std::move(batch), epoch), timeout)) {
+    case PushResult::kAccepted:
+      NoteEnqueued();
+      return Status::OK();
+    case PushResult::kFull:
+      return Status::ResourceExhausted(
+          "shard " + std::to_string(index_) + " queue still full after " +
+          std::to_string(timeout.count()) + "ms");
+    case PushResult::kClosed:
+    default:
+      return Status::FailedPrecondition("shard is stopped");
+  }
 }
 
 Status Shard::RunControl(ControlFn fn) {
   std::promise<void> done;
   std::future<void> future = done.get_future();
+  // The worker writes ctl_status before set_value and the caller reads it
+  // only after future.wait(), so the stack capture is safe and ordered.
+  Status ctl_status;
   Task task;
-  task.control = [&done, fn = std::move(fn)](fabric::StreamFabricator& f) {
-    fn(f);
+  task.control = [&done, &ctl_status, index = index_,
+                  fn = std::move(fn)](fabric::StreamFabricator& f) {
+    // Catch inside the closure: a throwing control fn must still fulfil
+    // the promise or the waiting caller deadlocks.
+    try {
+      fn(f);
+    } catch (const std::exception& e) {
+      ctl_status = Status::Internal("shard " + std::to_string(index) +
+                                    " control task threw: " + e.what());
+    } catch (...) {
+      ctl_status = Status::Internal("shard " + std::to_string(index) +
+                                    " control task threw a foreign object");
+    }
     done.set_value();
   };
   if (!queue_.Push(std::move(task))) {
     return Status::FailedPrecondition("shard is stopped");
   }
-  if (steal_domain_ != nullptr) {
-    steal_domain_->Signal();
-  }
+  NoteEnqueued();
   future.wait();
+  return ctl_status;
+}
+
+Status Shard::CrashFabricator() {
+  CRAQR_ASSIGN_OR_RETURN(auto fresh,
+                         fabric::StreamFabricator::Make(grid_, fabric_config_));
+  // Rewire the violation callback exactly as Make did for the original.
+  Shard* raw = this;
+  fresh->SetViolationCallback(
+      [raw](ops::AttributeId attribute, const geom::CellIndex& cell,
+            const ops::FlattenBatchReport& report) {
+        std::lock_guard<std::mutex> lock(raw->outbox_mu_);
+        raw->outbox_.violations.push_back(
+            {attribute, cell, report, raw->current_epoch_});
+      });
+  // The swap is a control task: it happens at a task boundary with the
+  // worker holding exclusive fabricator access. The ControlFn's reference
+  // parameter goes stale the moment we assign, so it must not be touched —
+  // we capture `this` instead.
+  CRAQR_RETURN_NOT_OK(RunControl([this, &fresh](fabric::StreamFabricator&) {
+    fabricator_ = std::move(fresh);
+  }));
+  // Everything the dead fabricator had half-delivered is gone with it;
+  // recovery replays the held epochs, which regenerates these deliveries.
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    outbox_.delivered.clear();
+    outbox_.violations.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_ = Status::OK();
+  }
   return Status::OK();
 }
 
@@ -139,8 +231,23 @@ void Shard::DeliverBatch(query::QueryId query, const ops::TupleBatch& batch) {
 ShardOutbox Shard::TakeOutbox(std::uint64_t max_delivery_epoch) {
   std::lock_guard<std::mutex> lock(outbox_mu_);
   ShardOutbox out;
-  out.violations = std::move(outbox_.violations);
-  outbox_.violations.clear();
+  if (max_delivery_epoch == ~static_cast<std::uint64_t>(0)) {
+    out.violations = std::move(outbox_.violations);
+    outbox_.violations.clear();
+  } else {
+    // Epoch-gate the violations like the deliveries: later-epoch events
+    // wait for a later collection (see the header contract — this is what
+    // keeps crash recovery from double-replaying applied feedback).
+    std::vector<ViolationEvent> kept;
+    for (ViolationEvent& v : outbox_.violations) {
+      if (v.epoch <= max_delivery_epoch) {
+        out.violations.push_back(std::move(v));
+      } else {
+        kept.push_back(std::move(v));
+      }
+    }
+    outbox_.violations = std::move(kept);
+  }
   const auto end = outbox_.delivered.upper_bound(max_delivery_epoch);
   for (auto it = outbox_.delivered.begin(); it != end; ++it) {
     out.delivered[it->first] = std::move(it->second);
@@ -199,9 +306,31 @@ void Shard::ProcessTask(Task task) {
   }
   const auto tuples = static_cast<std::uint64_t>(task.batch.size());
   const std::uint64_t start_ns = obs::NowNs();
-  Status status = steal_domain_ != nullptr
-                      ? ProcessBatchCooperative(task.batch)
-                      : fabricator_->ProcessBatch(task.batch);
+  // The batch path is exception-hardened: an operator or fabricator throw
+  // is converted to an Internal status carrying the shard and epoch
+  // context, latched like any processing error. The shard stays parked in
+  // the failed state but remains drainable — control tasks (and hence
+  // Drain / crash recovery) keep running.
+  Status status;
+  try {
+    std::uint64_t stall_ms = 0;
+    if (CRAQR_FAULT_FIRE("runtime.worker_stall", &stall_ms)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    }
+    if (CRAQR_FAULT_FIRE("runtime.worker_throw", nullptr)) {
+      throw std::runtime_error("fault injection: worker throw");
+    }
+    status = steal_domain_ != nullptr ? ProcessBatchCooperative(task.batch)
+                                      : fabricator_->ProcessBatch(task.batch);
+  } catch (const std::exception& e) {
+    status = Status::Internal("shard " + std::to_string(index_) +
+                              " worker threw at epoch " +
+                              std::to_string(task.epoch) + ": " + e.what());
+  } catch (...) {
+    status = Status::Internal("shard " + std::to_string(index_) +
+                              " worker threw a foreign object at epoch " +
+                              std::to_string(task.epoch));
+  }
   const std::uint64_t end_ns = obs::NowNs();
   busy_ns_->Add(end_ns - start_ns);
   batches_processed_->Increment();

@@ -188,10 +188,38 @@ class Shard {
     return EnqueueBatch(ops::TupleBatch(batch), epoch);
   }
 
+  /// \brief Non-blocking enqueue for credit-based admission: never applies
+  /// back-pressure. ResourceExhausted when the queue is full (the caller
+  /// decides whether to spool, drop or reject the batch),
+  /// FailedPrecondition when the shard is stopped. The batch is consumed
+  /// only on success.
+  Status TryEnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch = 0);
+
+  /// \brief Bounded-wait enqueue: blocks up to `timeout` for queue space,
+  /// then fails with ResourceExhausted — the middle ground between
+  /// EnqueueBatch (a stalled worker wedges the producer forever) and
+  /// TryEnqueueBatch (shed immediately).
+  Status EnqueueBatchFor(ops::TupleBatch batch, std::uint64_t epoch,
+                         std::chrono::milliseconds timeout);
+
   /// Runs `fn` on the worker thread after all previously queued tasks and
   /// waits for it to finish. The function reports its own results through
-  /// captured state.
+  /// captured state. A throwing `fn` is caught on the worker and surfaces
+  /// here as Internal (with the shard index and the exception message)
+  /// instead of wedging the waiting caller.
   Status RunControl(ControlFn fn);
+
+  /// \brief Simulated shard crash (fault-tolerance testing): destroys the
+  /// fabricator — live operator chains, RNG phases, partial F batches,
+  /// every query's partial stream — and replaces it with a fresh empty one
+  /// over the same grid and config, discards the outbox, and clears any
+  /// latched processing error. The swap runs as a control task, so it
+  /// lands at a task boundary like every other piece of topology surgery.
+  /// The shard keeps its thread, queue and steal-domain membership (peers
+  /// hold raw pointers; only the fabricator state "crashes"). The caller
+  /// (ShardedFabricator::CrashAndRestore) is responsible for rebuilding
+  /// state from a checkpoint and replaying held epochs.
+  Status CrashFabricator();
 
   /// Waits until every task enqueued so far has been processed.
   Status Drain() {
@@ -213,15 +241,19 @@ class Shard {
   /// batch callbacks on the worker thread.
   void DeliverBatch(query::QueryId query, const ops::TupleBatch& batch);
 
-  /// \brief Moves the accumulated outbox out — but only deliveries of
-  /// epochs <= `max_delivery_epoch` (violations always move; replay is
-  /// horizon-gated and epoch-major-sorted on the router, so partial
-  /// collection cannot reorder them). A partial drain passes the epoch it
-  /// waited through: deliveries of a *later* epoch might already sit in
-  /// the outbox half-complete (the worker is mid-batch), and collecting a
-  /// split epoch would split its merge-stage reorder flush — diverging
-  /// from the synchronous one-flush-per-step order. Full barriers pass the
-  /// default (everything is complete then).
+  /// \brief Moves the accumulated outbox out — but only deliveries AND
+  /// violation events of epochs <= `max_delivery_epoch`; later-epoch
+  /// events stay in the outbox until a later collection. A partial drain
+  /// passes the epoch it waited through: deliveries of a *later* epoch
+  /// might already sit in the outbox half-complete (the worker is
+  /// mid-batch), and collecting a split epoch would split its merge-stage
+  /// reorder flush — diverging from the synchronous one-flush-per-step
+  /// order. Epoch-gating the violations the same way is what lets crash
+  /// recovery discard a restored shard's replayed outbox below the
+  /// collected horizon without double-replaying feedback the router
+  /// already applied. Full barriers pass the default (everything is
+  /// complete then). Replay stays epoch-major-sorted on the router, so
+  /// partial collection cannot reorder it.
   ShardOutbox TakeOutbox(
       std::uint64_t max_delivery_epoch = ~static_cast<std::uint64_t>(0));
 
@@ -298,9 +330,16 @@ class Shard {
     std::uint64_t enqueue_ns = 0;
   };
 
-  Shard(std::size_t index, std::unique_ptr<fabric::StreamFabricator> fabricator,
+  Shard(std::size_t index, const geom::Grid& grid,
+        const fabric::FabricConfig& config,
+        std::unique_ptr<fabric::StreamFabricator> fabricator,
         std::size_t queue_capacity, const std::string& metrics_scope,
         std::size_t trace_capacity);
+
+  /// Builds a stamped batch task (shared by the three enqueue variants).
+  Task MakeBatchTask(ops::TupleBatch batch, std::uint64_t epoch);
+  /// Post-push bookkeeping shared by the enqueue variants.
+  void NoteEnqueued();
 
   void WorkerLoop();
   /// Runs one popped task (batch or control); shared by both worker-loop
@@ -325,6 +364,10 @@ class Shard {
 
   std::size_t index_;
   std::unique_ptr<fabric::StreamFabricator> fabricator_;
+  /// Construction inputs, kept so CrashFabricator can rebuild an empty
+  /// fabricator with identical parameters (master seed included).
+  geom::Grid grid_;
+  fabric::FabricConfig fabric_config_;
   BoundedTaskQueue<Task> queue_;
   std::thread worker_;
   bool stopped_ = false;

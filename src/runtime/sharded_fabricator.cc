@@ -1,15 +1,27 @@
 #include "runtime/sharded_fabricator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/macros.h"
 #include "common/simd.h"
+#include "common/state_io.h"
 #include "ops/extras.h"
 #include "ops/value_pool.h"
+#include "runtime/faultpoint.h"
+
+namespace {
+/// Checkpoint-file framing (the per-shard payloads inside carry their own
+/// fabric-state version).
+constexpr std::uint32_t kCheckpointFileMagic = 0x43525143u;  // "CQRC"
+constexpr std::uint32_t kCheckpointFileVersion = 1;
+}  // namespace
 
 namespace craqr {
 namespace runtime {
@@ -104,6 +116,41 @@ Result<std::unique_ptr<ShardedFabricator>> ShardedFabricator::Make(
         obs::GetCounter("craqr.rebalance.moved_cells");
     runtime->rebalance_plan_ns_ = obs::GetHistogram("craqr.rebalance.plan_ns");
   }
+  // Admission / fault telemetry: process-wide families registered
+  // unconditionally (functional counters — tests and the exporter smoke
+  // assert on them — never runtime-gated).
+  runtime->admission_spooled_ = obs::GetCounter("craqr.admission.spooled");
+  runtime->admission_dropped_ = obs::GetCounter("craqr.admission.dropped");
+  runtime->admission_rejected_ = obs::GetCounter("craqr.admission.rejected");
+  runtime->admission_delivered_spooled_ =
+      obs::GetCounter("craqr.admission.delivered_spooled");
+  runtime->admission_queue_timeouts_ =
+      obs::GetCounter("craqr.admission.queue_timeouts");
+  runtime->admission_queue_rejects_ =
+      obs::GetCounter("craqr.admission.queue_rejects");
+  runtime->admission_degraded_ = obs::GetGauge("craqr.admission.degraded");
+  runtime->fault_checkpoints_ = obs::GetCounter("craqr.fault.checkpoints");
+  runtime->fault_shard_crashes_ = obs::GetCounter("craqr.fault.shard_crashes");
+  runtime->fault_replaylog_truncated_ =
+      obs::GetCounter("craqr.fault.replaylog_truncated");
+  runtime->fault_worker_stalls_ =
+      obs::GetCounter("craqr.fault.worker_stalls");
+  runtime->fault_injections_ = obs::GetCounter("craqr.fault.injections");
+  runtime->fault_recovery_ns_ = obs::GetHistogram("craqr.fault.recovery_ns");
+  runtime->shard_replay_.resize(config.num_shards);
+  runtime->replay_truncated_.assign(config.num_shards, 0);
+  if (config.checkpoint.enabled) {
+    // The construction-time checkpoint: recovery works from epoch 0 on,
+    // and HasCheckpoint() is an invariant rather than a phase.
+    std::unique_lock<std::mutex> lock(runtime->mu_);
+    CRAQR_RETURN_NOT_OK(runtime->CheckpointLocked());
+  }
+  if (config.admission.watchdog_interval_ms > 0) {
+    runtime->watchdog_prev_batches_.assign(config.num_shards, 0);
+    runtime->watchdog_ticks_.assign(config.num_shards, 0);
+    ShardedFabricator* raw = runtime.get();
+    runtime->watchdog_ = std::thread([raw] { raw->WatchdogLoop(); });
+  }
   return runtime;
 }
 
@@ -123,6 +170,14 @@ std::size_t ShardedFabricator::ShardForCellLocked(
 }
 
 ShardedFabricator::~ShardedFabricator() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   for (auto& shard : shards_) {
     shard->Stop();
   }
@@ -195,7 +250,6 @@ Status ShardedFabricator::CollectLocked(std::uint64_t max_delivery_epoch) {
   }
 
   for (auto& [epoch, per_query] : per_epoch) {
-    (void)epoch;
     for (auto& [id, batch] : per_query) {
       const auto it = queries_.find(id);
       if (it == queries_.end()) {
@@ -210,11 +264,14 @@ Status ShardedFabricator::CollectLocked(std::uint64_t max_delivery_epoch) {
       // fabricator drives, so delivery order cannot diverge between the
       // two paths. A single-cell query lives entirely on one shard and its
       // partial stream arrives already time-ordered.
-      QueryState& qs = it->second;
-      CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
-      CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
+      CRAQR_RETURN_NOT_OK(DeliverEpochLocked(it->second, epoch, batch));
     }
   }
+  // The discard line for crash recovery: a restored shard's replayed
+  // outbox is dropped at or below this epoch (the router already merged
+  // that content).
+  collected_through_ = std::max(
+      collected_through_, std::min(max_delivery_epoch, last_enqueued_epoch_));
 
   // Buffered, not invoked: the callback is user code and may re-enter the
   // runtime, so it only runs once mu_ is released (ReplayViolationsAndUnlock).
@@ -355,15 +412,72 @@ Status ShardedFabricator::EnqueueSubBatchesLocked(
     std::vector<ops::TupleBatch>& sub, std::uint64_t epoch) {
   last_enqueued_epoch_ = epoch;
   for (std::size_t i = 0; i < sub.size(); ++i) {
-    if (!sub[i].empty()) {
-      const std::size_t tuples = sub[i].size();
-      // Bookkeeping only after the push succeeds: a ghost in-flight epoch
-      // for a task that never queued would turn the next partial drain
-      // into an unbounded WaitForEpochCompleted.
-      CRAQR_RETURN_NOT_OK(shards_[i]->EnqueueBatch(std::move(sub[i]), epoch));
-      shard_tuples_enqueued_[i]->Add(tuples);
-      shard_batches_enqueued_[i]->Increment();
-      shard_inflight_epochs_[i].push_back(epoch);
+    if (sub[i].empty()) {
+      continue;
+    }
+    const std::size_t tuples = sub[i].size();
+    // Crash replay needs the sub-batch exactly as enqueued; copy before
+    // the push consumes it. Zero cost with checkpointing off.
+    ops::TupleBatch replay_copy;
+    if (config_.checkpoint.enabled) {
+      replay_copy.CopyFrom(sub[i]);
+    }
+    std::uint64_t unused = 0;
+    const bool forced_full = CRAQR_FAULT_FIRE("runtime.queue_full", &unused);
+    if (forced_full) {
+      fault_injections_->Increment();
+    }
+    Status pushed = Status::OK();
+    if (forced_full) {
+      pushed = Status::ResourceExhausted("fault injection: shard " +
+                                         std::to_string(i) + " queue full");
+    } else {
+      switch (config_.admission.queue_policy) {
+        case QueuePushPolicy::kBlock:
+          pushed = shards_[i]->EnqueueBatch(std::move(sub[i]), epoch);
+          break;
+        case QueuePushPolicy::kTimedWait:
+          pushed = shards_[i]->EnqueueBatchFor(
+              std::move(sub[i]), epoch,
+              std::chrono::milliseconds(
+                  config_.admission.queue_push_timeout_ms));
+          break;
+        case QueuePushPolicy::kTryOnce:
+          pushed = shards_[i]->TryEnqueueBatch(std::move(sub[i]), epoch);
+          break;
+      }
+    }
+    if (!pushed.ok()) {
+      if (pushed.code() == StatusCode::kResourceExhausted) {
+        // Shed this shard's sub-batch instead of wedging the producer.
+        // No in-flight entry and no replay entry: the epoch never reached
+        // the shard, so nothing may wait on it or replay it.
+        admission_queue_rejects_->Increment();
+        if (config_.admission.queue_policy == QueuePushPolicy::kTimedWait &&
+            !forced_full) {
+          admission_queue_timeouts_->Increment();
+        }
+        continue;
+      }
+      return pushed;
+    }
+    // Bookkeeping only after the push succeeds: a ghost in-flight epoch
+    // for a task that never queued would turn the next partial drain
+    // into an unbounded WaitForEpochCompleted.
+    shard_tuples_enqueued_[i]->Add(tuples);
+    shard_batches_enqueued_[i]->Increment();
+    shard_inflight_epochs_[i].push_back(epoch);
+    if (config_.checkpoint.enabled) {
+      std::deque<ReplayEntry>& log = shard_replay_[i];
+      ReplayEntry entry;
+      entry.epoch = epoch;
+      entry.batch.Swap(replay_copy);
+      log.push_back(std::move(entry));
+      while (log.size() > config_.checkpoint.replay_limit_epochs) {
+        log.pop_front();
+        replay_truncated_[i] = 1;
+        fault_replaylog_truncated_->Increment();
+      }
     }
   }
   return Status::OK();
@@ -390,7 +504,9 @@ Status ShardedFabricator::ProcessBatch(const std::vector<ops::Tuple>& batch) {
   const Status status = [&]() -> Status {
     CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch, last_enqueued_epoch_ + 1));
     CRAQR_RETURN_NOT_OK(BarrierLocked());
-    return CollectLocked();
+    CRAQR_RETURN_NOT_OK(CollectLocked());
+    // Epoch boundary: the site the "runtime.shard_crash" fault targets.
+    return MaybeInjectCrashLocked();
   }();
   ReplayViolationsAndUnlock(lock);
   return status;
@@ -401,7 +517,9 @@ Status ShardedFabricator::ProcessBatch(ops::TupleBatch& batch) {
   const Status status = [&]() -> Status {
     CRAQR_RETURN_NOT_OK(EnqueueBatchLocked(batch, last_enqueued_epoch_ + 1));
     CRAQR_RETURN_NOT_OK(BarrierLocked());
-    return CollectLocked();
+    CRAQR_RETURN_NOT_OK(CollectLocked());
+    // Epoch boundary: the site the "runtime.shard_crash" fault targets.
+    return MaybeInjectCrashLocked();
   }();
   ReplayViolationsAndUnlock(lock);
   return status;
@@ -411,7 +529,9 @@ Status ShardedFabricator::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   const Status status = [&]() -> Status {
     CRAQR_RETURN_NOT_OK(BarrierLocked());
-    return CollectLocked();
+    CRAQR_RETURN_NOT_OK(CollectLocked());
+    // Epoch boundary: the site the "runtime.shard_crash" fault targets.
+    return MaybeInjectCrashLocked();
   }();
   ReplayViolationsAndUnlock(lock);
   return status;
@@ -433,7 +553,9 @@ Status ShardedFabricator::DrainThrough(std::uint64_t epoch) {
       }
     }
     CRAQR_RETURN_NOT_OK(waited);
-    return CollectLocked(epoch);
+    CRAQR_RETURN_NOT_OK(CollectLocked(epoch));
+    // Epoch boundary: the site the "runtime.shard_crash" fault targets.
+    return MaybeInjectCrashLocked();
   }();
   // Advancing the horizon is what releases this epoch's feedback; a
   // DrainThrough on a runtime that never engaged the horizon engages it.
@@ -508,6 +630,11 @@ Result<std::size_t> ShardedFabricator::RebalanceLocked() {
   cells_migrated_ += moved;
   rebalance_migrations_->Increment();
   rebalance_moved_cells_->Add(moved);
+  if (config_.checkpoint.enabled) {
+    // Cells moved between fabricators; the old per-shard blobs no longer
+    // describe the live partition.
+    CRAQR_RETURN_NOT_OK(CheckpointLocked());
+  }
   return moved;
 }
 
@@ -684,6 +811,12 @@ Result<fabric::QueryStream> ShardedFabricator::InsertQueryLocked(
 
   const fabric::QueryStream handle = qs.stream;
   queries_.emplace(id, std::move(qs));
+  if (config_.checkpoint.enabled) {
+    // Refresh so the snapshot's attachment map matches the new topology
+    // (checkpoint-time shard-local ids == live ids, which is what lets
+    // crash recovery re-point attachments through the restore id map).
+    CRAQR_RETURN_NOT_OK(CheckpointLocked());
+  }
   return handle;
 }
 
@@ -719,7 +852,410 @@ Status ShardedFabricator::RemoveQueryLocked(query::QueryId id) {
     }
   }
   queries_.erase(it);
+  if (first.ok() && config_.checkpoint.enabled) {
+    first = CheckpointLocked();  // snapshot must match the live topology
+  }
   return first;
+}
+
+Status ShardedFabricator::DeliverEpochLocked(QueryState& qs,
+                                             std::uint64_t epoch,
+                                             ops::TupleBatch& batch) {
+  // Spooled epochs are strictly older than this one and must re-deliver
+  // first, or the query's stream would reorder across a credit refill.
+  CRAQR_RETURN_NOT_OK(DrainSpoolLocked(qs));
+  if (qs.credits == kUnlimitedCredits || qs.credits > 0) {
+    if (qs.credits != kUnlimitedCredits) {
+      --qs.credits;
+    }
+    CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
+    return qs.merge_pipeline.FlushAll();
+  }
+  switch (config_.admission.shed_policy) {
+    case ShedPolicy::kReject:
+      admission_rejected_->Increment();
+      return Status::OK();
+    case ShedPolicy::kSpool:
+      if (qs.spool.size() >= config_.admission.spool_limit_epochs) {
+        admission_dropped_->Increment();  // the incoming epoch drops
+        return Status::OK();
+      }
+      break;
+    case ShedPolicy::kDropOldest:
+      if (!qs.spool.empty() &&
+          qs.spool.size() >= config_.admission.spool_limit_epochs) {
+        qs.spool.pop_front();  // evict the oldest, keep fresh data
+        admission_dropped_->Increment();
+      }
+      break;
+  }
+  SpooledDelivery held;
+  held.epoch = epoch;
+  held.batch.Swap(batch);
+  qs.spool.push_back(std::move(held));
+  admission_spooled_->Increment();
+  return Status::OK();
+}
+
+Status ShardedFabricator::DrainSpoolLocked(QueryState& qs) {
+  while (!qs.spool.empty() &&
+         (qs.credits == kUnlimitedCredits || qs.credits > 0)) {
+    SpooledDelivery held = std::move(qs.spool.front());
+    qs.spool.pop_front();
+    if (qs.credits != kUnlimitedCredits) {
+      --qs.credits;
+    }
+    admission_delivered_spooled_->Increment();
+    CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(held.batch));
+    CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
+  }
+  return Status::OK();
+}
+
+Status ShardedFabricator::SetDeliveryCredits(query::QueryId id,
+                                             std::uint64_t credits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  it->second.credits = credits;
+  return DrainSpoolLocked(it->second);
+}
+
+Status ShardedFabricator::AddDeliveryCredits(query::QueryId id,
+                                             std::uint64_t credits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  QueryState& qs = it->second;
+  if (qs.credits != kUnlimitedCredits) {
+    // Saturate one below kUnlimitedCredits: adding credits must never
+    // accidentally lift a finite budget to "unlimited".
+    if (credits >= kUnlimitedCredits - qs.credits) {
+      qs.credits = kUnlimitedCredits - 1;
+    } else {
+      qs.credits += credits;
+    }
+  }
+  return DrainSpoolLocked(qs);
+}
+
+Result<std::size_t> ShardedFabricator::SpooledEpochs(query::QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " is not live");
+  }
+  return it->second.spool.size();
+}
+
+Status ShardedFabricator::CheckpointLocked() {
+  if (!config_.checkpoint.enabled) {
+    return Status::FailedPrecondition(
+        "checkpointing is not enabled (ShardedConfig::checkpoint.enabled)");
+  }
+  if (CRAQR_FAULT_FIRE("runtime.alloc_fail", nullptr)) {
+    fault_injections_->Increment();
+    return Status::ResourceExhausted(
+        "fault injection: checkpoint allocation failed");
+  }
+  // A stable point: every enqueued batch processed and every delivery
+  // collected, so the snapshot holds no half-applied epoch and the replay
+  // logs can restart empty.
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  CRAQR_RETURN_NOT_OK(CollectLocked());
+  CheckpointState next;
+  next.epoch = last_enqueued_epoch_;
+  next.shard_blobs.resize(shards_.size());
+  next.local_to_router.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Status saved = Status::OK();
+    std::string blob;
+    CRAQR_RETURN_NOT_OK(shards_[i]->RunControl(
+        [&saved, &blob](fabric::StreamFabricator& f) {
+          saved = f.SaveState(&blob);
+        }));
+    CRAQR_RETURN_NOT_OK(saved);
+    next.shard_blobs[i] = std::move(blob);
+  }
+  for (const auto& [id, qs] : queries_) {
+    for (const ShardAttachment& a : qs.attachments) {
+      next.local_to_router[a.shard].emplace(a.local_id, id);
+    }
+  }
+  next.valid = true;
+  checkpoint_ = std::move(next);
+  for (auto& log : shard_replay_) {
+    log.clear();
+  }
+  std::fill(replay_truncated_.begin(), replay_truncated_.end(), 0);
+  fault_checkpoints_->Increment();
+  return Status::OK();
+}
+
+Status ShardedFabricator::Checkpoint() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = CheckpointLocked();
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+bool ShardedFabricator::HasCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_.valid;
+}
+
+std::uint64_t ShardedFabricator::CheckpointEpoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_.epoch;
+}
+
+Status ShardedFabricator::SaveCheckpointToFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!checkpoint_.valid) {
+    return Status::FailedPrecondition("no checkpoint to save");
+  }
+  StateWriter w;
+  w.WriteU32(kCheckpointFileMagic);
+  w.WriteU32(kCheckpointFileVersion);
+  w.WriteU64(checkpoint_.epoch);
+  w.WriteU64(shards_.size());
+  w.WriteU64(grid_.NumCells());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto& map = checkpoint_.local_to_router[i];
+    std::vector<std::pair<query::QueryId, query::QueryId>> entries(
+        map.begin(), map.end());
+    std::sort(entries.begin(), entries.end());
+    w.WriteU64(entries.size());
+    for (const auto& [local, router] : entries) {
+      w.WriteU64(local);
+      w.WriteU64(router);
+    }
+    w.WriteString(checkpoint_.shard_blobs[i]);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out.write(w.bytes().data(), static_cast<std::streamsize>(w.bytes().size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ShardedFabricator::LoadCheckpointFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!config_.checkpoint.enabled) {
+    return Status::FailedPrecondition(
+        "checkpointing is not enabled (ShardedConfig::checkpoint.enabled)");
+  }
+  StateReader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU32(&magic));
+  CRAQR_RETURN_NOT_OK(r.ReadU32(&version));
+  if (magic != kCheckpointFileMagic || version != kCheckpointFileVersion) {
+    return Status::InvalidArgument("unrecognized checkpoint file " + path);
+  }
+  std::uint64_t epoch = 0;
+  std::uint64_t num_shards = 0;
+  std::uint64_t num_cells = 0;
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&epoch));
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&num_shards));
+  CRAQR_RETURN_NOT_OK(r.ReadU64(&num_cells));
+  if (num_shards != shards_.size() || num_cells != grid_.NumCells()) {
+    return Status::InvalidArgument(
+        "checkpoint topology mismatch: file has " +
+        std::to_string(num_shards) + " shard(s) over " +
+        std::to_string(num_cells) + " cell(s), runtime has " +
+        std::to_string(shards_.size()) + " over " +
+        std::to_string(grid_.NumCells()));
+  }
+  CheckpointState next;
+  next.epoch = epoch;
+  next.shard_blobs.resize(shards_.size());
+  next.local_to_router.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::uint64_t entries = 0;
+    CRAQR_RETURN_NOT_OK(r.ReadU64(&entries));
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      std::uint64_t local = 0;
+      std::uint64_t router = 0;
+      CRAQR_RETURN_NOT_OK(r.ReadU64(&local));
+      CRAQR_RETURN_NOT_OK(r.ReadU64(&router));
+      next.local_to_router[i].emplace(local, router);
+    }
+    CRAQR_RETURN_NOT_OK(r.ReadString(&next.shard_blobs[i]));
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in checkpoint file " +
+                                   path);
+  }
+  next.valid = true;
+  checkpoint_ = std::move(next);
+  // Only epochs enqueued after the load are replayable against it.
+  for (auto& log : shard_replay_) {
+    log.clear();
+  }
+  std::fill(replay_truncated_.begin(), replay_truncated_.end(), 0);
+  return Status::OK();
+}
+
+Status ShardedFabricator::CrashAndRestoreLocked(std::size_t victim) {
+  if (victim >= shards_.size()) {
+    return Status::InvalidArgument("shard index " + std::to_string(victim) +
+                                   " out of range");
+  }
+  if (!checkpoint_.valid) {
+    return Status::FailedPrecondition(
+        "no checkpoint (ShardedConfig::checkpoint.enabled)");
+  }
+  if (replay_truncated_[victim] != 0) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(victim) +
+        " replay log was truncated; byte-exact recovery is impossible "
+        "until the next Checkpoint()");
+  }
+  const bool timed = obs::IsEnabled();
+  const std::uint64_t t0 = timed ? obs::NowNs() : 0;
+  // The crash lands at an epoch boundary: every enqueued batch completes
+  // first, so the victim's replay log is exactly its input since the
+  // checkpoint and nothing is mid-batch when the fabricator dies.
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  Shard* shard = shards_[victim].get();
+  CRAQR_RETURN_NOT_OK(shard->CrashFabricator());
+  const auto& local_to_router = checkpoint_.local_to_router[victim];
+  std::unordered_map<query::QueryId, query::QueryId> id_map;
+  Status restored = Status::OK();
+  CRAQR_RETURN_NOT_OK(shard->RunControl([&restored, &id_map, shard,
+                                         &local_to_router, this,
+                                         victim](fabric::StreamFabricator& f) {
+    restored = f.RestoreState(
+        checkpoint_.shard_blobs[victim],
+        [shard, &local_to_router](query::QueryId snap_id)
+            -> ops::SinkOperator::BatchCallback {
+          const auto it = local_to_router.find(snap_id);
+          if (it == local_to_router.end()) {
+            return nullptr;
+          }
+          const query::QueryId router_id = it->second;
+          return [shard, router_id](const ops::TupleBatch& batch) {
+            shard->DeliverBatch(router_id, batch);
+          };
+        },
+        &id_map);
+  }));
+  CRAQR_RETURN_NOT_OK(restored);
+  // Re-point the router's attachments at the restored fabricator's ids.
+  // Resolve each attachment through its router id, NOT through its current
+  // local id: after a previous restore of this same shard the attachment
+  // already carries a restored id, while id_map stays keyed by the
+  // checkpoint's snapshot-local ids (the blob never changes between
+  // checkpoints). The checkpoint refreshes on every topology change, so
+  // every live query on the victim has exactly one snapshot entry.
+  std::unordered_map<query::QueryId, query::QueryId> router_to_snapshot;
+  router_to_snapshot.reserve(local_to_router.size());
+  for (const auto& [snap_id, router_id] : local_to_router) {
+    router_to_snapshot.emplace(router_id, snap_id);
+  }
+  for (auto& [id, qs] : queries_) {
+    for (ShardAttachment& a : qs.attachments) {
+      if (a.shard != victim) {
+        continue;
+      }
+      const auto snap = router_to_snapshot.find(id);
+      const auto found = snap != router_to_snapshot.end()
+                             ? id_map.find(snap->second)
+                             : id_map.end();
+      if (found == id_map.end()) {
+        return Status::Internal("restored shard " + std::to_string(victim) +
+                                " lost the partial stream of query " +
+                                std::to_string(id));
+      }
+      a.local_id = found->second;
+    }
+  }
+  // Replay the held epochs with their original stamps. The log survives
+  // intact so a repeat crash before the next checkpoint replays the same
+  // prefix.
+  for (const ReplayEntry& entry : shard_replay_[victim]) {
+    ops::TupleBatch copy;
+    copy.CopyFrom(entry.batch);
+    CRAQR_RETURN_NOT_OK(shard->EnqueueBatch(std::move(copy), entry.epoch));
+  }
+  CRAQR_RETURN_NOT_OK(shard->Drain());
+  CRAQR_RETURN_NOT_OK(shard->status());
+  // The replay regenerated deliveries and violations the router already
+  // collected; discard those, keep everything later for the next collect.
+  (void)shard->TakeOutbox(collected_through_);
+  fault_shard_crashes_->Increment();
+  if (timed) {
+    fault_recovery_ns_->Record(obs::NowNs() - t0);
+  }
+  return Status::OK();
+}
+
+Status ShardedFabricator::InjectShardCrash(std::size_t shard) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = CrashAndRestoreLocked(shard);
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+Status ShardedFabricator::MaybeInjectCrashLocked() {
+  std::uint64_t victim = 0;
+  if (!CRAQR_FAULT_FIRE("runtime.shard_crash", &victim)) {
+    return Status::OK();
+  }
+  fault_injections_->Increment();
+  return CrashAndRestoreLocked(static_cast<std::size_t>(victim) %
+                               shards_.size());
+}
+
+void ShardedFabricator::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(config_.admission.watchdog_interval_ms));
+    if (watchdog_stop_) {
+      break;
+    }
+    // Lock-free sampling: atomic load counters plus the queue size — the
+    // watchdog must stay responsive precisely when workers (and therefore
+    // mu_ holders blocked on them) are stuck.
+    bool any_stalled = false;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Shard::Load load = shards_[i]->LoadSnapshot();
+      if (load.queue_depth > 0 &&
+          load.batches_processed == watchdog_prev_batches_[i]) {
+        ++watchdog_ticks_[i];
+        if (watchdog_ticks_[i] == config_.admission.watchdog_stall_ticks) {
+          // Once per stall episode, at the crossing tick.
+          fault_worker_stalls_->Increment();
+        }
+        if (watchdog_ticks_[i] >= config_.admission.watchdog_stall_ticks) {
+          any_stalled = true;
+        }
+      } else {
+        watchdog_ticks_[i] = 0;
+      }
+      watchdog_prev_batches_[i] = load.batches_processed;
+    }
+    degraded_.store(any_stalled, std::memory_order_relaxed);
+    admission_degraded_->Set(any_stalled ? 1 : 0);
+  }
 }
 
 Result<fabric::QueryStream> ShardedFabricator::GetStream(

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -84,6 +88,64 @@
 namespace craqr {
 namespace runtime {
 
+/// \brief How the router hands sub-batches to a shard queue on the
+/// pipelined engine path.
+enum class QueuePushPolicy {
+  /// Block until the queue has room (back-pressure; the pre-admission
+  /// behaviour — a stalled worker wedges the producer forever).
+  kBlock,
+  /// Block up to AdmissionConfig::queue_push_timeout_ms, then shed the
+  /// sub-batch (craqr.admission.queue_timeouts / .queue_rejects).
+  kTimedWait,
+  /// Never block: a full queue sheds the sub-batch immediately.
+  kTryOnce,
+};
+
+/// \brief What happens to a delivery for a query whose credits are
+/// exhausted (see ShardedFabricator::SetDeliveryCredits).
+enum class ShedPolicy {
+  /// Spool the epoch's delivery in memory (FIFO, bounded by
+  /// spool_limit_epochs); beyond the bound the *incoming* delivery drops.
+  kSpool,
+  /// Spool, but beyond the bound evict the *oldest* spooled epoch to make
+  /// room — the subscriber prefers fresh data over a complete prefix.
+  kDropOldest,
+  /// Drop immediately, never spool.
+  kReject,
+};
+
+/// \brief Credit-based admission and overload-shedding parameters.
+struct AdmissionConfig {
+  /// Shard-queue push behaviour on the engine path.
+  QueuePushPolicy queue_policy = QueuePushPolicy::kBlock;
+  /// Wait budget for kTimedWait before the sub-batch sheds.
+  std::uint64_t queue_push_timeout_ms = 100;
+  /// Delivery policy for credit-exhausted queries.
+  ShedPolicy shed_policy = ShedPolicy::kSpool;
+  /// Spooled epochs a query may hold before the shed policy's overflow
+  /// rule kicks in.
+  std::size_t spool_limit_epochs = 64;
+  /// Watchdog sampling period; 0 (the default) starts no watchdog thread.
+  std::uint64_t watchdog_interval_ms = 0;
+  /// Consecutive samples a shard must sit on a non-empty queue without
+  /// finishing a batch before it counts as stalled and the runtime enters
+  /// degraded mode (craqr.admission.degraded gauge,
+  /// craqr.fault.worker_stalls counter).
+  std::uint64_t watchdog_stall_ticks = 3;
+};
+
+/// \brief Epoch-barrier checkpoint/restore parameters.
+struct CheckpointConfig {
+  /// Master switch: record per-shard replay logs and allow Checkpoint() /
+  /// crash recovery. Off by default (zero copies on the enqueue path).
+  bool enabled = false;
+  /// Per-shard bound on the epoch replay log. When more epochs pass
+  /// without a fresh checkpoint the oldest entries drop
+  /// (craqr.fault.replaylog_truncated) and byte-exact recovery of that
+  /// shard becomes impossible until the next checkpoint.
+  std::size_t replay_limit_epochs = 256;
+};
+
 /// \brief Runtime construction parameters.
 struct ShardedConfig {
   /// Number of shards / worker threads (>= 1).
@@ -111,6 +173,10 @@ struct ShardedConfig {
   bool enable_rebalancing = false;
   /// Planner hysteresis knobs; used when enable_rebalancing.
   RebalanceConfig rebalance;
+  /// Credit-based admission / overload shedding knobs.
+  AdmissionConfig admission;
+  /// Epoch-barrier checkpoint/restore knobs.
+  CheckpointConfig checkpoint;
 };
 
 /// \brief Per-shard load telemetry (one entry per shard in
@@ -292,6 +358,72 @@ class ShardedFabricator {
   /// epochs — the engine invokes it right after DrainThrough.
   Result<std::size_t> Rebalance();
 
+  /// \name Epoch-barrier checkpoint / crash recovery
+  /// (requires ShardedConfig::checkpoint.enabled)
+  ///
+  /// Checkpoint() runs a full epoch barrier, collects every outstanding
+  /// delivery, serializes each shard's complete fabricator state (operator
+  /// chains, RNG phases, partial F batches, shared-stage ref counts) plus
+  /// the query attachment map into an in-memory versioned snapshot, and
+  /// resets the per-shard epoch replay logs. Afterwards a crashed shard —
+  /// injected by InjectShardCrash or the "runtime.shard_crash" fault
+  /// point — is rebuilt by restoring its snapshot blob and replaying the
+  /// input sub-batches held since the checkpoint with their original
+  /// epoch stamps, producing delivered streams byte-identical to a run
+  /// with no crash (pinned in tests/runtime_checkpoint_test.cc). One
+  /// checkpoint is taken automatically at construction and refreshed
+  /// after every successful topology change (insert/remove/rebalance), so
+  /// the snapshot's attachment map always matches the live topology.
+  ///@{
+  /// Takes a fresh checkpoint at a full epoch barrier.
+  Status Checkpoint();
+  /// True once a checkpoint exists (always true when checkpointing is
+  /// enabled — Make takes the first one).
+  bool HasCheckpoint() const;
+  /// The epoch the current checkpoint was taken at.
+  std::uint64_t CheckpointEpoch() const;
+  /// Writes the current in-memory checkpoint to a file (versioned binary;
+  /// string tuple payloads are interned ids, so the file is only
+  /// restorable within the process that wrote it).
+  Status SaveCheckpointToFile(const std::string& path) const;
+  /// Replaces the in-memory checkpoint with one read from `path`
+  /// (validating version, shard count and grid). The replay logs reset —
+  /// only epochs enqueued after the load are replayable on a crash.
+  Status LoadCheckpointFromFile(const std::string& path);
+  /// \brief Simulated fail-stop: destroys `shard`'s fabricator state at a
+  /// full epoch barrier and immediately rebuilds it from the checkpoint +
+  /// replay log. FailedPrecondition when the replay log was truncated
+  /// (byte-exact recovery impossible until the next Checkpoint()).
+  Status InjectShardCrash(std::size_t shard);
+  ///@}
+
+  /// \name Delivery credits / overload shedding
+  ///
+  /// Every query starts with unlimited delivery credits. Once a finite
+  /// budget is set, each collected epoch delivery consumes one credit;
+  /// deliveries arriving with no credits left follow
+  /// AdmissionConfig::shed_policy (spool / drop-oldest / reject), so one
+  /// slow subscriber degrades gracefully instead of back-pressuring the
+  /// runtime. Spooled epochs re-deliver in order as credits return.
+  ///@{
+  static constexpr std::uint64_t kUnlimitedCredits =
+      ~static_cast<std::uint64_t>(0);
+  /// Sets a query's remaining delivery credits (kUnlimitedCredits lifts
+  /// the budget) and immediately delivers spooled epochs the new budget
+  /// covers.
+  Status SetDeliveryCredits(query::QueryId id, std::uint64_t credits);
+  /// Adds credits to a query's budget and delivers spooled epochs.
+  Status AddDeliveryCredits(query::QueryId id, std::uint64_t credits);
+  /// Epochs currently spooled for a query.
+  Result<std::size_t> SpooledEpochs(query::QueryId id) const;
+  /// True while the watchdog sees at least one stalled worker (a shard
+  /// sitting on a non-empty queue without completing batches for
+  /// watchdog_stall_ticks consecutive samples).
+  bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  ///@}
+
   /// \brief Aggregated counters across every shard fabricator plus the
   /// merge stages. Waits for queued work first, so the numbers are
   /// consistent with all enqueued batches. If a shard has latched a
@@ -341,6 +473,12 @@ class ShardedFabricator {
     query::QueryId local_id = 0;  // id assigned by the shard's fabricator
   };
 
+  /// One shed-and-held epoch delivery (ShedPolicy::kSpool/kDropOldest).
+  struct SpooledDelivery {
+    std::uint64_t epoch = 0;
+    ops::TupleBatch batch;
+  };
+
   /// Router-level per-query state: the cross-shard merge stage.
   struct QueryState {
     fabric::QueryStream stream;
@@ -348,6 +486,29 @@ class ShardedFabricator {
     ops::Operator* merge_head = nullptr;  // U (or pass-through) input
     std::vector<ShardAttachment> attachments;
     std::vector<geom::CellIndex> cells;
+    /// Remaining delivery credits (kUnlimitedCredits = no budget).
+    std::uint64_t credits = kUnlimitedCredits;
+    /// Epoch deliveries shed while out of credits, oldest first.
+    std::deque<SpooledDelivery> spool;
+  };
+
+  /// One held input sub-batch for crash replay (checkpointing only).
+  struct ReplayEntry {
+    std::uint64_t epoch = 0;
+    ops::TupleBatch batch;
+  };
+
+  /// The in-memory snapshot Checkpoint() maintains.
+  struct CheckpointState {
+    bool valid = false;
+    /// last_enqueued_epoch_ at capture time.
+    std::uint64_t epoch = 0;
+    /// One fabric::StreamFabricator::SaveState blob per shard.
+    std::vector<std::string> shard_blobs;
+    /// Per shard: snapshot-local query id -> router query id (feeds the
+    /// restore DeliveryFactory and the attachment re-pointing).
+    std::vector<std::unordered_map<query::QueryId, query::QueryId>>
+        local_to_router;
   };
 
   ShardedFabricator(const geom::Grid& grid, const ShardedConfig& config)
@@ -380,6 +541,21 @@ class ShardedFabricator {
   /// Moves one cell's chains from `move.from` to `move.to` and flips its
   /// routing-table entry. The caller holds mu_ and has barriered.
   Status MigrateCellLocked(const CellMove& move);
+  /// Barrier + collect + serialize every shard + reset replay logs.
+  Status CheckpointLocked();
+  /// Fail-stop `victim` and rebuild it from checkpoint_ + its replay log.
+  Status CrashAndRestoreLocked(std::size_t victim);
+  /// Fires the "runtime.shard_crash" fault point (called at every epoch
+  /// boundary); crashes-and-restores the armed victim when it fires.
+  Status MaybeInjectCrashLocked();
+  /// Admission-aware delivery of one collected epoch batch into a query's
+  /// merge stage: spends a credit or sheds per the policy.
+  Status DeliverEpochLocked(QueryState& qs, std::uint64_t epoch,
+                            ops::TupleBatch& batch);
+  /// Re-delivers spooled epochs (oldest first) while credits allow.
+  Status DrainSpoolLocked(QueryState& qs);
+  /// The watchdog thread body (admission.watchdog_interval_ms > 0).
+  void WatchdogLoop();
   /// Releases `lock` and then invokes the violation callback on the events
   /// CollectLocked buffered whose epoch is within the replay horizon,
   /// sorted by (completed_at, attribute, cell) — the canonical order
@@ -409,6 +585,50 @@ class ShardedFabricator {
   std::uint64_t last_enqueued_epoch_ = 0;
   /// Violation-replay horizon (see SetReplayHorizon).
   std::uint64_t replay_horizon_ = kNoReplayHorizon;
+  /// Highest epoch whose deliveries have been collected into the merge
+  /// stages — the discard line for a restored shard's replayed outbox
+  /// (everything at or below regenerated content the router already has).
+  std::uint64_t collected_through_ = 0;
+  /// \name Fault-tolerance state (checkpoint.enabled only)
+  ///@{
+  CheckpointState checkpoint_;
+  /// Per-shard input sub-batches held since the last checkpoint, in epoch
+  /// order, bounded by checkpoint.replay_limit_epochs.
+  std::vector<std::deque<ReplayEntry>> shard_replay_;
+  /// Set when a shard's replay log overflowed (byte-exact recovery of
+  /// that shard is impossible until the next checkpoint).
+  std::vector<char> replay_truncated_;
+  ///@}
+  /// \name Watchdog (admission.watchdog_interval_ms > 0)
+  ///@{
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  /// batches_processed per shard at the previous sample.
+  std::vector<std::uint64_t> watchdog_prev_batches_;
+  /// Consecutive no-progress-with-backlog samples per shard.
+  std::vector<std::uint64_t> watchdog_ticks_;
+  std::atomic<bool> degraded_{false};
+  ///@}
+  /// \name Fault / admission telemetry (process-wide registry names,
+  /// registered unconditionally so the exporter always carries the
+  /// families).
+  ///@{
+  obs::Counter* admission_spooled_ = nullptr;
+  obs::Counter* admission_dropped_ = nullptr;
+  obs::Counter* admission_rejected_ = nullptr;
+  obs::Counter* admission_delivered_spooled_ = nullptr;
+  obs::Counter* admission_queue_timeouts_ = nullptr;
+  obs::Counter* admission_queue_rejects_ = nullptr;
+  obs::Gauge* admission_degraded_ = nullptr;
+  obs::Counter* fault_checkpoints_ = nullptr;
+  obs::Counter* fault_shard_crashes_ = nullptr;
+  obs::Counter* fault_replaylog_truncated_ = nullptr;
+  obs::Counter* fault_worker_stalls_ = nullptr;
+  obs::Counter* fault_injections_ = nullptr;
+  obs::LogHistogram* fault_recovery_ns_ = nullptr;
+  ///@}
   /// Per-shard epochs with batches enqueued but not yet waited on, in
   /// ascending order (epochs are sparse per shard: a step whose sub-batch
   /// for a shard was empty never appears in that shard's deque). Mutable:

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -43,6 +44,46 @@ class BoundedTaskQueue {
     items_.push_back(std::move(item));
     not_empty_.notify_one();
     return true;
+  }
+
+  /// \brief Non-blocking push for credit-based admission: fails fast
+  /// instead of applying back-pressure. Returns kAccepted on success,
+  /// kFull when the caller should shed, kClosed when the queue is closed
+  /// (the item is dropped in both failure cases).
+  enum class PushResult { kAccepted, kFull, kClosed };
+
+  PushResult TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return PushResult::kClosed;
+    }
+    if (items_.size() >= capacity_) {
+      return PushResult::kFull;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// \brief Bounded-wait push: blocks up to `timeout` for a slot, then
+  /// fails with kFull. The middle ground between Push (block forever —
+  /// a stalled worker wedges the producer) and TryPush (shed
+  /// immediately). Close() while waiting wakes the producer with kClosed.
+  template <typename Rep, typename Period>
+  PushResult PushFor(T item, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_full_.wait_for(lock, timeout, [this] {
+      return closed_ || items_.size() < capacity_;
+    });
+    if (closed_) {
+      return PushResult::kClosed;
+    }
+    if (!ready) {
+      return PushResult::kFull;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
   }
 
   /// Blocks while the queue is empty; returns std::nullopt once the queue

@@ -71,6 +71,112 @@ TEST(TaskQueueTest, CloseWakesBlockedConsumer) {
   consumer.join();
 }
 
+TEST(TaskQueueTest, TryPushNeverBlocks) {
+  BoundedTaskQueue<int> queue(2);
+  using PushResult = BoundedTaskQueue<int>::PushResult;
+  EXPECT_EQ(queue.TryPush(1), PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(2), PushResult::kAccepted);
+  EXPECT_EQ(queue.TryPush(3), PushResult::kFull);  // immediate, no wait
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.TryPush(4), PushResult::kAccepted);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(5), PushResult::kClosed);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 4);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(TaskQueueTest, PushForTimesOutOnAFullQueueThenSucceeds) {
+  BoundedTaskQueue<int> queue(1);
+  using PushResult = BoundedTaskQueue<int>::PushResult;
+  EXPECT_EQ(queue.PushFor(1, std::chrono::milliseconds(5)),
+            PushResult::kAccepted);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.PushFor(2, std::chrono::milliseconds(30)),
+            PushResult::kFull);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, std::chrono::milliseconds(25));  // it really waited
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.PushFor(3, std::chrono::milliseconds(5)),
+            PushResult::kAccepted);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(TaskQueueTest, PushForWakesWhenConsumerMakesRoom) {
+  BoundedTaskQueue<int> queue(1);
+  using PushResult = BoundedTaskQueue<int>::PushResult;
+  ASSERT_EQ(queue.TryPush(1), PushResult::kAccepted);
+  std::thread producer([&] {
+    // Far longer than the test runs: only the Pop below can unblock this.
+    EXPECT_EQ(queue.PushFor(2, std::chrono::seconds(30)),
+              PushResult::kAccepted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(queue.Pop().value(), 2);
+}
+
+TEST(TaskQueueTest, CloseWhileFullWakesTimedProducerWithClosed) {
+  BoundedTaskQueue<int> queue(1);
+  using PushResult = BoundedTaskQueue<int>::PushResult;
+  ASSERT_EQ(queue.TryPush(1), PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.PushFor(2, std::chrono::seconds(30)),
+              PushResult::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  // The closed queue still drains its accepted item.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(TaskQueueTest, CloseWhileFullRaceNeverLosesAcceptedItems) {
+  // Hammer TryPush/PushFor against a concurrent Close on a tiny queue:
+  // every item reported kAccepted must be popped exactly once, and every
+  // post-close attempt must report kClosed — no other outcome.
+  using PushResult = BoundedTaskQueue<int>::PushResult;
+  for (int round = 0; round < 20; ++round) {
+    BoundedTaskQueue<int> queue(1);
+    std::atomic<int> accepted{0};
+    constexpr int kProducers = 4;
+    constexpr int kAttempts = 50;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&queue, &accepted, p] {
+        for (int i = 0; i < kAttempts; ++i) {
+          const int item = p * kAttempts + i;
+          const PushResult result =
+              (i % 2 == 0)
+                  ? queue.TryPush(item)
+                  : queue.PushFor(item, std::chrono::microseconds(200));
+          if (result == PushResult::kAccepted) {
+            accepted.fetch_add(1);
+          } else if (result == PushResult::kClosed) {
+            break;  // stays closed; later attempts cannot succeed
+          }
+        }
+      });
+    }
+    std::atomic<int> popped{0};
+    std::thread consumer([&queue, &popped] {
+      while (queue.Pop().has_value()) {
+        popped.fetch_add(1);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(500 * round));
+    queue.Close();
+    for (auto& producer : producers) {
+      producer.join();
+    }
+    consumer.join();
+    EXPECT_EQ(accepted.load(), popped.load());
+  }
+}
+
 TEST(TaskQueueTest, MultipleProducersAllItemsArrive) {
   BoundedTaskQueue<int> queue(4);
   constexpr int kPerProducer = 200;
