@@ -136,6 +136,9 @@ std::vector<std::vector<ops::Tuple>> WorkloadGenerator::MakeBatches() const {
   // An independent stream from the same master seed: the tuple stream
   // must not shift when schedule knobs (overlap, churn) change.
   Rng rng(SplitMix64(config_.seed ^ 0x7D5F1E5ull));
+  ops::ValuePool& pool = config_.value_pool != nullptr
+                             ? *config_.value_pool
+                             : ops::ValuePool::Global();
   double t = 0.0;
   std::uint64_t id = 1;
   std::vector<std::vector<ops::Tuple>> out;
@@ -161,6 +164,16 @@ std::vector<std::vector<ops::Tuple>> WorkloadGenerator::MakeBatches() const {
       tuple.point = geom::SpaceTimePoint{
           t, rng.Uniform(target.x_min(), target.x_max()),
           rng.Uniform(target.y_min(), target.y_max())};
+      if (config_.unique_string_fraction > 0.0 &&
+          rng.Bernoulli(config_.unique_string_fraction)) {
+        // Globally unique: seed-qualified (ids restart at 1 per generator,
+        // so two generators must never collide) and padded so each entry
+        // costs real pool bytes.
+        tuple.value = ops::PayloadRef::String(
+            "flood-" + std::to_string(config_.seed) + "-" +
+                std::to_string(tuple.id) + "-payload-xxxxxxxxxxxxxxxx",
+            pool);
+      }
       batch.push_back(tuple);
     }
     out.push_back(std::move(batch));

@@ -85,6 +85,20 @@ struct WorkloadConfig {
   std::size_t batch_size = 512;
   /// Simulation-time advance per tuple.
   double dt = 0.0005;
+  /// \name Unique-string flood (bounded-memory endurance workloads)
+  ///@{
+  /// Fraction of tuples carrying a *globally unique* string payload
+  /// (sensor free-text: device ids, firmware notes). 0 (the default)
+  /// keeps payloads numeric — the pre-governance workload. A flood of
+  /// never-repeating strings is what an ungoverned interning pool can
+  /// never forget, so this is the adversarial input for the memory
+  /// governor's tests and soaks.
+  double unique_string_fraction = 0.0;
+  /// Pool the flood interns into (null = the process Global() pool).
+  /// Point it at the engine's instance pool so the flood and the
+  /// governance accounting meet in the same pool.
+  ops::ValuePool* value_pool = nullptr;
+  ///@}
   /// Master seed; equal seeds replay identical workloads.
   std::uint64_t seed = 0xC17BEA7;
 };

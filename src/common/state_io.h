@@ -16,8 +16,18 @@
 /// growing std::string. Every reader call is bounds-checked and returns a
 /// Status instead of reading past the end, so a truncated or corrupted
 /// snapshot surfaces as OutOfRange rather than undefined behaviour.
+///
+/// Writer and reader optionally carry the `ops::ValuePool` the serialized
+/// state's string payloads live in (set_value_pool). Batch serde
+/// (ops/state_serde.h) uses it to write interned strings by value and
+/// re-intern on read, making snapshots process-independent and safe across
+/// pool generation retirement; a null pool means ValuePool::Global().
 
 namespace craqr {
+
+namespace ops {
+class ValuePool;
+}  // namespace ops
 
 /// \brief Appends fixed-width scalars and length-prefixed blobs to an
 /// in-memory byte string.
@@ -53,8 +63,13 @@ class StateWriter {
   const std::string& bytes() const { return bytes_; }
   std::string TakeBytes() { return std::move(bytes_); }
 
+  /// Pool the serialized string payloads resolve in (null = Global()).
+  void set_value_pool(ops::ValuePool* pool) { value_pool_ = pool; }
+  ops::ValuePool* value_pool() const { return value_pool_; }
+
  private:
   std::string bytes_;
+  ops::ValuePool* value_pool_ = nullptr;
 };
 
 /// \brief Bounds-checked reader over a byte string written by StateWriter.
@@ -123,6 +138,10 @@ class StateReader {
   /// Bytes not yet consumed.
   std::size_t remaining() const { return size_ - pos_; }
 
+  /// Pool to re-intern string payloads into (null = Global()).
+  void set_value_pool(ops::ValuePool* pool) { value_pool_ = pool; }
+  ops::ValuePool* value_pool() const { return value_pool_; }
+
  private:
   Status Need(std::uint64_t n) {
     if (n > size_ - pos_) {
@@ -136,6 +155,7 @@ class StateReader {
   const char* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
+  ops::ValuePool* value_pool_ = nullptr;
 };
 
 }  // namespace craqr

@@ -59,6 +59,11 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
   CRAQR_ASSIGN_OR_RETURN(
       geom::Grid grid,
       geom::Grid::Make(world.population().region(), config.grid_h));
+  // Effective governance knobs: the scalar budget wins over the struct's.
+  runtime::MemoryGovernorConfig memory = config.memory;
+  if (config.memory_budget_bytes > 0) {
+    memory.budget_bytes = config.memory_budget_bytes;
+  }
   std::unique_ptr<fabric::StreamFabricator> fabricator;
   std::unique_ptr<runtime::ShardedFabricator> sharded;
   if (config.num_shards == 1) {
@@ -78,6 +83,7 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
     if (config.checkpoint_every_steps > 0) {
       sc.checkpoint.enabled = true;  // a cadence without snapshots is moot
     }
+    sc.memory = memory;
     CRAQR_ASSIGN_OR_RETURN(sharded, runtime::ShardedFabricator::Make(grid, sc));
   }
   CRAQR_ASSIGN_OR_RETURN(server::BudgetManager budgets,
@@ -89,6 +95,18 @@ Result<std::unique_ptr<CraqrEngine>> CraqrEngine::Make(
       new CraqrEngine(std::move(world), grid, config, std::move(fabricator),
                       std::move(sharded), std::move(budgets),
                       std::move(incentives)));
+
+  if (engine->fabricator_ != nullptr && memory.budget_bytes > 0) {
+    // Single-fabricator governance: the engine owns the governor (the
+    // sharded runtime builds its own in ShardedFabricator::Make) and the
+    // governed pool runs generational so reclamation can retire one-shot
+    // strings wholesale.
+    engine->governor_ = std::make_unique<runtime::MemoryGovernor>(memory);
+    ops::ValuePool& pool = config.fabric.value_pool != nullptr
+                               ? *config.fabric.value_pool
+                               : ops::ValuePool::Global();
+    pool.EnableGenerations();
+  }
 
   // The handler needs stable pointers into the engine, so it is built
   // after the engine object exists.
@@ -266,6 +284,10 @@ Status CraqrEngine::Step() {
         step_count_ % config_.checkpoint_every_steps == 0) {
       CRAQR_RETURN_NOT_OK(sharded_->Checkpoint());
     }
+    // Memory-governance poll at the same boundary (inert without a
+    // budget): reclamation barriers like a checkpoint, degradation sheds
+    // — neither changes delivered bytes below the hard watermark.
+    CRAQR_RETURN_NOT_OK(sharded_->GovernMemory());
     const std::uint64_t t_drain = timed ? obs::NowNs() : 0;
     const Status dispatched = sharded_->EnqueueBatch(batch, step_count_);
     if (timed) {
@@ -298,6 +320,13 @@ Status CraqrEngine::Step() {
       step_count_ % config_.checkpoint_every_steps == 0) {
     CRAQR_RETURN_NOT_OK(sharded_->Checkpoint());
   }
+  // Per-step governance poll, synchronous flavours (inert without a
+  // budget): the sharded runtime governs itself; the single-fabricator
+  // path runs the engine-owned reclamation pass.
+  if (processed.ok()) {
+    CRAQR_RETURN_NOT_OK(sharded_ != nullptr ? sharded_->GovernMemory()
+                                            : GovernSingle());
+  }
   if (timed) {
     const std::uint64_t t_end = obs::NowNs();
     // No separate drain phase here; ProcessBatch is the whole dispatch.
@@ -314,6 +343,42 @@ Status CraqrEngine::DrainPipeline() {
     return Status::OK();
   }
   return sharded_->Drain();
+}
+
+Status CraqrEngine::GovernSingle() {
+  if (governor_ == nullptr || !governor_->enabled()) {
+    return Status::OK();
+  }
+  ops::ValuePool& pool = config_.fabric.value_pool != nullptr
+                             ? *config_.fabric.value_pool
+                             : ops::ValuePool::Global();
+  runtime::MemoryGovernor::Usage usage;
+  usage.pool_bytes = pool.ApproxBytes();
+  usage.queue_bytes = fabricator_->BatchMemoryBytes();
+  const runtime::MemoryPressure pressure = governor_->Assess(usage);
+  if (pressure == runtime::MemoryPressure::kNone) {
+    return Status::OK();
+  }
+  // Value-preserving reclamation between steps (the fabricator is idle
+  // here, so no barrier is needed). The single path has no shed machinery
+  // — hard pressure reclaims identically; graceful degradation is a
+  // sharded-runtime feature.
+  // Rotate first so evacuated strings land in the fresh generation as
+  // first sights (re-interning into the old current generation would
+  // promote every live string into the persistent tier — a permanent
+  // leak).
+  pool.RotateGeneration();
+  fabricator_->ReinternStrings(pool);
+  const std::uint64_t retired_before = pool.generations_retired();
+  const std::size_t reclaimed =
+      pool.RetireGenerationsBelow(pool.current_generation());
+  fabricator_->TrimMemory();
+  governor_->RecordRetirement(pool.generations_retired() - retired_before);
+  governor_->RecordReclaim(reclaimed);
+  usage.pool_bytes = pool.ApproxBytes();
+  usage.queue_bytes = fabricator_->BatchMemoryBytes();
+  governor_->Assess(usage);
+  return Status::OK();
 }
 
 runtime::ShardedStats CraqrEngine::Stats() {
@@ -335,7 +400,15 @@ runtime::ShardedStats CraqrEngine::Stats() {
   stats.total_operators = fabricator_->TotalOperators();
   stats.materialized_cells = fabricator_->NumMaterializedCells();
   stats.live_queries = fabricator_->NumQueries();
-  stats.value_pool_bytes = ops::ValuePool::Global().ApproxBytes();
+  // The engine's actual pool, not a Global() hardcode — instance-pool
+  // embedders read their own growth here.
+  ops::ValuePool& pool = config_.fabric.value_pool != nullptr
+                             ? *config_.fabric.value_pool
+                             : ops::ValuePool::Global();
+  stats.value_pool_bytes = pool.ApproxBytes();
+  stats.pool_generations_retired = pool.generations_retired();
+  stats.memory_pressure =
+      governor_ != nullptr ? static_cast<int>(governor_->pressure()) : 0;
   stats.shared_prefix_hits = fabricator_->shared_prefix_hits();
   stats.taps_detached = fabricator_->taps_detached();
   stats.stages_shared = fabricator_->SharedStagesLive();

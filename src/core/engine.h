@@ -131,6 +131,21 @@ struct EngineConfig {
   /// recovery time. 0 (the default) keeps only the automatic checkpoints
   /// (construction + topology changes).
   std::uint64_t checkpoint_every_steps = 0;
+  /// \brief Bounded-memory endurance budget in bytes across the string
+  /// pool, recycled batch arenas and shard queues. 0 (the default)
+  /// disables memory governance. With a budget set, the governed pool
+  /// (fabric.value_pool, or the process-wide pool) switches into
+  /// generational mode and the engine polls the memory governor once per
+  /// step: crossing the soft watermark triggers value-preserving
+  /// reclamation (string re-intern + generation retirement + arena/
+  /// scratch trims — delivered streams stay byte-exact), crossing the
+  /// hard watermark additionally sheds deliveries and queue pushes
+  /// instead of OOMing (sharded path; the single-fabricator path reclaims
+  /// but has no shed machinery). See runtime/memory_governor.h.
+  std::size_t memory_budget_bytes = 0;
+  /// Watermark / hard-shed fine-tuning; its budget_bytes is overridden by
+  /// memory_budget_bytes whenever that is non-zero.
+  runtime::MemoryGovernorConfig memory;
 };
 
 /// \brief The CrAQR engine.
@@ -262,6 +277,12 @@ class CraqrEngine {
   /// Applies every deferred report whose contracted step has arrived
   /// (synchronous-path lag emulation; FIFO preserves replay order).
   void ApplyDueFeedback();
+  /// Per-step memory-governance poll on the single-fabricator path
+  /// (num_shards == 1): assesses pool + operator-scratch accounting and
+  /// runs the value-preserving reclamation pass when a watermark is
+  /// crossed. The sharded path delegates to
+  /// runtime::ShardedFabricator::GovernMemory instead.
+  Status GovernSingle();
 
   sensing::CrowdWorld world_;
   geom::Grid grid_;
@@ -271,6 +292,9 @@ class CraqrEngine {
   std::unique_ptr<runtime::ShardedFabricator> sharded_;
   server::BudgetManager budgets_;
   server::IncentiveController incentives_;
+  /// Single-path memory governor (set when num_shards == 1 and a budget
+  /// is configured; the sharded runtime owns its own).
+  std::unique_ptr<runtime::MemoryGovernor> governor_;
   std::optional<server::RequestResponseHandler> handler_;
   std::vector<server::BudgetKey> infeasible_log_;
   /// Ring of recycled columnar step batches the handler fills and the

@@ -29,8 +29,9 @@ namespace fabric {
 namespace {
 
 /// Bumped whenever the blob layout changes; a mismatch means the snapshot
-/// was written by a different build of the serializer.
-constexpr std::uint32_t kFabricStateVersion = 1;
+/// was written by a different build of the serializer. Version 2: string
+/// payloads by value (re-interned on restore) instead of ValueId handles.
+constexpr std::uint32_t kFabricStateVersion = 2;
 
 }  // namespace
 
@@ -39,6 +40,7 @@ Status StreamFabricator::SaveState(std::string* out) const {
     return Status::InvalidArgument("SaveState needs an output string");
   }
   StateWriter w;
+  w.set_value_pool(config_.value_pool);
   w.WriteU32(kFabricStateVersion);
 
   // Query records, ascending by local id.
@@ -174,6 +176,7 @@ Status StreamFabricator::RestoreState(
     return Status::InvalidArgument("RestoreState needs a delivery factory");
   }
   StateReader r(bytes);
+  r.set_value_pool(config_.value_pool);
   std::uint32_t version = 0;
   CRAQR_RETURN_NOT_OK(r.ReadU32(&version));
   if (version != kFabricStateVersion) {

@@ -1443,6 +1443,55 @@ void StreamFabricator::VisitOperators(
   }
 }
 
+void StreamFabricator::ReinternStrings(ops::ValuePool& pool) {
+  for (auto& [index, cell] : cells_) {
+    (void)index;
+    for (const auto& op : cell->pipeline.operators()) {
+      op->ReinternStrings(pool);
+    }
+    for (auto& [attribute, chain] : cell->chains) {
+      (void)attribute;
+      chain.inbox.ReinternStrings(pool);
+    }
+  }
+  for (auto& [id, qs] : queries_) {
+    (void)id;
+    for (const auto& op : qs.merge_pipeline.operators()) {
+      op->ReinternStrings(pool);
+    }
+  }
+}
+
+void StreamFabricator::TrimMemory() {
+  for (auto& [index, cell] : cells_) {
+    (void)index;
+    for (auto& [attribute, chain] : cell->chains) {
+      (void)attribute;
+      // Inboxes are drained between batches; drop their recycled slack.
+      chain.inbox.ShrinkToFit();
+    }
+  }
+  row_cells_.shrink_to_fit();
+  row_buckets_.shrink_to_fit();
+  bucket_counts_.shrink_to_fit();
+  grouped_rows_.shrink_to_fit();
+}
+
+std::size_t StreamFabricator::BatchMemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [index, cell] : cells_) {
+    (void)index;
+    for (const auto& [attribute, chain] : cell->chains) {
+      (void)attribute;
+      bytes += chain.inbox.ApproxBytes();
+    }
+  }
+  bytes += (row_cells_.capacity() + row_buckets_.capacity() +
+            bucket_counts_.capacity() + grouped_rows_.capacity()) *
+           sizeof(std::uint32_t);
+  return bytes;
+}
+
 namespace {
 
 bool HasEdge(const ops::Operator* from, const ops::Operator* to) {

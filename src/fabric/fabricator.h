@@ -89,6 +89,11 @@ struct FabricConfig {
   double monitor_window = 5.0;
   /// Master seed for operator randomness.
   std::uint64_t seed = 0x5EED5EED;
+  /// Pool the fabricator's string payloads live in: checkpoint serde
+  /// resolves and re-interns through it, and ReinternStrings evacuates
+  /// into it. nullptr means ValuePool::Global() (the default producers
+  /// intern into).
+  ops::ValuePool* value_pool = nullptr;
   /// \brief Cross-query subplan sharing (the paper's operator-fabric
   /// economy). Equal-rate T stages are always shared (Section V rule 2 —
   /// the chain structure requires it); this flag additionally dedups the
@@ -286,8 +291,10 @@ class StreamFabricator {
   /// query inserted via InsertQueryPartial / InsertQueryShell — the shape
   /// ShardedFabricator's shards have); must be called at a batch boundary
   /// with no dispatch open and no unreplayed violation reports. String
-  /// tuple payloads are saved as interned ValuePool handles, so a
-  /// snapshot is only valid within the process that wrote it.
+  /// tuple payloads are saved by value and re-interned on restore
+  /// (through FabricConfig::value_pool), so a snapshot is
+  /// process-independent and stays valid across pool generation
+  /// retirement.
   ///@{
   /// Builds the delivery callback for a restored query, keyed by the
   /// query's local id *in the snapshot* (the restoring side translates to
@@ -424,6 +431,22 @@ class StreamFabricator {
   /// stage (cost accounting, diagnostics).
   void VisitOperators(
       const std::function<void(const ops::Operator&)>& visitor) const;
+
+  /// \name Memory governance hooks (runtime memory governor)
+  ///@{
+  /// Re-interns every string payload buffered anywhere in the fabricator
+  /// (chain inboxes, F accumulators, reorder buffers, sink storage) into
+  /// `pool`'s current tier, so older pool generations hold no live handles
+  /// and can be retired. Must be called at a batch boundary; values are
+  /// untouched, only handles move, so delivered streams are unaffected.
+  void ReinternStrings(ops::ValuePool& pool);
+  /// Releases recycled slack: shrinks drained chain inboxes and the
+  /// histogram-router scratch columns back to their live size.
+  void TrimMemory();
+  /// Approximate bytes held by recycled batch storage and router scratch
+  /// (chain inboxes + scratch columns) — governor accounting input.
+  std::size_t BatchMemoryBytes() const;
+  ///@}
 
   /// \brief Structural self-check of the paper's Section-V topology rules.
   ///

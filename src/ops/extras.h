@@ -191,6 +191,18 @@ class SinkOperator final : public Operator {
   /// Clears the buffer (counters are preserved).
   void Clear() { tuples_.clear(); }
 
+  /// Evacuates retained tuples' string payloads before pool generation
+  /// retirement (memory governor) — the sink buffer stores delivered
+  /// streams for arbitrarily long.
+  void ReinternStrings(ValuePool& pool) override {
+    for (Tuple& t : tuples_) {
+      if (t.value.kind() == PayloadKind::kString) {
+        t.value = PayloadRef::InternedString(pool.ReinternHandle(
+            pool.Get(t.value.string_id(), t.value.string_generation())));
+      }
+    }
+  }
+
  private:
   SinkOperator(std::string name, std::size_t capacity, Callback callback,
                BatchCallback batch_callback)

@@ -189,6 +189,13 @@ class FlattenOperator final : public Operator {
   Status RestoreState(StateReader& r);
   ///@}
 
+  /// Evacuates the estimation buffer's string payloads before pool
+  /// generation retirement (memory governor) — the F buffer is the one
+  /// cell-topology store that spans epochs mid-batch.
+  void ReinternStrings(ValuePool& pool) override {
+    buffer_.ReinternStrings(pool);
+  }
+
  private:
   FlattenOperator(std::string name, const FlattenConfig& config, Rng rng);
 

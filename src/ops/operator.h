@@ -113,6 +113,14 @@ class Operator {
   /// retained tuples here; the default implementation does nothing.
   virtual Status Flush() { return Status::OK(); }
 
+  /// \brief Re-interns every string payload the operator retains across
+  /// batch boundaries (buffers, stored tuples) into `pool`'s current tier
+  /// — the evacuation step the memory governor runs at an epoch barrier
+  /// before retiring older pool generations (see value_pool.h). Values
+  /// are untouched, only handles move. The default implementation does
+  /// nothing; operators with tuple-holding state override it.
+  virtual void ReinternStrings(ValuePool& pool) { (void)pool; }
+
   /// The operator's kind.
   virtual OperatorKind kind() const = 0;
 

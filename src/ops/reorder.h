@@ -49,6 +49,12 @@ class ReorderOperator final : public Operator {
   /// Tuples currently buffered (between a push and the next Flush).
   std::size_t buffered() const { return buffer_.size(); }
 
+  /// Evacuates buffered string payloads before pool generation
+  /// retirement (memory governor).
+  void ReinternStrings(ValuePool& pool) override {
+    buffer_.ReinternStrings(pool);
+  }
+
   /// \name Checkpoint support
   /// Serializes the base counters and any buffered step (checkpoints are
   /// taken at step boundaries, where the buffer has been flushed, but the

@@ -17,10 +17,11 @@
 /// counters). Used by the per-operator SaveState/RestoreState methods and
 /// by the fabric checkpoint serializer (fabric/checkpoint.cc).
 ///
-/// String payloads are serialized as their interned ValuePool handles, so
-/// a snapshot is valid only within the process (or process lineage) whose
-/// global pool interned them — exactly the crash/restore-in-place use the
-/// runtime checkpoint serves.
+/// String payloads are serialized **by value** and re-interned on read
+/// (into the pool carried by the StateWriter/StateReader, Global() when
+/// unset), so a snapshot is process-independent and stays byte-exact
+/// across pool generation retirement — the restored handles may differ
+/// from the saved ones, but the strings they resolve to are identical.
 
 namespace craqr {
 namespace ops {
@@ -121,11 +122,13 @@ inline Status ReadOperatorCounters(StateReader& r, Operator* op) {
 }
 
 /// Serializes the *active* rows of a batch (arrival order). Payload values
-/// are written by kind: inline scalars by bit pattern, strings as their
-/// interned ValueId handles (same-process validity; see file comment).
+/// are written by kind: inline scalars by bit pattern, strings by value
+/// (resolved through the writer's pool; see file comment).
 inline void WriteBatchRows(StateWriter& w, const TupleBatch& batch) {
+  ValuePool& pool =
+      w.value_pool() != nullptr ? *w.value_pool() : ValuePool::Global();
   w.WriteU64(batch.size());
-  batch.ForEach([&w](const Tuple& t) {
+  batch.ForEach([&w, &pool](const Tuple& t) {
     w.WriteU64(t.id);
     w.WriteU32(t.attribute);
     w.WriteDouble(t.point.t);
@@ -146,7 +149,7 @@ inline void WriteBatchRows(StateWriter& w, const TupleBatch& batch) {
         w.WriteDouble(t.value.AsDouble());
         break;
       case PayloadKind::kString:
-        w.WriteU32(t.value.string_id());
+        w.WriteString(t.value.AsString(pool));
         break;
     }
   });
@@ -155,6 +158,8 @@ inline void WriteBatchRows(StateWriter& w, const TupleBatch& batch) {
 /// Appends the serialized rows to `batch` (which must be plain — no
 /// selection). The inverse of WriteBatchRows.
 inline Status ReadBatchRows(StateReader& r, TupleBatch* batch) {
+  ValuePool& pool =
+      r.value_pool() != nullptr ? *r.value_pool() : ValuePool::Global();
   std::uint64_t n = 0;
   CRAQR_RETURN_NOT_OK(r.ReadU64(&n));
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -190,9 +195,9 @@ inline Status ReadBatchRows(StateReader& r, TupleBatch* batch) {
         break;
       }
       case PayloadKind::kString: {
-        std::uint32_t id = 0;
-        CRAQR_RETURN_NOT_OK(r.ReadU32(&id));
-        t.value = PayloadRef::InternedString(id);
+        std::string s;
+        CRAQR_RETURN_NOT_OK(r.ReadString(&s));
+        t.value = PayloadRef::String(s, pool);
         break;
       }
       default:

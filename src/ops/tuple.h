@@ -60,15 +60,21 @@ enum class PayloadKind : std::uint32_t {
 /// \brief Compact tagged value payload: 8 payload bytes + a 4-byte tag.
 ///
 /// bool/int64/double are stored inline (doubles and int64s by bit
-/// pattern); strings are `ValueId` handles interned in a ValuePool —
-/// by default the process-wide `ValuePool::Global()`, whose append-only
-/// lifetime rules make handles freely copyable across threads and shards
-/// (see value_pool.h). The payload bytes are split into two 4-byte halves
-/// so the struct is 4-byte aligned and `Tuple` packs to 56 bytes.
+/// pattern); strings are (generation, id) `StringHandle`s interned in a
+/// ValuePool — by default the process-wide `ValuePool::Global()`. The
+/// generation rides in the hi 4 payload bytes (unused by string handles
+/// before the generational pool) and is 0 for persistent-tier strings, so
+/// with generations disabled the layout and every stored bit are identical
+/// to the pre-generational encoding. Handles are freely copyable across
+/// threads and shards; a handle into a rotating generation is valid until
+/// the runtime retires that generation (see value_pool.h). The payload
+/// bytes are split into two 4-byte halves so the struct is 4-byte aligned
+/// and `Tuple` packs to 56 bytes.
 ///
 /// Equality is bitwise (tag + payload). For strings interned in the same
-/// pool, deduplication makes id equality exactly string equality; comparing
-/// handles from different pools is meaningless — don't.
+/// pool, deduplication makes handle equality imply string equality; the
+/// converse can fail across generations (pre- vs post-promotion copies),
+/// and comparing handles from different pools is meaningless — don't.
 class PayloadRef {
  public:
   /// Null payload (coordinate-only tuple).
@@ -104,17 +110,28 @@ class PayloadRef {
     return r;
   }
 
-  /// Interns `v` (deduplicating) and returns the handle payload.
+  /// Interns `v` (deduplicating) and returns the handle payload. With
+  /// generations disabled on `pool` the handle is persistent (generation
+  /// 0); otherwise it may land in the current rotating generation.
   static PayloadRef String(std::string_view v,
                            ValuePool& pool = ValuePool::Global()) {
-    return InternedString(pool.Intern(v));
+    return InternedString(pool.InternHandle(v));
   }
 
-  /// Wraps an already-interned handle.
+  /// Wraps an already-interned persistent-tier id (generation 0).
   static PayloadRef InternedString(ValueId id) {
     PayloadRef r;
     r.kind_ = PayloadKind::kString;
     r.lo_ = id;
+    return r;
+  }
+
+  /// Wraps an already-interned (generation, id) handle.
+  static PayloadRef InternedString(StringHandle handle) {
+    PayloadRef r;
+    r.kind_ = PayloadKind::kString;
+    r.lo_ = handle.id;
+    r.hi_ = handle.generation;
     return r;
   }
 
@@ -134,8 +151,10 @@ class PayloadRef {
     return v;
   }
   ValueId string_id() const { return lo_; }
+  std::uint32_t string_generation() const { return hi_; }
+  StringHandle string_handle() const { return StringHandle{lo_, hi_}; }
   const std::string& AsString(const ValuePool& pool = ValuePool::Global()) const {
-    return pool.Get(lo_);
+    return pool.Get(lo_, hi_);
   }
   ///@}
 

@@ -421,6 +421,42 @@ class TupleBatch {
   /// (tests, trace I/O; not a hot path).
   std::vector<Tuple> ToTuples() const;
 
+  /// Approximate heap footprint of the columns + selection (capacity, not
+  /// size) — memory-governor accounting input.
+  std::size_t ApproxBytes() const {
+    return ids_.capacity() * sizeof(std::uint64_t) +
+           attributes_.capacity() * sizeof(AttributeId) +
+           points_.capacity() * sizeof(geom::SpaceTimePoint) +
+           values_.capacity() * sizeof(PayloadRef) +
+           sensor_ids_.capacity() * sizeof(std::uint64_t) +
+           selection_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Releases recycled slack: shrinks every column's capacity to its live
+  /// size (memory-governor trim; undoes Clear()'s capacity retention).
+  void ShrinkToFit() {
+    ids_.shrink_to_fit();
+    attributes_.shrink_to_fit();
+    points_.shrink_to_fit();
+    values_.shrink_to_fit();
+    sensor_ids_.shrink_to_fit();
+    selection_.shrink_to_fit();
+  }
+
+  /// Re-interns every *active* string payload into `pool`'s current tier
+  /// (generation-retirement evacuation). Deselected husk rows are left
+  /// untouched on purpose: re-interning dropped one-shot strings would
+  /// resurrect them in the new generation and defeat reclamation.
+  void ReinternStrings(ValuePool& pool) {
+    ForEachRaw([this, &pool](std::uint32_t raw) {
+      PayloadRef& v = values_[raw];
+      if (v.kind() == PayloadKind::kString) {
+        v = PayloadRef::InternedString(pool.ReinternHandle(
+            pool.Get(v.string_id(), v.string_generation())));
+      }
+    });
+  }
+
   /// \name Zero-copy column views
   /// Spans straight over the columns; valid only while the batch is plain
   /// (no selection — asserted) and until the next mutation.

@@ -7,45 +7,203 @@
 namespace craqr {
 namespace ops {
 
+namespace {
+
+/// libstdc++ deque geometry: 512-byte blocks (one block holds
+/// 512 / sizeof(T) elements) plus the block-pointer map.
+constexpr std::size_t kDequeBlockBytes = 512;
+
+std::size_t DequeFootprint(std::size_t n, std::size_t elem_size) {
+  if (n == 0) return 0;
+  const std::size_t per_block =
+      elem_size >= kDequeBlockBytes ? 1 : kDequeBlockBytes / elem_size;
+  const std::size_t blocks = (n + per_block - 1) / per_block;
+  return blocks * (per_block * elem_size) + blocks * sizeof(void*);
+}
+
+}  // namespace
+
+std::size_t ValuePool::TierBytesLocked(const Tier& tier) {
+  // string_bytes already charges sizeof(std::string) per entry for the
+  // control block; add index node + bucket overhead and the deque's block
+  // rounding + block-pointer map on top.
+  std::size_t bytes = tier.string_bytes;
+  bytes += tier.index.size() * kIndexNodeBytes;
+  bytes += tier.index.bucket_count() * sizeof(void*);
+  if (!tier.values.empty()) {
+    bytes += DequeFootprint(tier.values.size(), sizeof(std::string)) -
+             tier.values.size() * sizeof(std::string);
+  }
+  return bytes;
+}
+
+StringHandle ValuePool::InternIntoLocked(Tier* tier, std::uint32_t generation,
+                                         std::string_view value) {
+  const auto it = tier->index.find(value);
+  if (it != tier->index.end()) {
+    return StringHandle{it->second, generation};
+  }
+  if (tier->values.size() >= std::numeric_limits<ValueId>::max()) {
+    throw std::length_error("ValuePool exhausted 2^32 distinct strings");
+  }
+  tier->values.emplace_back(value);
+  const auto id = static_cast<ValueId>(tier->values.size() - 1);
+  tier->index.emplace(std::string_view(tier->values.back()), id);
+  tier->string_bytes += tier->values.back().capacity() + sizeof(std::string);
+  return StringHandle{id, generation};
+}
+
+StringHandle ValuePool::InternHandle(std::string_view value) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = persistent_.index.find(value);
+    if (it != persistent_.index.end()) {
+      return StringHandle{it->second, 0};
+    }
+    // A current-generation hit still needs the writer lock (it triggers
+    // promotion), so only the persistent tier gets a lock-free-ish path.
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Double-check: another thread may have interned or promoted in between.
+  const auto it = persistent_.index.find(value);
+  if (it != persistent_.index.end()) {
+    return StringHandle{it->second, 0};
+  }
+  if (current_generation_ == 0) {
+    return InternIntoLocked(&persistent_, 0, value);
+  }
+  Tier& current = *rotating_.rbegin()->second;
+  if (current.index.find(value) != current.index.end()) {
+    // Second sight within this generation: promote into the persistent
+    // tier so categorical values survive retirement and allocate at most
+    // twice, ever. The rotating copy stays behind — handles to it remain
+    // valid until its generation retires.
+    return InternIntoLocked(&persistent_, 0, value);
+  }
+  return InternIntoLocked(&current, current_generation_, value);
+}
+
+StringHandle ValuePool::ReinternHandle(std::string_view value) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = persistent_.index.find(value);
+    if (it != persistent_.index.end()) {
+      return StringHandle{it->second, 0};
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = persistent_.index.find(value);
+  if (it != persistent_.index.end()) {
+    return StringHandle{it->second, 0};
+  }
+  if (current_generation_ == 0) {
+    return InternIntoLocked(&persistent_, 0, value);
+  }
+  // No promotion on a current-generation hit (InternIntoLocked returns
+  // the existing handle): see the header comment.
+  return InternIntoLocked(rotating_.rbegin()->second.get(),
+                          current_generation_, value);
+}
+
 ValueId ValuePool::Intern(std::string_view value) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    const auto it = index_.find(value);
-    if (it != index_.end()) {
+    const auto it = persistent_.index.find(value);
+    if (it != persistent_.index.end()) {
       return it->second;
     }
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
-  // Double-check: another thread may have interned between the locks.
-  const auto it = index_.find(value);
-  if (it != index_.end()) {
-    return it->second;
-  }
-  if (values_.size() >= std::numeric_limits<ValueId>::max()) {
-    throw std::length_error("ValuePool exhausted 2^32 distinct strings");
-  }
-  values_.emplace_back(value);
-  const auto id = static_cast<ValueId>(values_.size() - 1);
-  index_.emplace(std::string_view(values_.back()), id);
-  bytes_ += values_.back().capacity() + sizeof(std::string);
-  return id;
+  return InternIntoLocked(&persistent_, 0, value).id;
 }
 
-const std::string& ValuePool::Get(ValueId id) const {
+const std::string& ValuePool::Get(ValueId id) const { return Get(id, 0); }
+
+const std::string& ValuePool::Get(ValueId id,
+                                  std::uint32_t generation) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  const Tier* tier = nullptr;
+  if (generation == 0) {
+    tier = &persistent_;
+  } else {
+    const auto it = rotating_.find(generation);
+    if (it == rotating_.end()) {
+      throw std::out_of_range("ValuePool::Get: generation retired or unknown");
+    }
+    tier = it->second.get();
+  }
   // Deque elements are stable and immutable after insertion, so the
-  // reference stays valid after the lock is released.
-  return values_.at(id);
+  // reference stays valid after the lock is released (until the handle's
+  // generation is retired).
+  if (id >= tier->values.size()) {
+    throw std::out_of_range("ValuePool::Get: unknown ValueId");
+  }
+  return tier->values[id];
+}
+
+void ValuePool::EnableGenerations() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (current_generation_ != 0) return;
+  current_generation_ = 1;
+  rotating_.emplace(current_generation_, std::make_unique<Tier>());
+}
+
+bool ValuePool::generations_enabled() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return current_generation_ != 0;
+}
+
+std::uint32_t ValuePool::current_generation() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return current_generation_;
+}
+
+std::uint32_t ValuePool::RotateGeneration() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ++current_generation_;
+  rotating_.emplace(current_generation_, std::make_unique<Tier>());
+  return current_generation_;
+}
+
+std::size_t ValuePool::RetireGenerationsBelow(std::uint32_t generation) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::size_t freed = 0;
+  auto it = rotating_.begin();
+  while (it != rotating_.end() && it->first < generation) {
+    freed += TierBytesLocked(*it->second);
+    it = rotating_.erase(it);
+    ++generations_retired_;
+  }
+  retired_bytes_ += freed;
+  return freed;
+}
+
+std::uint64_t ValuePool::generations_retired() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return generations_retired_;
+}
+
+std::size_t ValuePool::retired_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return retired_bytes_;
 }
 
 std::size_t ValuePool::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return values_.size();
+  std::size_t n = persistent_.values.size();
+  for (const auto& entry : rotating_) {
+    n += entry.second->values.size();
+  }
+  return n;
 }
 
 std::size_t ValuePool::ApproxBytes() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return bytes_;
+  std::size_t bytes = TierBytesLocked(persistent_);
+  for (const auto& entry : rotating_) {
+    bytes += TierBytesLocked(*entry.second);
+  }
+  return bytes;
 }
 
 ValuePool& ValuePool::Global() {

@@ -2,45 +2,71 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 /// \file value_pool.h
-/// \brief Thread-safe string interning for columnar tuple payloads.
+/// \brief Thread-safe generational string interning for columnar tuple
+/// payloads.
 ///
 /// The columnar tuple layout stores every string-valued observation as a
-/// 32-bit `ValueId` handle into a ValuePool instead of an inline
-/// `std::string`; the 12-byte tagged `PayloadRef` (see tuple.h) carries the
-/// handle. Pool semantics:
+/// compact handle into a ValuePool instead of an inline `std::string`; the
+/// 12-byte tagged `PayloadRef` (see tuple.h) carries the handle as a
+/// (generation, id) pair. Pool semantics:
 ///
-///  - **append-only**: interned strings are never mutated, moved or freed,
-///    so a `const std::string&` returned by Get() — and any ValueId — stays
-///    valid for the pool's lifetime. Handles therefore cross threads
-///    freely: a tuple produced on the world thread can be read on a shard
-///    worker and delivered on the collector with no lifetime protocol.
-///  - **deduplicating**: Intern() returns the existing id for an
-///    already-seen string, so categorical payloads ("rain", "heavy") cost
-///    one allocation ever and equal ids imply equal strings *within one
-///    pool*. Free-form text grows the pool monotonically; embedders
-///    streaming unbounded unique strings should monitor ApproxBytes().
-///  - **thread-safe**: Intern() takes a writer lock only on first sight of
-///    a string; lookups and Get() take reader locks.
+///  - **two tiers**: generation 0 is the *persistent* tier — append-only,
+///    never retired, exactly the pre-generational pool. When generations
+///    are enabled (EnableGenerations / the memory governor), new strings
+///    land in the *current rotating generation* instead; a string seen a
+///    second time within its generation is **promoted** into the
+///    persistent tier (categorical payloads like "rain" cost at most two
+///    allocations ever), while one-shot unique strings stay in their
+///    rotating generation and are reclaimed wholesale when the runtime
+///    retires it (RetireGenerationsBelow) at an epoch barrier.
+///  - **deduplicating**: Intern()/InternHandle() return the existing
+///    handle for an already-seen string within the tiers they search
+///    (persistent always; plus the current generation when enabled), so
+///    equal handles imply equal strings. Two handles for the *same* string
+///    may differ across generations (pre- vs post-promotion); the data
+///    plane never relies on the converse.
+///  - **lifetime**: a `const std::string&` returned by Get() — and the
+///    handle itself — stays valid until the handle's generation is
+///    retired; persistent-tier handles (generation 0) are valid for the
+///    pool's lifetime. With generations disabled (the default) every
+///    handle is persistent and the pre-generational lifetime rules hold
+///    unchanged. Retirement safety is the runtime's job: it re-interns
+///    every long-lived holder (operator buffers, spools, replay logs —
+///    see Operator::ReinternStrings) at a full epoch barrier before
+///    retiring the generations below the current one.
+///  - **thread-safe**: interning takes a writer lock only on first sight
+///    of a string; lookups and Get() take reader locks. Rotation and
+///    retirement take the writer lock.
 ///
-/// Production code uses the process-wide `ValuePool::Global()` pool —
-/// owned by the batch/fabricator layer in the sense that tuple producers
-/// (the crowd world, trace replay) intern on entry and every layer below
-/// moves 12-byte handles. Instance pools exist for tests and for embedders
-/// that want isolated lifetimes.
+/// Production code uses the process-wide `ValuePool::Global()` pool by
+/// default; embedders that want isolated lifetimes (or bounded-memory
+/// governance without process-wide effects) pass an instance pool through
+/// `FabricConfig::value_pool` (reachable as `EngineConfig::fabric` /
+/// `ShardedConfig::fabric`).
 
 namespace craqr {
 namespace ops {
 
-/// Handle of an interned string value (index into its ValuePool).
+/// Handle of an interned string value (index into one tier of its
+/// ValuePool).
 using ValueId = std::uint32_t;
 
-/// \brief Append-only deduplicating string pool (see file comment).
+/// \brief A (generation, id) string handle. Generation 0 is the
+/// persistent tier; rotating generations start at 1.
+struct StringHandle {
+  ValueId id = 0;
+  std::uint32_t generation = 0;
+};
+
+/// \brief Generational deduplicating string pool (see file comment).
 class ValuePool {
  public:
   ValuePool() = default;
@@ -48,32 +74,121 @@ class ValuePool {
   ValuePool(const ValuePool&) = delete;
   ValuePool& operator=(const ValuePool&) = delete;
 
-  /// Returns the id of `value`, interning it on first sight. Thread-safe.
+  /// Returns the (generation, id) handle of `value`, interning it on
+  /// first sight — into the persistent tier when generations are
+  /// disabled, into the current rotating generation otherwise (with
+  /// promotion to persistent on the second sight within a generation).
+  /// Thread-safe.
+  StringHandle InternHandle(std::string_view value);
+
+  /// Evacuation intern used by Operator::ReinternStrings before a
+  /// generation retirement: like InternHandle but a current-generation
+  /// hit NEVER promotes — re-interning is lifetime bookkeeping, not a
+  /// popularity signal, and promoting here would leak every string held
+  /// by two live buffers (e.g. a tuple delivered to two overlapping
+  /// queries' sinks) into the never-retired persistent tier.
+  StringHandle ReinternHandle(std::string_view value);
+
+  /// Back-compat persistent intern: always lands `value` in the
+  /// persistent tier (generation 0), regardless of generational mode, so
+  /// the returned ValueId follows the pre-generational lifetime rules.
   ValueId Intern(std::string_view value);
 
-  /// The interned string for `id`. The reference is stable for the pool's
-  /// lifetime (append-only storage). Throws std::out_of_range on an id not
-  /// handed out by this pool — a handle/pool mix-up is a programming error.
+  /// The interned string for a persistent-tier id (back-compat overload).
+  /// Throws std::out_of_range on an id not handed out by this pool.
   const std::string& Get(ValueId id) const;
 
-  /// Number of distinct strings interned.
+  /// The interned string for a (generation, id) handle. The reference is
+  /// stable until the handle's generation is retired (forever for
+  /// generation 0). Throws std::out_of_range for an unknown id or a
+  /// retired generation — a handle/pool mix-up or a missed re-intern is a
+  /// programming error.
+  const std::string& Get(ValueId id, std::uint32_t generation) const;
+
+  /// \name Generational lifecycle (memory governance)
+  ///@{
+  /// Switches the pool into generational mode: subsequent first-sight
+  /// interns land in rotating generation 1 (or the current one if already
+  /// enabled). Idempotent. Enabling the process-wide Global() pool is
+  /// legal but affects every producer in the process — bounded-memory
+  /// embedders normally enable an instance pool instead.
+  void EnableGenerations();
+
+  /// True once EnableGenerations() has been called.
+  bool generations_enabled() const;
+
+  /// The current rotating generation (0 while generations are disabled).
+  std::uint32_t current_generation() const;
+
+  /// Opens the next rotating generation and makes it current; new strings
+  /// intern there. Enables generational mode if not already enabled.
+  /// Returns the new current generation.
+  std::uint32_t RotateGeneration();
+
+  /// Frees every rotating generation strictly below `generation` (the
+  /// persistent tier never retires). All handles into the freed
+  /// generations become invalid — the caller must have re-interned every
+  /// still-live holder first (see file comment). Returns the approximate
+  /// bytes reclaimed.
+  std::size_t RetireGenerationsBelow(std::uint32_t generation);
+
+  /// Generations retired so far (monotone).
+  std::uint64_t generations_retired() const;
+
+  /// Approximate bytes reclaimed by retirement so far (monotone).
+  std::size_t retired_bytes() const;
+  ///@}
+
+  /// Number of distinct strings interned across all live tiers.
   std::size_t size() const;
 
-  /// Approximate heap footprint of the interned strings (monitoring hook
-  /// for unbounded free-form payloads).
+  /// \brief Approximate heap footprint of the pool: interned string
+  /// storage (capacity + control block) plus the dedup index's node and
+  /// bucket-array overhead and the deque block overhead — the governor's
+  /// budget-accounting input, sized to track real RSS contribution rather
+  /// than just payload bytes.
   std::size_t ApproxBytes() const;
 
   /// The process-wide pool used by default for every tuple payload.
   static ValuePool& Global();
 
  private:
+  /// One interning tier: append-only within its lifetime.
+  struct Tier {
+    /// Deque, not vector: growth never relocates elements, so Get() can
+    /// return references without copy and index keys (views into the
+    /// stored strings) never dangle.
+    std::deque<std::string> values;
+    std::unordered_map<std::string_view, ValueId> index;
+    /// Payload bytes: sum of capacity + sizeof(std::string) per entry.
+    std::size_t string_bytes = 0;
+  };
+
+  /// Per-index-entry overhead of the unordered_map node (pointer + cached
+  /// hash + the key/value pair) — the part of the footprint the
+  /// pre-generational ApproxBytes undercounted.
+  static constexpr std::size_t kIndexNodeBytes =
+      sizeof(void*) + sizeof(std::size_t) +
+      sizeof(std::pair<std::string_view, ValueId>);
+
+  /// Approximate heap footprint of one tier (strings + index nodes +
+  /// bucket array + deque block overhead). Caller holds mu_.
+  static std::size_t TierBytesLocked(const Tier& tier);
+
+  StringHandle InternIntoLocked(Tier* tier, std::uint32_t generation,
+                                std::string_view value);
+
   mutable std::shared_mutex mu_;
-  /// Deque, not vector: growth never relocates elements, so Get() can
-  /// return references without copy and index_ keys (views into the
-  /// stored strings) never dangle.
-  std::deque<std::string> values_;
-  std::unordered_map<std::string_view, ValueId> index_;
-  std::size_t bytes_ = 0;
+  /// Generation 0 — never retired.
+  Tier persistent_;
+  /// Live rotating generations, keyed by generation number (>= 1),
+  /// ascending. Only the highest (current) one accepts new interns.
+  std::map<std::uint32_t, std::unique_ptr<Tier>> rotating_;
+  /// 0 while generations are disabled; otherwise the current rotating
+  /// generation number.
+  std::uint32_t current_generation_ = 0;
+  std::uint64_t generations_retired_ = 0;
+  std::size_t retired_bytes_ = 0;
 };
 
 }  // namespace ops

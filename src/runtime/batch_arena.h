@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ops/tuple_batch.h"
+
+/// \file batch_arena.h
+/// \brief Fixed-pool recycling of TupleBatch storage across producer /
+/// consumer threads.
+///
+/// Operators already recycle their *member* scratch batches (Clear keeps
+/// capacity), but storage that changes hands — shard outbox splices
+/// (created on the worker, destroyed on the router after collection) and
+/// replay-log entries — used to be allocated fresh and freed every epoch.
+/// A BatchArena closes that loop: the consumer Release()s consumed batches
+/// back instead of destroying them and the producer Acquire()s warmed
+/// storage instead of default-constructing, so steady-state epochs run
+/// allocation-free regardless of how long the process lives.
+///
+/// Thread-safe (one uncontended mutex per transfer — transfers are
+/// per-delivered-batch, not per-tuple). The free list is bounded
+/// (`max_free` batches) so a burst can't park unbounded slack; Trim()
+/// releases everything, which is the memory governor's soft-pressure
+/// action. `free_bytes`/`high_water_bytes` feed the governor's accounting
+/// and the craqr.mem.* gauges.
+
+namespace craqr {
+namespace runtime {
+
+/// \brief Bounded thread-safe free list of recycled TupleBatch storage
+/// (see file comment).
+class BatchArena {
+ public:
+  explicit BatchArena(std::size_t max_free = 256) : max_free_(max_free) {}
+
+  BatchArena(const BatchArena&) = delete;
+  BatchArena& operator=(const BatchArena&) = delete;
+
+  /// An empty batch, with recycled column capacity when the free list has
+  /// one (counted in `reuses`), freshly constructed otherwise.
+  ops::TupleBatch Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquires_;
+    if (free_.empty()) {
+      return ops::TupleBatch();
+    }
+    ++reuses_;
+    ops::TupleBatch batch = std::move(free_.back());
+    free_.pop_back();
+    free_bytes_ -= batch.ApproxBytes();
+    return batch;
+  }
+
+  /// Returns consumed storage to the pool (cleared; capacity kept). When
+  /// the free list is full the storage is simply dropped — the bound is
+  /// what keeps a burst from parking unbounded slack.
+  void Release(ops::TupleBatch&& batch) {
+    batch.Clear();
+    const std::size_t bytes = batch.ApproxBytes();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() >= max_free_) {
+      return;  // `batch` dies here, freeing its storage
+    }
+    free_bytes_ += bytes;
+    if (free_bytes_ > high_water_bytes_) {
+      high_water_bytes_ = free_bytes_;
+    }
+    free_.push_back(std::move(batch));
+  }
+
+  /// Drops every pooled batch (memory-governor soft-pressure trim).
+  /// Returns the bytes released.
+  std::size_t Trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t freed = free_bytes_;
+    free_.clear();
+    free_.shrink_to_fit();
+    free_bytes_ = 0;
+    return freed;
+  }
+
+  /// Bytes currently parked on the free list.
+  std::size_t free_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_bytes_;
+  }
+
+  /// Highest free-list byte count ever observed — the recycled storage
+  /// footprint's plateau telemetry.
+  std::size_t high_water_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_bytes_;
+  }
+
+  /// Total Acquire() calls / the subset served from the free list.
+  std::uint64_t acquires() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acquires_;
+  }
+  std::uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
+
+ private:
+  const std::size_t max_free_;
+  mutable std::mutex mu_;
+  std::vector<ops::TupleBatch> free_;
+  std::size_t free_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace craqr

@@ -35,6 +35,8 @@
 ///   - "runtime.shard_crash"  — fabricator state is destroyed at an
 ///                              epoch boundary (checkpoint recovery path)
 ///   - "runtime.alloc_fail"   — a checkpoint/restore allocation fails
+///   - "runtime.mem_pressure" — the memory governor's poll is forced to a
+///                              pressure level (param 1 = soft, 2 = hard)
 
 namespace craqr {
 namespace runtime {

@@ -1,0 +1,68 @@
+#include "runtime/memory_governor.h"
+
+#include "runtime/faultpoint.h"
+
+namespace craqr {
+namespace runtime {
+
+MemoryGovernor::MemoryGovernor(const MemoryGovernorConfig& config)
+    : config_(config) {
+  // Process-wide families, registered unconditionally (like the admission
+  // and fault families) so the exporter always carries them.
+  budget_bytes_ = obs::GetGauge("craqr.mem.budget_bytes");
+  pool_bytes_ = obs::GetGauge("craqr.mem.pool_bytes");
+  arena_bytes_ = obs::GetGauge("craqr.mem.arena_bytes");
+  queue_bytes_ = obs::GetGauge("craqr.mem.queue_bytes");
+  total_bytes_ = obs::GetGauge("craqr.mem.total_bytes");
+  high_water_bytes_ = obs::GetGauge("craqr.mem.high_water_bytes");
+  pressure_gauge_ = obs::GetGauge("craqr.mem.pressure");
+  soft_events_ = obs::GetCounter("craqr.mem.soft_events");
+  hard_events_ = obs::GetCounter("craqr.mem.hard_events");
+  generations_retired_ = obs::GetCounter("craqr.mem.generations_retired");
+  bytes_reclaimed_ = obs::GetCounter("craqr.mem.bytes_reclaimed");
+  fault_injections_ = obs::GetCounter("craqr.fault.injections");
+  budget_bytes_->Set(static_cast<std::int64_t>(config_.budget_bytes));
+}
+
+MemoryPressure MemoryGovernor::Assess(const Usage& usage) {
+  const std::size_t total = usage.Total();
+  pool_bytes_->Set(static_cast<std::int64_t>(usage.pool_bytes));
+  arena_bytes_->Set(static_cast<std::int64_t>(usage.arena_bytes));
+  queue_bytes_->Set(static_cast<std::int64_t>(usage.queue_bytes));
+  total_bytes_->Set(static_cast<std::int64_t>(total));
+  if (total > high_water_) {
+    high_water_ = total;
+    high_water_bytes_->Set(static_cast<std::int64_t>(high_water_));
+  }
+
+  MemoryPressure next = MemoryPressure::kNone;
+  if (enabled()) {
+    const auto budget = static_cast<double>(config_.budget_bytes);
+    const auto used = static_cast<double>(total);
+    if (used >= config_.hard_watermark * budget) {
+      next = MemoryPressure::kHard;
+    } else if (used >= config_.soft_watermark * budget) {
+      next = MemoryPressure::kSoft;
+    }
+  }
+  // Deterministic override for tests/soak harnesses: an armed fire forces
+  // the level regardless of the real accounting.
+  std::uint64_t forced = 0;
+  if (CRAQR_FAULT_FIRE("runtime.mem_pressure", &forced)) {
+    fault_injections_->Increment();
+    next = forced >= 2 ? MemoryPressure::kHard : MemoryPressure::kSoft;
+  }
+
+  const MemoryPressure prev = pressure_.load(std::memory_order_relaxed);
+  if (next == MemoryPressure::kSoft && prev != MemoryPressure::kSoft) {
+    soft_events_->Increment();
+  } else if (next == MemoryPressure::kHard && prev != MemoryPressure::kHard) {
+    hard_events_->Increment();
+  }
+  pressure_.store(next, std::memory_order_relaxed);
+  pressure_gauge_->Set(static_cast<std::int64_t>(next));
+  return next;
+}
+
+}  // namespace runtime
+}  // namespace craqr

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+/// \file memory_governor.h
+/// \brief Budgeted memory governance for long-lived runtimes.
+///
+/// A CrAQR deployment runs for weeks: unbounded growth anywhere — the
+/// string pool fed by free-form payloads, recycled batch storage, shard
+/// queue backlogs — eventually kills the process. The governor closes the
+/// loop: the runtime polls it each epoch with cheap byte accounting
+/// (ValuePool::ApproxBytes + per-shard BatchArena::free_bytes +
+/// Shard::queue_bytes), it classifies the total against a budget, and the
+/// runtime reacts in two stages:
+///
+///  - **soft** (total >= soft_watermark * budget): value-preserving
+///    reclamation — re-intern every live string holder, retire the string
+///    pool's rotating generations, trim arenas and operator scratch.
+///    Delivered streams are byte-identical with governance on or off.
+///  - **hard** (total >= hard_watermark * budget): graceful degradation —
+///    the runtime additionally engages the overload shed policies
+///    (ShedPolicy::kDropOldest / kReject) for every query, switches shard
+///    queue pushes to try-once, and surfaces degraded(); fresh data keeps
+///    flowing at bounded memory instead of the process OOMing.
+///
+/// Telemetry lives under `craqr.mem.*` (process-wide families, registered
+/// unconditionally). The `runtime.mem_pressure` fault-point site forces a
+/// pressure level deterministically for tests (param 1 = soft, 2 = hard).
+
+namespace craqr {
+namespace runtime {
+
+/// \brief Pressure classification of one accounting poll.
+enum class MemoryPressure : int {
+  kNone = 0,
+  kSoft = 1,
+  kHard = 2,
+};
+
+/// \brief Memory-governance parameters (ShardedConfig::memory,
+/// EngineConfig::memory_budget_bytes).
+struct MemoryGovernorConfig {
+  /// Total byte budget across pool + arenas + shard queues. 0 (the
+  /// default) disables governance entirely.
+  std::size_t budget_bytes = 0;
+  /// Fraction of the budget at which value-preserving reclamation starts.
+  double soft_watermark = 0.70;
+  /// Fraction of the budget at which graceful degradation (shedding)
+  /// engages on top of reclamation.
+  double hard_watermark = 0.90;
+  /// Hard-pressure shed policy: false = ShedPolicy::kDropOldest (bounded
+  /// spool, freshest data wins), true = ShedPolicy::kReject (drop
+  /// immediately, spool nothing).
+  bool hard_reject = false;
+};
+
+/// \brief Classifies polled byte accounting against the budget and keeps
+/// the craqr.mem.* telemetry current. Thread-safe for the read accessors;
+/// Assess() is serialized by the owning runtime's mutex.
+class MemoryGovernor {
+ public:
+  /// One accounting poll's inputs.
+  struct Usage {
+    /// ops::ValuePool::ApproxBytes() of the governed pool.
+    std::size_t pool_bytes = 0;
+    /// Sum of BatchArena::free_bytes() across shards.
+    std::size_t arena_bytes = 0;
+    /// Sum of Shard::queue_bytes() (enqueued-but-unprocessed batches).
+    std::size_t queue_bytes = 0;
+
+    std::size_t Total() const {
+      return pool_bytes + arena_bytes + queue_bytes;
+    }
+  };
+
+  explicit MemoryGovernor(const MemoryGovernorConfig& config);
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  /// Governance active (budget_bytes > 0).
+  bool enabled() const { return config_.budget_bytes > 0; }
+
+  const MemoryGovernorConfig& config() const { return config_; }
+
+  /// \brief Classifies one poll: updates the byte gauges, fires the
+  /// "runtime.mem_pressure" fault point (an armed fire forces the level:
+  /// param 1 = soft, 2 = hard), counts level *transitions* into
+  /// soft/hard, and publishes the new level.
+  MemoryPressure Assess(const Usage& usage);
+
+  /// The level the last Assess() published.
+  MemoryPressure pressure() const {
+    return pressure_.load(std::memory_order_relaxed);
+  }
+
+  /// Accounts bytes freed by a reclamation pass (craqr.mem.bytes_reclaimed).
+  void RecordReclaim(std::size_t bytes) { bytes_reclaimed_->Add(bytes); }
+
+  /// Accounts pool generations retired (craqr.mem.generations_retired).
+  void RecordRetirement(std::uint64_t generations) {
+    generations_retired_->Add(generations);
+  }
+
+ private:
+  const MemoryGovernorConfig config_;
+  std::atomic<MemoryPressure> pressure_{MemoryPressure::kNone};
+
+  /// \name craqr.mem.* telemetry (process-wide families)
+  ///@{
+  obs::Gauge* budget_bytes_ = nullptr;
+  obs::Gauge* pool_bytes_ = nullptr;
+  obs::Gauge* arena_bytes_ = nullptr;
+  obs::Gauge* queue_bytes_ = nullptr;
+  obs::Gauge* total_bytes_ = nullptr;
+  obs::Gauge* high_water_bytes_ = nullptr;
+  obs::Gauge* pressure_gauge_ = nullptr;
+  obs::Counter* soft_events_ = nullptr;
+  obs::Counter* hard_events_ = nullptr;
+  obs::Counter* generations_retired_ = nullptr;
+  obs::Counter* bytes_reclaimed_ = nullptr;
+  /// Shared craqr.fault.injections family (forced-pressure fires count
+  /// like every other injected fault).
+  obs::Counter* fault_injections_ = nullptr;
+  ///@}
+  /// Highest total ever assessed (backs the high-water gauge; gauges are
+  /// last-write-wins, so the max is tracked here).
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace craqr

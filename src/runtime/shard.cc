@@ -111,7 +111,12 @@ void Shard::NoteEnqueued() {
 }
 
 Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
+  // Account queue bytes *before* the push: the worker may pop and settle
+  // the task the instant it lands, and the counter must never go negative.
+  const std::size_t bytes = batch.ApproxBytes();
+  queue_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (!queue_.Push(MakeBatchTask(std::move(batch), epoch))) {
+    queue_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
     return Status::FailedPrecondition("shard is stopped");
   }
   NoteEnqueued();
@@ -120,15 +125,19 @@ Status Shard::EnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
 
 Status Shard::TryEnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
   using PushResult = BoundedTaskQueue<Task>::PushResult;
+  const std::size_t bytes = batch.ApproxBytes();
+  queue_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   switch (queue_.TryPush(MakeBatchTask(std::move(batch), epoch))) {
     case PushResult::kAccepted:
       NoteEnqueued();
       return Status::OK();
     case PushResult::kFull:
+      queue_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           "shard " + std::to_string(index_) + " queue is full");
     case PushResult::kClosed:
     default:
+      queue_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       return Status::FailedPrecondition("shard is stopped");
   }
 }
@@ -136,16 +145,20 @@ Status Shard::TryEnqueueBatch(ops::TupleBatch batch, std::uint64_t epoch) {
 Status Shard::EnqueueBatchFor(ops::TupleBatch batch, std::uint64_t epoch,
                               std::chrono::milliseconds timeout) {
   using PushResult = BoundedTaskQueue<Task>::PushResult;
+  const std::size_t bytes = batch.ApproxBytes();
+  queue_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   switch (queue_.PushFor(MakeBatchTask(std::move(batch), epoch), timeout)) {
     case PushResult::kAccepted:
       NoteEnqueued();
       return Status::OK();
     case PushResult::kFull:
+      queue_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           "shard " + std::to_string(index_) + " queue still full after " +
           std::to_string(timeout.count()) + "ms");
     case PushResult::kClosed:
     default:
+      queue_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
       return Status::FailedPrecondition("shard is stopped");
   }
 }
@@ -224,8 +237,15 @@ Status Shard::WaitForEpochCompleted(std::uint64_t epoch) {
 void Shard::DeliverBatch(query::QueryId query, const ops::TupleBatch& batch) {
   std::lock_guard<std::mutex> lock(outbox_mu_);
   // Column-wise splice of the active rows into the current epoch's
-  // per-query batch; capacities recycle across collections.
-  outbox_.delivered[current_epoch_][query].AppendActiveFrom(batch);
+  // per-query batch. A new (epoch, query) group starts from arena-recycled
+  // storage (the router releases collected batches back), so steady-state
+  // epochs splice allocation-free.
+  auto& per_query = outbox_.delivered[current_epoch_];
+  auto it = per_query.find(query);
+  if (it == per_query.end()) {
+    it = per_query.emplace(query, arena_.Acquire()).first;
+  }
+  it->second.AppendActiveFrom(batch);
 }
 
 ShardOutbox Shard::TakeOutbox(std::uint64_t max_delivery_epoch) {
@@ -304,6 +324,9 @@ void Shard::ProcessTask(Task task) {
     // latest epoch.
     current_epoch_ = task.epoch;
   }
+  // Settle the queue-byte account: the storage hasn't been touched since
+  // enqueue, so this subtracts exactly what the producer added.
+  queue_bytes_.fetch_sub(task.batch.ApproxBytes(), std::memory_order_relaxed);
   const auto tuples = static_cast<std::uint64_t>(task.batch.size());
   const std::uint64_t start_ns = obs::NowNs();
   // The batch path is exception-hardened: an operator or fabricator throw

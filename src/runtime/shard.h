@@ -19,6 +19,7 @@
 #include "ops/tuple.h"
 #include "ops/tuple_batch.h"
 #include "query/query.h"
+#include "runtime/batch_arena.h"
 #include "runtime/task_queue.h"
 
 /// \file shard.h
@@ -317,6 +318,20 @@ class Shard {
   /// Tasks currently queued (diagnostics).
   std::size_t queue_depth() const { return queue_.size(); }
 
+  /// Approximate bytes of batch storage currently waiting in the task
+  /// queue (enqueued but not yet processed) — governor accounting input.
+  std::size_t queue_bytes() const {
+    return queue_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief The shard's outbox-splice storage pool. The worker Acquire()s
+  /// a warmed batch for each new (epoch, query) delivery group; the
+  /// router Release()s them back after collection, so steady-state epochs
+  /// allocate nothing. Thread-safe — the router trims it under memory
+  /// pressure while the worker runs.
+  BatchArena& arena() { return arena_; }
+  const BatchArena& arena() const { return arena_; }
+
   /// Closes the queue and joins the worker; idempotent.
   void Stop();
 
@@ -392,6 +407,12 @@ class Shard {
 
   mutable std::mutex outbox_mu_;
   ShardOutbox outbox_;
+  /// Recycles outbox-splice batch storage between the worker (producer)
+  /// and the router (consumer); see arena().
+  BatchArena arena_;
+  /// Bytes of batch storage sitting in queue_ (added on a successful
+  /// enqueue, subtracted when the worker picks the task up).
+  std::atomic<std::size_t> queue_bytes_{0};
 
   mutable std::mutex status_mu_;
   Status status_ = Status::OK();

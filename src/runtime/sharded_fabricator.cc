@@ -137,6 +137,17 @@ Result<std::unique_ptr<ShardedFabricator>> ShardedFabricator::Make(
       obs::GetCounter("craqr.fault.worker_stalls");
   runtime->fault_injections_ = obs::GetCounter("craqr.fault.injections");
   runtime->fault_recovery_ns_ = obs::GetHistogram("craqr.fault.recovery_ns");
+  // Memory governor: constructed unconditionally (craqr.mem.* families
+  // stay registered), inert unless a budget is set. With a budget, the
+  // governed pool switches into generational mode so soft-pressure
+  // reclamation can retire one-shot strings wholesale.
+  runtime->governor_ = std::make_unique<MemoryGovernor>(config.memory);
+  if (config.memory.budget_bytes > 0) {
+    ops::ValuePool& pool = config.fabric.value_pool != nullptr
+                               ? *config.fabric.value_pool
+                               : ops::ValuePool::Global();
+    pool.EnableGenerations();
+  }
   runtime->shard_replay_.resize(config.num_shards);
   runtime->replay_truncated_.assign(config.num_shards, 0);
   if (config.checkpoint.enabled) {
@@ -228,19 +239,29 @@ Status ShardedFabricator::CollectLocked(std::uint64_t max_delivery_epoch) {
   // (in epoch order) — exactly the per-step grouping the synchronous path
   // produces — or a collect spanning several epochs would reorder the
   // delivered stream relative to it.
-  std::map<std::uint64_t, std::unordered_map<query::QueryId, ops::TupleBatch>>
+  // Each collected group remembers the shard whose arena its storage came
+  // from, so the merge below can recycle it back to that shard's free list
+  // (steady-state epochs then deliver+collect allocation-free).
+  struct CollectedGroup {
+    ops::TupleBatch batch;
+    std::size_t origin = ~static_cast<std::size_t>(0);
+  };
+  std::map<std::uint64_t, std::unordered_map<query::QueryId, CollectedGroup>>
       per_epoch;
   std::vector<ViolationEvent> violations;
-  for (const auto& shard : shards_) {
-    ShardOutbox box = shard->TakeOutbox(max_delivery_epoch);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardOutbox box = shards_[s]->TakeOutbox(max_delivery_epoch);
     for (auto& [epoch, per_query] : box.delivered) {
       auto& dst_epoch = per_epoch[epoch];
       for (auto& [id, batch] : per_query) {
-        ops::TupleBatch& dst = dst_epoch[id];
-        if (dst.empty()) {
-          dst.Swap(batch);  // first shard: adopt the storage outright
+        CollectedGroup& dst = dst_epoch[id];
+        if (dst.origin == ~static_cast<std::size_t>(0)) {
+          dst.batch.Swap(batch);  // first shard: adopt the storage outright
+          dst.origin = s;
         } else {
-          dst.AppendActiveFrom(batch);
+          dst.batch.AppendActiveFrom(batch);
+          // The appended-from splice is spent; hand its storage back.
+          shards_[s]->arena().Release(std::move(batch));
         }
       }
     }
@@ -250,7 +271,7 @@ Status ShardedFabricator::CollectLocked(std::uint64_t max_delivery_epoch) {
   }
 
   for (auto& [epoch, per_query] : per_epoch) {
-    for (auto& [id, batch] : per_query) {
+    for (auto& [id, group] : per_query) {
       const auto it = queries_.find(id);
       if (it == queries_.end()) {
         // RemoveQuery flushes deliveries before detaching, so a delivery
@@ -264,7 +285,10 @@ Status ShardedFabricator::CollectLocked(std::uint64_t max_delivery_epoch) {
       // fabricator drives, so delivery order cannot diverge between the
       // two paths. A single-cell query lives entirely on one shard and its
       // partial stream arrives already time-ordered.
-      CRAQR_RETURN_NOT_OK(DeliverEpochLocked(it->second, epoch, batch));
+      CRAQR_RETURN_NOT_OK(DeliverEpochLocked(it->second, epoch, group.batch));
+      // Merge stages copy out (reorder buffer) or the spool swapped the
+      // storage away; either way what's left recycles to its origin shard.
+      shards_[group.origin]->arena().Release(std::move(group.batch));
     }
   }
   // The discard line for crash recovery: a restored shard's replayed
@@ -432,7 +456,14 @@ Status ShardedFabricator::EnqueueSubBatchesLocked(
       pushed = Status::ResourceExhausted("fault injection: shard " +
                                          std::to_string(i) + " queue full");
     } else {
-      switch (config_.admission.queue_policy) {
+      // Hard memory pressure turns every push into try-once: a blocked
+      // producer would hold batch storage alive exactly when the governor
+      // is trying to shrink it.
+      const QueuePushPolicy queue_policy =
+          mem_hard_.load(std::memory_order_relaxed)
+              ? QueuePushPolicy::kTryOnce
+              : config_.admission.queue_policy;
+      switch (queue_policy) {
         case QueuePushPolicy::kBlock:
           pushed = shards_[i]->EnqueueBatch(std::move(sub[i]), epoch);
           break;
@@ -861,17 +892,27 @@ Status ShardedFabricator::RemoveQueryLocked(query::QueryId id) {
 Status ShardedFabricator::DeliverEpochLocked(QueryState& qs,
                                              std::uint64_t epoch,
                                              ops::TupleBatch& batch) {
-  // Spooled epochs are strictly older than this one and must re-deliver
-  // first, or the query's stream would reorder across a credit refill.
-  CRAQR_RETURN_NOT_OK(DrainSpoolLocked(qs));
-  if (qs.credits == kUnlimitedCredits || qs.credits > 0) {
-    if (qs.credits != kUnlimitedCredits) {
-      --qs.credits;
+  const bool mem_hard = mem_hard_.load(std::memory_order_relaxed);
+  if (!mem_hard) {
+    // Spooled epochs are strictly older than this one and must re-deliver
+    // first, or the query's stream would reorder across a credit refill.
+    CRAQR_RETURN_NOT_OK(DrainSpoolLocked(qs));
+    if (qs.credits == kUnlimitedCredits || qs.credits > 0) {
+      if (qs.credits != kUnlimitedCredits) {
+        --qs.credits;
+      }
+      CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
+      return qs.merge_pipeline.FlushAll();
     }
-    CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(batch));
-    return qs.merge_pipeline.FlushAll();
   }
-  switch (config_.admission.shed_policy) {
+  // Under hard memory pressure every delivery sheds per the governor's
+  // policy — credits notwithstanding: bounded memory beats a complete
+  // stream (the graceful-degradation half of the governance contract).
+  const ShedPolicy policy =
+      mem_hard ? (config_.memory.hard_reject ? ShedPolicy::kReject
+                                             : ShedPolicy::kDropOldest)
+               : config_.admission.shed_policy;
+  switch (policy) {
     case ShedPolicy::kReject:
       admission_rejected_->Increment();
       return Status::OK();
@@ -909,6 +950,98 @@ Status ShardedFabricator::DrainSpoolLocked(QueryState& qs) {
     CRAQR_RETURN_NOT_OK(qs.merge_head->PushBatch(held.batch));
     CRAQR_RETURN_NOT_OK(qs.merge_pipeline.FlushAll());
   }
+  return Status::OK();
+}
+
+ops::ValuePool& ShardedFabricator::PoolLocked() const {
+  return config_.fabric.value_pool != nullptr ? *config_.fabric.value_pool
+                                              : ops::ValuePool::Global();
+}
+
+MemoryGovernor::Usage ShardedFabricator::AccountMemoryLocked() const {
+  MemoryGovernor::Usage usage;
+  usage.pool_bytes = PoolLocked().ApproxBytes();
+  for (const auto& shard : shards_) {
+    usage.arena_bytes += shard->arena().free_bytes();
+    usage.queue_bytes += shard->queue_bytes();
+  }
+  return usage;
+}
+
+Status ShardedFabricator::GovernMemory() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status status = GovernMemoryLocked();
+  // A reclamation pass collects outboxes, which buffers violation events;
+  // replay them under the usual horizon discipline.
+  ReplayViolationsAndUnlock(lock);
+  return status;
+}
+
+Status ShardedFabricator::GovernMemoryLocked() {
+  if (governor_ == nullptr || !governor_->enabled()) {
+    return Status::OK();
+  }
+  const MemoryPressure pressure = governor_->Assess(AccountMemoryLocked());
+  if (pressure == MemoryPressure::kNone) {
+    mem_hard_.store(false, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  // Degradation engages before the reclamation barrier: a hard-pressure
+  // collect already sheds instead of growing the merge stages further.
+  mem_hard_.store(pressure == MemoryPressure::kHard,
+                  std::memory_order_relaxed);
+
+  // Value-preserving reclamation at a full epoch barrier — the same
+  // observable pattern Checkpoint() performs, so delivered streams stay
+  // byte-exact with governance on.
+  CRAQR_RETURN_NOT_OK(BarrierLocked());
+  CRAQR_RETURN_NOT_OK(CollectLocked());
+  ops::ValuePool& pool = PoolLocked();
+  // Rotate BEFORE re-interning: evacuated strings then land in the fresh
+  // generation as first sights and die with their holders at a later
+  // retirement. Re-interning into the *old* current generation would count
+  // as a second sight and promote every live string into the persistent
+  // tier — a slow permanent leak that defeats the plateau.
+  pool.RotateGeneration();
+  // Evacuate every live string holder into fresh handles before the
+  // retirement below invalidates the older rotating generations:
+  // shard-side operator buffers + chain inboxes (on the worker, which owns
+  // the fabricator), then the router-side merge stages, shed spools and
+  // crash replay logs.
+  for (auto& shard : shards_) {
+    CRAQR_RETURN_NOT_OK(
+        shard->RunControl([&pool](fabric::StreamFabricator& f) {
+          f.ReinternStrings(pool);
+          f.TrimMemory();
+        }));
+  }
+  for (auto& [id, qs] : queries_) {
+    (void)id;
+    for (const auto& op : qs.merge_pipeline.operators()) {
+      op->ReinternStrings(pool);
+    }
+    for (SpooledDelivery& held : qs.spool) {
+      held.batch.ReinternStrings(pool);
+    }
+  }
+  for (auto& log : shard_replay_) {
+    for (ReplayEntry& entry : log) {
+      entry.batch.ReinternStrings(pool);
+    }
+  }
+  const std::uint64_t retired_before = pool.generations_retired();
+  std::size_t reclaimed =
+      pool.RetireGenerationsBelow(pool.current_generation());
+  for (auto& shard : shards_) {
+    reclaimed += shard->arena().Trim();
+  }
+  governor_->RecordRetirement(pool.generations_retired() - retired_before);
+  governor_->RecordReclaim(reclaimed);
+
+  // Reassess with the post-reclamation accounting: hard pressure persists
+  // only while reclamation alone cannot get back under the watermark.
+  const MemoryPressure after = governor_->Assess(AccountMemoryLocked());
+  mem_hard_.store(after == MemoryPressure::kHard, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -1307,7 +1440,14 @@ Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
   // block on their empty queues, so reading the fabricators is safe.
   CRAQR_RETURN_NOT_OK(BarrierLocked());
   stats.tuples_unrouted = router_unrouted_;
-  stats.value_pool_bytes = ops::ValuePool::Global().ApproxBytes();
+  // The runtime's actual pool — an instance pool when configured, the
+  // process Global() pool otherwise (the pre-governance hardcode reported
+  // Global() regardless, which read 0 growth for instance-pool embedders).
+  ops::ValuePool& pool = PoolLocked();
+  stats.value_pool_bytes = pool.ApproxBytes();
+  stats.pool_generations_retired = pool.generations_retired();
+  stats.memory_pressure =
+      governor_ != nullptr ? static_cast<int>(governor_->pressure()) : 0;
   stats.routing_version = routing_version_;
   stats.rebalance_events = rebalance_events_;
   stats.cells_migrated = cells_migrated_;
@@ -1339,6 +1479,9 @@ Result<ShardedStats> ShardedFabricator::SnapshotLocked() const {
     stats.shared_prefix_hits += f.shared_prefix_hits();
     stats.taps_detached += f.taps_detached();
     stats.stages_shared += f.SharedStagesLive();
+    stats.arena_free_bytes += shard.arena().free_bytes();
+    stats.arena_high_water_bytes += shard.arena().high_water_bytes();
+    stats.arena_reuses += shard.arena().reuses();
     // Each cell lives on exactly one shard, so concatenating the per-shard
     // censuses never aliases a flat cell; one sort restores global order.
     for (const auto& entry : f.SharedStageCensus()) {

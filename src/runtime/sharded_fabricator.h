@@ -18,6 +18,7 @@
 #include "ops/tuple.h"
 #include "ops/tuple_batch.h"
 #include "query/query.h"
+#include "runtime/memory_governor.h"
 #include "runtime/rebalancer.h"
 #include "runtime/shard.h"
 
@@ -177,6 +178,12 @@ struct ShardedConfig {
   AdmissionConfig admission;
   /// Epoch-barrier checkpoint/restore knobs.
   CheckpointConfig checkpoint;
+  /// Bounded-memory governance knobs (budget_bytes == 0 disables — the
+  /// default). With a budget set, Make() switches the governed string
+  /// pool (fabric.value_pool, or the process Global() pool) into
+  /// generational mode and GovernMemory() polls/reclaims/degrades. See
+  /// memory_governor.h.
+  MemoryGovernorConfig memory;
 };
 
 /// \brief Per-shard load telemetry (one entry per shard in
@@ -223,9 +230,25 @@ struct ShardedStats {
   std::size_t total_operators = 0;
   std::size_t materialized_cells = 0;
   std::size_t live_queries = 0;
-  /// Approximate heap footprint of ops::ValuePool::Global() — the
-  /// monitoring hook for unbounded free-form string payloads.
+  /// Approximate heap footprint of the runtime's string pool
+  /// (fabric.value_pool when configured, ops::ValuePool::Global()
+  /// otherwise) — the monitoring hook for unbounded free-form string
+  /// payloads.
   std::size_t value_pool_bytes = 0;
+  /// \name Memory-governance telemetry
+  ///@{
+  /// Bytes parked on the shard batch arenas' free lists right now.
+  std::size_t arena_free_bytes = 0;
+  /// Highest arena free-list footprint ever observed (summed).
+  std::size_t arena_high_water_bytes = 0;
+  /// Arena acquisitions served from recycled storage (summed).
+  std::uint64_t arena_reuses = 0;
+  /// String-pool generations retired so far by the governed pool.
+  std::uint64_t pool_generations_retired = 0;
+  /// The memory governor's current pressure level (0 none / 1 soft /
+  /// 2 hard; always 0 with governance disabled).
+  int memory_pressure = 0;
+  ///@}
   /// Epoch-versioned routing-table generation: bumped once per Rebalance()
   /// call that migrated at least one cell.
   std::uint64_t routing_version = 0;
@@ -418,9 +441,40 @@ class ShardedFabricator {
   Result<std::size_t> SpooledEpochs(query::QueryId id) const;
   /// True while the watchdog sees at least one stalled worker (a shard
   /// sitting on a non-empty queue without completing batches for
-  /// watchdog_stall_ticks consecutive samples).
+  /// watchdog_stall_ticks consecutive samples) — or while the memory
+  /// governor holds the runtime under hard pressure (fresh data keeps
+  /// flowing but deliveries shed; see GovernMemory).
   bool degraded() const {
-    return degraded_.load(std::memory_order_relaxed);
+    return degraded_.load(std::memory_order_relaxed) ||
+           mem_hard_.load(std::memory_order_relaxed);
+  }
+  ///@}
+
+  /// \name Bounded-memory governance (ShardedConfig::memory)
+  ///
+  /// GovernMemory() is the per-epoch governance poll (the engine calls it
+  /// once per step). Cheap when below the soft watermark: one pool
+  /// ApproxBytes plus two relaxed loads per shard. At or above it, the
+  /// runtime runs a value-preserving reclamation pass at a full epoch
+  /// barrier: collect outstanding deliveries, re-intern every live string
+  /// holder (shard fabricators, merge stages, spools, replay logs) into
+  /// the pool's next generation, retire all older rotating generations,
+  /// and trim arenas + operator scratch. Delivered streams stay
+  /// byte-identical — the barrier+collect is the same observable pattern
+  /// Checkpoint() already performs and re-interning moves handles, never
+  /// values. At the hard watermark the runtime additionally degrades
+  /// gracefully: every query's deliveries follow the configured hard shed
+  /// policy (kDropOldest/kReject) regardless of credits, shard queue
+  /// pushes become try-once, and degraded() reports true until pressure
+  /// recedes below the soft watermark.
+  ///@{
+  /// One governance poll; no-op when ShardedConfig::memory.budget_bytes
+  /// is 0.
+  Status GovernMemory();
+  /// The governor's current pressure level.
+  MemoryPressure memory_pressure() const {
+    return governor_ != nullptr ? governor_->pressure()
+                                : MemoryPressure::kNone;
   }
   ///@}
 
@@ -549,9 +603,17 @@ class ShardedFabricator {
   /// boundary); crashes-and-restores the armed victim when it fires.
   Status MaybeInjectCrashLocked();
   /// Admission-aware delivery of one collected epoch batch into a query's
-  /// merge stage: spends a credit or sheds per the policy.
+  /// merge stage: spends a credit or sheds per the policy (under hard
+  /// memory pressure, sheds per the governor's policy regardless of
+  /// credits).
   Status DeliverEpochLocked(QueryState& qs, std::uint64_t epoch,
                             ops::TupleBatch& batch);
+  /// The governed string pool (config_.fabric.value_pool or Global()).
+  ops::ValuePool& PoolLocked() const;
+  /// The governance poll + reclamation/degradation body (see GovernMemory).
+  Status GovernMemoryLocked();
+  /// Sums pool/arena/queue byte accounting (the governor's poll input).
+  MemoryGovernor::Usage AccountMemoryLocked() const;
   /// Re-delivers spooled epochs (oldest first) while credits allow.
   Status DrainSpoolLocked(QueryState& qs);
   /// The watchdog thread body (admission.watchdog_interval_ms > 0).
@@ -610,6 +672,16 @@ class ShardedFabricator {
   /// Consecutive no-progress-with-backlog samples per shard.
   std::vector<std::uint64_t> watchdog_ticks_;
   std::atomic<bool> degraded_{false};
+  ///@}
+  /// \name Memory governance (ShardedConfig::memory)
+  ///@{
+  /// Always constructed (keeps the craqr.mem.* families registered);
+  /// inert unless memory.budget_bytes > 0.
+  std::unique_ptr<MemoryGovernor> governor_;
+  /// Hard-pressure latch: read by DeliverEpochLocked (shed regardless of
+  /// credits) and EnqueueSubBatchesLocked (try-once queue pushes), set by
+  /// GovernMemoryLocked, cleared when pressure recedes below soft.
+  std::atomic<bool> mem_hard_{false};
   ///@}
   /// \name Fault / admission telemetry (process-wide registry names,
   /// registered unconditionally so the exporter always carries the
